@@ -1,0 +1,55 @@
+package datasets
+
+import "testing"
+
+func TestNamesAndLoad(t *testing.T) {
+	names := Names()
+	if len(names) < 8 {
+		t.Fatalf("only %d datasets", len(names))
+	}
+	g, err := Load("nethept", true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() == 0 {
+		t.Fatal("empty dataset")
+	}
+	if _, err := Load("bogus", true, 1); err == nil {
+		t.Fatal("bogus dataset accepted")
+	}
+}
+
+func TestBuildChurnStudy(t *testing.T) {
+	s := BuildChurnStudy(ChurnOptions{Customers: 400, Seed: 3})
+	if s.Graph.NumNodes() != 400 || len(s.Churned) != 400 {
+		t.Fatalf("study size %d/%d", s.Graph.NumNodes(), len(s.Churned))
+	}
+	churners := 0
+	for _, c := range s.Churned {
+		if c {
+			churners++
+		}
+	}
+	if churners == 0 || churners == 400 {
+		t.Fatalf("unbalanced labels: %d churners", churners)
+	}
+}
+
+func TestBuildTwitterStudy(t *testing.T) {
+	s := BuildTwitterStudy(TwitterOptions{Users: 800, Topics: 8, Seed: 5})
+	if len(s.Topics) < 3 {
+		t.Fatalf("only %d topic summaries", len(s.Topics))
+	}
+	if s.NRMSEOI <= 0 {
+		t.Fatal("missing NRMSE")
+	}
+	// The study must reproduce the paper's ranking: OI most accurate
+	// (small slack vs OC — both opinion-aware — since the quick study is
+	// statistically noisy).
+	if s.NRMSEOI > s.NRMSEIC {
+		t.Fatalf("OI NRMSE %.1f worse than IC %.1f", s.NRMSEOI, s.NRMSEIC)
+	}
+	if s.NRMSEOI > s.NRMSEOC+3 {
+		t.Fatalf("OI NRMSE %.1f far worse than OC %.1f", s.NRMSEOI, s.NRMSEOC)
+	}
+}

@@ -1,0 +1,54 @@
+// Quickstart: build a social graph, pick seeds with the paper's two
+// algorithms, and compare what each optimizes.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/holisticim/holisticim"
+)
+
+func main() {
+	// A 10K-node scale-free network. p=0.05 keeps cascades local so the
+	// seed choice (not far-field noise) determines the outcome; opinions
+	// are polarized — the regime where opinion-awareness matters most.
+	g := holisticim.GenerateBA(10000, 3, 1)
+	g.SetUniformProb(0.05)
+	holisticim.AssignOpinions(g, holisticim.OpinionPolarized, 2)
+	holisticim.AssignInteractions(g, 3)
+
+	const k = 20
+	opts := holisticim.Options{MCRuns: 2000, Seed: 7}
+
+	// EaSyIM: maximize the number of activated users (classical IM).
+	easy, err := holisticim.SelectSeeds(g, k, holisticim.AlgEaSyIM, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// OSIM: maximize the effective opinion of activated users (MEO).
+	osim, err := holisticim.SelectSeeds(g, k, holisticim.AlgOSIM, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("graph: %d nodes, %d arcs\n\n", g.NumNodes(), g.NumEdges())
+	for _, run := range []struct {
+		name  string
+		seeds []holisticim.NodeID
+	}{
+		{"EaSyIM (opinion-oblivious)", easy.Seeds},
+		{"OSIM   (opinion-aware)", osim.Seeds},
+	} {
+		spread := holisticim.EstimateSpread(g, run.seeds, opts)
+		op := holisticim.EstimateOpinionSpread(g, run.seeds, opts)
+		fmt.Printf("%s\n", run.name)
+		fmt.Printf("  first seeds        : %v...\n", run.seeds[:5])
+		fmt.Printf("  spread σ(S)        : %8.1f users\n", spread.Spread)
+		fmt.Printf("  opinion spread     : %8.2f\n", op.OpinionSpread)
+		fmt.Printf("  effective (λ=1)    : %8.2f\n\n", op.EffectiveOpinionSpread(1))
+	}
+	fmt.Println("EaSyIM reaches more users; OSIM reaches users whose final opinions help.")
+}

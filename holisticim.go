@@ -1,0 +1,314 @@
+// Package holisticim is a from-scratch Go implementation of "Holistic
+// Influence Maximization: Combining Scalability and Efficiency with
+// Opinion-Aware Models" (Galhotra, Arora, Roy — SIGMOD 2016).
+//
+// It provides:
+//
+//   - the Opinion-cum-Interaction (OI) diffusion model over IC and LT
+//     first layers, together with the classical IC/WC/LT models and the
+//     prior opinion-aware baselines OC and IC-N;
+//   - the paper's scalable seed-selection algorithms EaSyIM (opinion-
+//     oblivious) and OSIM (opinion-aware MEO), running in O(k·l·(m+n))
+//     time and O(n) space;
+//   - the full baseline suite the paper evaluates against: GREEDY,
+//     CELF++, Modified-GREEDY, TIM+, IMM, IRIE, SIMPATH, Degree,
+//     DegreeDiscount and PageRank;
+//   - a deterministic parallel Monte-Carlo spread estimator;
+//   - synthetic dataset generators, plus the Twitter-study and
+//     customer-churn pipelines from the paper's Section 4.
+//
+// # Quick start
+//
+//	g := holisticim.GenerateBA(10000, 3, 1)     // a social graph
+//	g.SetUniformProb(0.1)                        // IC probabilities
+//	holisticim.AssignOpinions(g, holisticim.OpinionNormal, 2)
+//	holisticim.AssignInteractions(g, 3)
+//	res, err := holisticim.SelectSeeds(g, 50, holisticim.AlgOSIM, holisticim.Options{})
+//	est := holisticim.EstimateOpinionSpread(g, res.Seeds, holisticim.Options{})
+//	fmt.Println(res.Seeds, est.EffectiveOpinionSpread(1))
+//
+// See the examples/ directory for complete programs.
+package holisticim
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/holisticim/holisticim/internal/core"
+	"github.com/holisticim/holisticim/internal/diffusion"
+	"github.com/holisticim/holisticim/internal/graph"
+	"github.com/holisticim/holisticim/internal/greedy"
+	"github.com/holisticim/holisticim/internal/heuristics"
+	"github.com/holisticim/holisticim/internal/im"
+	"github.com/holisticim/holisticim/internal/opinion"
+	"github.com/holisticim/holisticim/internal/ris"
+	"github.com/holisticim/holisticim/internal/rng"
+)
+
+// Re-exported core types. The full lower-level APIs live in the internal
+// packages; the aliases below are the stable public surface.
+type (
+	// Graph is a directed graph in CSR form with per-edge influence
+	// probability p(u,v), interaction probability ϕ(u,v), LT weight and
+	// per-node opinion o_v ∈ [-1,1].
+	Graph = graph.Graph
+	// NodeID identifies a node (dense ids 0..n-1).
+	NodeID = graph.NodeID
+	// Builder accumulates edges and produces an immutable Graph.
+	Builder = graph.Builder
+	// Result reports a seed selection: seeds in selection order, timing
+	// and algorithm-specific metrics.
+	Result = im.Result
+	// Estimate is a Monte-Carlo spread estimate.
+	Estimate = diffusion.Estimate
+	// Model is a diffusion process bound to a graph.
+	Model = diffusion.Model
+)
+
+// NewBuilder returns a Builder for a graph with n nodes.
+func NewBuilder(n int32) *Builder { return graph.NewBuilder(n) }
+
+// ReadEdgeList parses "u v [p [phi]]" lines into a Graph.
+func ReadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// WriteEdgeList serializes a Graph readably by ReadEdgeList.
+func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// ReadBinaryGraph loads a graph from the compact binary format, which is
+// roughly an order of magnitude faster than the text edge-list for large
+// graphs.
+func ReadBinaryGraph(r io.Reader) (*Graph, error) { return graph.ReadBinary(r) }
+
+// WriteBinaryGraph saves a graph (including edge parameters, LT weights
+// and opinions) in the compact binary format.
+func WriteBinaryGraph(w io.Writer, g *Graph) error { return graph.WriteBinary(w, g) }
+
+// GenerateBA grows an undirected Barabási–Albert graph (both arcs per
+// edge) with edgesPerNode attachments — a stand-in for co-authorship
+// networks such as NetHEPT/HepPh.
+func GenerateBA(n int32, edgesPerNode int, seed uint64) *Graph {
+	g := graph.BarabasiAlbert(n, edgesPerNode, rng.New(seed))
+	g.SetDefaultLTWeights()
+	return g
+}
+
+// GenerateRMAT samples a skewed R-MAT graph with m arcs — a stand-in for
+// large social networks. Set undirected to expand each edge to both arcs.
+func GenerateRMAT(n int32, m int64, undirected bool, seed uint64) *Graph {
+	g := graph.RMAT(n, m, graph.DefaultRMAT, undirected, rng.New(seed))
+	g.SetDefaultLTWeights()
+	return g
+}
+
+// OpinionDistribution selects how AssignOpinions samples o_v.
+type OpinionDistribution = opinion.Distribution
+
+// Opinion distributions (paper Sec. 4.1.3 annotations).
+const (
+	OpinionUniform   = opinion.Uniform   // o ~ rand(-1,1)
+	OpinionNormal    = opinion.Normal    // o ~ N(0,1) clamped
+	OpinionPolarized = opinion.Polarized // two-mode ±[0.3,1]
+)
+
+// AssignOpinions samples an opinion for every node.
+func AssignOpinions(g *Graph, d OpinionDistribution, seed uint64) {
+	opinion.AssignOpinions(g, d, seed)
+}
+
+// AssignInteractions samples ϕ(u,v) ~ rand(0,1) for every edge.
+func AssignInteractions(g *Graph, seed uint64) {
+	opinion.AssignInteractions(g, seed)
+}
+
+// ModelKind names a diffusion model for the high-level API.
+type ModelKind string
+
+// Supported diffusion models.
+const (
+	ModelIC   ModelKind = "ic"    // independent cascade (p on edges)
+	ModelWC   ModelKind = "wc"    // weighted cascade (p=1/indeg; call SetWeightedCascadeProb)
+	ModelLT   ModelKind = "lt"    // linear threshold (w on edges)
+	ModelOIIC ModelKind = "oi-ic" // opinion-cum-interaction over IC
+	ModelOILT ModelKind = "oi-lt" // opinion-cum-interaction over LT
+	ModelOC   ModelKind = "oc"    // Zhang et al. opinion baseline (LT)
+)
+
+// NewModel instantiates a diffusion model over g.
+func NewModel(g *Graph, kind ModelKind) (Model, error) {
+	switch kind {
+	case ModelIC, ModelWC:
+		return diffusion.NewIC(g), nil
+	case ModelLT:
+		return diffusion.NewLT(g), nil
+	case ModelOIIC:
+		return diffusion.NewOI(g, diffusion.LayerIC), nil
+	case ModelOILT:
+		return diffusion.NewOI(g, diffusion.LayerLT), nil
+	case ModelOC:
+		return diffusion.NewOC(g), nil
+	default:
+		return nil, fmt.Errorf("holisticim: unknown model %q", kind)
+	}
+}
+
+// Algorithm names a seed-selection algorithm.
+type Algorithm string
+
+// Supported algorithms.
+const (
+	AlgEaSyIM         Algorithm = "easyim"          // the paper's scalable opinion-oblivious algorithm
+	AlgOSIM           Algorithm = "osim"            // the paper's opinion-aware algorithm (MEO)
+	AlgGreedy         Algorithm = "greedy"          // Kempe et al. hill climbing
+	AlgCELFPP         Algorithm = "celf++"          // Goyal et al. lazy forward
+	AlgModifiedGreedy Algorithm = "modified-greedy" // paper Appendix A (MEO objective)
+	AlgTIMPlus        Algorithm = "tim+"            // Tang et al. SIGMOD'14
+	AlgIMM            Algorithm = "imm"             // Tang et al. SIGMOD'15
+	AlgIRIE           Algorithm = "irie"            // Jung et al. ICDM'12
+	AlgSIMPATH        Algorithm = "simpath"         // Goyal et al. ICDM'11 (LT)
+	AlgStaticGreedy   Algorithm = "static-greedy"   // Cheng et al. CIKM'13 snapshot greedy
+	AlgDegree         Algorithm = "degree"
+	AlgDegreeDiscount Algorithm = "degree-discount"
+	AlgPageRank       Algorithm = "pagerank"
+)
+
+// Options tunes SelectSeeds and the estimators. The zero value picks the
+// paper's defaults everywhere.
+type Options struct {
+	// Model is the diffusion model the selection optimizes for (default
+	// ModelIC for oblivious algorithms, ModelOIIC for opinion-aware ones).
+	Model ModelKind
+	// PathLength is EaSyIM/OSIM's l (default 3, the paper's choice).
+	PathLength int
+	// Lambda is the MEO penalty on negative opinion spread (default 1).
+	Lambda float64
+	// Epsilon is TIM+/IMM's approximation slack (default 0.1).
+	Epsilon float64
+	// MCRuns is the Monte-Carlo budget for simulation-driven algorithms
+	// and estimators (default 10000, the paper's setting).
+	MCRuns int
+	// Seed drives all randomness (default 1).
+	Seed uint64
+	// Workers bounds parallelism (default GOMAXPROCS).
+	Workers int
+	// TIMThetaCap optionally bounds TIM+/IMM RR sets (0 = unbounded).
+	TIMThetaCap int
+}
+
+func (o Options) withDefaults(opinionAware bool) Options {
+	if o.Model == "" {
+		if opinionAware {
+			o.Model = ModelOIIC
+		} else {
+			o.Model = ModelIC
+		}
+	}
+	if o.PathLength <= 0 {
+		o.PathLength = 3
+	}
+	if o.Lambda == 0 {
+		o.Lambda = 1
+	}
+	if o.Epsilon <= 0 {
+		o.Epsilon = 0.1
+	}
+	if o.MCRuns <= 0 {
+		o.MCRuns = 10000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// SelectSeeds picks k seed nodes with the chosen algorithm. It returns an
+// error (rather than panicking) for invalid configuration at this public
+// boundary.
+func SelectSeeds(g *Graph, k int, alg Algorithm, opts Options) (Result, error) {
+	if g == nil {
+		return Result{}, fmt.Errorf("holisticim: nil graph")
+	}
+	if k <= 0 || int64(k) > int64(g.NumNodes()) {
+		return Result{}, fmt.Errorf("holisticim: invalid k=%d for n=%d", k, g.NumNodes())
+	}
+	opinionAware := alg == AlgOSIM || alg == AlgModifiedGreedy
+	o := opts.withDefaults(opinionAware)
+
+	model, err := NewModel(g, o.Model)
+	if err != nil {
+		return Result{}, err
+	}
+	weight := core.WeightProb
+	risKind := ris.ModelIC
+	if o.Model == ModelLT || o.Model == ModelOILT || o.Model == ModelOC {
+		weight = core.WeightLT
+		risKind = ris.ModelLT
+	}
+
+	var sel im.Selector
+	switch alg {
+	case AlgEaSyIM:
+		sel = core.NewScoreGreedy(core.NewEaSyIM(g, o.PathLength, weight), core.ScoreGreedyOptions{
+			Policy: core.PolicyMCMajority, ProbeModel: model, Seed: o.Seed,
+		})
+	case AlgOSIM:
+		sel = core.NewScoreGreedy(core.NewOSIM(g, o.PathLength, weight, o.Lambda), core.ScoreGreedyOptions{
+			Policy: core.PolicyMCMajority, ProbeModel: model, Seed: o.Seed,
+		})
+	case AlgGreedy:
+		sel = greedy.NewGreedy(greedy.NewSpreadObjective(model, o.MCRuns, o.Seed))
+	case AlgCELFPP:
+		sel = greedy.NewCELFPP(greedy.NewSpreadObjective(model, o.MCRuns, o.Seed))
+	case AlgModifiedGreedy:
+		sel = greedy.NewModifiedGreedy(greedy.NewEffectiveOpinionObjective(model, o.Lambda, o.MCRuns, o.Seed))
+	case AlgStaticGreedy:
+		snapshots := o.MCRuns / 50
+		sel = greedy.NewStaticGreedy(g, snapshots, o.Seed)
+	case AlgTIMPlus:
+		sel = ris.NewTIMPlus(g, risKind, ris.TIMOptions{Epsilon: o.Epsilon, Seed: o.Seed, ThetaCap: o.TIMThetaCap})
+	case AlgIMM:
+		sel = ris.NewIMM(g, risKind, ris.TIMOptions{Epsilon: o.Epsilon, Seed: o.Seed, ThetaCap: o.TIMThetaCap})
+	case AlgIRIE:
+		sel = heuristics.NewIRIE(g, 0, 0, 0)
+	case AlgSIMPATH:
+		sel = heuristics.NewSIMPATH(g, 0, 0)
+	case AlgDegree:
+		sel = heuristics.NewDegree(g)
+	case AlgDegreeDiscount:
+		p := 0.1
+		if ps := g.OutProbs(0); len(ps) > 0 {
+			p = ps[0]
+		}
+		sel = heuristics.NewDegreeDiscount(g, p)
+	case AlgPageRank:
+		sel = heuristics.NewPageRank(g, 0, 0)
+	default:
+		return Result{}, fmt.Errorf("holisticim: unknown algorithm %q", alg)
+	}
+	return sel.Select(k), nil
+}
+
+// EstimateSpread estimates σ(S) (expected activations beyond the seeds)
+// under opts.Model.
+func EstimateSpread(g *Graph, seeds []NodeID, opts Options) Estimate {
+	o := opts.withDefaults(false)
+	model, err := NewModel(g, o.Model)
+	if err != nil {
+		panic(err) // withDefaults guarantees a known model
+	}
+	return diffusion.MonteCarlo(model, seeds, diffusion.MCOptions{
+		Runs: o.MCRuns, Seed: o.Seed, Workers: o.Workers,
+	})
+}
+
+// EstimateOpinionSpread estimates the opinion-aware spreads (Defs. 6-7)
+// under opts.Model (default OI over IC).
+func EstimateOpinionSpread(g *Graph, seeds []NodeID, opts Options) Estimate {
+	o := opts.withDefaults(true)
+	model, err := NewModel(g, o.Model)
+	if err != nil {
+		panic(err)
+	}
+	return diffusion.MonteCarlo(model, seeds, diffusion.MCOptions{
+		Runs: o.MCRuns, Seed: o.Seed, Workers: o.Workers,
+	})
+}

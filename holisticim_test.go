@@ -1,0 +1,148 @@
+package holisticim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func testGraph() *Graph {
+	g := GenerateBA(400, 3, 1)
+	g.SetUniformProb(0.1)
+	AssignOpinions(g, OpinionNormal, 2)
+	AssignInteractions(g, 3)
+	return g
+}
+
+func TestSelectSeedsAllAlgorithms(t *testing.T) {
+	g := testGraph()
+	opts := Options{MCRuns: 100, Seed: 5, TIMThetaCap: 20000}
+	algs := []Algorithm{
+		AlgEaSyIM, AlgOSIM, AlgGreedy, AlgCELFPP, AlgModifiedGreedy, AlgStaticGreedy,
+		AlgTIMPlus, AlgIMM, AlgIRIE, AlgDegree, AlgDegreeDiscount, AlgPageRank,
+	}
+	for _, alg := range algs {
+		res, err := SelectSeeds(g, 3, alg, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if len(res.Seeds) != 3 {
+			t.Fatalf("%s: got %d seeds", alg, len(res.Seeds))
+		}
+		seen := map[NodeID]bool{}
+		for _, s := range res.Seeds {
+			if s < 0 || s >= g.NumNodes() {
+				t.Fatalf("%s: seed %d out of range", alg, s)
+			}
+			if seen[s] {
+				t.Fatalf("%s: duplicate seed %d", alg, s)
+			}
+			seen[s] = true
+		}
+	}
+	// SIMPATH runs under LT.
+	res, err := SelectSeeds(g, 3, AlgSIMPATH, Options{Model: ModelLT, Seed: 5})
+	if err != nil || len(res.Seeds) != 3 {
+		t.Fatalf("simpath: %v %v", res.Seeds, err)
+	}
+}
+
+func TestSelectSeedsErrors(t *testing.T) {
+	g := testGraph()
+	if _, err := SelectSeeds(nil, 1, AlgEaSyIM, Options{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := SelectSeeds(g, 0, AlgEaSyIM, Options{}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := SelectSeeds(g, 1, Algorithm("bogus"), Options{}); err == nil {
+		t.Fatal("bogus algorithm accepted")
+	}
+	if _, err := SelectSeeds(g, 1, AlgEaSyIM, Options{Model: ModelKind("bogus")}); err == nil {
+		t.Fatal("bogus model accepted")
+	}
+}
+
+func TestEstimateSpreadConsistency(t *testing.T) {
+	g := testGraph()
+	res, err := SelectSeeds(g, 5, AlgEaSyIM, Options{MCRuns: 200, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := EstimateSpread(g, res.Seeds, Options{MCRuns: 2000, Seed: 9})
+	if est.Spread <= 0 {
+		t.Fatalf("spread %v", est.Spread)
+	}
+	deg, _ := SelectSeeds(g, 5, AlgDegree, Options{})
+	estDeg := EstimateSpread(g, deg.Seeds, Options{MCRuns: 2000, Seed: 9})
+	if est.Spread < 0.75*estDeg.Spread {
+		t.Fatalf("EaSyIM spread %v far below degree %v", est.Spread, estDeg.Spread)
+	}
+}
+
+func TestOpinionAwareBeatsObliviousOnMEO(t *testing.T) {
+	// The paper's core claim at API level: OSIM seeds achieve at least the
+	// effective opinion spread of EaSyIM seeds.
+	g := GenerateBA(500, 3, 11)
+	g.SetUniformProb(0.15)
+	AssignOpinions(g, OpinionPolarized, 12)
+	AssignInteractions(g, 13)
+	osim, err := SelectSeeds(g, 8, AlgOSIM, Options{MCRuns: 200, Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	easy, err := SelectSeeds(g, 8, AlgEaSyIM, Options{MCRuns: 200, Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eo := EstimateOpinionSpread(g, osim.Seeds, Options{MCRuns: 4000, Seed: 17})
+	ee := EstimateOpinionSpread(g, easy.Seeds, Options{MCRuns: 4000, Seed: 17})
+	if eo.EffectiveOpinionSpread(1) < ee.EffectiveOpinionSpread(1)-0.5 {
+		t.Fatalf("OSIM %v below EaSyIM %v on MEO",
+			eo.EffectiveOpinionSpread(1), ee.EffectiveOpinionSpread(1))
+	}
+}
+
+func TestGraphIOThroughFacade(t *testing.T) {
+	g := testGraph()
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatal("round trip changed size")
+	}
+}
+
+func TestGenerateRMATFacade(t *testing.T) {
+	g := GenerateRMAT(1024, 8000, true, 21)
+	if g.NumNodes() != 1024 || g.NumEdges() == 0 {
+		t.Fatalf("rmat %d/%d", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestBuilderFacade(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdgeP(0, 1, 0.5, 0.5)
+	g := b.Build()
+	if !g.HasEdge(0, 1) {
+		t.Fatal("builder facade broken")
+	}
+}
+
+func TestModelNamesThroughFacade(t *testing.T) {
+	g := testGraph()
+	for _, kind := range []ModelKind{ModelIC, ModelWC, ModelLT, ModelOIIC, ModelOILT, ModelOC} {
+		m, err := NewModel(g, kind)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if m.Name() == "" || !strings.ContainsAny(m.Name(), "ICLTOW") {
+			t.Fatalf("%s: odd name %q", kind, m.Name())
+		}
+	}
+}

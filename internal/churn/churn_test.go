@@ -1,0 +1,197 @@
+package churn
+
+import (
+	"math"
+	"testing"
+
+	"github.com/holisticim/holisticim/internal/graph"
+)
+
+func TestGenerateCustomersBalanced(t *testing.T) {
+	cs := GenerateCustomers(CustomerOptions{Customers: 1000, Seed: 1})
+	churn := 0
+	for i := range cs {
+		if cs[i].Churned {
+			churn++
+		}
+	}
+	if churn != 500 {
+		t.Fatalf("churners %d want 500", churn)
+	}
+}
+
+func TestCustomersAttributeCorrelation(t *testing.T) {
+	cs := GenerateCustomers(CustomerOptions{Customers: 4000, Seed: 2})
+	var churnCompl, loyalCompl, churnTenure, loyalTenure float64
+	var nc, nl float64
+	for i := range cs {
+		if cs[i].Churned {
+			churnCompl += cs[i].Complaints
+			churnTenure += cs[i].TenureMonths
+			nc++
+		} else {
+			loyalCompl += cs[i].Complaints
+			loyalTenure += cs[i].TenureMonths
+			nl++
+		}
+	}
+	if churnCompl/nc <= loyalCompl/nl {
+		t.Fatal("churners should complain more")
+	}
+	if churnTenure/nc >= loyalTenure/nl {
+		t.Fatal("churners should have shorter tenure")
+	}
+}
+
+func TestSimilaritySelf(t *testing.T) {
+	cs := GenerateCustomers(CustomerOptions{Customers: 10, Seed: 3})
+	scale := featureScales(cs)
+	if got := Similarity(&cs[0], &cs[0], &scale); got != 1 {
+		t.Fatalf("self similarity %v", got)
+	}
+	// Symmetry.
+	a := Similarity(&cs[0], &cs[1], &scale)
+	b := Similarity(&cs[1], &cs[0], &scale)
+	if a != b {
+		t.Fatalf("asymmetric similarity %v vs %v", a, b)
+	}
+	if a < 0 || a > 1 {
+		t.Fatalf("similarity %v out of range", a)
+	}
+}
+
+func TestSimilarityGraphHomophily(t *testing.T) {
+	cs := GenerateCustomers(CustomerOptions{Customers: 600, Seed: 4})
+	g := SimilarityGraph(cs, SimilarityOptions{Threshold: 0.85, MaxDegree: 30, Seed: 5})
+	if g.NumEdges() == 0 {
+		t.Fatal("no edges induced")
+	}
+	same, diff := 0, 0
+	for u := graph.NodeID(0); u < g.NumNodes(); u++ {
+		for _, v := range g.OutNeighbors(u) {
+			if cs[u].Churned == cs[v].Churned {
+				same++
+			} else {
+				diff++
+			}
+		}
+	}
+	frac := float64(same) / float64(same+diff)
+	if frac < 0.75 {
+		t.Fatalf("homophily too weak: same-label edge fraction %v", frac)
+	}
+	// Degree cap respected (cap applies per node's own candidate list;
+	// mutual picks may exceed it slightly, so allow 2x).
+	for v := graph.NodeID(0); v < g.NumNodes(); v++ {
+		if int(g.OutDegree(v)) > 60 {
+			t.Fatalf("degree cap ignored: node %d has degree %d", v, g.OutDegree(v))
+		}
+	}
+}
+
+func TestLabelPropagationAllKnownKeepsSigns(t *testing.T) {
+	cs := GenerateCustomers(CustomerOptions{Customers: 500, Seed: 6})
+	g := SimilarityGraph(cs, SimilarityOptions{Threshold: 0.85, MaxDegree: 20, Seed: 7})
+	labels := make([]float64, len(cs))
+	for i := range cs {
+		labels[i] = cs[i].Label()
+	}
+	aff := PropagateLabels(g, labels, nil, LabelPropOptions{})
+	agree := 0
+	for i := range aff {
+		if aff[i] < -1 || aff[i] > 1 {
+			t.Fatalf("affinity %v out of range", aff[i])
+		}
+		if (aff[i] < 0) == cs[i].Churned {
+			agree++
+		}
+	}
+	frac := float64(agree) / float64(len(aff))
+	if frac < 0.9 {
+		t.Fatalf("propagation flipped too many labels: agreement %v", frac)
+	}
+}
+
+func TestLabelPropagationSemiSupervisedAccuracy(t *testing.T) {
+	// Hold out 30% of labels; homophily should let propagation predict
+	// them well above chance — validating the paper's similarity
+	// hypothesis on our synthetic table.
+	cs := GenerateCustomers(CustomerOptions{Customers: 800, Seed: 8})
+	g := SimilarityGraph(cs, SimilarityOptions{Threshold: 0.85, MaxDegree: 25, Seed: 9})
+	labels := make([]float64, len(cs))
+	known := make([]bool, len(cs))
+	for i := range cs {
+		labels[i] = cs[i].Label()
+		known[i] = i%10 >= 3 // hold out 30%
+	}
+	aff := PropagateLabels(g, labels, known, LabelPropOptions{Alpha: 0.8})
+	correct, total := 0, 0
+	for i := range cs {
+		if known[i] || aff[i] == 0 {
+			continue
+		}
+		total++
+		if (aff[i] < 0) == cs[i].Churned {
+			correct++
+		}
+	}
+	if total < 50 {
+		t.Skip("too few connected held-out nodes")
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.75 {
+		t.Fatalf("held-out churn prediction accuracy %v", acc)
+	}
+}
+
+func TestLabelPropagationDisconnectedNeutral(t *testing.T) {
+	// An isolated unlabeled node must stay neutral.
+	b := graph.NewBuilder(3)
+	b.AddUndirected(0, 1, 1, 0.5)
+	g := b.Build()
+	g.SetDefaultLTWeights()
+	aff := PropagateLabels(g, []float64{1, 1, -1}, []bool{true, true, false}, LabelPropOptions{})
+	if aff[2] != 0 {
+		t.Fatalf("isolated node affinity %v want 0", aff[2])
+	}
+	if aff[0] <= 0 || aff[1] <= 0 {
+		t.Fatalf("labeled affinities %v %v", aff[0], aff[1])
+	}
+}
+
+func TestBuildChurnGraphEndToEnd(t *testing.T) {
+	g, cs := BuildChurnGraph(
+		CustomerOptions{Customers: 400, Seed: 10},
+		SimilarityOptions{Threshold: 0.85, MaxDegree: 20, Seed: 11},
+		LabelPropOptions{},
+	)
+	if g.NumNodes() != 400 || len(cs) != 400 {
+		t.Fatalf("size %d/%d", g.NumNodes(), len(cs))
+	}
+	neg, pos := 0, 0
+	for v := graph.NodeID(0); v < g.NumNodes(); v++ {
+		o := g.Opinion(v)
+		if math.Abs(o) > 1 {
+			t.Fatalf("opinion %v out of range", o)
+		}
+		if o < 0 {
+			neg++
+		} else if o > 0 {
+			pos++
+		}
+	}
+	// A balanced table must produce both orientations in bulk.
+	if neg < 100 || pos < 100 {
+		t.Fatalf("opinion polarity counts neg=%d pos=%d", neg, pos)
+	}
+}
+
+func TestPropagateLabelsValidatesLength(t *testing.T) {
+	g := graph.Path(3, 0.5, 0.5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PropagateLabels(g, []float64{1}, nil, LabelPropOptions{})
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/holisticim/holisticim/internal/diffusion"
+	"github.com/holisticim/holisticim/internal/graph"
+	"github.com/holisticim/holisticim/internal/rng"
+)
+
+func benchGraph(b *testing.B, n int32) *graph.Graph {
+	b.Helper()
+	g := graph.BarabasiAlbert(n, 3, rng.New(1))
+	g.SetUniformProb(0.1)
+	r := rng.New(2)
+	for v := graph.NodeID(0); v < g.NumNodes(); v++ {
+		g.SetOpinion(v, r.Range(-1, 1))
+	}
+	g.SetEdgeParamsFunc(func(u, v graph.NodeID) (float64, float64) { return 0.1, r.Float64() })
+	g.SetDefaultLTWeights()
+	return g
+}
+
+func BenchmarkEaSyIMAssignL1(b *testing.B) { benchAssign(b, 1) }
+func BenchmarkEaSyIMAssignL3(b *testing.B) { benchAssign(b, 3) }
+func BenchmarkEaSyIMAssignL5(b *testing.B) { benchAssign(b, 5) }
+
+func benchAssign(b *testing.B, l int) {
+	g := benchGraph(b, 50000)
+	s := NewEaSyIM(g, l, WeightProb)
+	out := make([]float64, g.NumNodes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Assign(nil, out)
+	}
+}
+
+func BenchmarkOSIMAssignL3(b *testing.B) {
+	g := benchGraph(b, 50000)
+	s := NewOSIM(g, 3, WeightProb, 1)
+	out := make([]float64, g.NumNodes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Assign(nil, out)
+	}
+}
+
+func BenchmarkPathUnionSmall(b *testing.B) {
+	g := benchGraph(b, 300)
+	s := NewPathUnion(g, 3, WeightProb)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ScoreOf(s)
+	}
+}
+
+func BenchmarkScoreGreedySelect10(b *testing.B) {
+	g := benchGraph(b, 20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sg := NewScoreGreedy(NewEaSyIM(g, 3, WeightProb), ScoreGreedyOptions{
+			Policy:     PolicyMCMajority,
+			ProbeModel: diffusion.NewIC(g),
+			ProbeRuns:  10,
+			Seed:       uint64(i),
+		})
+		_ = sg.Select(10)
+	}
+}
+
+func BenchmarkLiveEdgeEnsemble(b *testing.B) {
+	g := benchGraph(b, 5000)
+	s := NewLiveEdgeEnsemble(g, 3, 8, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ScoreOf(s)
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/holisticim/holisticim/internal/graph"
+)
+
+// EaSyIM is the paper's Algorithm 4: the score of a node u is the
+// probability-weighted number of walks of length at most l starting at u,
+//
+//	∆_i(u) = Σ_{v ∈ Out(u)} w(u,v) · (1 + ∆_{i−1}(v)),   ∆_0 ≡ 0,
+//
+// computed with two rolling O(n) arrays in O(l(m+n)) time. The score of a
+// node mimics its expected spread: exactly on trees (Conclusion 2),
+// exactly on DAGs under LT (Conclusion 3), and with a small bounded error
+// otherwise (Sec. 3.4.2).
+type EaSyIM struct {
+	g       *graph.Graph
+	l       int
+	weight  EdgeWeight
+	workers int // node-parallelism for Assign; 1 = sequential
+
+	prev, cur []float64 // rolling ∆ levels, reused across Assign calls
+}
+
+// NewEaSyIM returns an EaSyIM scorer with maximum path length l (the
+// paper recommends l=3 as the quality/efficiency sweet spot; l must be at
+// least 1 and at most the graph diameter to be meaningful).
+func NewEaSyIM(g *graph.Graph, l int, weight EdgeWeight) *EaSyIM {
+	if l < 1 {
+		panic(fmt.Sprintf("core: EaSyIM path length l=%d must be >= 1", l))
+	}
+	n := g.NumNodes()
+	return &EaSyIM{
+		g:       g,
+		l:       l,
+		weight:  weight,
+		workers: 1,
+		prev:    make([]float64, n),
+		cur:     make([]float64, n),
+	}
+}
+
+// Name implements Scorer.
+func (e *EaSyIM) Name() string { return "EaSyIM" }
+
+// Graph implements Scorer.
+func (e *EaSyIM) Graph() *graph.Graph { return e.g }
+
+// PathLength returns l.
+func (e *EaSyIM) PathLength() int { return e.l }
+
+// Assign implements Scorer. The returned score of u aggregates the
+// contributions of all walks of length ≤ l from u that avoid excluded
+// nodes; excluded nodes score -Inf.
+func (e *EaSyIM) Assign(excluded []bool, out []float64) []float64 {
+	g := e.g
+	n := g.NumNodes()
+	if out == nil {
+		out = make([]float64, n)
+	}
+	prev, cur := e.prev, e.cur
+	for i := range prev {
+		prev[i] = 0
+	}
+	for i := 1; i <= e.l; i++ {
+		parallelFor(n, e.workers, func(lo, hi graph.NodeID) {
+			for u := lo; u < hi; u++ {
+				if excluded != nil && excluded[u] {
+					cur[u] = 0
+					continue
+				}
+				nbrs := g.OutNeighbors(u)
+				ws := edgeWeights(g, e.weight, u)
+				sum := 0.0
+				for j, v := range nbrs {
+					if excluded != nil && excluded[v] {
+						continue
+					}
+					sum += ws[j] * (1 + prev[v])
+				}
+				cur[u] = sum
+			}
+		})
+		prev, cur = cur, prev
+	}
+	// prev now holds ∆_l.
+	for u := graph.NodeID(0); u < n; u++ {
+		if excluded != nil && excluded[u] {
+			out[u] = negInf
+		} else {
+			out[u] = prev[u]
+		}
+	}
+	return out
+}
+
+var _ Scorer = (*EaSyIM)(nil)

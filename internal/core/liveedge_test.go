@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/holisticim/holisticim/internal/diffusion"
+	"github.com/holisticim/holisticim/internal/graph"
+	"github.com/holisticim/holisticim/internal/rng"
+)
+
+func TestLiveEdgeEnsembleMatchesLTSpread(t *testing.T) {
+	// With enough instances and l ≥ diameter, the ensemble score of a
+	// node converges to its exact LT spread (live-edge reachability is
+	// exact per instance — Conclusion 3).
+	g := graph.ErdosRenyi(7, 12, rng.New(3))
+	g.SetDefaultLTWeights()
+	ens := NewLiveEdgeEnsemble(g, 7, 40000, 9)
+	scores := ScoreOf(ens)
+	for v := graph.NodeID(0); v < g.NumNodes(); v++ {
+		exact := diffusion.ExactLTSpread(g, []graph.NodeID{v})
+		if math.Abs(scores[v]-exact) > 0.12 {
+			t.Fatalf("node %d: ensemble %v vs exact %v", v, scores[v], exact)
+		}
+	}
+}
+
+func TestLiveEdgeEnsembleChain(t *testing.T) {
+	// Chain with weight 1 per edge: every instance has the full chain
+	// live, so the score is deterministic: min(l, remaining length).
+	g := graph.Path(6, 0.5, 0.5)
+	ens := NewLiveEdgeEnsemble(g, 3, 8, 1)
+	scores := ScoreOf(ens)
+	want := []float64{3, 3, 3, 2, 1, 0}
+	for v, w := range want {
+		if math.Abs(scores[v]-w) > 1e-9 {
+			t.Fatalf("node %d: %v want %v", v, scores[v], w)
+		}
+	}
+}
+
+func TestLiveEdgeEnsembleExclusion(t *testing.T) {
+	g := graph.Path(4, 0.5, 0.5)
+	ens := NewLiveEdgeEnsemble(g, 3, 8, 1)
+	excluded := []bool{false, true, false, false}
+	scores := ens.Assign(excluded, nil)
+	if scores[0] != 0 {
+		t.Fatalf("excluded child still counted: %v", scores[0])
+	}
+	if !math.IsInf(scores[1], -1) {
+		t.Fatal("excluded node should be -Inf")
+	}
+	if scores[2] != 1 {
+		t.Fatalf("unaffected branch score %v want 1", scores[2])
+	}
+}
+
+func TestLiveEdgeEnsembleCorrelatesWithWeightLT(t *testing.T) {
+	// The cheap WeightLT shortcut must rank nodes consistently with the
+	// faithful ensemble: compare top-1 on a random graph.
+	g := graph.ErdosRenyi(150, 900, rng.New(7))
+	g.SetDefaultLTWeights()
+	ens := ScoreOf(NewLiveEdgeEnsemble(g, 3, 600, 11))
+	fast := ScoreOf(NewEaSyIM(g, 3, WeightLT))
+	bestEns := ArgmaxScore(ens)
+	// The fast score of the ensemble's winner must be near the fast
+	// maximum (exact argmax agreement is not guaranteed — both are
+	// estimators).
+	bestFast := ArgmaxScore(fast)
+	if fast[bestEns] < 0.8*fast[bestFast] {
+		t.Fatalf("ranking divergence: fast score of ensemble winner %v vs fast max %v",
+			fast[bestEns], fast[bestFast])
+	}
+}
+
+func TestLiveEdgeEnsembleRejectsBadL(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewLiveEdgeEnsemble(graph.Path(3, 1, 1), 0, 4, 1)
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/holisticim/holisticim/internal/diffusion"
+	"github.com/holisticim/holisticim/internal/graph"
+	"github.com/holisticim/holisticim/internal/rng"
+)
+
+// lemma8ClosedForm evaluates σ_o({u0}) on a uniform-parameter path of
+// length l: Σ_i (Π p) (Σ_j o_j/2 (1+δ_j0) Π ψ) — the paper's Lemma 8.
+func lemma8ClosedForm(opinions []float64, p, phi float64) float64 {
+	psi := (2*phi - 1) / 2
+	total := 0.0
+	pAcc := 1.0
+	// E[o'_i] via the recurrence o'_i = o_i/2 + ψ o'_{i−1}, o'_0 = o_0.
+	exp := opinions[0]
+	for i := 1; i < len(opinions); i++ {
+		pAcc *= p
+		exp = opinions[i]/2 + psi*exp
+		total += pAcc * exp
+	}
+	return total
+}
+
+func TestOSIMLemma9PathExactness(t *testing.T) {
+	// Lemma 9: ∆_l(u0) computed by Algorithm 5 equals the closed-form
+	// expected opinion spread on a path, for every l up to the path length.
+	r := rng.New(3)
+	for trial := 0; trial < 8; trial++ {
+		n := 2 + r.Intn(8)
+		p := 0.2 + 0.7*r.Float64()
+		phi := r.Float64()
+		g := graph.Path(int32(n), p, phi)
+		opinions := make([]float64, n)
+		for i := range opinions {
+			opinions[i] = r.Range(-1, 1)
+		}
+		g.SetOpinions(opinions)
+		s := NewOSIM(g, n, WeightProb, 1)
+		scores := ScoreOf(s)
+		want := lemma8ClosedForm(opinions, p, phi)
+		if math.Abs(scores[0]-want) > 1e-9 {
+			t.Fatalf("trial %d (n=%d p=%v phi=%v): ∆=%v want %v", trial, n, p, phi, scores[0], want)
+		}
+	}
+}
+
+func TestOSIMExactOnTreesAgainstDP(t *testing.T) {
+	// On trees every node is reached by a unique path, so OSIM's score of
+	// the root equals the exact OI-IC expected opinion spread (the same DP
+	// the diffusion test oracle implements).
+	for trial := 0; trial < 6; trial++ {
+		r := rng.Split(123, uint64(trial))
+		n := int32(4 + r.Intn(16))
+		g := graph.RandomTree(n, 0.5, 0, r)
+		for v := graph.NodeID(0); v < n; v++ {
+			g.SetOpinion(v, r.Range(-1, 1))
+		}
+		g.SetEdgeParamsFunc(func(u, v graph.NodeID) (float64, float64) {
+			return 0.3 + 0.6*r.Float64(), r.Float64()
+		})
+		s := NewOSIM(g, int(n), WeightProb, 1)
+		scores := ScoreOf(s)
+		want := diffusion.ExactOIICSeedValue(g, 0)
+		if math.Abs(scores[0]-want) > 1e-9 {
+			t.Fatalf("trial %d: OSIM %v vs DP %v", trial, scores[0], want)
+		}
+	}
+}
+
+func TestOSIMReducesToEaSyIM(t *testing.T) {
+	// Lemma 1's reduction: with o ≡ 1 and ϕ ≡ 1, MEO degenerates to IM.
+	// Algebraically OSIM's score then equals EaSyIM's on ANY graph (each
+	// activated node contributes exactly 1 in expectation).
+	g := graph.ErdosRenyi(120, 900, rng.New(21))
+	g.SetUniformProb(0.15)
+	g.SetUniformPhi(1)
+	for v := graph.NodeID(0); v < g.NumNodes(); v++ {
+		g.SetOpinion(v, 1)
+	}
+	for _, l := range []int{1, 2, 3, 5} {
+		easy := ScoreOf(NewEaSyIM(g, l, WeightProb))
+		osim := ScoreOf(NewOSIM(g, l, WeightProb, 1))
+		for v := range easy {
+			if math.Abs(easy[v]-osim[v]) > 1e-9 {
+				t.Fatalf("l=%d node %d: EaSyIM %v vs OSIM %v", l, v, easy[v], osim[v])
+			}
+		}
+	}
+}
+
+func TestOSIMFigure1Scores(t *testing.T) {
+	// Hand-derived Algorithm-5 values on the Figure-1 graph with l=2:
+	// ∆(A)=0.136, ∆(B)=0.0465, ∆(C)=−0.351, ∆(D)=0. OSIM must therefore
+	// select A — the paper's Example-2 conclusion.
+	g := graph.ExampleFigure1()
+	s := NewOSIM(g, 2, WeightProb, 1)
+	scores := ScoreOf(s)
+	want := []float64{0.136, 0.0465, -0.351, 0}
+	for v, w := range want {
+		if math.Abs(scores[v]-w) > 1e-9 {
+			t.Fatalf("∆(%d) = %v want %v", v, scores[v], w)
+		}
+	}
+	if best := ArgmaxScore(scores); best != 0 {
+		t.Fatalf("OSIM picked %d, want A=0", best)
+	}
+}
+
+func TestOSIMExclusion(t *testing.T) {
+	g := graph.ExampleFigure1()
+	s := NewOSIM(g, 2, WeightProb, 1)
+	excluded := make([]bool, 4)
+	excluded[3] = true // exclude D
+	scores := s.Assign(excluded, nil)
+	// Without D, A and C have no outgoing contribution at all.
+	if scores[0] != 0 || scores[2] != 0 {
+		t.Fatalf("scores with D excluded: %v", scores)
+	}
+	if !math.IsInf(scores[3], -1) {
+		t.Fatal("excluded node must score -Inf")
+	}
+	// B retains its level-1 contributions from A and C: 0.07.
+	if math.Abs(scores[1]-0.07) > 1e-9 {
+		t.Fatalf("∆(B)=%v want 0.07", scores[1])
+	}
+}
+
+func TestOSIMLambdaZeroIgnoresNegativeLevels(t *testing.T) {
+	// With λ=0 the negative per-level increments are dropped, so C's score
+	// on the Figure-1 graph becomes 0 instead of −0.351.
+	g := graph.ExampleFigure1()
+	s := NewOSIM(g, 2, WeightProb, 0)
+	scores := ScoreOf(s)
+	if scores[2] != 0 {
+		t.Fatalf("λ=0 score of C = %v want 0", scores[2])
+	}
+	if math.Abs(scores[0]-0.136) > 1e-9 {
+		t.Fatalf("λ=0 should not change positive scores: %v", scores[0])
+	}
+}
+
+func TestOSIMScoreBoundsQuick(t *testing.T) {
+	// |per-node expected opinion| ≤ 1, so |∆_l(u)| is bounded by the
+	// EaSyIM walk mass (each walk contributes an opinion in [-1,1]).
+	r := rng.New(31)
+	for trial := 0; trial < 20; trial++ {
+		g := graph.ErdosRenyi(int32(5+r.Intn(30)), 90, r)
+		p := r.Float64()
+		g.SetUniformProb(p)
+		for v := graph.NodeID(0); v < g.NumNodes(); v++ {
+			g.SetOpinion(v, r.Range(-1, 1))
+		}
+		g.SetEdgeParamsFunc(func(u, v graph.NodeID) (float64, float64) { return p, r.Float64() })
+		l := 1 + r.Intn(4)
+		osim := ScoreOf(NewOSIM(g, l, WeightProb, 1))
+		easy := ScoreOf(NewEaSyIM(g, l, WeightProb))
+		for v := range osim {
+			if math.Abs(osim[v]) > easy[v]+1e-9 {
+				t.Fatalf("trial %d node %d: |OSIM| %v exceeds walk mass %v", trial, v, osim[v], easy[v])
+			}
+		}
+	}
+}
+
+func TestOSIMRejectsBadParams(t *testing.T) {
+	g := graph.Path(3, 0.5, 0.5)
+	for _, f := range []func(){
+		func() { NewOSIM(g, 0, WeightProb, 1) },
+		func() { NewOSIM(g, 2, WeightProb, -0.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

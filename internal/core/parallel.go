@@ -1,0 +1,55 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"github.com/holisticim/holisticim/internal/graph"
+)
+
+// parallelFor splits [0,n) into contiguous chunks and runs fn on each
+// from its own goroutine. With workers <= 1 it degenerates to a direct
+// call, costing nothing on the sequential path. Score assignment levels
+// only read the previous level's array and write disjoint slots of the
+// current one, so chunked node-parallelism preserves exact results.
+func parallelFor(n int32, workers int, fn func(lo, hi graph.NodeID)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || n < 2048 {
+		fn(0, n)
+		return
+	}
+	if int32(workers) > n {
+		workers = int(n)
+	}
+	chunk := (n + int32(workers) - 1) / int32(workers)
+	var wg sync.WaitGroup
+	for lo := int32(0); lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi graph.NodeID) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// SetWorkers enables node-parallel score assignment for EaSyIM (0 =
+// GOMAXPROCS, 1 = sequential). Scores are bit-identical across worker
+// counts. Returns the receiver for chaining.
+func (e *EaSyIM) SetWorkers(w int) *EaSyIM {
+	e.workers = w
+	return e
+}
+
+// SetWorkers enables node-parallel score assignment for OSIM; see
+// EaSyIM.SetWorkers.
+func (o *OSIM) SetWorkers(w int) *OSIM {
+	o.workers = w
+	return o
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/holisticim/holisticim/internal/graph"
+	"github.com/holisticim/holisticim/internal/rng"
+)
+
+func parallelTestGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.BarabasiAlbert(6000, 3, rng.New(5))
+	g.SetUniformProb(0.1)
+	r := rng.New(7)
+	for v := graph.NodeID(0); v < g.NumNodes(); v++ {
+		g.SetOpinion(v, r.Range(-1, 1))
+	}
+	g.SetEdgeParamsFunc(func(u, v graph.NodeID) (float64, float64) { return 0.1, r.Float64() })
+	return g
+}
+
+func TestEaSyIMParallelBitIdentical(t *testing.T) {
+	g := parallelTestGraph(t)
+	seq := ScoreOf(NewEaSyIM(g, 4, WeightProb))
+	for _, workers := range []int{0, 2, 7, 24} {
+		par := ScoreOf(NewEaSyIM(g, 4, WeightProb).SetWorkers(workers))
+		for v := range seq {
+			if seq[v] != par[v] {
+				t.Fatalf("workers=%d: node %d differs: %v vs %v", workers, v, seq[v], par[v])
+			}
+		}
+	}
+}
+
+func TestOSIMParallelBitIdentical(t *testing.T) {
+	g := parallelTestGraph(t)
+	seq := ScoreOf(NewOSIM(g, 4, WeightProb, 1))
+	for _, workers := range []int{0, 3, 16} {
+		par := ScoreOf(NewOSIM(g, 4, WeightProb, 1).SetWorkers(workers))
+		for v := range seq {
+			if seq[v] != par[v] {
+				t.Fatalf("workers=%d: node %d differs: %v vs %v", workers, v, seq[v], par[v])
+			}
+		}
+	}
+}
+
+func TestEaSyIMParallelWithExclusions(t *testing.T) {
+	g := parallelTestGraph(t)
+	excluded := make([]bool, g.NumNodes())
+	r := rng.New(11)
+	for i := range excluded {
+		excluded[i] = r.Bool(0.2)
+	}
+	seq := NewEaSyIM(g, 3, WeightProb).Assign(excluded, nil)
+	par := NewEaSyIM(g, 3, WeightProb).SetWorkers(8).Assign(excluded, nil)
+	for v := range seq {
+		if seq[v] != par[v] {
+			t.Fatalf("node %d differs with exclusions", v)
+		}
+	}
+}
+
+func TestParallelForSmallNSequential(t *testing.T) {
+	// Below the chunking threshold the function must still cover [0,n).
+	covered := make([]bool, 100)
+	parallelFor(100, 8, func(lo, hi graph.NodeID) {
+		for u := lo; u < hi; u++ {
+			covered[u] = true
+		}
+	})
+	for i, c := range covered {
+		if !c {
+			t.Fatalf("index %d not covered", i)
+		}
+	}
+}
+
+func TestParallelForCoversExactly(t *testing.T) {
+	n := int32(10000)
+	counts := make([]int32, n)
+	var mu chan struct{} = make(chan struct{}, 1)
+	mu <- struct{}{}
+	parallelFor(n, 6, func(lo, hi graph.NodeID) {
+		<-mu
+		for u := lo; u < hi; u++ {
+			counts[u]++
+		}
+		mu <- struct{}{}
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d covered %d times", i, c)
+		}
+	}
+}
+
+func BenchmarkEaSyIMAssignParallel(b *testing.B) {
+	g := graph.BarabasiAlbert(50000, 3, rng.New(1))
+	g.SetUniformProb(0.1)
+	s := NewEaSyIM(g, 3, WeightProb).SetWorkers(0)
+	out := make([]float64, g.NumNodes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Assign(nil, out)
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/holisticim/holisticim/internal/graph"
+	"github.com/holisticim/holisticim/internal/rng"
+)
+
+func TestPUEqualsEaSyIMOnTrees(t *testing.T) {
+	// On trees every (u,v) pair has at most one walk, so PU's union
+	// combine degenerates to a sum and PU == EaSyIM exactly.
+	for trial := 0; trial < 5; trial++ {
+		r := rng.Split(55, uint64(trial))
+		g := graph.RandomTree(int32(4+r.Intn(12)), 0.4, 0.5, r)
+		l := 1 + r.Intn(4)
+		pu := ScoreOf(NewPathUnion(g, l, WeightProb))
+		easy := ScoreOf(NewEaSyIM(g, l, WeightProb))
+		for v := range pu {
+			if math.Abs(pu[v]-easy[v]) > 1e-9 {
+				t.Fatalf("trial %d node %d: PU %v vs EaSyIM %v", trial, v, pu[v], easy[v])
+			}
+		}
+	}
+}
+
+func TestPUAtMostEaSyIMOnDAGs(t *testing.T) {
+	// Lemma 6: EaSyIM over-counts relative to PU (sum vs union), so on
+	// DAGs PU scores are ≤ EaSyIM scores.
+	for trial := 0; trial < 5; trial++ {
+		r := rng.Split(66, uint64(trial))
+		g := graph.RandomDAG(15, 0.3, 0.5, 0.5, r)
+		l := 1 + r.Intn(4)
+		pu := ScoreOf(NewPathUnion(g, l, WeightProb))
+		easy := ScoreOf(NewEaSyIM(g, l, WeightProb))
+		for v := range pu {
+			if pu[v] > easy[v]+1e-9 {
+				t.Fatalf("trial %d node %d: PU %v > EaSyIM %v", trial, v, pu[v], easy[v])
+			}
+		}
+	}
+}
+
+func TestPUDiamondUnionCombine(t *testing.T) {
+	// Diamond 0->{1,2}->3 with p=0.5: two length-2 walks 0→3 combine as a
+	// union: level-2 PU[0][3] = 1−(1−0.25)² = 0.4375 (EaSyIM would add 0.5).
+	b := graph.NewBuilder(4)
+	b.AddEdgeP(0, 1, 0.5, 0.5)
+	b.AddEdgeP(0, 2, 0.5, 0.5)
+	b.AddEdgeP(1, 3, 0.5, 0.5)
+	b.AddEdgeP(2, 3, 0.5, 0.5)
+	g := b.Build()
+	pu := ScoreOf(NewPathUnion(g, 2, WeightProb))
+	// ∆_2(0) = level1 (0.5+0.5) + level2 (0.4375) = 1.4375
+	if math.Abs(pu[0]-1.4375) > 1e-9 {
+		t.Fatalf("PU diamond score %v want 1.4375", pu[0])
+	}
+	easy := ScoreOf(NewEaSyIM(g, 2, WeightProb))
+	if math.Abs(easy[0]-1.5) > 1e-9 {
+		t.Fatalf("EaSyIM diamond score %v want 1.5", easy[0])
+	}
+}
+
+func TestPUCycleDiscount(t *testing.T) {
+	// On a directed 3-cycle with l=3, walks returning to their source are
+	// dropped by the diagonal zeroing, so ∆_3(u) counts only the two
+	// forward walks: p + p².
+	p := 0.5
+	g := graph.Cycle(3, p, 0.5)
+	pu := ScoreOf(NewPathUnion(g, 3, WeightProb))
+	want := p + p*p
+	for v := range pu {
+		if math.Abs(pu[v]-want) > 1e-9 {
+			t.Fatalf("node %d: PU %v want %v", v, pu[v], want)
+		}
+	}
+}
+
+func TestPUExclusion(t *testing.T) {
+	g := graph.Path(3, 0.5, 0.5)
+	excluded := []bool{false, true, false}
+	pu := NewPathUnion(g, 2, WeightProb).Assign(excluded, nil)
+	if pu[0] != 0 {
+		t.Fatalf("walks through excluded node counted: %v", pu[0])
+	}
+	if !math.IsInf(pu[1], -1) {
+		t.Fatal("excluded node must score -Inf")
+	}
+}
+
+func TestPURejectsHugeGraphs(t *testing.T) {
+	g := graph.ErdosRenyi(MaxPathUnionNodes+1, 10, rng.New(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPathUnion(g, 1, WeightProb)
+}

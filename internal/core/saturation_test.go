@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/holisticim/holisticim/internal/diffusion"
+	"github.com/holisticim/holisticim/internal/graph"
+)
+
+// TestScoreGreedySaturationFillsBudget pins the exactly-k contract: on a
+// deterministic complete graph one seed activates everything, yet the
+// selector must still return k distinct seeds and record where the
+// objective saturated.
+func TestScoreGreedySaturationFillsBudget(t *testing.T) {
+	g := graph.Complete(8, 1, 1) // p=1: any seed reaches all nodes
+	sg := NewScoreGreedy(NewEaSyIM(g, 2, WeightProb), ScoreGreedyOptions{
+		Policy:     PolicyMCMajority,
+		ProbeModel: diffusion.NewIC(g),
+		ProbeRuns:  4,
+		Seed:       3,
+	})
+	res := sg.Select(5)
+	if len(res.Seeds) != 5 {
+		t.Fatalf("got %d seeds, want exactly 5", len(res.Seeds))
+	}
+	seen := map[graph.NodeID]bool{}
+	for _, s := range res.Seeds {
+		if seen[s] {
+			t.Fatalf("duplicate seed %d", s)
+		}
+		seen[s] = true
+	}
+	if sat, ok := res.Metrics["saturated_at"]; !ok || sat != 1 {
+		t.Fatalf("saturated_at = %v, want 1 (first seed saturates)", sat)
+	}
+	if len(res.PerSeed) != 5 {
+		t.Fatalf("per-seed times %d want 5", len(res.PerSeed))
+	}
+}
+
+// TestScoreGreedyNoSaturationNoMetric verifies the metric is absent when
+// the budget is met by scoring alone.
+func TestScoreGreedyNoSaturationNoMetric(t *testing.T) {
+	g := graph.Path(10, 0.1, 0.5)
+	sg := NewScoreGreedy(NewEaSyIM(g, 2, WeightProb), ScoreGreedyOptions{Policy: PolicySeedOnly})
+	res := sg.Select(3)
+	if _, ok := res.Metrics["saturated_at"]; ok {
+		t.Fatal("saturation metric set on non-saturating run")
+	}
+	if len(res.Seeds) != 3 {
+		t.Fatalf("seeds %v", res.Seeds)
+	}
+}

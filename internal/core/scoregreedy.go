@@ -1,0 +1,253 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/holisticim/holisticim/internal/diffusion"
+	"github.com/holisticim/holisticim/internal/graph"
+	"github.com/holisticim/holisticim/internal/im"
+	"github.com/holisticim/holisticim/internal/rng"
+)
+
+// ActivationPolicy chooses how ScoreGREEDY updates the activated set V(a)
+// after selecting a seed (Algorithm 1 line 11 leaves the mechanism open;
+// DESIGN.md §5 discusses the options and the ablation bench compares
+// them).
+type ActivationPolicy int
+
+const (
+	// PolicyMCMajority runs ProbeRuns Monte-Carlo simulations from the new
+	// seed on the remaining graph and marks nodes activated in at least
+	// half of them. Default: matches the paper's MC-driven evaluation.
+	PolicyMCMajority ActivationPolicy = iota
+	// PolicyReach marks nodes whose maximum single-path activation
+	// probability from the seed is at least ReachThreshold (Dijkstra over
+	// −log p). Deterministic and simulation-free.
+	PolicyReach
+	// PolicySeedOnly marks only the seed itself — the cheapest discount,
+	// useful as an ablation lower bound.
+	PolicySeedOnly
+)
+
+func (p ActivationPolicy) String() string {
+	switch p {
+	case PolicyMCMajority:
+		return "mc-majority"
+	case PolicyReach:
+		return "reach"
+	case PolicySeedOnly:
+		return "seed-only"
+	default:
+		return fmt.Sprintf("ActivationPolicy(%d)", int(p))
+	}
+}
+
+// ScoreGreedyOptions configures the selection loop.
+type ScoreGreedyOptions struct {
+	// Policy picks the V(a) update rule; default PolicyMCMajority.
+	Policy ActivationPolicy
+	// ProbeModel simulates activations for PolicyMCMajority. Required for
+	// that policy; typically the same model the spread will be evaluated
+	// under (IC/WC/LT for EaSyIM, OI for OSIM).
+	ProbeModel diffusion.Model
+	// ProbeRuns is the number of probe simulations per seed (default 20).
+	ProbeRuns int
+	// ReachThreshold is PolicyReach's activation-probability cutoff
+	// (default 0.5).
+	ReachThreshold float64
+	// Seed drives all probe randomness.
+	Seed uint64
+}
+
+// ScoreGreedy is Algorithm 1: repeatedly assign scores with the
+// configured Scorer on G(V \ V(a)), pick the argmax as the next seed, and
+// grow V(a) with the nodes the new seed activates.
+type ScoreGreedy struct {
+	scorer Scorer
+	opts   ScoreGreedyOptions
+}
+
+// NewScoreGreedy returns the selector. The scorer decides the objective:
+// EaSyIM for opinion-oblivious IM, OSIM for MEO.
+func NewScoreGreedy(scorer Scorer, opts ScoreGreedyOptions) *ScoreGreedy {
+	if opts.ProbeRuns <= 0 {
+		opts.ProbeRuns = 20
+	}
+	if opts.ReachThreshold <= 0 {
+		opts.ReachThreshold = 0.5
+	}
+	if opts.Policy == PolicyMCMajority && opts.ProbeModel == nil {
+		panic("core: ScoreGreedy with PolicyMCMajority requires a ProbeModel")
+	}
+	return &ScoreGreedy{scorer: scorer, opts: opts}
+}
+
+// Name implements im.Selector.
+func (sg *ScoreGreedy) Name() string {
+	return "ScoreGreedy(" + sg.scorer.Name() + ")"
+}
+
+// Select implements im.Selector.
+func (sg *ScoreGreedy) Select(k int) im.Result {
+	g := sg.scorer.Graph()
+	n := g.NumNodes()
+	im.ValidateK(k, n)
+	start := time.Now()
+	res := im.Result{Algorithm: sg.Name()}
+
+	excluded := make([]bool, n)
+	scores := make([]float64, n)
+	var scratch *diffusion.Scratch
+	var counts []int32
+	if sg.opts.Policy == PolicyMCMajority {
+		scratch = diffusion.NewScratch(n)
+		counts = make([]int32, n)
+	}
+	probeRNG := rng.New(sg.opts.Seed)
+
+	for i := 0; i < k; i++ {
+		sg.scorer.Assign(excluded, scores)
+		res.AddMetric("score_assignments", 1)
+		pick := ArgmaxScore(scores)
+		if pick < 0 {
+			// Every node is already marked activated: the estimated spread
+			// is saturated and no further seed can improve it. Keep the
+			// contract of returning exactly k seeds by filling the
+			// remaining budget with the highest-out-degree unselected
+			// nodes (any choice is equivalent under the saturated
+			// objective); record where saturation happened.
+			res.AddMetric("saturated_at", float64(len(res.Seeds)))
+			sg.fillRemaining(&res, k, start)
+			break
+		}
+		res.Seeds = append(res.Seeds, pick)
+		sg.markActivated(pick, excluded, scratch, counts, probeRNG)
+		excluded[pick] = true
+		res.PerSeed = append(res.PerSeed, time.Since(start))
+	}
+	res.Took = time.Since(start)
+	return res
+}
+
+// fillRemaining tops the seed list up to k with unselected nodes in
+// descending out-degree order (ties by id), keeping Select's exactly-k
+// contract after the score-based objective saturates.
+func (sg *ScoreGreedy) fillRemaining(res *im.Result, k int, start time.Time) {
+	g := sg.scorer.Graph()
+	chosen := make(map[graph.NodeID]bool, len(res.Seeds))
+	for _, s := range res.Seeds {
+		chosen[s] = true
+	}
+	for _, v := range graph.TopKByOutDegree(g, int(g.NumNodes())) {
+		if len(res.Seeds) >= k {
+			break
+		}
+		if chosen[v] {
+			continue
+		}
+		chosen[v] = true
+		res.Seeds = append(res.Seeds, v)
+		res.PerSeed = append(res.PerSeed, time.Since(start))
+	}
+}
+
+// markActivated grows the excluded mask with the nodes the new seed
+// activates under the configured policy.
+func (sg *ScoreGreedy) markActivated(seed graph.NodeID, excluded []bool, scratch *diffusion.Scratch, counts []int32, r *rng.RNG) {
+	switch sg.opts.Policy {
+	case PolicySeedOnly:
+		// Nothing besides the seed (marked by the caller).
+	case PolicyMCMajority:
+		model := sg.opts.ProbeModel
+		scratch.SetBlocked(excluded)
+		for i := range counts {
+			counts[i] = 0
+		}
+		for run := 0; run < sg.opts.ProbeRuns; run++ {
+			model.Simulate([]graph.NodeID{seed}, r, scratch)
+			for _, v := range scratch.Activated() {
+				counts[v]++
+			}
+		}
+		scratch.SetBlocked(nil)
+		half := int32((sg.opts.ProbeRuns + 1) / 2)
+		for v := range counts {
+			if counts[v] >= half {
+				excluded[v] = true
+			}
+		}
+	case PolicyReach:
+		sg.markByReach(seed, excluded)
+	default:
+		panic("core: unknown activation policy")
+	}
+}
+
+// markByReach marks nodes whose best-path activation probability from the
+// seed meets the threshold: a Dijkstra-style search maximizing the product
+// of edge probabilities, pruned below the threshold.
+func (sg *ScoreGreedy) markByReach(seed graph.NodeID, excluded []bool) {
+	g := sg.scorer.Graph()
+	th := sg.opts.ReachThreshold
+	best := map[graph.NodeID]float64{seed: 1}
+	pq := &probHeap{{seed, 1}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(probItem)
+		if it.prob < best[it.v] {
+			continue
+		}
+		excluded[it.v] = true
+		nbrs := g.OutNeighbors(it.v)
+		ps := g.OutProbs(it.v)
+		for j, w := range nbrs {
+			if excluded[w] && w != it.v {
+				// already marked (or previously activated) — skip
+				continue
+			}
+			p := it.prob * ps[j]
+			if p < th {
+				continue
+			}
+			if p > best[w] {
+				best[w] = p
+				heap.Push(pq, probItem{w, p})
+			}
+		}
+	}
+}
+
+type probItem struct {
+	v    graph.NodeID
+	prob float64
+}
+
+type probHeap []probItem
+
+func (h probHeap) Len() int            { return len(h) }
+func (h probHeap) Less(i, j int) bool  { return h[i].prob > h[j].prob }
+func (h probHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *probHeap) Push(x interface{}) { *h = append(*h, x.(probItem)) }
+func (h *probHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+var _ im.Selector = (*ScoreGreedy)(nil)
+
+// ScoreOf exposes a single full score assignment (no exclusions), which
+// the ranking diagnostics and several tests use directly.
+func ScoreOf(s Scorer) []float64 {
+	return s.Assign(nil, nil)
+}
+
+// SpreadUpperBound is a crude sanity bound used in tests: no node's
+// EaSyIM score may exceed n−1 when edge weights are probabilities.
+func SpreadUpperBound(g *graph.Graph) float64 {
+	return math.Max(0, float64(g.NumNodes()-1))
+}

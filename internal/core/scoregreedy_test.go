@@ -1,0 +1,167 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/holisticim/holisticim/internal/diffusion"
+	"github.com/holisticim/holisticim/internal/graph"
+	"github.com/holisticim/holisticim/internal/rng"
+)
+
+func TestScoreGreedyFigure1OSIMPicksA(t *testing.T) {
+	g := graph.ExampleFigure1()
+	sg := NewScoreGreedy(NewOSIM(g, 2, WeightProb, 1), ScoreGreedyOptions{
+		Policy:     PolicyMCMajority,
+		ProbeModel: diffusion.NewOI(g, diffusion.LayerIC),
+		ProbeRuns:  50,
+		Seed:       1,
+	})
+	res := sg.Select(1)
+	if len(res.Seeds) != 1 || res.Seeds[0] != 0 {
+		t.Fatalf("OSIM ScoreGreedy picked %v, want [A=0]", res.Seeds)
+	}
+	if res.Algorithm != "ScoreGreedy(OSIM)" {
+		t.Fatalf("algorithm name %q", res.Algorithm)
+	}
+}
+
+func TestScoreGreedyFigure1EaSyIMPicksC(t *testing.T) {
+	g := graph.ExampleFigure1()
+	sg := NewScoreGreedy(NewEaSyIM(g, 2, WeightProb), ScoreGreedyOptions{
+		Policy:     PolicyMCMajority,
+		ProbeModel: diffusion.NewIC(g),
+		Seed:       1,
+	})
+	res := sg.Select(1)
+	if res.Seeds[0] != 2 {
+		t.Fatalf("EaSyIM ScoreGreedy picked %v, want [C=2]", res.Seeds)
+	}
+}
+
+func TestScoreGreedyDisjointStars(t *testing.T) {
+	// Two disconnected stars with deterministic edges: the second seed must
+	// come from the second star because the first star is fully activated
+	// and discounted.
+	b := graph.NewBuilder(12)
+	for v := graph.NodeID(1); v <= 5; v++ {
+		b.AddEdgeP(0, v, 1, 1) // star A: center 0, 5 leaves
+	}
+	for v := graph.NodeID(7); v <= 11; v++ {
+		b.AddEdgeP(6, v, 1, 1) // star B: center 6, 5 leaves
+	}
+	g := b.Build()
+	sg := NewScoreGreedy(NewEaSyIM(g, 2, WeightProb), ScoreGreedyOptions{
+		Policy:     PolicyMCMajority,
+		ProbeModel: diffusion.NewIC(g),
+		ProbeRuns:  10,
+		Seed:       7,
+	})
+	res := sg.Select(2)
+	if len(res.Seeds) != 2 {
+		t.Fatalf("seeds %v", res.Seeds)
+	}
+	got := map[graph.NodeID]bool{res.Seeds[0]: true, res.Seeds[1]: true}
+	if !got[0] || !got[6] {
+		t.Fatalf("expected both star centers, got %v", res.Seeds)
+	}
+}
+
+func TestScoreGreedySeedOnlyPolicyCanRepeatCluster(t *testing.T) {
+	// With PolicySeedOnly only the seed is discounted, so the second pick
+	// stays in the denser star — demonstrating why V(a) marking matters.
+	b := graph.NewBuilder(9)
+	for v := graph.NodeID(1); v <= 5; v++ {
+		b.AddEdgeP(0, v, 1, 1)
+		b.AddEdgeP(v, (v%5)+1, 1, 1) // extra in-star edges give leaves score
+	}
+	for v := graph.NodeID(7); v <= 8; v++ {
+		b.AddEdgeP(6, v, 1, 1) // tiny star B
+	}
+	g := b.Build()
+	sg := NewScoreGreedy(NewEaSyIM(g, 2, WeightProb), ScoreGreedyOptions{Policy: PolicySeedOnly})
+	res := sg.Select(2)
+	if res.Seeds[0] != 0 {
+		t.Fatalf("first seed %v want 0", res.Seeds)
+	}
+	if res.Seeds[1] == 6 {
+		t.Fatalf("seed-only policy unexpectedly escaped the dense star: %v", res.Seeds)
+	}
+}
+
+func TestScoreGreedyReachPolicy(t *testing.T) {
+	// Deterministic path with p=1: reach policy (threshold .5) marks the
+	// whole component, so the second seed comes from elsewhere.
+	b := graph.NewBuilder(6)
+	b.AddEdgeP(0, 1, 1, 1)
+	b.AddEdgeP(1, 2, 1, 1)
+	b.AddEdgeP(3, 4, 1, 1) // second component, shorter
+	g := b.Build()
+	sg := NewScoreGreedy(NewEaSyIM(g, 3, WeightProb), ScoreGreedyOptions{Policy: PolicyReach})
+	res := sg.Select(2)
+	if res.Seeds[0] != 0 || res.Seeds[1] != 3 {
+		t.Fatalf("reach policy seeds %v, want [0 3]", res.Seeds)
+	}
+}
+
+func TestScoreGreedyPerSeedTimesMonotone(t *testing.T) {
+	g := graph.ErdosRenyi(200, 1200, rng.New(3))
+	g.SetUniformProb(0.1)
+	sg := NewScoreGreedy(NewEaSyIM(g, 3, WeightProb), ScoreGreedyOptions{
+		Policy: PolicySeedOnly,
+	})
+	res := sg.Select(5)
+	if len(res.PerSeed) != 5 {
+		t.Fatalf("per-seed times %v", res.PerSeed)
+	}
+	for i := 1; i < len(res.PerSeed); i++ {
+		if res.PerSeed[i] < res.PerSeed[i-1] {
+			t.Fatal("per-seed times must be cumulative")
+		}
+	}
+	if res.Metrics["score_assignments"] != 5 {
+		t.Fatalf("metrics %v", res.Metrics)
+	}
+}
+
+func TestScoreGreedyValidatesK(t *testing.T) {
+	g := graph.Path(3, 0.5, 0.5)
+	sg := NewScoreGreedy(NewEaSyIM(g, 1, WeightProb), ScoreGreedyOptions{Policy: PolicySeedOnly})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on k=0")
+		}
+	}()
+	sg.Select(0)
+}
+
+func TestScoreGreedyRequiresProbeModel(t *testing.T) {
+	g := graph.Path(3, 0.5, 0.5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when probe model missing")
+		}
+	}()
+	NewScoreGreedy(NewEaSyIM(g, 1, WeightProb), ScoreGreedyOptions{Policy: PolicyMCMajority})
+}
+
+func TestScoreGreedyDeterminism(t *testing.T) {
+	g := graph.ErdosRenyi(150, 900, rng.New(11))
+	g.SetUniformProb(0.15)
+	mk := func() im2 {
+		sg := NewScoreGreedy(NewEaSyIM(g, 3, WeightProb), ScoreGreedyOptions{
+			Policy:     PolicyMCMajority,
+			ProbeModel: diffusion.NewIC(g),
+			ProbeRuns:  10,
+			Seed:       99,
+		})
+		return sg.Select(4).Seeds
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic selection: %v vs %v", a, b)
+		}
+	}
+}
+
+type im2 = []graph.NodeID

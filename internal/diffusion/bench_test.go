@@ -1,0 +1,81 @@
+package diffusion
+
+import (
+	"testing"
+
+	"github.com/holisticim/holisticim/internal/graph"
+	"github.com/holisticim/holisticim/internal/rng"
+)
+
+func benchSetup(b *testing.B) (*graph.Graph, []graph.NodeID) {
+	b.Helper()
+	g := graph.BarabasiAlbert(20000, 3, rng.New(1))
+	g.SetUniformProb(0.1)
+	r := rng.New(2)
+	for v := graph.NodeID(0); v < g.NumNodes(); v++ {
+		g.SetOpinion(v, r.Range(-1, 1))
+	}
+	g.SetEdgeParamsFunc(func(u, v graph.NodeID) (float64, float64) { return 0.1, r.Float64() })
+	g.SetDefaultLTWeights()
+	seeds := graph.TopKByOutDegree(g, 10)
+	return g, seeds
+}
+
+func benchSimulate(b *testing.B, m Model, seeds []graph.NodeID) {
+	b.Helper()
+	s := NewScratch(m.Graph().NumNodes())
+	r := rng.New(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Reseed(rng.SplitSeed(7, uint64(i)))
+		_ = m.Simulate(seeds, r, s)
+	}
+}
+
+func BenchmarkSimulateIC(b *testing.B) {
+	g, seeds := benchSetup(b)
+	benchSimulate(b, NewIC(g), seeds)
+}
+
+func BenchmarkSimulateLT(b *testing.B) {
+	g, seeds := benchSetup(b)
+	benchSimulate(b, NewLT(g), seeds)
+}
+
+func BenchmarkSimulateOIIC(b *testing.B) {
+	g, seeds := benchSetup(b)
+	benchSimulate(b, NewOI(g, LayerIC), seeds)
+}
+
+func BenchmarkSimulateOILT(b *testing.B) {
+	g, seeds := benchSetup(b)
+	benchSimulate(b, NewOI(g, LayerLT), seeds)
+}
+
+func BenchmarkMonteCarloSerial(b *testing.B) {
+	g, seeds := benchSetup(b)
+	m := NewIC(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MonteCarlo(m, seeds, MCOptions{Runs: 200, Seed: 1, Workers: 1})
+	}
+}
+
+func BenchmarkMonteCarloParallel(b *testing.B) {
+	g, seeds := benchSetup(b)
+	m := NewIC(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MonteCarlo(m, seeds, MCOptions{Runs: 200, Seed: 1})
+	}
+}
+
+func BenchmarkSampleLiveEdge(b *testing.B) {
+	g, _ := benchSetup(b)
+	r := rng.New(5)
+	out := make([]int64, g.NumNodes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SampleLiveEdge(g, r, out)
+	}
+}

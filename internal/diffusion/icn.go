@@ -1,0 +1,94 @@
+package diffusion
+
+import (
+	"fmt"
+
+	"github.com/holisticim/holisticim/internal/graph"
+	"github.com/holisticim/holisticim/internal/rng"
+)
+
+// ICN is the IC-N baseline of Chen et al. ("Influence Maximization in
+// Social Networks When Negative Opinions May Emerge and Propagate",
+// SDM'11), implemented for completeness: the paper's Sec. 1 discusses it
+// as the only other negative-opinion model besides OC. Dynamics:
+//
+//   - activation follows IC;
+//   - a single global quality factor q governs polarity: a node activated
+//     by a *positive* node becomes positive with probability q and
+//     negative otherwise; a node activated by a *negative* node always
+//     becomes negative (the "strict" constraint the paper criticizes);
+//   - seeds themselves turn negative with probability 1−q.
+//
+// Final opinions are ±1, so Result's opinion fields count positive minus
+// negative activations.
+type ICN struct {
+	g *graph.Graph
+	q float64
+}
+
+// NewICN returns an IC-N model with quality factor q ∈ [0,1].
+func NewICN(g *graph.Graph, q float64) *ICN {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("diffusion: IC-N quality factor %v out of [0,1]", q))
+	}
+	return &ICN{g: g, q: q}
+}
+
+// Name implements Model.
+func (m *ICN) Name() string { return "IC-N" }
+
+// Graph implements Model.
+func (m *ICN) Graph() *graph.Graph { return m.g }
+
+// QualityFactor returns q.
+func (m *ICN) QualityFactor() float64 { return m.q }
+
+// Simulate implements Model.
+func (m *ICN) Simulate(seeds []graph.NodeID, r *rng.RNG, s *Scratch) Result {
+	s.begin()
+	res := Result{}
+	// Seeds: positive w.p. q, else negative. (Unlike seedSetup, IC-N seeds
+	// carry ±1 rather than their personal opinion.)
+	for _, v := range seeds {
+		if s.isBlocked(v) || s.isActive(v) {
+			continue
+		}
+		op := 1.0
+		if r.Float64() >= m.q {
+			op = -1.0
+		}
+		s.activate(v, op, 0)
+		s.frontier = append(s.frontier, v)
+		res.Activated++
+	}
+	round := int32(1)
+	for len(s.frontier) > 0 {
+		rng.Shuffle(r, s.frontier)
+		s.next = s.next[:0]
+		for _, u := range s.frontier {
+			nbrs := m.g.OutNeighbors(u)
+			ps := m.g.OutProbs(u)
+			neg := s.opinion[u] < 0
+			for i, v := range nbrs {
+				if s.isActive(v) || s.isBlocked(v) {
+					continue
+				}
+				if r.Float64() < ps[i] {
+					op := -1.0
+					if !neg && r.Float64() < m.q {
+						op = 1.0
+					}
+					s.activate(v, op, round)
+					s.next = append(s.next, v)
+					res.Activated++
+					accumulate(&res, op)
+				}
+			}
+		}
+		s.frontier, s.next = s.next, s.frontier
+		round++
+	}
+	return res
+}
+
+var _ Model = (*ICN)(nil)

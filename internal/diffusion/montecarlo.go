@@ -1,0 +1,165 @@
+package diffusion
+
+import (
+	"runtime"
+	"sync"
+
+	"github.com/holisticim/holisticim/internal/graph"
+	"github.com/holisticim/holisticim/internal/rng"
+)
+
+// Estimate is a Monte-Carlo aggregate over many simulation runs.
+type Estimate struct {
+	Runs            int
+	Spread          float64 // σ(S) = E[Γ(S)]
+	OpinionSpread   float64 // σ_o(S) = E[Γ_o(S)]
+	PositiveSpread  float64 // E[Σ_{o'>0} o']
+	NegativeSpread  float64 // E[Σ_{o'<0} |o'|]
+	SpreadVariance  float64 // sample variance of Γ(S) across runs
+	OpinionVariance float64 // sample variance of Γ_o(S) across runs
+}
+
+// EffectiveOpinionSpread returns σ_λ^o(S) = E[Γ_λ^o(S)] for the penalty λ.
+func (e Estimate) EffectiveOpinionSpread(lambda float64) float64 {
+	return e.PositiveSpread - lambda*e.NegativeSpread
+}
+
+// MCOptions configures a Monte-Carlo estimation.
+type MCOptions struct {
+	Runs    int    // number of simulations (paper default: 10000)
+	Seed    uint64 // master seed; run i uses the stream rng.Split(Seed, i)
+	Workers int    // 0 = GOMAXPROCS
+	Blocked []bool // optional blocked-node mask shared by all runs
+	// Pool, when set, supplies reusable per-worker scratches — essential
+	// for callers issuing many small estimations (the greedy baselines
+	// evaluate O(k·n) seed sets).
+	Pool *ScratchPool
+}
+
+// ScratchPool recycles Scratch workspaces across MonteCarlo calls. Safe
+// for concurrent use.
+type ScratchPool struct {
+	n    int32
+	mu   sync.Mutex
+	free []*Scratch
+}
+
+// NewScratchPool returns a pool for graphs with n nodes.
+func NewScratchPool(n int32) *ScratchPool { return &ScratchPool{n: n} }
+
+func (p *ScratchPool) get() *Scratch {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free) == 0 {
+		return NewScratch(p.n)
+	}
+	s := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return s
+}
+
+func (p *ScratchPool) put(s *Scratch) {
+	p.mu.Lock()
+	p.free = append(p.free, s)
+	p.mu.Unlock()
+}
+
+func (o *MCOptions) normalize() {
+	if o.Runs <= 0 {
+		o.Runs = 10000
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Workers > o.Runs {
+		o.Workers = o.Runs
+	}
+}
+
+// MonteCarlo estimates the expected spread quantities of a seed set by
+// averaging opts.Runs independent simulations. The estimate is
+// deterministic given opts.Seed — independent of worker count — because
+// run i always consumes the stream rng.Split(Seed, i) and per-run results
+// are reduced in run order.
+func MonteCarlo(m Model, seeds []graph.NodeID, opts MCOptions) Estimate {
+	opts.normalize()
+	type runStat struct {
+		spread  float64
+		opinion float64
+		pos     float64
+		neg     float64
+	}
+	stats := make([]runStat, opts.Runs)
+	var wg sync.WaitGroup
+	next := make(chan int, opts.Workers)
+	n := m.Graph().NumNodes()
+	numSeeds := countPlaceableSeeds(seeds, opts.Blocked)
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var scratch *Scratch
+			if opts.Pool != nil {
+				scratch = opts.Pool.get()
+				defer opts.Pool.put(scratch)
+			} else {
+				scratch = NewScratch(n)
+			}
+			scratch.SetBlocked(opts.Blocked)
+			defer scratch.SetBlocked(nil)
+			r := rng.New(0)
+			for i := range next {
+				r.Reseed(rng.SplitSeed(opts.Seed, uint64(i)))
+				res := m.Simulate(seeds, r, scratch)
+				stats[i] = runStat{
+					spread:  res.Spread(numSeeds),
+					opinion: res.OpinionSum,
+					pos:     res.PositiveSum,
+					neg:     res.NegativeSum,
+				}
+			}
+		}()
+	}
+	for i := 0; i < opts.Runs; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	est := Estimate{Runs: opts.Runs}
+	var sumS, sumS2, sumO, sumO2 float64
+	for _, st := range stats {
+		sumS += st.spread
+		sumS2 += st.spread * st.spread
+		sumO += st.opinion
+		sumO2 += st.opinion * st.opinion
+		est.PositiveSpread += st.pos
+		est.NegativeSpread += st.neg
+	}
+	rn := float64(opts.Runs)
+	est.Spread = sumS / rn
+	est.OpinionSpread = sumO / rn
+	est.PositiveSpread /= rn
+	est.NegativeSpread /= rn
+	if opts.Runs > 1 {
+		est.SpreadVariance = (sumS2 - sumS*sumS/rn) / (rn - 1)
+		est.OpinionVariance = (sumO2 - sumO*sumO/rn) / (rn - 1)
+	}
+	return est
+}
+
+func countPlaceableSeeds(seeds []graph.NodeID, blocked []bool) int {
+	count := 0
+	seen := make(map[graph.NodeID]bool, len(seeds))
+	for _, v := range seeds {
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		if blocked != nil && blocked[v] {
+			continue
+		}
+		count++
+	}
+	return count
+}

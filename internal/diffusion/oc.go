@@ -1,0 +1,84 @@
+package diffusion
+
+import (
+	"github.com/holisticim/holisticim/internal/graph"
+	"github.com/holisticim/holisticim/internal/rng"
+)
+
+// OC is the opinion-aware baseline of Zhang, Dinh and Thai ("Maximizing
+// the spread of positive influence in online social networks", ICDCS'13)
+// as characterized in the paper: activation follows LT ("the OC model is
+// designed to work with LT alone"), and the final opinion of a newly
+// activated node "is dependent upon its own opinion and the opinion of
+// the nodes that activate it" — without any interaction term. It is the
+// ϕ ≡ 1 special case of OI-LT:
+//
+//	o'_v = (o_v + avg_{u∈In(v)(a)} o'_u) / 2.
+type OC struct {
+	g *graph.Graph
+}
+
+// NewOC returns an OC model over g.
+func NewOC(g *graph.Graph) *OC { return &OC{g: g} }
+
+// Name implements Model.
+func (m *OC) Name() string { return "OC" }
+
+// Graph implements Model.
+func (m *OC) Graph() *graph.Graph { return m.g }
+
+// Simulate implements Model.
+func (m *OC) Simulate(seeds []graph.NodeID, r *rng.RNG, s *Scratch) Result {
+	s.begin()
+	res := Result{}
+	res.Activated = s.seedSetup(m.g, seeds)
+	round := int32(1)
+	for len(s.frontier) > 0 {
+		s.next = s.next[:0]
+		for _, u := range s.frontier {
+			nbrs := m.g.OutNeighbors(u)
+			ws := m.g.OutWeights(u)
+			for i, v := range nbrs {
+				if s.isActive(v) || s.isBlocked(v) {
+					continue
+				}
+				if s.thrStamp[v] != s.epoch {
+					s.thrStamp[v] = s.epoch
+					s.thr[v] = r.Float64()
+					s.wsum[v] = 0
+				}
+				s.wsum[v] += ws[i]
+				if s.wsum[v] >= s.thr[v] {
+					op := m.ocOpinion(v, round, s)
+					s.activate(v, op, round)
+					s.next = append(s.next, v)
+					res.Activated++
+					accumulate(&res, op)
+				}
+			}
+		}
+		s.frontier, s.next = s.next, s.frontier
+		round++
+	}
+	return res
+}
+
+func (m *OC) ocOpinion(v graph.NodeID, round int32, s *Scratch) float64 {
+	froms := m.g.InNeighbors(v)
+	sum := 0.0
+	count := 0
+	for _, u := range froms {
+		if s.stamp[u] != s.epoch || s.round[u] >= round {
+			continue
+		}
+		sum += s.opinion[u]
+		count++
+	}
+	ov := m.g.Opinion(v)
+	if count == 0 {
+		return ov / 2
+	}
+	return (ov + sum/float64(count)) / 2
+}
+
+var _ Model = (*OC)(nil)

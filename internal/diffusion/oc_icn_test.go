@@ -1,0 +1,116 @@
+package diffusion
+
+import (
+	"math"
+	"testing"
+
+	"github.com/holisticim/holisticim/internal/graph"
+	"github.com/holisticim/holisticim/internal/rng"
+)
+
+func TestOCEqualsOIWithPhiOne(t *testing.T) {
+	// OC is the ϕ≡1 special case of OI-LT: with ϕ=1 on every edge the two
+	// models must produce identical estimates under the same seeds/RNG.
+	g := graph.ErdosRenyi(120, 700, rng.New(41))
+	g.SetDefaultLTWeights()
+	g.SetUniformPhi(1)
+	r := rng.New(43)
+	for v := graph.NodeID(0); v < g.NumNodes(); v++ {
+		g.SetOpinion(v, r.Range(-1, 1))
+	}
+	seeds := []graph.NodeID{0, 7}
+	// Same master seed → identical RNG streams. OC consumes fewer draws
+	// (no α flips), so exact per-run equality is not guaranteed — wait, it
+	// is not: compare expectations instead.
+	oc := estimate(NewOC(g), seeds, 30000)
+	oi := estimate(NewOI(g, LayerLT), seeds, 30000)
+	if math.Abs(oc.OpinionSpread-oi.OpinionSpread) > 0.05 {
+		t.Fatalf("OC %v vs OI(φ=1) %v", oc.OpinionSpread, oi.OpinionSpread)
+	}
+	if math.Abs(oc.Spread-oi.Spread) > 0.3 {
+		t.Fatalf("activation differs: %v vs %v", oc.Spread, oi.Spread)
+	}
+}
+
+func TestOCDeterministicPair(t *testing.T) {
+	b := graph.NewBuilder(2)
+	b.AddEdgeP(0, 1, 1, 1)
+	g := b.Build()
+	g.SetDefaultLTWeights()
+	g.SetOpinion(0, 1)
+	g.SetOpinion(1, 0)
+	m := NewOC(g)
+	s := NewScratch(2)
+	m.Simulate([]graph.NodeID{0}, rng.New(1), s)
+	if !s.WasActivated(1) {
+		t.Fatal("node 1 must activate (weight 1)")
+	}
+	// o'_1 = (0 + 1)/2 = 0.5
+	if math.Abs(s.FinalOpinion(1)-0.5) > 1e-12 {
+		t.Fatalf("o'_1 = %v", s.FinalOpinion(1))
+	}
+}
+
+func TestICNQualityFactorExtremes(t *testing.T) {
+	g := graph.Path(4, 1, 1)
+	// q=1: everything positive. Spread contributions all +1.
+	m1 := NewICN(g, 1)
+	est1 := estimate(m1, []graph.NodeID{0}, 2000)
+	if math.Abs(est1.OpinionSpread-3) > 1e-9 {
+		t.Fatalf("q=1 opinion spread %v want 3", est1.OpinionSpread)
+	}
+	// q=0: seed negative, and negativity propagates strictly.
+	m0 := NewICN(g, 0)
+	est0 := estimate(m0, []graph.NodeID{0}, 2000)
+	if math.Abs(est0.OpinionSpread-(-3)) > 1e-9 {
+		t.Fatalf("q=0 opinion spread %v want -3", est0.OpinionSpread)
+	}
+}
+
+func TestICNNegativeDominance(t *testing.T) {
+	// Once a node is negative all downstream activations are negative: on a
+	// path, the expected positive count decays geometrically with q.
+	g := graph.Path(3, 1, 1)
+	q := 0.6
+	m := NewICN(g, q)
+	est := estimate(m, []graph.NodeID{0}, mcRuns)
+	// E[#pos non-seed] = q*q + q*q*q ... node1 pos needs seed pos (q) then
+	// flip (q); node2 pos needs node1 pos and flip: q^3.
+	wantPos := q*q + q*q*q
+	if math.Abs(est.PositiveSpread-wantPos) > 0.02 {
+		t.Fatalf("positive spread %v want %v", est.PositiveSpread, wantPos)
+	}
+	wantNeg := 2 - wantPos // every non-seed activates (p=1), ±1 each
+	if math.Abs(est.NegativeSpread-wantNeg) > 0.02 {
+		t.Fatalf("negative spread %v want %v", est.NegativeSpread, wantNeg)
+	}
+}
+
+func TestICNRejectsBadQ(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewICN(graph.Path(2, 1, 1), 1.5)
+}
+
+func TestModelNames(t *testing.T) {
+	g := graph.Path(2, 1, 1)
+	cases := map[string]Model{
+		"IC":    NewIC(g),
+		"LT":    NewLT(g),
+		"OI-IC": NewOI(g, LayerIC),
+		"OI-LT": NewOI(g, LayerLT),
+		"OC":    NewOC(g),
+		"IC-N":  NewICN(g, 0.9),
+	}
+	for want, m := range cases {
+		if m.Name() != want {
+			t.Errorf("Name() = %q want %q", m.Name(), want)
+		}
+		if m.Graph() != g {
+			t.Errorf("%s: Graph() mismatch", want)
+		}
+	}
+}

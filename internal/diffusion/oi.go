@@ -1,0 +1,176 @@
+package diffusion
+
+import (
+	"fmt"
+
+	"github.com/holisticim/holisticim/internal/graph"
+	"github.com/holisticim/holisticim/internal/rng"
+)
+
+// Layer selects the first-layer activation dynamics of a two-layer
+// opinion-aware model (Sec. 2.2: "The OI model can be easily tuned ... to
+// work with both IC and the LT models").
+type Layer int
+
+const (
+	// LayerIC uses Independent Cascade activation (edge probabilities p).
+	LayerIC Layer = iota
+	// LayerLT uses Linear Threshold activation (edge weights w, thresholds
+	// θ_v ~ U[0,1)).
+	LayerLT
+)
+
+func (l Layer) String() string {
+	switch l {
+	case LayerIC:
+		return "IC"
+	case LayerLT:
+		return "LT"
+	default:
+		return fmt.Sprintf("Layer(%d)", int(l))
+	}
+}
+
+// OI is the paper's Opinion-cum-Interaction model (Sec. 2.2). Activation
+// follows the first layer; the second layer assigns each newly activated
+// node a final opinion that mixes its personal opinion with the (possibly
+// negated) final opinions of its activators:
+//
+//	IC layer: o'_v = (o_v + (−1)^α o'_u)/2, α=0 w.p. ϕ(u,v), where u is
+//	          the node whose activation attempt succeeded;
+//	LT layer: o'_v = (o_v + avg_{u∈In(v)(a)} (−1)^{α(u,v)} o'_u)/2 over the
+//	          in-neighbors already active at previous steps.
+//
+// Once active, a node keeps its effective opinion for the rest of the run.
+type OI struct {
+	g     *graph.Graph
+	layer Layer
+}
+
+// NewOI returns an OI model over g with the given first layer.
+func NewOI(g *graph.Graph, layer Layer) *OI {
+	if layer != LayerIC && layer != LayerLT {
+		panic("diffusion: unknown OI layer")
+	}
+	return &OI{g: g, layer: layer}
+}
+
+// Name implements Model.
+func (m *OI) Name() string { return "OI-" + m.layer.String() }
+
+// Graph implements Model.
+func (m *OI) Graph() *graph.Graph { return m.g }
+
+// Layer returns the first-layer dynamics.
+func (m *OI) Layer() Layer { return m.layer }
+
+// Simulate implements Model.
+func (m *OI) Simulate(seeds []graph.NodeID, r *rng.RNG, s *Scratch) Result {
+	if m.layer == LayerIC {
+		return m.simulateIC(seeds, r, s)
+	}
+	return m.simulateLT(seeds, r, s)
+}
+
+func (m *OI) simulateIC(seeds []graph.NodeID, r *rng.RNG, s *Scratch) Result {
+	s.begin()
+	res := Result{}
+	res.Activated = s.seedSetup(m.g, seeds)
+	round := int32(1)
+	for len(s.frontier) > 0 {
+		// Shuffle so that the winning activator among same-round competitors
+		// is uniform; the activator determines the propagated opinion.
+		rng.Shuffle(r, s.frontier)
+		s.next = s.next[:0]
+		for _, u := range s.frontier {
+			nbrs := m.g.OutNeighbors(u)
+			ps := m.g.OutProbs(u)
+			phis := m.g.OutPhis(u)
+			ou := s.opinion[u]
+			for i, v := range nbrs {
+				if s.isActive(v) || s.isBlocked(v) {
+					continue
+				}
+				if r.Float64() < ps[i] {
+					contrib := ou
+					if r.Float64() >= phis[i] { // α = 1: v disagrees with u
+						contrib = -ou
+					}
+					op := (m.g.Opinion(v) + contrib) / 2
+					s.activate(v, op, round)
+					s.next = append(s.next, v)
+					res.Activated++
+					accumulate(&res, op)
+				}
+			}
+		}
+		s.frontier, s.next = s.next, s.frontier
+		round++
+	}
+	return res
+}
+
+func (m *OI) simulateLT(seeds []graph.NodeID, r *rng.RNG, s *Scratch) Result {
+	s.begin()
+	res := Result{}
+	res.Activated = s.seedSetup(m.g, seeds)
+	round := int32(1)
+	for len(s.frontier) > 0 {
+		s.next = s.next[:0]
+		for _, u := range s.frontier {
+			nbrs := m.g.OutNeighbors(u)
+			ws := m.g.OutWeights(u)
+			for i, v := range nbrs {
+				if s.isActive(v) || s.isBlocked(v) {
+					continue
+				}
+				if s.thrStamp[v] != s.epoch {
+					s.thrStamp[v] = s.epoch
+					s.thr[v] = r.Float64()
+					s.wsum[v] = 0
+				}
+				s.wsum[v] += ws[i]
+				if s.wsum[v] >= s.thr[v] {
+					op := m.ltOpinion(v, round, r, s)
+					s.activate(v, op, round)
+					s.next = append(s.next, v)
+					res.Activated++
+					accumulate(&res, op)
+				}
+			}
+		}
+		s.frontier, s.next = s.next, s.frontier
+		round++
+	}
+	return res
+}
+
+// ltOpinion computes the OI-LT final opinion of v activating at the given
+// round: the averaged signed contribution of in-neighbors active at
+// previous rounds (In(v)(a)), mixed with v's own opinion.
+func (m *OI) ltOpinion(v graph.NodeID, round int32, r *rng.RNG, s *Scratch) float64 {
+	froms := m.g.InNeighbors(v)
+	idxs := m.g.InEdgeIndices(v)
+	sum := 0.0
+	count := 0
+	for i, u := range froms {
+		if s.stamp[u] != s.epoch || s.round[u] >= round {
+			continue
+		}
+		sign := 1.0
+		if r.Float64() >= m.g.PhiAt(idxs[i]) { // α(u,v) = 1
+			sign = -1.0
+		}
+		sum += sign * s.opinion[u]
+		count++
+	}
+	ov := m.g.Opinion(v)
+	if count == 0 {
+		// Threshold θ=0 edge case: v activated with no previously-active
+		// in-neighbor; only the personal opinion contributes.
+		return ov / 2
+	}
+	return (ov + sum/float64(count)) / 2
+}
+
+var _ Model = (*OI)(nil)

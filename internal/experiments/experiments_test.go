@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// testConfig is the ultra-quick configuration used to smoke every
+// registered experiment within CI-friendly time.
+func testConfig() Config {
+	return Config{Quick: true, MCRuns: 60, Seed: 7}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure of the paper must have a registered runner.
+	want := []string{
+		"fig2",
+		"fig5a", "fig5b", "fig5c", "fig5d", "fig5e", "fig5f", "fig5g", "fig5h",
+		"fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig6f", "fig6g", "fig6h", "fig6i", "fig6j",
+		"tab3", "tab4",
+		"fig7a", "fig7b", "fig7c", "fig7d", "fig7e", "fig7f", "fig7g", "fig7h", "fig7i", "fig7j",
+		"ablation-policy", "ablation-oblivious-seeds", "example2",
+	}
+	for _, id := range want {
+		if _, ok := Registry[id]; !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(IDs()) < len(want) {
+		t.Errorf("registry has %d entries, want >= %d", len(IDs()), len(want))
+	}
+}
+
+func TestAllExperimentsProduceTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke tests are not -short friendly")
+	}
+	cfg := testConfig()
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tables := Registry[id].Run(cfg)
+			if len(tables) == 0 {
+				t.Fatal("no tables produced")
+			}
+			for _, tab := range tables {
+				if len(tab.Rows) == 0 {
+					t.Fatalf("table %s is empty", tab.ID)
+				}
+				for _, row := range tab.Rows {
+					if len(row) != len(tab.Columns) {
+						t.Fatalf("table %s row width %d != %d columns", tab.ID, len(row), len(tab.Columns))
+					}
+				}
+				if out := tab.Render(); !strings.Contains(out, tab.ID) {
+					t.Fatalf("render missing id")
+				}
+				if csv := tab.CSV(); !strings.Contains(csv, tab.Columns[0]) {
+					t.Fatalf("csv missing header")
+				}
+			}
+		})
+	}
+}
+
+// cell parses a numeric table cell; returns ok=false for NA-style cells.
+func cell(tab Table, row, col int) (float64, bool) {
+	s := tab.Rows[row][col]
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "x"), 64)
+	return v, err == nil
+}
+
+func TestFig2OIBeatsIC(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	tables := Registry["fig2"].Run(testConfig())
+	tab := tables[0]
+	// At the largest k of each dataset, OI seeds must beat IC seeds.
+	checked := 0
+	for r := range tab.Rows {
+		last := r == len(tab.Rows)-1 || tab.Rows[r+1][0] != tab.Rows[r][0]
+		if !last {
+			continue
+		}
+		oi, ok1 := cell(tab, r, 2)
+		ic, ok2 := cell(tab, r, 4)
+		if !ok1 || !ok2 {
+			continue
+		}
+		if oi < ic {
+			t.Errorf("%s k=%s: OI %.2f < IC %.2f", tab.Rows[r][0], tab.Rows[r][1], oi, ic)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no rows checked")
+	}
+}
+
+func TestTab4CELFSlowerThanEaSyIM(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	tables := Registry["tab4"].Run(testConfig())
+	tab := tables[0]
+	found := false
+	for r := range tab.Rows {
+		celf, ok1 := cell(tab, r, 1)
+		easy, ok2 := cell(tab, r, 2)
+		if !ok1 || !ok2 {
+			continue
+		}
+		found = true
+		if celf <= easy {
+			t.Errorf("%s: CELF++ %.3fs not slower than EaSyIM %.3fs", tab.Rows[r][0], celf, easy)
+		}
+	}
+	if !found {
+		t.Fatal("no comparable rows")
+	}
+}
+
+func TestTab3TIMPlusMemoryDominatesOrNA(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	tables := Registry["tab3"].Run(testConfig())
+	tab := tables[0]
+	for r := range tab.Rows {
+		timMB, okT := cell(tab, r, 3)
+		easyMB, okE := cell(tab, r, 4)
+		if !okT {
+			continue // NA (OOM) — the paper's outcome for the big datasets
+		}
+		if !okE {
+			t.Fatalf("EaSyIM memory missing in row %d", r)
+		}
+		if timMB < easyMB {
+			t.Errorf("%s: TIM+ %.1f MB below EaSyIM %.1f MB — memory shape inverted", tab.Rows[r][0], timMB, easyMB)
+		}
+	}
+}
+
+func TestFig5eLambdaOneWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	tables := Registry["fig5e"].Run(testConfig())
+	tab := tables[0]
+	wins, rows := 0, 0
+	for r := range tab.Rows {
+		l1, ok1 := cell(tab, r, 2)
+		l0, ok2 := cell(tab, r, 3)
+		if !ok1 || !ok2 {
+			continue
+		}
+		rows++
+		if l1 >= l0 {
+			wins++
+		}
+	}
+	if rows == 0 || wins*2 < rows {
+		t.Errorf("λ=1 seeds won only %d/%d rows", wins, rows)
+	}
+}
+
+func TestDatasetsRegistry(t *testing.T) {
+	cfg := testConfig()
+	for name := range Datasets {
+		g := LoadDataset(name, cfg)
+		if g.NumNodes() < 100 {
+			t.Errorf("dataset %s too small: %d nodes", name, g.NumNodes())
+		}
+		if g.NumEdges() == 0 {
+			t.Errorf("dataset %s has no edges", name)
+		}
+	}
+	// Clones must be independent.
+	a := LoadDataset("nethept", cfg)
+	b := LoadDataset("nethept", cfg)
+	a.SetUniformProb(0.9)
+	if p, _ := b.EdgeProb(b.OutNeighbors(0)[0], 0); p == 0.9 {
+		t.Error("dataset cache leaked parameter mutations")
+	}
+}
+
+func TestLoadDatasetUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	LoadDataset("nope", testConfig())
+}
+
+func TestTableRender(t *testing.T) {
+	tab := Table{ID: "x", Title: "t", Columns: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	tab.AddNote("hello %d", 42)
+	out := tab.Render()
+	if !strings.Contains(out, "hello 42") || !strings.Contains(out, "bb") {
+		t.Fatalf("render: %s", out)
+	}
+	if !strings.Contains(tab.CSV(), "a,bb") {
+		t.Fatal("csv header")
+	}
+}
+
+func TestMeasureMemoryDetectsAllocation(t *testing.T) {
+	var sink []byte
+	mem := MeasureMemory(func() {
+		sink = make([]byte, 16<<20)
+		for i := range sink {
+			sink[i] = byte(i)
+		}
+	})
+	if mem.PeakExtraBytes < 8<<20 {
+		t.Fatalf("16MB allocation measured as %d bytes", mem.PeakExtraBytes)
+	}
+	_ = sink
+}

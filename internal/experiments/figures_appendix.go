@@ -1,0 +1,275 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/holisticim/holisticim/internal/diffusion"
+	"github.com/holisticim/holisticim/internal/greedy"
+	"github.com/holisticim/holisticim/internal/im"
+	"github.com/holisticim/holisticim/internal/opinion"
+	"github.com/holisticim/holisticim/internal/ris"
+)
+
+func init() {
+	register(Experiment{ID: "fig7a", Title: "λ=1 vs λ=0 (DBLP, YouTube)", PaperRef: "Figure 7(a)", Run: runFig7a})
+	register(Experiment{ID: "fig7b", Title: "OSIM l-sweep vs GREEDY under OC (HepPh)", PaperRef: "Figure 7(b)", Run: runFig7bf})
+	register(Experiment{ID: "fig7c", Title: "OSIM l-sweep (DBLP & YouTube, OI)", PaperRef: "Figure 7(c)", Run: runFig7cg})
+	register(Experiment{ID: "fig7d", Title: "Spread: EaSyIM vs SIMPATH/TIM+/CELF++ (NetHEPT, LT)", PaperRef: "Figure 7(d)", Run: runFig7d})
+	register(Experiment{ID: "fig7e", Title: "Spread: EaSyIM vs IRIE (YouTube, WC)", PaperRef: "Figure 7(e)", Run: runFig7e})
+	register(Experiment{ID: "fig7f", Title: "OSIM time under OC (HepPh)", PaperRef: "Figure 7(f)", Run: runFig7bf})
+	register(Experiment{ID: "fig7g", Title: "OSIM time (DBLP & YouTube, OI)", PaperRef: "Figure 7(g)", Run: runFig7cg})
+	register(Experiment{ID: "fig7h", Title: "Time: EaSyIM vs IRIE (medium datasets, WC)", PaperRef: "Figure 7(h)", Run: runFig7h})
+	register(Experiment{ID: "fig7i", Title: "Time: EaSyIM vs SIMPATH (medium datasets, LT)", PaperRef: "Figure 7(i)", Run: runFig7i})
+	register(Experiment{ID: "fig7j", Title: "EaSyIM memory on large datasets", PaperRef: "Figure 7(j)", Run: runFig7j})
+}
+
+func runFig7a(cfg Config) []Table {
+	t := Table{
+		ID:      "fig7a",
+		Title:   "Effective opinion spread: λ=1 vs λ=0 (DBLP, YouTube)",
+		Columns: []string{"dataset", "k", "λ=1 seeds", "λ=0 seeds"},
+	}
+	for _, ds := range []string{"dblp", "youtube"} {
+		g := LoadDataset(ds, cfg)
+		prepareOpinion(g, opinion.Uniform, cfg.Seed)
+		ks := cfg.kSweep(200)
+		kMax := ks[len(ks)-1]
+		l1 := osimSelector(g, 3, 1, cfg).Select(kMax)
+		l0 := osimSelector(g, 3, 0, cfg).Select(kMax)
+		for _, k := range ks {
+			t.AddRow(ds, fi(k),
+				f2(evalOpinion(g, prefix(l1, k), 1, cfg)),
+				f2(evalOpinion(g, prefix(l0, k), 1, cfg)))
+		}
+	}
+	t.AddNote("paper shape: λ=1 dominates λ=0 on the larger datasets too")
+	return []Table{t}
+}
+
+// runFig7bf produces both the quality (7b) and timing (7f) views of the
+// OSIM-under-OC experiment on HepPh.
+func runFig7bf(cfg Config) []Table {
+	ds := "hepph"
+	if cfg.Quick {
+		ds = "nethept-mini"
+	}
+	g := LoadDataset(ds, cfg)
+	prepareOpinion(g, opinion.Normal, cfg.Seed)
+	ocView := g.Clone()
+	ocView.SetUniformPhi(1)
+	ocModel := diffusion.NewOC(ocView)
+
+	quality := Table{
+		ID:      "fig7b",
+		Title:   "Opinion spread under OC: OSIM l-sweep vs GREEDY (HepPh)",
+		Columns: []string{"k", "GREEDY", "OSIM l=1", "OSIM l=2", "OSIM l=3", "OSIM l=5"},
+	}
+	timing := Table{
+		ID:      "fig7f",
+		Title:   "Running time (s) under OC: OSIM l-sweep vs GREEDY (HepPh)",
+		Columns: []string{"k", "GREEDY", "OSIM l=1", "OSIM l=2", "OSIM l=3", "OSIM l=5"},
+	}
+	ks := cfg.kSweep(200)
+	kMax := ks[len(ks)-1]
+	greedyMax := kMax
+	if cfg.Quick && greedyMax > 10 {
+		greedyMax = 10
+	}
+	obj := &greedy.MCObjective{Model: ocModel, Kind: greedy.KindOpinionSpread, Runs: greedyRuns(cfg), Seed: cfg.Seed + 89}
+	mg := greedy.NewGreedy(obj).Select(greedyMax)
+	ls := []int{1, 2, 3, 5}
+	osims := make([]im.Result, len(ls))
+	for i, l := range ls {
+		sel, _ := ocSelector(g, l, cfg)
+		osims[i] = sel.Select(kMax)
+	}
+	evalOC := func(seeds []int32) float64 {
+		if len(seeds) == 0 {
+			return 0
+		}
+		est := diffusion.MonteCarlo(ocModel, seeds, diffusion.MCOptions{Runs: cfg.runs(), Seed: cfg.Seed + 97, Workers: cfg.Workers})
+		return est.OpinionSpread
+	}
+	for _, k := range ks {
+		qRow := []string{fi(k)}
+		tRow := []string{fi(k)}
+		if k <= greedyMax {
+			qRow = append(qRow, f2(evalOC(prefix(mg, k))))
+			tRow = append(tRow, secs(mg.PerSeed[minInt(k, len(mg.PerSeed))-1].Seconds()))
+		} else {
+			qRow = append(qRow, "NA")
+			tRow = append(tRow, "NA")
+		}
+		for i := range ls {
+			qRow = append(qRow, f2(evalOC(prefix(osims[i], k))))
+			tRow = append(tRow, secs(osims[i].PerSeed[minInt(k, len(osims[i].PerSeed))-1].Seconds()))
+		}
+		quality.Rows = append(quality.Rows, qRow)
+		timing.Rows = append(timing.Rows, tRow)
+	}
+	quality.AddNote("paper shape: OSIM within a few %% of GREEDY under OC as well")
+	timing.AddNote("paper shape: OSIM ≥10³x faster than GREEDY")
+	return []Table{quality, timing}
+}
+
+// runFig7cg produces the OSIM l-sweep quality (7c) and timing (7g) on the
+// larger datasets with uniform random opinions.
+func runFig7cg(cfg Config) []Table {
+	quality := Table{
+		ID:      "fig7c",
+		Title:   "Opinion spread: OSIM l-sweep (DBLP, YouTube; OI, o~U(−1,1))",
+		Columns: []string{"dataset", "k", "l=1", "l=2", "l=3", "l=5"},
+	}
+	timing := Table{
+		ID:      "fig7g",
+		Title:   "Running time (s): OSIM l-sweep (DBLP, YouTube; OI)",
+		Columns: []string{"dataset", "k", "l=1", "l=2", "l=3", "l=5"},
+	}
+	ls := []int{1, 2, 3, 5}
+	for _, ds := range []string{"dblp", "youtube"} {
+		g := LoadDataset(ds, cfg)
+		prepareOpinion(g, opinion.Uniform, cfg.Seed)
+		ks := cfg.kSweep(200)
+		kMax := ks[len(ks)-1]
+		results := make([]im.Result, len(ls))
+		for i, l := range ls {
+			results[i] = osimSelector(g, l, 1, cfg).Select(kMax)
+		}
+		for _, k := range ks {
+			qRow := []string{ds, fi(k)}
+			tRow := []string{ds, fi(k)}
+			for i := range ls {
+				qRow = append(qRow, f2(evalOpinion(g, prefix(results[i], k), 1, cfg)))
+				tRow = append(tRow, secs(results[i].PerSeed[minInt(k, len(results[i].PerSeed))-1].Seconds()))
+			}
+			quality.Rows = append(quality.Rows, qRow)
+			timing.Rows = append(timing.Rows, tRow)
+		}
+	}
+	quality.AddNote("paper: Modified-GREEDY did not complete within a month on these — omitted")
+	return []Table{quality, timing}
+}
+
+func runFig7d(cfg Config) []Table {
+	t := Table{
+		ID:      "fig7d",
+		Title:   "Spread vs seeds under LT: EaSyIM, SIMPATH, TIM+, CELF++ (NetHEPT)",
+		Columns: []string{"k", "EaSyIM l=3", "SIMPATH", "TIM+", "CELF++"},
+	}
+	ds := "nethept"
+	if cfg.Quick {
+		ds = "nethept-mini"
+	}
+	g := LoadDataset(ds, cfg)
+	m, w, kind := modelFor(g, "LT")
+	ks := cfg.kSweep(100)
+	kMax := ks[len(ks)-1]
+	easy := easyimSelector(g, 3, w, cfg).Select(kMax)
+	simpath := newSIMPATH(g).Select(kMax)
+	tim := ris.NewTIMPlus(g, kind, timOptions(cfg, 0.1)).Select(kMax)
+	kCelf := kMax
+	if cfg.Quick && kCelf > 5 {
+		kCelf = 5
+	}
+	celf := greedy.NewCELFPP(greedy.NewSpreadObjective(m, greedyRuns(cfg), cfg.Seed+101)).Select(kCelf)
+	for _, k := range ks {
+		celfCell := "NA"
+		if k <= len(celf.Seeds) {
+			celfCell = f1(evalSpread(m, prefix(celf, k), cfg))
+		}
+		t.AddRow(fi(k),
+			f1(evalSpread(m, prefix(easy, k), cfg)),
+			f1(evalSpread(m, prefix(simpath, k), cfg)),
+			f1(evalSpread(m, prefix(tim, k), cfg)),
+			celfCell)
+	}
+	t.AddNote("paper shape: all four within a few %% under LT")
+	return []Table{t}
+}
+
+func runFig7e(cfg Config) []Table {
+	t := Table{
+		ID:      "fig7e",
+		Title:   "Spread vs seeds under WC: EaSyIM vs IRIE (YouTube)",
+		Columns: []string{"k", "EaSyIM l=3", "IRIE"},
+	}
+	g := LoadDataset("youtube", cfg)
+	m, w, _ := modelFor(g, "WC")
+	ks := cfg.kSweep(100)
+	kMax := ks[len(ks)-1]
+	easy := easyimSelector(g, 3, w, cfg).Select(kMax)
+	irie := newIRIE(g).Select(kMax)
+	for _, k := range ks {
+		t.AddRow(fi(k),
+			f1(evalSpread(m, prefix(easy, k), cfg)),
+			f1(evalSpread(m, prefix(irie, k), cfg)))
+	}
+	t.AddNote("paper shape: comparable quality")
+	return []Table{t}
+}
+
+func runFig7h(cfg Config) []Table {
+	t := Table{
+		ID:      "fig7h",
+		Title:   "Running time (s) under WC: EaSyIM vs IRIE (medium datasets)",
+		Columns: []string{"dataset", "k", "EaSyIM l=3", "IRIE"},
+	}
+	k := 100
+	if cfg.Quick {
+		k = 10
+	}
+	for _, ds := range []string{"nethept", "hepph", "dblp", "youtube"} {
+		g := LoadDataset(ds, cfg)
+		_, w, _ := modelFor(g, "WC")
+		easy := easyimSelector(g, 3, w, cfg).Select(k)
+		irie := newIRIE(g).Select(k)
+		t.AddRow(ds, fi(k), secs(easy.Took.Seconds()), secs(irie.Took.Seconds()))
+	}
+	t.AddNote("paper shape: EaSyIM 2-6x faster than IRIE")
+	return []Table{t}
+}
+
+func runFig7i(cfg Config) []Table {
+	t := Table{
+		ID:      "fig7i",
+		Title:   "Running time (s) under LT: EaSyIM vs SIMPATH (medium datasets)",
+		Columns: []string{"dataset", "k", "EaSyIM l=3", "SIMPATH"},
+	}
+	k := 100
+	if cfg.Quick {
+		k = 5
+	}
+	datasets := []string{"nethept", "hepph", "dblp"}
+	if cfg.Quick {
+		datasets = []string{"nethept-mini", "nethept"}
+	}
+	for _, ds := range datasets {
+		g := LoadDataset(ds, cfg)
+		_, w, _ := modelFor(g, "LT")
+		easy := easyimSelector(g, 3, w, cfg).Select(k)
+		simpath := newSIMPATH(g).Select(k)
+		t.AddRow(ds, fi(k), secs(easy.Took.Seconds()), secs(simpath.Took.Seconds()))
+	}
+	t.AddNote("paper shape: SIMPATH competitive on small graphs, blows up on larger ones")
+	return []Table{t}
+}
+
+func runFig7j(cfg Config) []Table {
+	t := Table{
+		ID:      "fig7j",
+		Title:   "EaSyIM memory (MB) on the large datasets, k=100",
+		Columns: []string{"dataset", "graph MB", "execution MB"},
+	}
+	k := 100
+	if cfg.Quick {
+		k = 5
+	}
+	for _, ds := range []string{"soclive", "orkut", "twitter", "friendster"} {
+		g := LoadDataset(ds, cfg)
+		_, w, _ := modelFor(g, "WC")
+		mem := MeasureMemory(func() { easyimSelector(g, 1, w, cfg).Select(k) })
+		t.AddRow(fmt.Sprintf("%s", Datasets[ds].Name), f1(MB(g.MemoryFootprint())), f1(MB(mem.PeakExtraBytes)))
+	}
+	t.AddNote("paper shape: execution memory is a small constant over graph loading — billion-edge feasible")
+	return []Table{t}
+}

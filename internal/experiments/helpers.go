@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"github.com/holisticim/holisticim/internal/core"
+	"github.com/holisticim/holisticim/internal/diffusion"
+	"github.com/holisticim/holisticim/internal/graph"
+	"github.com/holisticim/holisticim/internal/heuristics"
+	"github.com/holisticim/holisticim/internal/im"
+	"github.com/holisticim/holisticim/internal/opinion"
+	"github.com/holisticim/holisticim/internal/ris"
+)
+
+// prepareIC installs the conventional IC parameterization (uniform
+// p=0.1).
+func prepareIC(g *graph.Graph) {
+	g.SetUniformProb(0.1)
+}
+
+// prepareWC installs the weighted-cascade parameterization.
+func prepareWC(g *graph.Graph) {
+	g.SetWeightedCascadeProb()
+}
+
+// prepareOpinion annotates a graph for the opinion-aware experiments:
+// IC-layer probabilities p=0.1, opinions from the given distribution and
+// interactions ϕ ~ rand(0,1) — the Sec. 4.1.3 benchmark annotation.
+func prepareOpinion(g *graph.Graph, dist opinion.Distribution, seed uint64) {
+	prepareIC(g)
+	opinion.AssignOpinions(g, dist, seed+1)
+	opinion.AssignInteractions(g, seed+2)
+	g.SetDefaultLTWeights()
+}
+
+// osimSelector builds ScoreGreedy(OSIM) probing with OI at the IC layer.
+func osimSelector(g *graph.Graph, l int, lambda float64, cfg Config) *core.ScoreGreedy {
+	return core.NewScoreGreedy(core.NewOSIM(g, l, core.WeightProb, lambda), core.ScoreGreedyOptions{
+		Policy:     core.PolicyMCMajority,
+		ProbeModel: diffusion.NewOI(g, diffusion.LayerIC),
+		ProbeRuns:  probeRuns(cfg),
+		Seed:       cfg.Seed + 11,
+	})
+}
+
+// ocSelector approximates seed selection "using the OC model": OSIM
+// scoring on a ϕ≡1 view of the graph (OC is the ϕ≡1 special case of OI)
+// with LT weights, probed by the OC model.
+func ocSelector(g *graph.Graph, l int, cfg Config) (*core.ScoreGreedy, *graph.Graph) {
+	oc := g.Clone()
+	oc.SetUniformPhi(1)
+	return core.NewScoreGreedy(core.NewOSIM(oc, l, core.WeightLT, 1), core.ScoreGreedyOptions{
+		Policy:     core.PolicyMCMajority,
+		ProbeModel: diffusion.NewOC(oc),
+		ProbeRuns:  probeRuns(cfg),
+		Seed:       cfg.Seed + 13,
+	}), oc
+}
+
+// easyimSelector builds ScoreGreedy(EaSyIM) with the given edge-weight
+// mode, probed by the matching opinion-oblivious model.
+func easyimSelector(g *graph.Graph, l int, w core.EdgeWeight, cfg Config) *core.ScoreGreedy {
+	var probe diffusion.Model
+	if w == core.WeightLT {
+		probe = diffusion.NewLT(g)
+	} else {
+		probe = diffusion.NewIC(g)
+	}
+	return core.NewScoreGreedy(core.NewEaSyIM(g, l, w), core.ScoreGreedyOptions{
+		Policy:     core.PolicyMCMajority,
+		ProbeModel: probe,
+		ProbeRuns:  probeRuns(cfg),
+		Seed:       cfg.Seed + 17,
+	})
+}
+
+func probeRuns(cfg Config) int {
+	if cfg.Quick {
+		return 8
+	}
+	return 20
+}
+
+// timCap returns the RR-set cap protecting quick runs from the θ
+// blow-up; full runs get a generous cap.
+func timCap(cfg Config) int {
+	if cfg.Quick {
+		return 25000
+	}
+	return 5_000_000
+}
+
+// timOptions bundles the paper's TIM+ parameters (ε defaults to 0.1).
+func timOptions(cfg Config, eps float64) ris.TIMOptions {
+	return ris.TIMOptions{Epsilon: eps, Ell: 1, Seed: cfg.Seed + 19, ThetaCap: timCap(cfg)}
+}
+
+// evalSpread estimates σ(S) under the model.
+func evalSpread(m diffusion.Model, seeds []graph.NodeID, cfg Config) float64 {
+	if len(seeds) == 0 {
+		return 0
+	}
+	est := diffusion.MonteCarlo(m, seeds, diffusion.MCOptions{
+		Runs: cfg.runs(), Seed: cfg.Seed + 23, Workers: cfg.Workers,
+	})
+	return est.Spread
+}
+
+// evalOpinion estimates the effective opinion spread σ_λ^o(S) under OI-IC.
+func evalOpinion(g *graph.Graph, seeds []graph.NodeID, lambda float64, cfg Config) float64 {
+	if len(seeds) == 0 {
+		return 0
+	}
+	est := diffusion.MonteCarlo(diffusion.NewOI(g, diffusion.LayerIC), seeds, diffusion.MCOptions{
+		Runs: cfg.runs(), Seed: cfg.Seed + 29, Workers: cfg.Workers,
+	})
+	return est.EffectiveOpinionSpread(lambda)
+}
+
+// prefix returns the first k seeds of a selection (selection order is the
+// greedy order, so prefixes are the budget-k solutions).
+func prefix(res im.Result, k int) []graph.NodeID {
+	if k > len(res.Seeds) {
+		k = len(res.Seeds)
+	}
+	return res.Seeds[:k]
+}
+
+// secs renders a duration metric in seconds.
+func secs(d float64) string { return f3(d) }
+
+// newIRIE constructs IRIE with the paper's parameters (α=0.7, θ=1/320).
+func newIRIE(g *graph.Graph) *heuristics.IRIE {
+	return heuristics.NewIRIE(g, 0.7, 1.0/320, 20)
+}
+
+// newSIMPATH constructs SIMPATH with the paper's parameters (η=1e-3,
+// look-ahead 4).
+func newSIMPATH(g *graph.Graph) *heuristics.SIMPATH {
+	return heuristics.NewSIMPATH(g, 1e-3, 4)
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MemUsage reports one measured run.
+type MemUsage struct {
+	// BaselineBytes is the live heap before the run (after GC).
+	BaselineBytes int64
+	// PeakExtraBytes is the maximum observed heap growth over the baseline
+	// while the run executed — the "execution memory" of Figures 5h/6j.
+	PeakExtraBytes int64
+}
+
+// MeasureMemory runs f while a sampler polls the heap, returning the peak
+// extra heap the run needed. Go's GC makes this an approximation (the
+// reference implementations measured RSS, also an approximation), but the
+// orders-of-magnitude gaps the paper reports — EaSyIM's O(n) scores vs
+// TIM+'s RR-set explosion — dominate sampling error comfortably.
+func MeasureMemory(f func()) MemUsage {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	baseline := int64(ms.HeapAlloc)
+
+	var peak atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(2 * time.Millisecond)
+		defer ticker.Stop()
+		var m runtime.MemStats
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				runtime.ReadMemStats(&m)
+				extra := int64(m.HeapAlloc) - baseline
+				if extra > peak.Load() {
+					peak.Store(extra)
+				}
+			}
+		}
+	}()
+	f()
+	// One final sample with everything f retained still alive.
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	if extra := int64(m.HeapAlloc) - baseline; extra > peak.Load() {
+		peak.Store(extra)
+	}
+	close(stop)
+	wg.Wait()
+	p := peak.Load()
+	if p < 0 {
+		p = 0
+	}
+	return MemUsage{BaselineBytes: baseline, PeakExtraBytes: p}
+}
+
+// MB formats bytes as mebibytes with one decimal.
+func MB(bytes int64) float64 { return float64(bytes) / (1 << 20) }

@@ -1,0 +1,54 @@
+package graph
+
+import (
+	"testing"
+
+	"github.com/holisticim/holisticim/internal/rng"
+)
+
+func benchGraph(b *testing.B) *Graph {
+	b.Helper()
+	return BarabasiAlbert(20000, 3, rng.New(1))
+}
+
+func BenchmarkBuildCSR(b *testing.B) {
+	bl := NewBuilder(10000)
+	r := rng.New(2)
+	for i := 0; i < 60000; i++ {
+		bl.AddEdge(NodeID(r.Int31n(10000)), NodeID(r.Int31n(10000)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = bl.Build()
+	}
+}
+
+func BenchmarkBFS(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = BFSDistances(g, NodeID(i%int(g.NumNodes())))
+	}
+}
+
+func BenchmarkTranspose(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Transpose()
+	}
+}
+
+func BenchmarkRMATGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = RMAT(1<<14, 100000, DefaultRMAT, false, rng.New(uint64(i)))
+	}
+}
+
+func BenchmarkComputeStats(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ComputeStats(g, 8, uint64(i))
+	}
+}

@@ -1,0 +1,142 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary graph format: a compact little-endian serialization for fast
+// loading of large graphs (the text edge-list parses at ~10-20 MB/s; the
+// binary format is I/O bound). Layout:
+//
+//	magic "HIMG" | version u32 | n u32 | m u64
+//	outStart  (n+1) × u64
+//	outTo     m × u32
+//	outProb   m × f64
+//	outPhi    m × f64
+//	outWt     m × f64
+//	opinion   n × f64
+//
+// The in-adjacency is rebuilt on load (cheaper than storing it).
+const (
+	binaryMagic   = "HIMG"
+	binaryVersion = 1
+)
+
+// WriteBinary serializes g in the binary format.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	hdr := []interface{}{uint32(binaryVersion), uint32(g.n), uint64(len(g.outTo))}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, arr := range []interface{}{g.outStart, g.outTo, g.outProb, g.outPhi, g.outWt, g.opinion} {
+		if err := binary.Write(bw, binary.LittleEndian, arr); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a graph written by WriteBinary, validating the
+// header and structural invariants before accepting the data.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("graph: binary header: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic %q", magic)
+	}
+	var version, n uint32
+	var m uint64
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("graph: binary version: %w", err)
+	}
+	if version != binaryVersion {
+		return nil, fmt.Errorf("graph: unsupported binary version %d", version)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
+		return nil, err
+	}
+	if n > math.MaxInt32 {
+		return nil, fmt.Errorf("graph: node count %d overflows int32", n)
+	}
+	g := &Graph{n: int32(n)}
+	g.outStart = make([]int64, n+1)
+	g.outTo = make([]NodeID, m)
+	g.outProb = make([]float64, m)
+	g.outPhi = make([]float64, m)
+	g.outWt = make([]float64, m)
+	g.opinion = make([]float64, n)
+	for _, arr := range []interface{}{g.outStart, g.outTo, g.outProb, g.outPhi, g.outWt, g.opinion} {
+		if err := binary.Read(br, binary.LittleEndian, arr); err != nil {
+			return nil, fmt.Errorf("graph: binary payload: %w", err)
+		}
+	}
+	// Validate structure before building the in-adjacency.
+	if g.outStart[0] != 0 || g.outStart[n] != int64(m) {
+		return nil, fmt.Errorf("graph: corrupt CSR offsets")
+	}
+	for i := uint32(0); i < n; i++ {
+		if g.outStart[i] > g.outStart[i+1] {
+			return nil, fmt.Errorf("graph: non-monotone CSR offsets at %d", i)
+		}
+	}
+	for _, v := range g.outTo {
+		if v < 0 || v >= g.n {
+			return nil, fmt.Errorf("graph: edge target %d out of range", v)
+		}
+	}
+	for i, p := range g.outProb {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			return nil, fmt.Errorf("graph: probability %v at edge %d out of range", p, i)
+		}
+	}
+	for i, o := range g.opinion {
+		if o < -1 || o > 1 || math.IsNaN(o) {
+			return nil, fmt.Errorf("graph: opinion %v at node %d out of range", o, i)
+		}
+	}
+	g.buildInAdjacency()
+	return g, nil
+}
+
+// buildInAdjacency reconstructs the in-edge view from the out-edge CSR.
+func (g *Graph) buildInAdjacency() {
+	n := g.n
+	m := int64(len(g.outTo))
+	g.inStart = make([]int64, n+1)
+	g.inFrom = make([]NodeID, m)
+	g.inEdge = make([]int64, m)
+	for _, v := range g.outTo {
+		g.inStart[v+1]++
+	}
+	for i := int32(0); i < n; i++ {
+		g.inStart[i+1] += g.inStart[i]
+	}
+	cursor := make([]int64, n)
+	u := NodeID(0)
+	for i := int64(0); i < m; i++ {
+		for g.outStart[u+1] <= i {
+			u++
+		}
+		v := g.outTo[i]
+		pos := g.inStart[v] + cursor[v]
+		cursor[v]++
+		g.inFrom[pos] = u
+		g.inEdge[pos] = i
+	}
+}

@@ -1,0 +1,133 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/holisticim/holisticim/internal/rng"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := ErdosRenyi(500, 3000, rng.New(3))
+	g.SetUniformProb(0.125)
+	r := rng.New(5)
+	for v := NodeID(0); v < g.NumNodes(); v++ {
+		g.SetOpinion(v, r.Range(-1, 1))
+	}
+	g.SetEdgeParamsFunc(func(u, v NodeID) (float64, float64) { return 0.125, r.Float64() })
+	g.SetDefaultLTWeights()
+
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("size changed: %d/%d", g2.NumNodes(), g2.NumEdges())
+	}
+	for u := NodeID(0); u < g.NumNodes(); u++ {
+		a, b := g.OutNeighbors(u), g2.OutNeighbors(u)
+		if len(a) != len(b) {
+			t.Fatalf("node %d degree changed", u)
+		}
+		pa, pb := g.OutProbs(u), g2.OutProbs(u)
+		fa, fb := g.OutPhis(u), g2.OutPhis(u)
+		wa, wb := g.OutWeights(u), g2.OutWeights(u)
+		for i := range a {
+			if a[i] != b[i] || pa[i] != pb[i] || fa[i] != fb[i] || wa[i] != wb[i] {
+				t.Fatalf("node %d edge %d differs", u, i)
+			}
+		}
+		if g.Opinion(u) != g2.Opinion(u) {
+			t.Fatalf("node %d opinion differs", u)
+		}
+		if g.InDegree(u) != g2.InDegree(u) {
+			t.Fatalf("node %d in-degree differs after rebuild", u)
+		}
+	}
+	// In-edge index integrity.
+	for v := NodeID(0); v < g2.NumNodes(); v++ {
+		idxs := g2.InEdgeIndices(v)
+		froms := g2.InNeighbors(v)
+		for i, u := range froms {
+			if p, ok := g2.EdgeProb(u, v); !ok || p != g2.ProbAt(idxs[i]) {
+				t.Fatalf("in-edge index broken at (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestBinaryRejectsCorruptInput(t *testing.T) {
+	g := Path(4, 0.5, 0.5)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	cases := map[string][]byte{
+		"bad magic":     append([]byte("XXXX"), raw[4:]...),
+		"truncated":     raw[:len(raw)-9],
+		"short header":  raw[:6],
+		"empty":         nil,
+		"corrupt probs": corruptAt(raw, len(raw)-20, 0xFF), // clobber opinion/prob floats
+	}
+	for name, data := range cases {
+		if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	// Bad version.
+	bad := append([]byte(nil), raw...)
+	bad[4] = 99
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("bad version accepted: %v", err)
+	}
+}
+
+func corruptAt(raw []byte, pos int, val byte) []byte {
+	out := append([]byte(nil), raw...)
+	for i := 0; i < 8 && pos+i < len(out); i++ {
+		out[pos+i] = val
+	}
+	return out
+}
+
+func TestBinaryEmptyGraph(t *testing.T) {
+	g := NewBuilder(3).Build()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != 3 || g2.NumEdges() != 0 {
+		t.Fatalf("empty graph round trip: %d/%d", g2.NumNodes(), g2.NumEdges())
+	}
+}
+
+func BenchmarkBinaryWrite(b *testing.B) {
+	g := BarabasiAlbert(20000, 3, rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		_ = WriteBinary(&buf, g)
+	}
+}
+
+func BenchmarkBinaryRead(b *testing.B) {
+	g := BarabasiAlbert(20000, 3, rng.New(1))
+	var buf bytes.Buffer
+	_ = WriteBinary(&buf, g)
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = ReadBinary(bytes.NewReader(data))
+	}
+}

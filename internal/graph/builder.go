@@ -1,0 +1,149 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates edges and produces an immutable Graph. Parallel arcs
+// are collapsed (the first occurrence's parameters win); self-loops are
+// dropped, matching the conventions of the IM literature.
+type Builder struct {
+	n     int32
+	edges []builderEdge
+}
+
+type builderEdge struct {
+	u, v   NodeID
+	p, phi float64
+	w      float64
+}
+
+// NewBuilder returns a Builder for a graph with n nodes (ids 0..n-1).
+func NewBuilder(n int32) *Builder {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Builder{n: n}
+}
+
+// Grow ensures the builder can accept node ids up to n-1, enlarging the
+// eventual graph if needed. Useful for loaders that discover the node count
+// while scanning.
+func (b *Builder) Grow(n int32) {
+	if n > b.n {
+		b.n = n
+	}
+}
+
+// NumNodes returns the current node count.
+func (b *Builder) NumNodes() int32 { return b.n }
+
+// AddEdge adds the arc (u,v) with zero-valued parameters (assign them later
+// via the Graph's Set* methods).
+func (b *Builder) AddEdge(u, v NodeID) { b.AddEdgeFull(u, v, 0, 0, 0) }
+
+// AddEdgeP adds the arc (u,v) with influence probability p and interaction
+// probability phi.
+func (b *Builder) AddEdgeP(u, v NodeID, p, phi float64) { b.AddEdgeFull(u, v, p, phi, 0) }
+
+// AddEdgeFull adds the arc (u,v) with all edge parameters.
+func (b *Builder) AddEdgeFull(u, v NodeID, p, phi, w float64) {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	if u == v {
+		return // self-loops are meaningless for diffusion
+	}
+	b.edges = append(b.edges, builderEdge{u, v, p, phi, w})
+}
+
+// AddUndirected adds both arcs (u,v) and (v,u) with the same parameters —
+// the paper's convention for undirected datasets ("the undirected graphs
+// were made directed by considering, for each edge, the arcs in both the
+// directions").
+func (b *Builder) AddUndirected(u, v NodeID, p, phi float64) {
+	b.AddEdgeFull(u, v, p, phi, 0)
+	b.AddEdgeFull(v, u, p, phi, 0)
+}
+
+// Build produces the immutable CSR graph. The builder may be reused
+// afterwards (its edge list is not consumed). Out-neighbor lists are sorted
+// by target id, enabling binary-search HasEdge and deterministic iteration.
+func (b *Builder) Build() *Graph {
+	// Sort by (u,v) and dedupe keeping the first occurrence.
+	es := append([]builderEdge(nil), b.edges...)
+	sort.SliceStable(es, func(i, j int) bool {
+		if es[i].u != es[j].u {
+			return es[i].u < es[j].u
+		}
+		return es[i].v < es[j].v
+	})
+	dst := 0
+	for i := range es {
+		if i > 0 && es[i].u == es[dst-1].u && es[i].v == es[dst-1].v {
+			continue
+		}
+		es[dst] = es[i]
+		dst++
+	}
+	es = es[:dst]
+
+	g := &Graph{n: b.n}
+	m := int64(len(es))
+	g.outStart = make([]int64, b.n+1)
+	g.outTo = make([]NodeID, m)
+	g.outProb = make([]float64, m)
+	g.outPhi = make([]float64, m)
+	g.outWt = make([]float64, m)
+	g.opinion = make([]float64, b.n)
+
+	for _, e := range es {
+		g.outStart[e.u+1]++
+	}
+	for i := int32(0); i < b.n; i++ {
+		g.outStart[i+1] += g.outStart[i]
+	}
+	for i, e := range es {
+		g.outTo[i] = e.v
+		g.outProb[i] = e.p
+		g.outPhi[i] = e.phi
+		g.outWt[i] = e.w
+	}
+
+	// In-adjacency: counting sort by target.
+	g.inStart = make([]int64, b.n+1)
+	g.inFrom = make([]NodeID, m)
+	g.inEdge = make([]int64, m)
+	for _, e := range es {
+		g.inStart[e.v+1]++
+	}
+	for i := int32(0); i < b.n; i++ {
+		g.inStart[i+1] += g.inStart[i]
+	}
+	// Edges are grouped by u in out order, so recover u by tracking the
+	// CSR row boundaries instead of a search.
+	cursor := make([]int64, b.n)
+	u := NodeID(0)
+	for i := int64(0); i < m; i++ {
+		for g.outStart[u+1] <= i {
+			u++
+		}
+		v := g.outTo[i]
+		pos := g.inStart[v] + cursor[v]
+		cursor[v]++
+		g.inFrom[pos] = u
+		g.inEdge[pos] = i
+	}
+	return g
+}
+
+// FromEdges is a convenience constructor: build a graph over n nodes from a
+// list of (u,v) pairs with zeroed parameters.
+func FromEdges(n int32, edges [][2]NodeID) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}

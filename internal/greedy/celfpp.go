@@ -1,0 +1,155 @@
+package greedy
+
+import (
+	"container/heap"
+	"time"
+
+	"github.com/holisticim/holisticim/internal/graph"
+	"github.com/holisticim/holisticim/internal/im"
+)
+
+// CELFPP implements CELF++ (Goyal, Lu, Lakshmanan, WWW'11): lazy-forward
+// greedy exploiting submodularity, extended with a second look-ahead
+// marginal gain. Each heap entry u carries
+//
+//	mg1      — marginal gain of u w.r.t. the current seed set S;
+//	prevBest — the best candidate seen when mg1 was computed;
+//	mg2      — marginal gain of u w.r.t. S ∪ {prevBest};
+//	flag     — |S| at the time mg1 was computed.
+//
+// When u resurfaces and its prevBest became the last chosen seed, mg1 :=
+// mg2 without any new simulation — the CELF++ saving over plain CELF.
+// The paper's Appendix C notes the two engineering optimizations the
+// authors applied (lazy forward + skipping nodes that can no longer win);
+// the heap order provides both here.
+type CELFPP struct {
+	obj Objective
+}
+
+// NewCELFPP returns the CELF++ selector. The objective should be monotone
+// submodular (σ(S) under IC/WC/LT); lazy evaluation is heuristic
+// otherwise.
+func NewCELFPP(obj Objective) *CELFPP { return &CELFPP{obj: obj} }
+
+// Name implements im.Selector.
+func (c *CELFPP) Name() string { return "CELF++[" + c.obj.Name() + "]" }
+
+type celfNode struct {
+	v        graph.NodeID
+	mg1      float64
+	mg2      float64
+	prevBest graph.NodeID // -1 when none
+	flag     int
+	index    int // heap bookkeeping
+}
+
+type celfHeap []*celfNode
+
+func (h celfHeap) Len() int           { return len(h) }
+func (h celfHeap) Less(i, j int) bool { return h[i].mg1 > h[j].mg1 }
+func (h celfHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *celfHeap) Push(x interface{}) {
+	n := x.(*celfNode)
+	n.index = len(*h)
+	*h = append(*h, n)
+}
+func (h *celfHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Select implements im.Selector.
+func (c *CELFPP) Select(k int) im.Result {
+	g := c.obj.Graph()
+	n := g.NumNodes()
+	im.ValidateK(k, n)
+	start := time.Now()
+	res := im.Result{Algorithm: c.Name()}
+
+	// Initial pass: mg1(u) = σ({u}); curBest tracked to prime mg2.
+	h := make(celfHeap, 0, n)
+	var curBest *celfNode
+	for v := graph.NodeID(0); v < n; v++ {
+		node := &celfNode{v: v, prevBest: -1, flag: 0}
+		node.mg1 = c.obj.Value([]graph.NodeID{v})
+		res.AddMetric("evaluations", 1)
+		if curBest != nil {
+			node.prevBest = curBest.v
+			// mg2 = σ({curBest, u}) − σ({curBest})
+			node.mg2 = c.obj.Value([]graph.NodeID{curBest.v, v}) - curBest.mg1
+			res.AddMetric("evaluations", 1)
+		} else {
+			node.mg2 = node.mg1
+		}
+		h = append(h, node)
+		if curBest == nil || node.mg1 > curBest.mg1 {
+			curBest = node
+		}
+	}
+	heap.Init(&h)
+
+	seeds := make([]graph.NodeID, 0, k)
+	seedValue := 0.0 // σ(S), maintained incrementally
+	lastSeed := graph.NodeID(-1)
+	var lastSeedValuePlusBest float64 // σ(S ∪ {curBest}) cache for mg2
+	var curBestV graph.NodeID = -1
+	curBestMG1 := 0.0
+	haveBestCache := false
+
+	for len(seeds) < k && h.Len() > 0 {
+		u := h[0]
+		if u.flag == len(seeds) {
+			// Marginal gain current — u is the winner.
+			heap.Pop(&h)
+			seeds = append(seeds, u.v)
+			seedValue += u.mg1
+			lastSeed = u.v
+			curBestV = -1
+			haveBestCache = false
+			res.PerSeed = append(res.PerSeed, time.Since(start))
+			continue
+		}
+		if u.prevBest == lastSeed && u.flag == len(seeds)-1 {
+			// CELF++ shortcut: mg2 was computed against exactly the current
+			// seed set.
+			u.mg1 = u.mg2
+		} else {
+			val := c.obj.Value(append(seeds, u.v))
+			res.AddMetric("evaluations", 1)
+			u.mg1 = val - seedValue
+			u.prevBest = curBestV
+			if curBestV >= 0 {
+				if !haveBestCache {
+					lastSeedValuePlusBest = c.obj.Value(append(seeds, curBestV))
+					res.AddMetric("evaluations", 1)
+					haveBestCache = true
+				}
+				val2 := c.obj.Value(append(append(seeds, curBestV), u.v))
+				res.AddMetric("evaluations", 1)
+				u.mg2 = val2 - lastSeedValuePlusBest
+			} else {
+				u.mg2 = u.mg1
+			}
+		}
+		u.flag = len(seeds)
+		if curBestV < 0 || u.mg1 > curBestMG1 {
+			curBestV = u.v
+			curBestMG1 = u.mg1
+			haveBestCache = false
+		}
+		heap.Fix(&h, u.index)
+	}
+	res.Seeds = seeds
+	res.Took = time.Since(start)
+	res.AddMetric("objective", seedValue)
+	return res
+}
+
+var _ im.Selector = (*CELFPP)(nil)

@@ -1,0 +1,146 @@
+package greedy
+
+import (
+	"math"
+	"testing"
+
+	"github.com/holisticim/holisticim/internal/diffusion"
+	"github.com/holisticim/holisticim/internal/graph"
+	"github.com/holisticim/holisticim/internal/rng"
+)
+
+func TestGreedyPicksObviousHub(t *testing.T) {
+	// Star with p=1: the center dominates every other choice.
+	g := graph.Star(10, 1, 1)
+	obj := NewSpreadObjective(diffusion.NewIC(g), 100, 7)
+	res := NewGreedy(obj).Select(1)
+	if res.Seeds[0] != 0 {
+		t.Fatalf("greedy picked %v, want center 0", res.Seeds)
+	}
+	if res.Metrics["evaluations"] != 10 {
+		t.Fatalf("evaluations %v want 10", res.Metrics["evaluations"])
+	}
+}
+
+func TestGreedyTwoComponents(t *testing.T) {
+	// Two disjoint deterministic stars: greedy k=2 takes both centers.
+	b := graph.NewBuilder(10)
+	for v := graph.NodeID(1); v <= 4; v++ {
+		b.AddEdgeP(0, v, 1, 1)
+	}
+	for v := graph.NodeID(6); v <= 9; v++ {
+		b.AddEdgeP(5, v, 1, 1)
+	}
+	g := b.Build()
+	obj := NewSpreadObjective(diffusion.NewIC(g), 50, 3)
+	res := NewGreedy(obj).Select(2)
+	got := map[graph.NodeID]bool{res.Seeds[0]: true, res.Seeds[1]: true}
+	if !got[0] || !got[5] {
+		t.Fatalf("greedy seeds %v, want centers {0,5}", res.Seeds)
+	}
+}
+
+func TestCELFPPMatchesGreedySeeds(t *testing.T) {
+	// With a shared deterministic objective, CELF++ must return the same
+	// seed set (possibly reordered within exact ties) as exhaustive greedy.
+	g := graph.ErdosRenyi(60, 300, rng.New(5))
+	g.SetUniformProb(0.2)
+	obj := NewSpreadObjective(diffusion.NewIC(g), 600, 11)
+	gr := NewGreedy(obj).Select(4)
+	cp := NewCELFPP(obj).Select(4)
+	want := map[graph.NodeID]bool{}
+	for _, s := range gr.Seeds {
+		want[s] = true
+	}
+	for _, s := range cp.Seeds {
+		if !want[s] {
+			t.Fatalf("CELF++ %v vs GREEDY %v", cp.Seeds, gr.Seeds)
+		}
+	}
+}
+
+func TestCELFPPFewerEvaluations(t *testing.T) {
+	g := graph.ErdosRenyi(80, 400, rng.New(9))
+	g.SetUniformProb(0.15)
+	obj := NewSpreadObjective(diffusion.NewIC(g), 200, 13)
+	gr := NewGreedy(obj).Select(5)
+	cp := NewCELFPP(obj).Select(5)
+	if cp.Metrics["evaluations"] >= gr.Metrics["evaluations"] {
+		t.Fatalf("CELF++ %v evals vs greedy %v — lazy forward saved nothing",
+			cp.Metrics["evaluations"], gr.Metrics["evaluations"])
+	}
+}
+
+func TestCELFPPSpreadQuality(t *testing.T) {
+	// CELF++'s selected set must achieve (statistically) the same spread
+	// as greedy's.
+	g := graph.ErdosRenyi(100, 700, rng.New(17))
+	g.SetUniformProb(0.1)
+	obj := NewSpreadObjective(diffusion.NewIC(g), 400, 19)
+	gr := NewGreedy(obj).Select(5)
+	cp := NewCELFPP(obj).Select(5)
+	vg := obj.Value(gr.Seeds)
+	vc := obj.Value(cp.Seeds)
+	if vc < 0.9*vg {
+		t.Fatalf("CELF++ spread %v below greedy %v", vc, vg)
+	}
+}
+
+func TestModifiedGreedyMaximizesEffectiveOpinion(t *testing.T) {
+	// Figure-1 graph: Modified-GREEDY must pick A (paper Example 2).
+	g := graph.ExampleFigure1()
+	obj := NewEffectiveOpinionObjective(diffusion.NewOI(g, diffusion.LayerIC), 1, 20000, 23)
+	res := NewModifiedGreedy(obj).Select(1)
+	if res.Seeds[0] != 0 {
+		t.Fatalf("Modified-GREEDY picked %v, want A=0", res.Seeds)
+	}
+	if res.Algorithm == "" {
+		t.Fatal("missing algorithm name")
+	}
+}
+
+func TestModifiedGreedyRejectsWrongObjective(t *testing.T) {
+	g := graph.Path(3, 0.5, 0.5)
+	obj := NewSpreadObjective(diffusion.NewIC(g), 10, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewModifiedGreedy(obj)
+}
+
+func TestObjectiveKinds(t *testing.T) {
+	g := graph.Path(3, 1, 1)
+	g.SetOpinions([]float64{1, -1, 1})
+	oi := diffusion.NewOI(g, diffusion.LayerIC)
+	spread := (&MCObjective{Model: oi, Kind: KindSpread, Runs: 50, Seed: 1}).Value([]graph.NodeID{0})
+	if spread != 2 {
+		t.Fatalf("spread %v want 2", spread)
+	}
+	// o'_1 = (−1+1)/2 = 0 ; o'_2 = (1+0)/2 = 0.5 (φ=1 deterministic)
+	op := (&MCObjective{Model: oi, Kind: KindOpinionSpread, Runs: 50, Seed: 1}).Value([]graph.NodeID{0})
+	if math.Abs(op-0.5) > 1e-12 {
+		t.Fatalf("opinion spread %v want 0.5", op)
+	}
+	eff := NewEffectiveOpinionObjective(oi, 1, 50, 1).Value([]graph.NodeID{0})
+	if math.Abs(eff-0.5) > 1e-12 {
+		t.Fatalf("effective %v want 0.5", eff)
+	}
+	if v := NewSpreadObjective(oi, 10, 1).Value(nil); v != 0 {
+		t.Fatalf("empty set value %v", v)
+	}
+}
+
+func TestGreedyPerSeedTimes(t *testing.T) {
+	g := graph.ErdosRenyi(30, 120, rng.New(21))
+	g.SetUniformProb(0.2)
+	obj := NewSpreadObjective(diffusion.NewIC(g), 50, 1)
+	res := NewGreedy(obj).Select(3)
+	if len(res.PerSeed) != 3 || len(res.Seeds) != 3 {
+		t.Fatalf("result %v", res)
+	}
+	if res.Took < res.PerSeed[2] {
+		t.Fatal("total time below last per-seed time")
+	}
+}

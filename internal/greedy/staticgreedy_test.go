@@ -1,0 +1,86 @@
+package greedy
+
+import (
+	"math"
+	"testing"
+
+	"github.com/holisticim/holisticim/internal/diffusion"
+	"github.com/holisticim/holisticim/internal/graph"
+	"github.com/holisticim/holisticim/internal/rng"
+)
+
+func TestStaticGreedyPicksHub(t *testing.T) {
+	g := graph.Star(20, 1, 1)
+	res := NewStaticGreedy(g, 20, 3).Select(1)
+	if res.Seeds[0] != 0 {
+		t.Fatalf("picked %v, want hub", res.Seeds)
+	}
+	if res.Metrics["snapshots"] != 20 {
+		t.Fatalf("metrics %v", res.Metrics)
+	}
+}
+
+func TestStaticGreedyMatchesExactRanking(t *testing.T) {
+	// On a tiny graph, StaticGreedy's first seed must be the node with
+	// the highest exact single-seed spread (with enough snapshots).
+	g := graph.ErdosRenyi(7, 12, rng.New(9))
+	g.SetUniformProb(0.4)
+	best := graph.NodeID(-1)
+	bestSpread := -1.0
+	for v := graph.NodeID(0); v < g.NumNodes(); v++ {
+		sp := diffusion.ExactICSpread(g, []graph.NodeID{v})
+		if sp > bestSpread {
+			bestSpread = sp
+			best = v
+		}
+	}
+	res := NewStaticGreedy(g, 20000, 5).Select(1)
+	got := diffusion.ExactICSpread(g, []graph.NodeID{res.Seeds[0]})
+	if math.Abs(got-bestSpread) > 0.05 {
+		t.Fatalf("picked %d (σ=%v), exact best %d (σ=%v)", res.Seeds[0], got, best, bestSpread)
+	}
+}
+
+func TestStaticGreedyQuality(t *testing.T) {
+	g := graph.ErdosRenyi(200, 1400, rng.New(13))
+	g.SetUniformProb(0.1)
+	res := NewStaticGreedy(g, 150, 7).Select(5)
+	if len(res.Seeds) != 5 {
+		t.Fatalf("seeds %v", res.Seeds)
+	}
+	m := diffusion.NewIC(g)
+	est := diffusion.MonteCarlo(m, res.Seeds, diffusion.MCOptions{Runs: 4000, Seed: 11})
+	deg := graph.TopKByOutDegree(g, 5)
+	estDeg := diffusion.MonteCarlo(m, deg, diffusion.MCOptions{Runs: 4000, Seed: 11})
+	if est.Spread < 0.9*estDeg.Spread {
+		t.Fatalf("StaticGreedy %v below degree %v", est.Spread, estDeg.Spread)
+	}
+}
+
+func TestStaticGreedyDeterminism(t *testing.T) {
+	g := graph.ErdosRenyi(100, 600, rng.New(17))
+	g.SetUniformProb(0.15)
+	a := NewStaticGreedy(g, 50, 21).Select(4).Seeds
+	b := NewStaticGreedy(g, 50, 21).Select(4).Seeds
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestStaticGreedyDisjointStars(t *testing.T) {
+	b := graph.NewBuilder(12)
+	for v := graph.NodeID(1); v <= 5; v++ {
+		b.AddEdgeP(0, v, 1, 1)
+	}
+	for v := graph.NodeID(7); v <= 11; v++ {
+		b.AddEdgeP(6, v, 1, 1)
+	}
+	g := b.Build()
+	res := NewStaticGreedy(g, 10, 3).Select(2)
+	got := map[graph.NodeID]bool{res.Seeds[0]: true, res.Seeds[1]: true}
+	if !got[0] || !got[6] {
+		t.Fatalf("seeds %v want both centers", res.Seeds)
+	}
+}

@@ -1,0 +1,57 @@
+// Package im defines the common contract every influence-maximization
+// seed-selection algorithm in this repository implements, together with a
+// shared result/statistics type. Keeping the interface in its own package
+// lets the paper's algorithms (internal/core), the greedy baselines
+// (internal/greedy), the RIS family (internal/ris) and the heuristics
+// (internal/heuristics) all plug into one experiment harness.
+package im
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/holisticim/holisticim/internal/graph"
+)
+
+// Result reports a seed-selection run.
+type Result struct {
+	// Algorithm is the selector's Name().
+	Algorithm string
+	// Seeds are the chosen seed nodes, in selection order.
+	Seeds []graph.NodeID
+	// Took is the total wall-clock selection time.
+	Took time.Duration
+	// PerSeed holds cumulative elapsed time after each seed was chosen
+	// (len == len(Seeds)); used by the running-time-vs-seeds figures.
+	PerSeed []time.Duration
+	// Metrics carries algorithm-specific counters, e.g. "simulations" for
+	// Monte-Carlo greedy, "rrsets" for TIM+/IMM, "paths" for SIMPATH.
+	Metrics map[string]float64
+}
+
+// AddMetric accumulates a named counter.
+func (r *Result) AddMetric(name string, delta float64) {
+	if r.Metrics == nil {
+		r.Metrics = make(map[string]float64)
+	}
+	r.Metrics[name] += delta
+}
+
+// Selector picks k seed nodes maximizing (expected) spread under some
+// model and objective. Implementations must be deterministic given their
+// configured master seed.
+type Selector interface {
+	// Name identifies the algorithm ("EaSyIM", "CELF++", "TIM+", ...).
+	Name() string
+	// Select returns k seeds. Implementations panic on k <= 0 or k greater
+	// than the number of nodes.
+	Select(k int) Result
+}
+
+// ValidateK panics unless 0 < k <= n, providing a uniform error message
+// for all selectors.
+func ValidateK(k int, n int32) {
+	if k <= 0 || int64(k) > int64(n) {
+		panic(fmt.Sprintf("im: invalid seed budget k=%d for n=%d", k, n))
+	}
+}

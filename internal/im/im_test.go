@@ -1,0 +1,28 @@
+package im
+
+import "testing"
+
+func TestAddMetric(t *testing.T) {
+	var r Result
+	r.AddMetric("x", 2)
+	r.AddMetric("x", 3)
+	r.AddMetric("y", 1)
+	if r.Metrics["x"] != 5 || r.Metrics["y"] != 1 {
+		t.Fatalf("metrics %v", r.Metrics)
+	}
+}
+
+func TestValidateK(t *testing.T) {
+	ValidateK(1, 10)  // ok
+	ValidateK(10, 10) // ok: boundary
+	for _, c := range []struct{ k, n int }{{0, 5}, {-1, 5}, {6, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("ValidateK(%d,%d) did not panic", c.k, c.n)
+				}
+			}()
+			ValidateK(c.k, int32(c.n))
+		}()
+	}
+}

@@ -1,0 +1,196 @@
+package ris
+
+import (
+	"math"
+	"testing"
+
+	"github.com/holisticim/holisticim/internal/diffusion"
+	"github.com/holisticim/holisticim/internal/graph"
+	"github.com/holisticim/holisticim/internal/rng"
+)
+
+func TestRRSetICUnbiasedSingleNode(t *testing.T) {
+	// The RIS identity: n · P[v ∈ RR] = σ({v}). Check on a graph small
+	// enough for the exact oracle.
+	g := graph.ErdosRenyi(6, 10, rng.New(3))
+	g.SetUniformProb(0.4)
+	col := NewCollection(g, ModelIC)
+	col.Generate(200000, 11)
+	for v := graph.NodeID(0); v < g.NumNodes(); v++ {
+		got := col.EstimateSpread([]graph.NodeID{v}) - 0 // includes root==v events
+		exact := diffusion.ExactICSpread(g, []graph.NodeID{v}) + 1
+		// EstimateSpread counts the seed itself when it is the root, i.e. it
+		// estimates E[|reachable|] = σ + 1.
+		if math.Abs(got-exact) > 0.15 {
+			t.Fatalf("node %d: RIS %v vs exact %v", v, got, exact)
+		}
+	}
+}
+
+func TestRRSetLTUnbiasedSingleNode(t *testing.T) {
+	g := graph.ErdosRenyi(6, 9, rng.New(7))
+	g.SetDefaultLTWeights()
+	col := NewCollection(g, ModelLT)
+	col.Generate(200000, 13)
+	for v := graph.NodeID(0); v < g.NumNodes(); v++ {
+		got := col.EstimateSpread([]graph.NodeID{v})
+		exact := diffusion.ExactLTSpread(g, []graph.NodeID{v}) + 1
+		if math.Abs(got-exact) > 0.15 {
+			t.Fatalf("node %d: RIS-LT %v vs exact %v", v, got, exact)
+		}
+	}
+}
+
+func TestRRSetDeterminism(t *testing.T) {
+	g := graph.ErdosRenyi(50, 250, rng.New(9))
+	g.SetUniformProb(0.2)
+	a := NewCollection(g, ModelIC)
+	a.Generate(100, 5)
+	b := NewCollection(g, ModelIC)
+	b.Generate(60, 5)
+	b.Generate(40, 5) // extending must replay the same streams
+	if a.Len() != b.Len() {
+		t.Fatal("length mismatch")
+	}
+	for i := range a.Sets() {
+		sa, sb := a.Sets()[i], b.Sets()[i]
+		if len(sa) != len(sb) {
+			t.Fatalf("set %d length differs", i)
+		}
+		for j := range sa {
+			if sa[j] != sb[j] {
+				t.Fatalf("set %d differs", i)
+			}
+		}
+	}
+}
+
+func TestMaxCoveragePicksHub(t *testing.T) {
+	// Star with p=1: every RR set contains the center, so coverage greedy
+	// must pick it first.
+	g := graph.Star(12, 1, 1)
+	col := NewCollection(g, ModelIC)
+	col.Generate(2000, 3)
+	seeds, frac := col.MaxCoverage(1)
+	if seeds[0] != 0 {
+		t.Fatalf("coverage picked %v, want hub 0", seeds)
+	}
+	if frac != 1 {
+		t.Fatalf("hub covers all sets, got %v", frac)
+	}
+}
+
+func TestMaxCoverageDisjointComponents(t *testing.T) {
+	b := graph.NewBuilder(10)
+	for v := graph.NodeID(1); v <= 4; v++ {
+		b.AddEdgeP(0, v, 1, 1)
+	}
+	for v := graph.NodeID(6); v <= 9; v++ {
+		b.AddEdgeP(5, v, 1, 1)
+	}
+	g := b.Build()
+	col := NewCollection(g, ModelIC)
+	col.Generate(5000, 7)
+	seeds, frac := col.MaxCoverage(2)
+	got := map[graph.NodeID]bool{seeds[0]: true, seeds[1]: true}
+	if !got[0] || !got[5] {
+		t.Fatalf("coverage seeds %v want {0,5}", seeds)
+	}
+	if frac != 1 {
+		t.Fatalf("two hubs cover everything, got %v", frac)
+	}
+}
+
+func TestTIMPlusQualityOnSmallGraph(t *testing.T) {
+	g := graph.ErdosRenyi(120, 700, rng.New(15))
+	g.SetUniformProb(0.15)
+	tp := NewTIMPlus(g, ModelIC, TIMOptions{Epsilon: 0.3, Seed: 3, ThetaCap: 200000})
+	res := tp.Select(5)
+	if len(res.Seeds) != 5 {
+		t.Fatalf("seeds %v", res.Seeds)
+	}
+	// TIM+ spread must be within 15% of exhaustive-ish CELF-free greedy
+	// proxy: compare against top-degree baseline; RIS should never lose.
+	est := diffusion.MonteCarlo(diffusion.NewIC(g), res.Seeds, diffusion.MCOptions{Runs: 5000, Seed: 9})
+	deg := graph.TopKByOutDegree(g, 5)
+	estDeg := diffusion.MonteCarlo(diffusion.NewIC(g), deg, diffusion.MCOptions{Runs: 5000, Seed: 9})
+	if est.Spread < 0.9*estDeg.Spread {
+		t.Fatalf("TIM+ spread %v below degree baseline %v", est.Spread, estDeg.Spread)
+	}
+	if res.Metrics["theta"] <= 0 || res.Metrics["rrset_bytes"] <= 0 {
+		t.Fatalf("metrics missing: %v", res.Metrics)
+	}
+}
+
+func TestTIMPlusKPTReasonable(t *testing.T) {
+	// On a star with p=1 and k=1 the optimal spread is n; KPT+ must be a
+	// positive lower bound ≤ ~OPT.
+	g := graph.Star(64, 1, 1)
+	tp := NewTIMPlus(g, ModelIC, TIMOptions{Epsilon: 0.5, Seed: 1, ThetaCap: 50000})
+	res := tp.Select(1)
+	kpt := res.Metrics["kpt_plus"]
+	if kpt <= 0 || kpt > 70 {
+		t.Fatalf("KPT+ = %v implausible for OPT≈64", kpt)
+	}
+	if res.Seeds[0] != 0 {
+		t.Fatalf("TIM+ missed the hub: %v", res.Seeds)
+	}
+}
+
+func TestIMMQualityOnSmallGraph(t *testing.T) {
+	g := graph.ErdosRenyi(120, 700, rng.New(25))
+	g.SetUniformProb(0.15)
+	sel := NewIMM(g, ModelIC, TIMOptions{Epsilon: 0.3, Seed: 5, ThetaCap: 200000})
+	res := sel.Select(5)
+	if len(res.Seeds) != 5 {
+		t.Fatalf("seeds %v", res.Seeds)
+	}
+	est := diffusion.MonteCarlo(diffusion.NewIC(g), res.Seeds, diffusion.MCOptions{Runs: 5000, Seed: 9})
+	deg := graph.TopKByOutDegree(g, 5)
+	estDeg := diffusion.MonteCarlo(diffusion.NewIC(g), deg, diffusion.MCOptions{Runs: 5000, Seed: 9})
+	if est.Spread < 0.9*estDeg.Spread {
+		t.Fatalf("IMM spread %v below degree baseline %v", est.Spread, estDeg.Spread)
+	}
+}
+
+func TestIMMUsesFewerRRSetsThanTIMPlus(t *testing.T) {
+	// IMM's reuse of sampling-phase RR sets should need no more sets than
+	// TIM+ at the same ε on the same graph (this is its headline claim).
+	g := graph.ErdosRenyi(200, 1200, rng.New(35))
+	g.SetUniformProb(0.1)
+	tp := NewTIMPlus(g, ModelIC, TIMOptions{Epsilon: 0.4, Seed: 3}).Select(5)
+	imm := NewIMM(g, ModelIC, TIMOptions{Epsilon: 0.4, Seed: 3}).Select(5)
+	if imm.Metrics["theta"] > tp.Metrics["theta"]*1.5 {
+		t.Fatalf("IMM θ=%v vs TIM+ θ=%v", imm.Metrics["theta"], tp.Metrics["theta"])
+	}
+}
+
+func TestCollectionWidth(t *testing.T) {
+	g := graph.Path(3, 1, 1) // indegrees: 0,1,1
+	col := NewCollection(g, ModelIC)
+	col.Generate(10, 1)
+	var want int64
+	for _, set := range col.Sets() {
+		for _, v := range set {
+			want += int64(g.InDegree(v))
+		}
+	}
+	if col.Width() != want {
+		t.Fatalf("width %d want %d", col.Width(), want)
+	}
+	if col.MemoryFootprint() <= 0 {
+		t.Fatal("memory footprint must be positive")
+	}
+}
+
+func TestLTWalkTerminatesOnCycles(t *testing.T) {
+	g := graph.Cycle(5, 0.5, 0.5)
+	g.SetDefaultLTWeights()
+	col := NewCollection(g, ModelLT)
+	col.Generate(1000, 9) // must not hang; each walk stops on revisit
+	for _, set := range col.Sets() {
+		if len(set) > 5 {
+			t.Fatalf("walk longer than cycle: %v", set)
+		}
+	}
+}

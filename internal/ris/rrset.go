@@ -1,0 +1,245 @@
+// Package ris implements the reverse-influence-sampling family the paper
+// benchmarks against: TIM+ (Tang, Xiao, Shi — SIGMOD'14) and its
+// successor IMM (Tang, Shi, Xiao — SIGMOD'15). Both estimate influence by
+// sampling Reverse-Reachable (RR) sets — the set of nodes that can reach
+// a uniformly random root in a random live-edge world — and reduce seed
+// selection to greedy maximum coverage over the sampled sets.
+//
+// The collection keeps every sampled set plus a full node→sets inverted
+// index, exactly like the reference implementations; this is what gives
+// the family its characteristic memory footprint (the paper's Figures 6i
+// and 6j, Table 3).
+package ris
+
+import (
+	"math"
+
+	"github.com/holisticim/holisticim/internal/graph"
+	"github.com/holisticim/holisticim/internal/rng"
+)
+
+// ModelKind selects the diffusion model whose RR-set semantics to sample.
+type ModelKind int
+
+const (
+	// ModelIC samples reverse IC/WC worlds (each in-edge live with
+	// probability p).
+	ModelIC ModelKind = iota
+	// ModelLT samples reverse LT live-edge walks (at most one live in-edge
+	// per node, chosen with probability w).
+	ModelLT
+)
+
+func (m ModelKind) String() string {
+	if m == ModelLT {
+		return "LT"
+	}
+	return "IC"
+}
+
+// Collection holds sampled RR sets and their inverted index.
+type Collection struct {
+	g    *graph.Graph
+	kind ModelKind
+
+	sets     [][]graph.NodeID // RR sets
+	nodeSets [][]int32        // node -> ids of sets containing it
+	width    int64            // Σ over sets of in-degree mass (for KPT)
+	scratch  []uint32         // visited stamps for generation
+	epoch    uint32
+	queue    []graph.NodeID
+}
+
+// NewCollection returns an empty RR-set collection over g.
+func NewCollection(g *graph.Graph, kind ModelKind) *Collection {
+	return &Collection{
+		g:        g,
+		kind:     kind,
+		nodeSets: make([][]int32, g.NumNodes()),
+		scratch:  make([]uint32, g.NumNodes()),
+	}
+}
+
+// Len returns the number of sampled sets.
+func (c *Collection) Len() int { return len(c.sets) }
+
+// Width returns the cumulative width Σ_R w(R), where w(R) counts the
+// edges of G pointing into R — the quantity TIM+'s KPT estimator needs.
+func (c *Collection) Width() int64 { return c.width }
+
+// Sets exposes the raw RR sets (read-only).
+func (c *Collection) Sets() [][]graph.NodeID { return c.sets }
+
+// MemoryFootprint approximates the bytes held by the sets and the
+// inverted index.
+func (c *Collection) MemoryFootprint() int64 {
+	var b int64
+	for _, s := range c.sets {
+		b += int64(cap(s))*4 + 24
+	}
+	for _, ns := range c.nodeSets {
+		b += int64(cap(ns))*4 + 24
+	}
+	return b
+}
+
+// Generate samples `count` additional RR sets, each rooted at a uniformly
+// random node, using streams split from (seed, startIndex+i) so the
+// collection contents are deterministic and extendable.
+func (c *Collection) Generate(count int, seed uint64) {
+	r := rng.New(0)
+	for i := 0; i < count; i++ {
+		r.Reseed(rng.SplitSeed(seed, uint64(len(c.sets))))
+		root := graph.NodeID(r.Int31n(c.g.NumNodes()))
+		c.addSet(c.sampleFrom(root, r))
+	}
+}
+
+// sampleFrom builds one RR set rooted at root.
+func (c *Collection) sampleFrom(root graph.NodeID, r *rng.RNG) []graph.NodeID {
+	c.epoch++
+	if c.epoch == 0 {
+		for i := range c.scratch {
+			c.scratch[i] = 0
+		}
+		c.epoch = 1
+	}
+	g := c.g
+	set := make([]graph.NodeID, 0, 4)
+	c.scratch[root] = c.epoch
+	set = append(set, root)
+	if c.kind == ModelIC {
+		c.queue = c.queue[:0]
+		c.queue = append(c.queue, root)
+		for head := 0; head < len(c.queue); head++ {
+			x := c.queue[head]
+			froms := g.InNeighbors(x)
+			idxs := g.InEdgeIndices(x)
+			for j, u := range froms {
+				if c.scratch[u] == c.epoch {
+					continue
+				}
+				if r.Float64() < g.ProbAt(idxs[j]) {
+					c.scratch[u] = c.epoch
+					set = append(set, u)
+					c.queue = append(c.queue, u)
+				}
+			}
+		}
+		return set
+	}
+	// LT: random walk choosing at most one live in-edge per node.
+	x := root
+	for {
+		idxs := g.InEdgeIndices(x)
+		froms := g.InNeighbors(x)
+		if len(idxs) == 0 {
+			return set
+		}
+		draw := r.Float64()
+		acc := 0.0
+		chosen := graph.NodeID(-1)
+		for j, e := range idxs {
+			acc += g.WeightAt(e)
+			if draw < acc {
+				chosen = froms[j]
+				break
+			}
+		}
+		if chosen < 0 || c.scratch[chosen] == c.epoch {
+			return set
+		}
+		c.scratch[chosen] = c.epoch
+		set = append(set, chosen)
+		x = chosen
+	}
+}
+
+func (c *Collection) addSet(set []graph.NodeID) {
+	id := int32(len(c.sets))
+	c.sets = append(c.sets, set)
+	for _, v := range set {
+		c.nodeSets[v] = append(c.nodeSets[v], id)
+		c.width += int64(c.g.InDegree(v))
+	}
+}
+
+// MaxCoverage greedily picks k nodes maximizing the number of covered RR
+// sets; returns the seeds and the covered fraction. This is the node-
+// selection phase shared by TIM+ and IMM, a (1−1/e)-approximation of
+// maximum coverage.
+func (c *Collection) MaxCoverage(k int) ([]graph.NodeID, float64) {
+	n := c.g.NumNodes()
+	counts := make([]int32, n)
+	for v := graph.NodeID(0); v < n; v++ {
+		counts[v] = int32(len(c.nodeSets[v]))
+	}
+	covered := make([]bool, len(c.sets))
+	seeds := make([]graph.NodeID, 0, k)
+	totalCovered := 0
+	for i := 0; i < k; i++ {
+		best := graph.NodeID(-1)
+		bestCount := int32(-1)
+		for v := graph.NodeID(0); v < n; v++ {
+			if counts[v] > bestCount {
+				bestCount = counts[v]
+				best = v
+			}
+		}
+		if best < 0 {
+			break
+		}
+		seeds = append(seeds, best)
+		for _, sid := range c.nodeSets[best] {
+			if covered[sid] {
+				continue
+			}
+			covered[sid] = true
+			totalCovered++
+			for _, u := range c.sets[sid] {
+				counts[u]--
+			}
+		}
+	}
+	frac := 0.0
+	if len(c.sets) > 0 {
+		frac = float64(totalCovered) / float64(len(c.sets))
+	}
+	return seeds, frac
+}
+
+// FractionCoveredBy returns the fraction of sets hit by the given seed
+// set — used by TIM+'s KPT refinement step.
+func (c *Collection) FractionCoveredBy(seeds []graph.NodeID) float64 {
+	if len(c.sets) == 0 {
+		return 0
+	}
+	inSeeds := make(map[graph.NodeID]bool, len(seeds))
+	for _, s := range seeds {
+		inSeeds[s] = true
+	}
+	hit := 0
+	for _, set := range c.sets {
+		for _, v := range set {
+			if inSeeds[v] {
+				hit++
+				break
+			}
+		}
+	}
+	return float64(hit) / float64(len(c.sets))
+}
+
+// EstimateSpread returns the standard RIS estimator n·F(S) of σ(S), where
+// F is the covered fraction. Unbiased for any fixed S.
+func (c *Collection) EstimateSpread(seeds []graph.NodeID) float64 {
+	return c.FractionCoveredBy(seeds) * float64(c.g.NumNodes())
+}
+
+// logNChooseK computes ln C(n,k) via lgamma.
+func logNChooseK(n, k float64) float64 {
+	a, _ := math.Lgamma(n + 1)
+	b, _ := math.Lgamma(k + 1)
+	cc, _ := math.Lgamma(n - k + 1)
+	return a - b - cc
+}

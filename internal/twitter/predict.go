@@ -1,0 +1,100 @@
+package twitter
+
+import (
+	"math"
+
+	"github.com/holisticim/holisticim/internal/diffusion"
+	"github.com/holisticim/holisticim/internal/graph"
+	"github.com/holisticim/holisticim/internal/rng"
+)
+
+// ModelName selects the diffusion model used to predict a topic graph's
+// opinion spread (Figures 5a-5c compare these three).
+type ModelName string
+
+const (
+	// ModelOI uses the paper's OI model with the IC first layer.
+	ModelOI ModelName = "OI"
+	// ModelOC uses the Zhang-et-al. OC baseline (LT-based).
+	ModelOC ModelName = "OC"
+	// ModelIC uses plain IC activation and scores the *static* estimated
+	// opinions of activated users (the opinion-oblivious prediction).
+	ModelIC ModelName = "IC"
+)
+
+// PredictOpinionSpread replays the diffusion from the topic graph's real
+// originator seeds under the chosen model (using whatever parameters are
+// currently on tg.Graph — run EstimateParameters first) and returns the
+// expected opinion spread over `runs` simulations.
+func PredictOpinionSpread(tg *TopicGraph, model ModelName, runs int, seed uint64) float64 {
+	if runs <= 0 {
+		runs = 1000
+	}
+	g := tg.Graph
+	switch model {
+	case ModelOI:
+		est := diffusion.MonteCarlo(diffusion.NewOI(g, diffusion.LayerIC), tg.Seeds,
+			diffusion.MCOptions{Runs: runs, Seed: seed})
+		return est.OpinionSpread
+	case ModelOC:
+		est := diffusion.MonteCarlo(diffusion.NewOC(g), tg.Seeds,
+			diffusion.MCOptions{Runs: runs, Seed: seed})
+		return est.OpinionSpread
+	case ModelIC:
+		// Activation by IC; each activated non-seed contributes its static
+		// estimated opinion (no second layer).
+		m := diffusion.NewIC(g)
+		s := diffusion.NewScratch(g.NumNodes())
+		isSeed := make(map[graph.NodeID]bool, len(tg.Seeds))
+		for _, v := range tg.Seeds {
+			isSeed[v] = true
+		}
+		r := rng.New(0)
+		total := 0.0
+		for i := 0; i < runs; i++ {
+			r.Reseed(rng.SplitSeed(seed, uint64(i)))
+			m.Simulate(tg.Seeds, r, s)
+			for _, v := range s.Activated() {
+				if !isSeed[v] {
+					total += g.Opinion(v)
+				}
+			}
+		}
+		return total / float64(runs)
+	default:
+		panic("twitter: unknown prediction model " + string(model))
+	}
+}
+
+// NRMSE returns the normalized root-mean-square error (in %) between
+// model predictions and ground truths, normalized by the ground-truth
+// range (falling back to the mean magnitude when the range degenerates).
+func NRMSE(preds, truths []float64) float64 {
+	if len(preds) != len(truths) || len(preds) == 0 {
+		panic("twitter: NRMSE needs equal-length non-empty slices")
+	}
+	var se, lo, hi float64
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for i := range preds {
+		d := preds[i] - truths[i]
+		se += d * d
+		if truths[i] < lo {
+			lo = truths[i]
+		}
+		if truths[i] > hi {
+			hi = truths[i]
+		}
+	}
+	rmse := math.Sqrt(se / float64(len(preds)))
+	norm := hi - lo
+	if norm == 0 {
+		for _, tr := range truths {
+			norm += math.Abs(tr)
+		}
+		norm /= float64(len(truths))
+	}
+	if norm == 0 {
+		norm = 1
+	}
+	return 100 * rmse / norm
+}
