@@ -112,7 +112,7 @@ func main() {
 
 	est := holisticim.EstimateSpread(g, res.Seeds, opts)
 	fmt.Printf("spread σ(S)            : %.2f (over %d runs)\n", est.Spread, est.Runs)
-	if *opinions != "" || *model == "oi-ic" || *model == "oi-lt" || *model == "oc" {
+	if *opinions != "" || holisticim.ModelKind(*model).OpinionAware() {
 		oest := holisticim.EstimateOpinionSpread(g, res.Seeds, opts)
 		fmt.Printf("opinion spread σ_o(S)  : %.3f\n", oest.OpinionSpread)
 		fmt.Printf("effective spread (λ=%g): %.3f\n", *lambda, oest.EffectiveOpinionSpread(*lambda))

@@ -1,0 +1,127 @@
+// Command imserver serves influence-maximization as a long-lived HTTP
+// service: graphs are loaded (or generated) once into an immutable
+// registry, seed selections run as asynchronous jobs on a bounded worker
+// pool with single-flight deduplication, and completed selections are
+// answered from an LRU cache keyed by a canonical request fingerprint.
+//
+// Usage:
+//
+//	imserver -addr :8080 -demo 5000
+//	imserver -load soc=soc.txt -load hep=nethept.bin -workers 4
+//
+// Flags:
+//
+//	-addr string        listen address (default ":8080")
+//	-workers int        concurrent selection jobs (default 2)
+//	-queue int          queued-job capacity before 503 (default 64)
+//	-cache int          LRU result-cache entries (default 256)
+//	-max-jobs int       retained job records (default 1024)
+//	-load name=path     preload a graph file (repeatable; edge-list or binary)
+//	-demo n             preload "demo": a BA graph with n nodes, p=0.1,
+//	                    normal opinions and random interactions (0 = off)
+//	-allow-path-load    let POST /v1/graphs read server-local files
+//
+// Endpoints:
+//
+//	GET  /healthz            liveness
+//	GET  /v1/stats           serving counters (cache hits, jobs, ...)
+//	GET  /v1/graphs          registered graphs
+//	POST /v1/graphs          register a graph (generator spec or path)
+//	GET  /v1/graphs/{name}   graph statistics
+//	POST /v1/select          async seed selection -> job id | cached result
+//	GET  /v1/jobs/{id}       job status / result
+//	POST /v1/estimate        synchronous Monte-Carlo spread estimate
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/holisticim/holisticim"
+	"github.com/holisticim/holisticim/internal/service"
+)
+
+func main() {
+	var loads []string
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 2, "concurrent selection jobs")
+		queueCap  = flag.Int("queue", 64, "queued-job capacity before 503")
+		cacheSize = flag.Int("cache", 256, "LRU result-cache entries")
+		maxJobs   = flag.Int("max-jobs", 1024, "retained job records")
+		demo      = flag.Int("demo", 0, "preload a demo BA graph with this many nodes (0 = off)")
+		allowPath = flag.Bool("allow-path-load", false, "let POST /v1/graphs read server-local files")
+	)
+	flag.Func("load", "preload a graph as name=path (repeatable)", func(v string) error {
+		if !strings.Contains(v, "=") {
+			return fmt.Errorf("want name=path, got %q", v)
+		}
+		loads = append(loads, v)
+		return nil
+	})
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		Workers:       *workers,
+		QueueCap:      *queueCap,
+		CacheSize:     *cacheSize,
+		MaxJobs:       *maxJobs,
+		AllowPathLoad: *allowPath,
+	})
+	defer srv.Close()
+
+	for _, l := range loads {
+		name, path, _ := strings.Cut(l, "=")
+		if err := srv.Registry().LoadFile(name, path); err != nil {
+			log.Fatalf("imserver: %v", err)
+		}
+		log.Printf("loaded graph %q from %s", name, path)
+	}
+	if *demo > 0 {
+		g := holisticim.GenerateBA(int32(*demo), 3, 1)
+		g.SetUniformProb(0.1)
+		holisticim.AssignOpinions(g, holisticim.OpinionNormal, 2)
+		holisticim.AssignInteractions(g, 3)
+		if err := srv.Registry().Add("demo", g, "generated:ba"); err != nil {
+			log.Fatalf("imserver: %v", err)
+		}
+		log.Printf("registered demo BA graph: %d nodes, %d arcs", g.NumNodes(), g.NumEdges())
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		// Unregister so a second signal force-kills instead of being
+		// swallowed while we drain in-flight selections.
+		cancel()
+		log.Print("shutting down (press again to force)")
+		shutCtx, shutCancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer shutCancel()
+		_ = httpSrv.Shutdown(shutCtx)
+	}()
+
+	log.Printf("imserver listening on %s (%d graphs, %d workers)", *addr, srv.Registry().Len(), *workers)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("imserver: %v", err)
+	}
+	// ListenAndServe returns as soon as the listener closes; wait for
+	// Shutdown to finish draining in-flight requests before exiting.
+	<-drained
+}

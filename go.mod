@@ -1,0 +1,3 @@
+module github.com/holisticim/holisticim
+
+go 1.22

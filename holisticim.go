@@ -151,6 +151,13 @@ func NewModel(g *Graph, kind ModelKind) (Model, error) {
 	}
 }
 
+// OpinionAware reports whether the model tracks per-node opinions (the
+// OI variants and the OC baseline), i.e. whether opinion-spread
+// estimates under it are meaningful.
+func (k ModelKind) OpinionAware() bool {
+	return k == ModelOIIC || k == ModelOILT || k == ModelOC
+}
+
 // Algorithm names a seed-selection algorithm.
 type Algorithm string
 
@@ -220,6 +227,32 @@ func (o Options) withDefaults(opinionAware bool) Options {
 	return o
 }
 
+// Resolved returns the options with every default filled in, exactly as
+// SelectSeeds and the estimators will use them. opinionAware selects the
+// default model family (OI over IC for opinion-aware algorithms, plain IC
+// otherwise). Serving layers use this to validate effective values — e.g.
+// the Monte-Carlo budget a request will actually spend.
+func (o Options) Resolved(opinionAware bool) Options { return o.withDefaults(opinionAware) }
+
+// opinionAware reports whether alg optimizes the opinion-aware MEO
+// objective (and therefore defaults to an OI model).
+func opinionAware(alg Algorithm) bool {
+	return alg == AlgOSIM || alg == AlgModifiedGreedy
+}
+
+// Fingerprint returns a canonical string identifying the selection a
+// (alg, k, Options) triple would perform: defaults are resolved first, so
+// a zero Options and an Options spelling out the paper defaults map to the
+// same fingerprint, and fields that cannot change the result (Workers —
+// the estimators are deterministic per run regardless of parallelism) are
+// excluded. Serving layers use this as a cache/deduplication key; it is
+// stable across processes but not across releases.
+func (o Options) Fingerprint(alg Algorithm, k int) string {
+	c := o.withDefaults(opinionAware(alg))
+	return fmt.Sprintf("alg=%s;k=%d;model=%s;l=%d;lambda=%g;eps=%g;mc=%d;seed=%d;thetacap=%d",
+		alg, k, c.Model, c.PathLength, c.Lambda, c.Epsilon, c.MCRuns, c.Seed, c.TIMThetaCap)
+}
+
 // SelectSeeds picks k seed nodes with the chosen algorithm. It returns an
 // error (rather than panicking) for invalid configuration at this public
 // boundary.
@@ -230,8 +263,7 @@ func SelectSeeds(g *Graph, k int, alg Algorithm, opts Options) (Result, error) {
 	if k <= 0 || int64(k) > int64(g.NumNodes()) {
 		return Result{}, fmt.Errorf("holisticim: invalid k=%d for n=%d", k, g.NumNodes())
 	}
-	opinionAware := alg == AlgOSIM || alg == AlgModifiedGreedy
-	o := opts.withDefaults(opinionAware)
+	o := opts.withDefaults(opinionAware(alg))
 
 	model, err := NewModel(g, o.Model)
 	if err != nil {
@@ -262,6 +294,9 @@ func SelectSeeds(g *Graph, k int, alg Algorithm, opts Options) (Result, error) {
 		sel = greedy.NewModifiedGreedy(greedy.NewEffectiveOpinionObjective(model, o.Lambda, o.MCRuns, o.Seed))
 	case AlgStaticGreedy:
 		snapshots := o.MCRuns / 50
+		if snapshots < 1 {
+			snapshots = 1
+		}
 		sel = greedy.NewStaticGreedy(g, snapshots, o.Seed)
 	case AlgTIMPlus:
 		sel = ris.NewTIMPlus(g, risKind, ris.TIMOptions{Epsilon: o.Epsilon, Seed: o.Seed, ThetaCap: o.TIMThetaCap})
@@ -274,9 +309,9 @@ func SelectSeeds(g *Graph, k int, alg Algorithm, opts Options) (Result, error) {
 	case AlgDegree:
 		sel = heuristics.NewDegree(g)
 	case AlgDegreeDiscount:
-		p := 0.1
-		if ps := g.OutProbs(0); len(ps) > 0 {
-			p = ps[0]
+		p := graph.MeanEdgeProb(g)
+		if p == 0 {
+			p = 0.1
 		}
 		sel = heuristics.NewDegreeDiscount(g, p)
 	case AlgPageRank:

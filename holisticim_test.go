@@ -47,6 +47,76 @@ func TestSelectSeedsAllAlgorithms(t *testing.T) {
 	}
 }
 
+func TestStaticGreedySmallMCRuns(t *testing.T) {
+	// Regression: MCRuns < 50 used to truncate the snapshot count to 0,
+	// which NewStaticGreedy silently replaced with its 200-snapshot
+	// default — 4x+ the Monte-Carlo budget the caller asked for. The
+	// count is now clamped to a minimum of one snapshot so tiny budgets
+	// stay tiny.
+	g := testGraph()
+	for _, runs := range []int{1, 10, 49} {
+		res, err := SelectSeeds(g, 3, AlgStaticGreedy, Options{MCRuns: runs, Seed: 5})
+		if err != nil {
+			t.Fatalf("MCRuns=%d: %v", runs, err)
+		}
+		if len(res.Seeds) != 3 {
+			t.Fatalf("MCRuns=%d: got %d seeds", runs, len(res.Seeds))
+		}
+	}
+}
+
+func TestDegreeDiscountHeterogeneousProbs(t *testing.T) {
+	// Regression: DegreeDiscount used to read node 0's first out-edge
+	// probability as the global p, which is arbitrary on heterogeneous
+	// graphs. It now uses the mean edge probability, so an outlier first
+	// edge must not change the selection.
+	g1 := GenerateBA(400, 3, 1)
+	g1.SetUniformProb(0.1)
+	g2 := g1.Clone()
+	// Poison exactly node 0's first out-edge in g2.
+	g2.SetEdgeParamsFunc(func(u, v NodeID) (float64, float64) {
+		if u == 0 && v == g2.OutNeighbors(0)[0] {
+			return 0.99, 0
+		}
+		return 0.1, 0
+	})
+	r1, err := SelectSeeds(g1, 5, AlgDegreeDiscount, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := SelectSeeds(g2, 5, AlgDegreeDiscount, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Seeds {
+		if r1.Seeds[i] != r2.Seeds[i] {
+			t.Fatalf("one outlier edge changed the selection: %v vs %v", r1.Seeds, r2.Seeds)
+		}
+	}
+}
+
+func TestOptionsFingerprint(t *testing.T) {
+	zero := Options{}.Fingerprint(AlgEaSyIM, 10)
+	explicit := Options{
+		Model: ModelIC, PathLength: 3, Lambda: 1, Epsilon: 0.1, MCRuns: 10000, Seed: 1,
+	}.Fingerprint(AlgEaSyIM, 10)
+	if zero != explicit {
+		t.Fatalf("defaults not canonicalized: %q vs %q", zero, explicit)
+	}
+	if (Options{Workers: 4}).Fingerprint(AlgEaSyIM, 10) != zero {
+		t.Fatal("Workers leaked into the fingerprint")
+	}
+	if (Options{}).Fingerprint(AlgOSIM, 10) == zero {
+		t.Fatal("algorithm (and its default model) must separate fingerprints")
+	}
+	if (Options{Seed: 2}).Fingerprint(AlgEaSyIM, 10) == zero {
+		t.Fatal("seed must separate fingerprints")
+	}
+	if (Options{}).Fingerprint(AlgEaSyIM, 11) == zero {
+		t.Fatal("k must separate fingerprints")
+	}
+}
+
 func TestSelectSeedsErrors(t *testing.T) {
 	g := testGraph()
 	if _, err := SelectSeeds(nil, 1, AlgEaSyIM, Options{}); err == nil {

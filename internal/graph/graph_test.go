@@ -313,3 +313,16 @@ func TestExampleFigure1Params(t *testing.T) {
 		t.Fatalf("o(D)=%v", g.Opinion(3))
 	}
 }
+
+func TestMeanEdgeProb(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdgeP(0, 1, 0.2, 0)
+	b.AddEdgeP(1, 2, 0.4, 0)
+	g := b.Build()
+	if got := MeanEdgeProb(g); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("MeanEdgeProb = %v, want 0.3", got)
+	}
+	if got := MeanEdgeProb(NewBuilder(2).Build()); got != 0 {
+		t.Fatalf("edgeless MeanEdgeProb = %v, want 0", got)
+	}
+}

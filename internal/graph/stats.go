@@ -76,6 +76,21 @@ func ComputeStats(g *Graph, samples int, seed uint64) Stats {
 	return st
 }
 
+// MeanEdgeProb returns the average influence probability p(u,v) over all
+// arcs, or 0 for an edgeless graph. DegreeDiscount and similar heuristics
+// that assume a single global p use this as the representative value on
+// heterogeneous graphs.
+func MeanEdgeProb(g *Graph) float64 {
+	if len(g.outProb) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range g.outProb {
+		sum += p
+	}
+	return sum / float64(len(g.outProb))
+}
+
 // BFSDistances returns the hop distance from src to every node (-1 when
 // unreachable), following out-edges.
 func BFSDistances(g *Graph, src NodeID) []int32 {

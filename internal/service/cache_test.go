@@ -1,0 +1,120 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/holisticim/holisticim"
+)
+
+func TestCacheHitAndMiss(t *testing.T) {
+	c := NewCache(4)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	want := &SelectResult{Algorithm: "stub", Seeds: []int32{1, 2}}
+	c.Add("a", want)
+	got, ok := c.Get("a")
+	if !ok || got != want {
+		t.Fatalf("Get(a) = %v, %v", got, ok)
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", c.Hits(), c.Misses())
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	c := NewCache(2)
+	c.Add("a", &SelectResult{})
+	c.Add("b", &SelectResult{})
+	c.Get("a") // a becomes most recently used
+	c.Add("c", &SelectResult{})
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted as LRU")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a should have survived (recently used)")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c should be present")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", c.Len())
+	}
+}
+
+func TestCacheRefreshExistingKey(t *testing.T) {
+	c := NewCache(2)
+	c.Add("a", &SelectResult{Algorithm: "v1"})
+	c.Add("a", &SelectResult{Algorithm: "v2"})
+	if c.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1", c.Len())
+	}
+	got, _ := c.Get("a")
+	if got.Algorithm != "v2" {
+		t.Fatalf("refresh kept old value %q", got.Algorithm)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(0)
+	c.Add("a", &SelectResult{})
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("capacity-0 cache should never hit")
+	}
+}
+
+// TestFingerprintStability pins the canonicalization contract the cache
+// key depends on: defaults resolve before hashing, irrelevant fields are
+// excluded, and every relevant field separates keys.
+func TestFingerprintStability(t *testing.T) {
+	zero := SelectRequest{Graph: "g", Algorithm: "easyim", K: 10}
+	explicit := SelectRequest{Graph: "g", Algorithm: "easyim", K: 10, Options: Options{
+		Model: "ic", PathLength: 3, Lambda: 1, Epsilon: 0.1, MCRuns: 10000, Seed: 1,
+	}}
+	if zero.fingerprint() != explicit.fingerprint() {
+		t.Fatalf("zero options %q != explicit defaults %q", zero.fingerprint(), explicit.fingerprint())
+	}
+	workers := explicit
+	workers.Options.Workers = 8
+	if workers.fingerprint() != explicit.fingerprint() {
+		t.Fatal("Workers must not affect the fingerprint")
+	}
+	// Opinion-aware algorithms default to the OI model, so the same zero
+	// Options must fingerprint differently under osim.
+	osim := SelectRequest{Graph: "g", Algorithm: "osim", K: 10}
+	if osim.fingerprint() == zero.fingerprint() {
+		t.Fatal("algorithm must separate fingerprints")
+	}
+	variants := []SelectRequest{
+		{Graph: "h", Algorithm: "easyim", K: 10},
+		{Graph: "g", Algorithm: "easyim", K: 11},
+		{Graph: "g", Algorithm: "easyim", K: 10, Options: Options{Seed: 2}},
+		{Graph: "g", Algorithm: "easyim", K: 10, Options: Options{MCRuns: 500}},
+		{Graph: "g", Algorithm: "easyim", K: 10, Options: Options{Model: "lt"}},
+		{Graph: "g", Algorithm: "easyim", K: 10, Options: Options{PathLength: 4}},
+	}
+	seen := map[string]int{zero.fingerprint(): -1}
+	for i, v := range variants {
+		fp := v.fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Fatalf("variant %d collides with %d: %q", i, prev, fp)
+		}
+		seen[fp] = i
+	}
+}
+
+// TestFingerprintMatchesLibrary ensures the service DTO and the library
+// Options produce identical canonical strings, so out-of-process callers
+// can precompute keys with the public API.
+func TestFingerprintMatchesLibrary(t *testing.T) {
+	o := Options{Model: "oi-ic", Lambda: 2, MCRuns: 300, Seed: 9}
+	libFP := holisticim.Options{
+		Model: "oi-ic", Lambda: 2, MCRuns: 300, Seed: 9,
+	}.Fingerprint(holisticim.AlgOSIM, 5)
+	req := SelectRequest{Graph: "g", Algorithm: "osim", K: 5, Options: o}
+	want := fmt.Sprintf("graph=g;%s", libFP)
+	if req.fingerprint() != want {
+		t.Fatalf("fingerprint %q != %q", req.fingerprint(), want)
+	}
+}

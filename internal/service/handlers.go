@@ -1,0 +1,215 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/holisticim/holisticim"
+)
+
+const maxBodyBytes = 1 << 20 // JSON request bodies are tiny; cap at 1 MiB
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"graphs": s.reg.List()})
+}
+
+func (s *Server) handleAddGraph(w http.ResponseWriter, r *http.Request) {
+	var spec GraphSpec
+	if !decodeJSON(w, r, &spec) {
+		return
+	}
+	if spec.Nodes > s.cfg.MaxGraphNodes || spec.effectiveArcs() > s.cfg.MaxGraphArcs {
+		writeError(w, http.StatusBadRequest,
+			"graph too large: max %d nodes / %d arcs", s.cfg.MaxGraphNodes, s.cfg.MaxGraphArcs)
+		return
+	}
+	if err := s.reg.Build(spec, s.cfg.AllowPathLoad); err != nil {
+		switch {
+		case errors.Is(err, ErrGraphExists):
+			writeError(w, http.StatusConflict, "%v", err)
+		case errors.Is(err, ErrRegistryFull):
+			writeError(w, http.StatusTooManyRequests, "%v; names cannot be rebound", err)
+		case errors.Is(err, ErrPathLoadDisabled):
+			writeError(w, http.StatusForbidden, "%v", err)
+		default:
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	info, err := s.reg.Info(spec.Name)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleGraphStats(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	st, err := s.reg.Stats(name, s.cfg.StatsSamples, 1)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	var req SelectRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	alg := holisticim.Algorithm(req.Algorithm)
+	if !knownAlgorithms[alg] {
+		writeError(w, http.StatusBadRequest, "unknown algorithm %q", req.Algorithm)
+		return
+	}
+	g, err := s.reg.Get(req.Graph)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	if req.K <= 0 || int64(req.K) > int64(g.NumNodes()) {
+		writeError(w, http.StatusBadRequest, "invalid k=%d for graph with %d nodes", req.K, g.NumNodes())
+		return
+	}
+	if req.Options.Model != "" {
+		if _, err := holisticim.NewModel(g, holisticim.ModelKind(req.Options.Model)); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	// Validate the defaults-resolved budget, not the raw field: omitted
+	// mc_runs resolves to the paper's 10000, which must still fit.
+	if runs := req.Options.toLib().Resolved(false).MCRuns; runs > s.cfg.MaxSelectRuns {
+		writeError(w, http.StatusBadRequest,
+			"mc_runs %d exceeds the selection cap %d", runs, s.cfg.MaxSelectRuns)
+		return
+	}
+
+	key := req.fingerprint()
+	if res, ok := s.cache.Get(key); ok {
+		writeJSON(w, http.StatusOK, SelectResponse{State: StateDone, Cached: true, Result: res})
+		return
+	}
+
+	opts := req.Options.toLib()
+	k := req.K
+	job, created, err := s.jobs.Submit(key, func() (*SelectResult, error) {
+		res, err := s.selectFn(g, k, alg, opts)
+		if err != nil {
+			return nil, err
+		}
+		s.selections.Add(1)
+		sr := toSelectResult(res)
+		s.cache.Add(key, sr)
+		return sr, nil
+	})
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	resp := job.Status()
+	resp.Deduped = !created
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.jobs.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	var req EstimateRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	g, err := s.reg.Get(req.Graph)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	if len(req.Seeds) == 0 {
+		writeError(w, http.StatusBadRequest, "empty seed set")
+		return
+	}
+	for _, v := range req.Seeds {
+		if v < 0 || v >= g.NumNodes() {
+			writeError(w, http.StatusBadRequest, "seed %d out of range [0,%d)", v, g.NumNodes())
+			return
+		}
+	}
+	opts := req.Options.toLib()
+	model := holisticim.ModelKind(req.Options.Model)
+	if req.Options.Model != "" {
+		if _, err := holisticim.NewModel(g, model); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	// Validate the defaults-resolved budget, not the raw field: omitted
+	// mc_runs resolves to the paper's 10000, which must still fit.
+	if runs := opts.Resolved(model.OpinionAware()).MCRuns; runs > s.cfg.MaxEstimateRuns {
+		writeError(w, http.StatusBadRequest,
+			"mc_runs %d exceeds the synchronous estimate cap %d", runs, s.cfg.MaxEstimateRuns)
+		return
+	}
+
+	start := time.Now()
+	var est holisticim.Estimate
+	if model.OpinionAware() {
+		est = holisticim.EstimateOpinionSpread(g, req.Seeds, opts)
+	} else {
+		est = holisticim.EstimateSpread(g, req.Seeds, opts)
+	}
+	lambda := req.Options.Lambda
+	if lambda == 0 {
+		lambda = 1
+	}
+	writeJSON(w, http.StatusOK, EstimateResult{
+		Runs:                   est.Runs,
+		Spread:                 est.Spread,
+		OpinionSpread:          est.OpinionSpread,
+		PositiveSpread:         est.PositiveSpread,
+		NegativeSpread:         est.NegativeSpread,
+		EffectiveOpinionSpread: est.EffectiveOpinionSpread(lambda),
+		Lambda:                 lambda,
+		TookMS:                 float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}

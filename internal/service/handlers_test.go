@@ -1,0 +1,463 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/holisticim/holisticim"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	g := holisticim.GenerateBA(300, 3, 1)
+	g.SetUniformProb(0.1)
+	holisticim.AssignOpinions(g, holisticim.OpinionNormal, 2)
+	holisticim.AssignInteractions(g, 3)
+	if err := s.reg.Add("g", g, "test"); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func doJSON(t *testing.T, method, url string, body any, out any) int {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decode: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func pollJob(t *testing.T, base, id string) SelectResponse {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var st SelectResponse
+		if code := doJSON(t, "GET", base+"/v1/jobs/"+id, nil, &st); code != http.StatusOK {
+			t.Fatalf("GET job %s: status %d", id, code)
+		}
+		if st.State == StateDone || st.State == StateFailed {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in state %s", id, st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var out map[string]string
+	if code := doJSON(t, "GET", ts.URL+"/healthz", nil, &out); code != http.StatusOK {
+		t.Fatalf("healthz status %d", code)
+	}
+	if out["status"] != "ok" {
+		t.Fatalf("healthz body %v", out)
+	}
+}
+
+// TestSelectEndToEnd drives the full async flow and then proves the cache
+// answers the identical repeat request without a second computation.
+func TestSelectEndToEnd(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	req := SelectRequest{Graph: "g", Algorithm: "degree", K: 5}
+
+	var first SelectResponse
+	if code := doJSON(t, "POST", ts.URL+"/v1/select", req, &first); code != http.StatusAccepted {
+		t.Fatalf("POST select status %d (%+v)", code, first)
+	}
+	if first.JobID == "" || first.Cached {
+		t.Fatalf("first response should be an uncached job: %+v", first)
+	}
+	done := pollJob(t, ts.URL, first.JobID)
+	if done.State != StateDone || done.Result == nil || len(done.Result.Seeds) != 5 {
+		t.Fatalf("job result %+v", done)
+	}
+	if got := s.SelectionsRun(); got != 1 {
+		t.Fatalf("SelectionsRun = %d after first request", got)
+	}
+
+	// The identical request must come back synchronously from the cache
+	// and must not run a new selection.
+	var second SelectResponse
+	if code := doJSON(t, "POST", ts.URL+"/v1/select", req, &second); code != http.StatusOK {
+		t.Fatalf("repeat POST select status %d", code)
+	}
+	if !second.Cached || second.State != StateDone || second.Result == nil {
+		t.Fatalf("repeat response not served from cache: %+v", second)
+	}
+	if fmt.Sprint(second.Result.Seeds) != fmt.Sprint(done.Result.Seeds) {
+		t.Fatalf("cached seeds %v != computed %v", second.Result.Seeds, done.Result.Seeds)
+	}
+	if got := s.SelectionsRun(); got != 1 {
+		t.Fatalf("SelectionsRun = %d, want still 1: cache hit must not recompute", got)
+	}
+
+	// Same parameters spelled out explicitly hit the same cache entry.
+	explicit := req
+	explicit.Options = Options{Model: "ic", PathLength: 3, Lambda: 1, Epsilon: 0.1, MCRuns: 10000, Seed: 1}
+	var third SelectResponse
+	if code := doJSON(t, "POST", ts.URL+"/v1/select", explicit, &third); code != http.StatusOK || !third.Cached {
+		t.Fatalf("canonicalized request missed the cache: status %d %+v", code, third)
+	}
+
+	var stats ServerStats
+	if code := doJSON(t, "GET", ts.URL+"/v1/stats", nil, &stats); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if stats.CacheHits < 2 || stats.SelectionsRun != 1 || stats.JobsSubmitted != 1 {
+		t.Fatalf("stats %+v", stats)
+	}
+}
+
+// TestSelectInflightDedup proves that identical requests racing an
+// unfinished job attach to it instead of spawning a second computation.
+func TestSelectInflightDedup(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+	release := make(chan struct{})
+	var calls atomic.Int64
+	s.selectFn = func(g *holisticim.Graph, k int, alg holisticim.Algorithm, o holisticim.Options) (holisticim.Result, error) {
+		calls.Add(1)
+		<-release
+		return holisticim.Result{Algorithm: "stub", Seeds: make([]int32, k)}, nil
+	}
+
+	req := SelectRequest{Graph: "g", Algorithm: "degree", K: 3}
+	var first SelectResponse
+	if code := doJSON(t, "POST", ts.URL+"/v1/select", req, &first); code != http.StatusAccepted {
+		t.Fatalf("first POST status %d", code)
+	}
+	if first.Deduped {
+		t.Fatalf("first request cannot be deduped: %+v", first)
+	}
+
+	// Wait until the stub is actually running, then race a duplicate.
+	deadline := time.Now().Add(5 * time.Second)
+	for calls.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("selection never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var second SelectResponse
+	if code := doJSON(t, "POST", ts.URL+"/v1/select", req, &second); code != http.StatusAccepted {
+		t.Fatalf("duplicate POST status %d", code)
+	}
+	if !second.Deduped || second.JobID != first.JobID {
+		t.Fatalf("duplicate should share job %s: %+v", first.JobID, second)
+	}
+
+	close(release)
+	done := pollJob(t, ts.URL, first.JobID)
+	if done.State != StateDone || len(done.Result.Seeds) != 3 {
+		t.Fatalf("job result %+v", done)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("underlying selection ran %d times, want 1", got)
+	}
+}
+
+func TestSelectValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		body any
+		want int
+	}{
+		{"unknown graph", SelectRequest{Graph: "nope", Algorithm: "degree", K: 3}, http.StatusNotFound},
+		{"unknown algorithm", SelectRequest{Graph: "g", Algorithm: "quantum", K: 3}, http.StatusBadRequest},
+		{"zero k", SelectRequest{Graph: "g", Algorithm: "degree", K: 0}, http.StatusBadRequest},
+		{"k too large", SelectRequest{Graph: "g", Algorithm: "degree", K: 301}, http.StatusBadRequest},
+		{"bad model", SelectRequest{Graph: "g", Algorithm: "degree", K: 3, Options: Options{Model: "warp"}}, http.StatusBadRequest},
+		{"runs over cap", SelectRequest{Graph: "g", Algorithm: "greedy", K: 3, Options: Options{MCRuns: 2_000_000}}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		var out map[string]any
+		if code := doJSON(t, "POST", ts.URL+"/v1/select", tc.body, &out); code != tc.want {
+			t.Errorf("%s: status %d, want %d (%v)", tc.name, code, tc.want, out)
+		} else if out["error"] == "" {
+			t.Errorf("%s: missing error message", tc.name)
+		}
+	}
+	// Malformed and unknown-field JSON.
+	resp, err := http.Post(ts.URL+"/v1/select", "application/json", bytes.NewReader([]byte(`{"graph": "g",`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: status %d", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/v1/select", "application/json", bytes.NewReader([]byte(`{"grapf": "g"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: status %d", resp.StatusCode)
+	}
+	// Unknown job id.
+	var out map[string]any
+	if code := doJSON(t, "GET", ts.URL+"/v1/jobs/zzz", nil, &out); code != http.StatusNotFound {
+		t.Fatalf("unknown job: status %d", code)
+	}
+}
+
+func TestSelectQueueFull(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueCap: 1})
+	release := make(chan struct{})
+	defer close(release)
+	var started atomic.Int64
+	s.selectFn = func(g *holisticim.Graph, k int, alg holisticim.Algorithm, o holisticim.Options) (holisticim.Result, error) {
+		started.Add(1)
+		<-release
+		return holisticim.Result{Seeds: make([]int32, k)}, nil
+	}
+	post := func(seed uint64) int {
+		var out SelectResponse
+		return doJSON(t, "POST", ts.URL+"/v1/select",
+			SelectRequest{Graph: "g", Algorithm: "degree", K: 2, Options: Options{Seed: seed}}, &out)
+	}
+	if code := post(1); code != http.StatusAccepted {
+		t.Fatalf("first POST: %d", code)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for started.Load() == 0 { // worker busy => next job will sit in the queue
+		if time.Now().After(deadline) {
+			t.Fatal("first selection never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if code := post(2); code != http.StatusAccepted {
+		t.Fatalf("second POST: %d", code)
+	}
+	if code := post(3); code != http.StatusServiceUnavailable {
+		t.Fatalf("third POST: %d, want 503", code)
+	}
+}
+
+func TestEstimateEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := EstimateRequest{Graph: "g", Seeds: []int32{0, 1, 2}, Options: Options{MCRuns: 200, Seed: 4}}
+	var est EstimateResult
+	if code := doJSON(t, "POST", ts.URL+"/v1/estimate", req, &est); code != http.StatusOK {
+		t.Fatalf("estimate status %d", code)
+	}
+	if est.Runs != 200 || est.Spread <= 0 {
+		t.Fatalf("estimate %+v", est)
+	}
+
+	// Opinion-aware model populates the opinion decomposition and the
+	// effective spread identity must hold at the requested λ.
+	oreq := EstimateRequest{Graph: "g", Seeds: []int32{0, 1, 2},
+		Options: Options{Model: "oi-ic", MCRuns: 200, Seed: 4, Lambda: 2}}
+	var oest EstimateResult
+	if code := doJSON(t, "POST", ts.URL+"/v1/estimate", oreq, &oest); code != http.StatusOK {
+		t.Fatalf("opinion estimate status %d", code)
+	}
+	if oest.Lambda != 2 {
+		t.Fatalf("lambda %v, want 2", oest.Lambda)
+	}
+	want := oest.PositiveSpread - 2*oest.NegativeSpread
+	if diff := oest.EffectiveOpinionSpread - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("effective spread %v != P - λN = %v", oest.EffectiveOpinionSpread, want)
+	}
+
+	bad := []struct {
+		name string
+		body EstimateRequest
+		want int
+	}{
+		{"unknown graph", EstimateRequest{Graph: "nope", Seeds: []int32{0}}, http.StatusNotFound},
+		{"empty seeds", EstimateRequest{Graph: "g"}, http.StatusBadRequest},
+		{"seed out of range", EstimateRequest{Graph: "g", Seeds: []int32{999}}, http.StatusBadRequest},
+		{"negative seed", EstimateRequest{Graph: "g", Seeds: []int32{-1}}, http.StatusBadRequest},
+		{"bad model", EstimateRequest{Graph: "g", Seeds: []int32{0}, Options: Options{Model: "warp"}}, http.StatusBadRequest},
+		{"runs over cap", EstimateRequest{Graph: "g", Seeds: []int32{0}, Options: Options{MCRuns: 2_000_000_000}}, http.StatusBadRequest},
+	}
+	for _, tc := range bad {
+		var out map[string]any
+		if code := doJSON(t, "POST", ts.URL+"/v1/estimate", tc.body, &out); code != tc.want {
+			t.Errorf("%s: status %d, want %d (%v)", tc.name, code, tc.want, out)
+		}
+	}
+}
+
+func TestGraphEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var list struct {
+		Graphs []GraphInfo `json:"graphs"`
+	}
+	if code := doJSON(t, "GET", ts.URL+"/v1/graphs", nil, &list); code != http.StatusOK {
+		t.Fatalf("list status %d", code)
+	}
+	if len(list.Graphs) != 1 || list.Graphs[0].Name != "g" {
+		t.Fatalf("list %+v", list)
+	}
+
+	var st GraphStats
+	if code := doJSON(t, "GET", ts.URL+"/v1/graphs/g", nil, &st); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if st.Nodes != 300 || st.AvgOutDegree <= 0 || st.MeanEdgeProb <= 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if code := doJSON(t, "GET", ts.URL+"/v1/graphs/nope", nil, &map[string]any{}); code != http.StatusNotFound {
+		t.Fatalf("missing graph stats status %d", code)
+	}
+
+	// Generate a new graph through the API, then select on it.
+	spec := GraphSpec{Name: "api-ba", Generator: "ba", Nodes: 120, EdgesPerNode: 2,
+		Seed: 5, Prob: f64(0.1), Opinions: "uniform"}
+	var created GraphInfo
+	if code := doJSON(t, "POST", ts.URL+"/v1/graphs", spec, &created); code != http.StatusCreated {
+		t.Fatalf("create status %d (%+v)", code, created)
+	}
+	if created.Name != "api-ba" || created.Nodes != 120 {
+		t.Fatalf("created %+v", created)
+	}
+	if code := doJSON(t, "POST", ts.URL+"/v1/graphs", spec, &map[string]any{}); code != http.StatusConflict {
+		t.Fatalf("duplicate create status %d", code)
+	}
+	var sel SelectResponse
+	if code := doJSON(t, "POST", ts.URL+"/v1/select",
+		SelectRequest{Graph: "api-ba", Algorithm: "degree", K: 4}, &sel); code != http.StatusAccepted {
+		t.Fatalf("select on created graph: %d", code)
+	}
+	if done := pollJob(t, ts.URL, sel.JobID); len(done.Result.Seeds) != 4 {
+		t.Fatalf("selection on created graph: %+v", done)
+	}
+
+	// Path loading is forbidden unless the server opted in.
+	if code := doJSON(t, "POST", ts.URL+"/v1/graphs",
+		GraphSpec{Name: "fs", Path: "/etc/hosts"}, &map[string]any{}); code != http.StatusForbidden {
+		t.Fatalf("path load status %d, want 403", code)
+	}
+	// A path spec that fails validation (not permissions) is a 400.
+	if code := doJSON(t, "POST", ts.URL+"/v1/graphs",
+		GraphSpec{Name: "both", Path: "/etc/hosts", Generator: "ba", Nodes: 10},
+		&map[string]any{}); code != http.StatusBadRequest {
+		t.Fatalf("path+generator spec status %d, want 400", code)
+	}
+	// Oversized generator specs are rejected before any allocation —
+	// including BA, whose arc count is implied by nodes*edges_per_node.
+	if code := doJSON(t, "POST", ts.URL+"/v1/graphs",
+		GraphSpec{Name: "huge", Generator: "rmat", Nodes: 2_000_000_000, Arcs: 50_000_000_000},
+		&map[string]any{}); code != http.StatusBadRequest {
+		t.Fatalf("oversized rmat spec status %d, want 400", code)
+	}
+	if code := doJSON(t, "POST", ts.URL+"/v1/graphs",
+		GraphSpec{Name: "huge-ba", Generator: "ba", Nodes: 4_000_000, EdgesPerNode: 5000},
+		&map[string]any{}); code != http.StatusBadRequest {
+		t.Fatalf("oversized ba spec status %d, want 400", code)
+	}
+	// Undirected R-MAT doubles each sampled edge; at the raw-arc cap it
+	// would materialize 2x the bound and must be rejected.
+	if code := doJSON(t, "POST", ts.URL+"/v1/graphs",
+		GraphSpec{Name: "huge-rm", Generator: "rmat", Nodes: 1000, Arcs: 50_000_000, Undirected: true},
+		&map[string]any{}); code != http.StatusBadRequest {
+		t.Fatalf("oversized undirected rmat spec status %d, want 400", code)
+	}
+}
+
+func TestEstimateCapUsesResolvedRuns(t *testing.T) {
+	// Omitted mc_runs resolves to the paper default of 10000, which must
+	// not slip past a tighter configured cap.
+	_, ts := newTestServer(t, Config{MaxEstimateRuns: 1000})
+	req := EstimateRequest{Graph: "g", Seeds: []int32{0}}
+	var out map[string]any
+	if code := doJSON(t, "POST", ts.URL+"/v1/estimate", req, &out); code != http.StatusBadRequest {
+		t.Fatalf("default-runs estimate over cap: status %d, want 400 (%v)", code, out)
+	}
+	req.Options.MCRuns = 500
+	var est EstimateResult
+	if code := doJSON(t, "POST", ts.URL+"/v1/estimate", req, &est); code != http.StatusOK || est.Runs != 500 {
+		t.Fatalf("within-cap estimate: status %d runs %d", code, est.Runs)
+	}
+}
+
+func TestGraphRegistryCapacity(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxGraphs: 2}) // "g" occupies one slot
+	ok := GraphSpec{Name: "one", Generator: "ba", Nodes: 20, EdgesPerNode: 2}
+	if code := doJSON(t, "POST", ts.URL+"/v1/graphs", ok, &map[string]any{}); code != http.StatusCreated {
+		t.Fatalf("create within capacity: %d", code)
+	}
+	over := GraphSpec{Name: "two", Generator: "ba", Nodes: 20, EdgesPerNode: 2}
+	if code := doJSON(t, "POST", ts.URL+"/v1/graphs", over, &map[string]any{}); code != http.StatusTooManyRequests {
+		t.Fatalf("create over capacity: %d, want 429", code)
+	}
+}
+
+// TestConcurrentSelects exercises the full HTTP path under parallel load
+// (run with -race): many clients, few distinct requests — the server must
+// coalesce them into at most one computation per fingerprint.
+func TestConcurrentSelects(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4, QueueCap: 256})
+	const clients = 24
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			req := SelectRequest{Graph: "g", Algorithm: "degree", K: 2 + c%3}
+			var resp SelectResponse
+			code := doJSON(t, "POST", ts.URL+"/v1/select", req, &resp)
+			switch code {
+			case http.StatusOK:
+				if !resp.Cached {
+					errs <- fmt.Errorf("client %d: 200 without cache flag", c)
+				}
+			case http.StatusAccepted:
+				done := pollJob(t, ts.URL, resp.JobID)
+				if done.State != StateDone || len(done.Result.Seeds) != 2+c%3 {
+					errs <- fmt.Errorf("client %d: job %+v", c, done)
+				}
+			default:
+				errs <- fmt.Errorf("client %d: status %d", c, code)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// 3 distinct fingerprints (k = 2,3,4) => at most 3 computations.
+	if got := s.SelectionsRun(); got < 1 || got > 3 {
+		t.Fatalf("SelectionsRun = %d, want 1..3", got)
+	}
+}

@@ -1,0 +1,213 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrQueueFull reports that the job queue is at capacity; callers should
+// translate it to 503 and have clients retry.
+var ErrQueueFull = errors.New("service: job queue full")
+
+// Job is one asynchronous selection computation. Multiple requests with
+// the same fingerprint share a single Job while it is in flight.
+type Job struct {
+	id   string
+	key  string
+	fn   func() (*SelectResult, error)
+	done chan struct{}
+
+	mu     sync.Mutex
+	state  JobState
+	result *SelectResult
+	err    error
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Status snapshots the job as a SelectResponse.
+func (j *Job) Status() SelectResponse {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	resp := SelectResponse{JobID: j.id, State: j.state, Result: j.result}
+	if j.err != nil {
+		resp.Error = j.err.Error()
+	}
+	return resp
+}
+
+// Manager runs jobs on a bounded worker pool with a bounded queue and
+// single-flight deduplication: submitting a key that is already pending
+// or running attaches to the existing job instead of spawning another
+// computation. Finished jobs are retained (up to maxJobs) so clients can
+// poll results; the oldest finished jobs are evicted first.
+type Manager struct {
+	queue chan *Job
+	stop  chan struct{}
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*Job // by id, including finished ones
+	history  []string        // job ids in creation order, for eviction
+	inflight map[string]*Job // by key, pending/running only
+	nextID   uint64
+	maxJobs  int
+
+	submitted, deduped atomic.Int64
+}
+
+// NewManager starts a pool of workers with the given queue capacity,
+// retaining at most maxJobs job records. Non-positive arguments fall back
+// to 1 worker / 64 queued / 1024 retained.
+func NewManager(workers, queueCap, maxJobs int) *Manager {
+	if workers <= 0 {
+		workers = 1
+	}
+	if queueCap <= 0 {
+		queueCap = 64
+	}
+	if maxJobs <= 0 {
+		maxJobs = 1024
+	}
+	m := &Manager{
+		queue:    make(chan *Job, queueCap),
+		stop:     make(chan struct{}),
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
+		maxJobs:  maxJobs,
+	}
+	m.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go m.worker()
+	}
+	return m
+}
+
+// Submit enqueues fn under the deduplication key. It returns the job and
+// whether it was newly created (false means the caller attached to an
+// in-flight job and fn was dropped). ErrQueueFull is returned when a new
+// job cannot be queued.
+func (m *Manager) Submit(key string, fn func() (*SelectResult, error)) (*Job, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j, ok := m.inflight[key]; ok {
+		m.deduped.Add(1)
+		return j, false, nil
+	}
+	j := &Job{
+		id:    fmt.Sprintf("j%08x", m.nextID),
+		key:   key,
+		fn:    fn,
+		done:  make(chan struct{}),
+		state: StatePending,
+	}
+	m.nextID++
+	// Register before enqueueing so a fast worker can never finish the
+	// job while it is still invisible to Get and deduplication.
+	m.jobs[j.id] = j
+	m.history = append(m.history, j.id)
+	m.inflight[key] = j
+	select {
+	case m.queue <- j:
+	default:
+		delete(m.jobs, j.id)
+		delete(m.inflight, key)
+		m.history = m.history[:len(m.history)-1]
+		return nil, false, ErrQueueFull
+	}
+	m.submitted.Add(1)
+	m.evictLocked()
+	return j, true, nil
+}
+
+// Get returns the job with the given id (including finished jobs still
+// retained in history).
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Submitted returns the number of jobs accepted (excluding deduplicated
+// submissions).
+func (m *Manager) Submitted() int64 { return m.submitted.Load() }
+
+// Deduped returns the number of submissions that attached to an in-flight
+// job instead of creating a new one.
+func (m *Manager) Deduped() int64 { return m.deduped.Load() }
+
+// Close stops the workers after their current jobs; queued jobs that were
+// never started remain pending.
+func (m *Manager) Close() {
+	close(m.stop)
+	m.wg.Wait()
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case j := <-m.queue:
+			j.mu.Lock()
+			j.state = StateRunning
+			j.mu.Unlock()
+			res, err := j.fn()
+			j.mu.Lock()
+			if err != nil {
+				j.state = StateFailed
+				j.err = err
+			} else {
+				j.state = StateDone
+				j.result = res
+			}
+			j.mu.Unlock()
+			close(j.done)
+			m.mu.Lock()
+			if m.inflight[j.key] == j {
+				delete(m.inflight, j.key)
+			}
+			m.mu.Unlock()
+		}
+	}
+}
+
+// evictLocked drops the oldest finished jobs while over maxJobs. Pending
+// and running jobs are never dropped, so the record count can temporarily
+// exceed the cap under a burst of active work.
+func (m *Manager) evictLocked() {
+	if len(m.jobs) <= m.maxJobs {
+		return
+	}
+	kept := m.history[:0]
+	for i, id := range m.history {
+		j, ok := m.jobs[id]
+		if !ok {
+			continue
+		}
+		// Never evict a job still reachable through the dedup map: a
+		// worker may have marked it terminal but not yet cleared the
+		// inflight entry, and a racing Submit could attach to it — its
+		// id must keep resolving.
+		if len(m.jobs) > m.maxJobs && j.terminal() && m.inflight[j.key] != j {
+			delete(m.jobs, id)
+			continue
+		}
+		kept = append(kept, m.history[i])
+	}
+	m.history = kept
+}
+
+func (j *Job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state == StateDone || j.state == StateFailed
+}

@@ -1,0 +1,213 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func waitDone(t *testing.T, j *Job) {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatalf("job %s did not finish", j.ID())
+	}
+}
+
+func TestManagerRunsJob(t *testing.T) {
+	m := NewManager(2, 8, 16)
+	defer m.Close()
+	j, created, err := m.Submit("k1", func() (*SelectResult, error) {
+		return &SelectResult{Algorithm: "stub", Seeds: []int32{7}}, nil
+	})
+	if err != nil || !created {
+		t.Fatalf("Submit: created=%v err=%v", created, err)
+	}
+	waitDone(t, j)
+	st := j.Status()
+	if st.State != StateDone || st.Result == nil || st.Result.Seeds[0] != 7 {
+		t.Fatalf("unexpected status %+v", st)
+	}
+	got, ok := m.Get(j.ID())
+	if !ok || got != j {
+		t.Fatalf("Get(%s) = %v, %v", j.ID(), got, ok)
+	}
+}
+
+func TestManagerFailedJob(t *testing.T) {
+	m := NewManager(1, 8, 16)
+	defer m.Close()
+	j, _, err := m.Submit("boom", func() (*SelectResult, error) {
+		return nil, errors.New("synthetic failure")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	st := j.Status()
+	if st.State != StateFailed || st.Error != "synthetic failure" {
+		t.Fatalf("unexpected status %+v", st)
+	}
+}
+
+func TestManagerSingleFlightDedup(t *testing.T) {
+	m := NewManager(2, 8, 16)
+	defer m.Close()
+	release := make(chan struct{})
+	var runs atomic.Int64
+	fn := func() (*SelectResult, error) {
+		runs.Add(1)
+		<-release
+		return &SelectResult{Algorithm: "stub"}, nil
+	}
+	j1, created1, err := m.Submit("same", fn)
+	if err != nil || !created1 {
+		t.Fatalf("first Submit: created=%v err=%v", created1, err)
+	}
+	j2, created2, err := m.Submit("same", fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created2 || j2 != j1 {
+		t.Fatalf("second Submit should attach to in-flight job: created=%v same=%v", created2, j1 == j2)
+	}
+	if got := m.Deduped(); got != 1 {
+		t.Fatalf("Deduped() = %d, want 1", got)
+	}
+	close(release)
+	waitDone(t, j1)
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+	// After completion the key is free again: a new submission must create
+	// a fresh job (result caching is the layer above, not the manager's).
+	j3, created3, err := m.Submit("same", func() (*SelectResult, error) {
+		return &SelectResult{}, nil
+	})
+	if err != nil || !created3 || j3 == j1 {
+		t.Fatalf("post-completion Submit: created=%v fresh=%v err=%v", created3, j3 != j1, err)
+	}
+	waitDone(t, j3)
+}
+
+func TestManagerQueueFull(t *testing.T) {
+	m := NewManager(1, 1, 16)
+	defer m.Close()
+	release := make(chan struct{})
+	blocker := func() (*SelectResult, error) {
+		<-release
+		return &SelectResult{}, nil
+	}
+	// First job occupies the single worker; wait until it is actually
+	// running so the queue slot is observable deterministically.
+	j1, _, err := m.Submit("a", blocker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for j1.Status().State != StateRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	j2, _, err := m.Submit("b", blocker)
+	if err != nil {
+		t.Fatalf("queue should hold one job: %v", err)
+	}
+	if _, _, err := m.Submit("c", blocker); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third Submit: err=%v, want ErrQueueFull", err)
+	}
+	// A rejected submission must not poison deduplication: once the queue
+	// drains, key "c" must create a fresh job rather than attach to a
+	// phantom in-flight entry.
+	close(release)
+	waitDone(t, j1)
+	waitDone(t, j2)
+	j3, created, err := m.Submit("c", func() (*SelectResult, error) {
+		return &SelectResult{}, nil
+	})
+	if err != nil || !created {
+		t.Fatalf("post-drain Submit(c): created=%v err=%v", created, err)
+	}
+	waitDone(t, j3)
+}
+
+func TestManagerEvictsFinishedJobs(t *testing.T) {
+	m := NewManager(2, 32, 4)
+	defer m.Close()
+	var jobs []*Job
+	for i := 0; i < 12; i++ {
+		j, _, err := m.Submit(fmt.Sprintf("k%d", i), func() (*SelectResult, error) {
+			return &SelectResult{}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+		waitDone(t, j)
+	}
+	retained := 0
+	for _, j := range jobs {
+		if _, ok := m.Get(j.ID()); ok {
+			retained++
+		}
+	}
+	if retained > 5 { // maxJobs=4 plus at most the in-submission slack
+		t.Fatalf("retained %d finished jobs, want <= 5", retained)
+	}
+	// The newest job must still be pollable.
+	if _, ok := m.Get(jobs[len(jobs)-1].ID()); !ok {
+		t.Fatal("newest job was evicted")
+	}
+}
+
+// TestManagerConcurrency hammers Submit from many goroutines over few
+// keys; run with -race. Every submission must observe a usable job and
+// every job must terminate.
+func TestManagerConcurrency(t *testing.T) {
+	m := NewManager(4, 256, 4096)
+	defer m.Close()
+	const goroutines = 32
+	const perG = 25
+	var runs atomic.Int64
+	var wg sync.WaitGroup
+	jobCh := make(chan *Job, goroutines*perG)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				key := fmt.Sprintf("key%d", (g+i)%8)
+				j, _, err := m.Submit(key, func() (*SelectResult, error) {
+					runs.Add(1)
+					return &SelectResult{}, nil
+				})
+				if err != nil {
+					t.Errorf("Submit: %v", err)
+					return
+				}
+				jobCh <- j
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(jobCh)
+	for j := range jobCh {
+		waitDone(t, j)
+		if st := j.Status(); st.State != StateDone {
+			t.Fatalf("job %s state %s", j.ID(), st.State)
+		}
+	}
+	total := m.Submitted() + m.Deduped()
+	if total != goroutines*perG {
+		t.Fatalf("submitted+deduped = %d, want %d", total, goroutines*perG)
+	}
+	if runs.Load() != m.Submitted() {
+		t.Fatalf("fn ran %d times for %d created jobs", runs.Load(), m.Submitted())
+	}
+}

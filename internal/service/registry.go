@@ -1,0 +1,279 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"github.com/holisticim/holisticim"
+	"github.com/holisticim/holisticim/internal/graph"
+)
+
+// Registry errors.
+var (
+	ErrGraphNotFound    = errors.New("service: graph not found")
+	ErrGraphExists      = errors.New("service: graph already registered")
+	ErrPathLoadDisabled = errors.New("service: loading server-local paths is disabled")
+	ErrRegistryFull     = errors.New("service: graph registry full")
+)
+
+// Registry holds named immutable graphs shared across requests. Graphs
+// are loaded or generated once; a name can never be rebound, which is
+// what makes the name a sound component of result-cache fingerprints.
+type Registry struct {
+	mu sync.RWMutex
+	// maxGraphs caps registrations when positive. Enforced inside Add,
+	// under the lock, so concurrent registrations cannot exceed it —
+	// names can never be rebound, so the registry only ever grows.
+	maxGraphs int
+	graphs    map[string]*regEntry
+}
+
+type regEntry struct {
+	g    *holisticim.Graph
+	info GraphInfo
+
+	statsOnce sync.Once
+	stats     GraphStats
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{graphs: make(map[string]*regEntry)}
+}
+
+// Add registers a prebuilt graph under name. source is a free-form
+// provenance tag ("file:...", "generated:ba", ...).
+func (r *Registry) Add(name string, g *holisticim.Graph, source string) error {
+	if name == "" {
+		return errors.New("service: empty graph name")
+	}
+	if g == nil {
+		return errors.New("service: nil graph")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.graphs[name]; ok {
+		return fmt.Errorf("%w: %q", ErrGraphExists, name)
+	}
+	if r.maxGraphs > 0 && len(r.graphs) >= r.maxGraphs {
+		return fmt.Errorf("%w (%d graphs)", ErrRegistryFull, r.maxGraphs)
+	}
+	r.graphs[name] = &regEntry{g: g, info: GraphInfo{
+		Name:        name,
+		Nodes:       g.NumNodes(),
+		Arcs:        g.NumEdges(),
+		Source:      source,
+		MemoryBytes: g.MemoryFootprint(),
+	}}
+	return nil
+}
+
+// Get returns the named graph.
+func (r *Registry) Get(name string) (*holisticim.Graph, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.graphs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrGraphNotFound, name)
+	}
+	return e.g, nil
+}
+
+// List returns the registered graphs' summaries, sorted by name.
+func (r *Registry) List() []GraphInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]GraphInfo, 0, len(r.graphs))
+	for _, e := range r.graphs {
+		out = append(out, e.info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Info returns the stored summary for the named graph without touching
+// the graph itself.
+func (r *Registry) Info(name string) (GraphInfo, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.graphs[name]
+	if !ok {
+		return GraphInfo{}, fmt.Errorf("%w: %q", ErrGraphNotFound, name)
+	}
+	return e.info, nil
+}
+
+// Len returns the number of registered graphs.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.graphs)
+}
+
+// Stats returns the Table-2 style statistics for the named graph.
+// Graphs are immutable, so the (potentially expensive — sampled BFS over
+// the whole graph) computation runs once per graph and is memoized;
+// samples and seed only influence that first computation.
+func (r *Registry) Stats(name string, samples int, seed uint64) (GraphStats, error) {
+	r.mu.RLock()
+	e, ok := r.graphs[name]
+	r.mu.RUnlock()
+	if !ok {
+		return GraphStats{}, fmt.Errorf("%w: %q", ErrGraphNotFound, name)
+	}
+	e.statsOnce.Do(func() {
+		st := graph.ComputeStats(e.g, samples, seed)
+		e.stats = GraphStats{
+			GraphInfo:         e.info,
+			AvgOutDegree:      st.AvgOutDegree,
+			MaxOutDegree:      st.MaxOutDegree,
+			MaxInDegree:       st.MaxInDegree,
+			EffectiveDiameter: st.EffectiveDiameter,
+			Reachable:         st.Reachable,
+			MeanEdgeProb:      graph.MeanEdgeProb(e.g),
+		}
+	})
+	return e.stats, nil
+}
+
+// readGraphFile loads an edge-list or binary graph file, sniffing the
+// binary magic so both formats load transparently.
+func readGraphFile(path string) (*holisticim.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("service: open graph file: %w", err)
+	}
+	defer f.Close()
+	var g *holisticim.Graph
+	magic := make([]byte, 4)
+	if n, _ := f.Read(magic); n == 4 && string(magic) == "HIMG" {
+		if _, err := f.Seek(0, 0); err != nil {
+			return nil, err
+		}
+		g, err = holisticim.ReadBinaryGraph(f)
+	} else {
+		if _, err := f.Seek(0, 0); err != nil {
+			return nil, err
+		}
+		g, err = holisticim.ReadEdgeList(f)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("service: read %s: %w", path, err)
+	}
+	return g, nil
+}
+
+// LoadFile registers a graph read from an edge-list or binary file.
+func (r *Registry) LoadFile(name, path string) error {
+	g, err := readGraphFile(path)
+	if err != nil {
+		return err
+	}
+	return r.Add(name, g, "file:"+path)
+}
+
+// Build registers a graph described by spec. allowPaths gates file
+// loading (POST /v1/graphs from untrusted clients should not be able to
+// read the server's filesystem).
+func (r *Registry) Build(spec GraphSpec, allowPaths bool) error {
+	if spec.Name == "" {
+		return errors.New("service: graph spec needs a name")
+	}
+	var g *holisticim.Graph
+	switch {
+	case spec.Path != "" && spec.Generator != "":
+		return errors.New("service: graph spec sets both path and generator")
+	case spec.Path != "":
+		if !allowPaths {
+			return ErrPathLoadDisabled
+		}
+		var err error
+		if g, err = readGraphFile(spec.Path); err != nil {
+			return err
+		}
+	case spec.Generator == "ba":
+		if spec.Nodes <= 0 {
+			return errors.New("service: ba generator needs nodes > 0")
+		}
+		g = holisticim.GenerateBA(spec.Nodes, spec.effectiveEdgesPerNode(), seedOr1(spec.Seed))
+	case spec.Generator == "rmat":
+		if spec.Nodes <= 0 || spec.Arcs <= 0 {
+			return errors.New("service: rmat generator needs nodes > 0 and arcs > 0")
+		}
+		g = holisticim.GenerateRMAT(spec.Nodes, spec.Arcs, spec.Undirected, seedOr1(spec.Seed))
+	case spec.Generator != "":
+		return fmt.Errorf("service: unknown generator %q (want ba or rmat)", spec.Generator)
+	default:
+		return errors.New("service: graph spec needs a path or a generator")
+	}
+
+	if err := applyParams(g, spec); err != nil {
+		return err
+	}
+	source := "generated:" + spec.Generator
+	if spec.Path != "" {
+		source = "file:" + spec.Path
+	}
+	return r.Add(spec.Name, g, source)
+}
+
+func applyParams(g *holisticim.Graph, spec GraphSpec) error {
+	set := 0
+	if spec.Prob != nil {
+		set++
+	}
+	if spec.WeightedCascade {
+		set++
+	}
+	if spec.Trivalency {
+		set++
+	}
+	if set > 1 {
+		return errors.New("service: at most one of prob, weighted_cascade, trivalency")
+	}
+	switch {
+	case spec.Prob != nil:
+		if *spec.Prob < 0 || *spec.Prob > 1 {
+			return fmt.Errorf("service: prob %v out of [0,1]", *spec.Prob)
+		}
+		g.SetUniformProb(*spec.Prob)
+	case spec.WeightedCascade:
+		g.SetWeightedCascadeProb()
+	case spec.Trivalency:
+		g.SetTrivalencyProb(nil, seedOr1(spec.Seed)+1)
+	}
+	if spec.Phi != nil {
+		if *spec.Phi < 0 || *spec.Phi > 1 {
+			return fmt.Errorf("service: phi %v out of [0,1]", *spec.Phi)
+		}
+		g.SetUniformPhi(*spec.Phi)
+	}
+	if spec.Opinions != "" {
+		var dist holisticim.OpinionDistribution
+		switch spec.Opinions {
+		case "uniform":
+			dist = holisticim.OpinionUniform
+		case "normal":
+			dist = holisticim.OpinionNormal
+		case "polarized":
+			dist = holisticim.OpinionPolarized
+		default:
+			return fmt.Errorf("service: unknown opinion distribution %q", spec.Opinions)
+		}
+		holisticim.AssignOpinions(g, dist, seedOr1(spec.Seed)+2)
+		if spec.Phi == nil {
+			holisticim.AssignInteractions(g, seedOr1(spec.Seed)+3)
+		}
+	}
+	return nil
+}
+
+func seedOr1(s uint64) uint64 {
+	if s == 0 {
+		return 1
+	}
+	return s
+}

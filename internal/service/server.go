@@ -1,0 +1,159 @@
+package service
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"github.com/holisticim/holisticim"
+)
+
+// Config sizes a Server. Zero values pick serving defaults.
+type Config struct {
+	// Workers bounds concurrent selection computations (default 2).
+	// Selections are themselves internally parallel, so a small pool is
+	// usually right.
+	Workers int
+	// QueueCap bounds queued-but-not-started jobs (default 64); beyond
+	// it POST /v1/select answers 503.
+	QueueCap int
+	// CacheSize bounds the LRU result cache (default 256 entries).
+	CacheSize int
+	// MaxJobs bounds retained job records (default 1024).
+	MaxJobs int
+	// AllowPathLoad lets POST /v1/graphs load server-local files. Off by
+	// default: untrusted clients should not read the server's filesystem.
+	AllowPathLoad bool
+	// StatsSamples bounds BFS sampling in GET /v1/graphs/{name} (default 16).
+	StatsSamples int
+	// MaxEstimateRuns caps mc_runs on POST /v1/estimate, which runs
+	// synchronously on the request path (default 100000).
+	MaxEstimateRuns int
+	// MaxSelectRuns caps mc_runs on POST /v1/select. Selections run off
+	// the request path, but jobs have no cancellation, so the budget of
+	// the simulation-driven algorithms must be bounded at admission
+	// (default 1000000).
+	MaxSelectRuns int
+	// MaxGraphs caps the number of registered graphs — names can never be
+	// rebound, so the registry only grows (default 64).
+	MaxGraphs int
+	// MaxGraphNodes / MaxGraphArcs cap generator specs accepted by
+	// POST /v1/graphs (defaults 5M nodes, 50M arcs).
+	MaxGraphNodes int32
+	MaxGraphArcs  int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 64
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 256
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	if c.StatsSamples <= 0 {
+		c.StatsSamples = 16
+	}
+	if c.MaxEstimateRuns <= 0 {
+		c.MaxEstimateRuns = 100000
+	}
+	if c.MaxSelectRuns <= 0 {
+		c.MaxSelectRuns = 1_000_000
+	}
+	if c.MaxGraphs <= 0 {
+		c.MaxGraphs = 64
+	}
+	if c.MaxGraphNodes <= 0 {
+		c.MaxGraphNodes = 5_000_000
+	}
+	if c.MaxGraphArcs <= 0 {
+		c.MaxGraphArcs = 50_000_000
+	}
+	return c
+}
+
+// Server wires the graph registry, job manager and result cache behind an
+// http.Handler. Construct with New, register graphs via Registry() or the
+// API, then serve Handler().
+type Server struct {
+	cfg   Config
+	reg   *Registry
+	jobs  *Manager
+	cache *Cache
+	mux   *http.ServeMux
+
+	// selectFn runs one selection; tests substitute stubs to control
+	// timing without real computations.
+	selectFn func(g *holisticim.Graph, k int, alg holisticim.Algorithm, o holisticim.Options) (holisticim.Result, error)
+
+	selections atomic.Int64 // actual (non-cached, non-deduped) selections run
+}
+
+// New returns a ready-to-serve Server with an empty registry.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		reg:      NewRegistry(),
+		jobs:     NewManager(cfg.Workers, cfg.QueueCap, cfg.MaxJobs),
+		cache:    NewCache(cfg.CacheSize),
+		selectFn: holisticim.SelectSeeds,
+	}
+	// Enforced inside Registry.Add, under its lock, so concurrent
+	// registrations cannot race past the cap.
+	s.reg.maxGraphs = cfg.MaxGraphs
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s
+}
+
+// Registry exposes the graph registry for startup preloading.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Handler returns the root http.Handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the worker pool.
+func (s *Server) Close() { s.jobs.Close() }
+
+// SelectionsRun returns how many selections were actually computed (cache
+// hits and deduplicated submissions do not count).
+func (s *Server) SelectionsRun() int64 { return s.selections.Load() }
+
+// Stats snapshots the serving counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Graphs:        s.reg.Len(),
+		CacheSize:     s.cache.Len(),
+		CacheHits:     s.cache.Hits(),
+		CacheMisses:   s.cache.Misses(),
+		JobsSubmitted: s.jobs.Submitted(),
+		JobsDeduped:   s.jobs.Deduped(),
+		SelectionsRun: s.selections.Load(),
+	}
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
+	s.mux.HandleFunc("POST /v1/graphs", s.handleAddGraph)
+	s.mux.HandleFunc("GET /v1/graphs/{name}", s.handleGraphStats)
+	s.mux.HandleFunc("POST /v1/select", s.handleSelect)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
+}
+
+func toSelectResult(res holisticim.Result) *SelectResult {
+	return &SelectResult{
+		Algorithm: res.Algorithm,
+		Seeds:     res.Seeds,
+		TookMS:    float64(res.Took) / float64(time.Millisecond),
+		Metrics:   res.Metrics,
+	}
+}

@@ -1,0 +1,220 @@
+// Package service implements the long-lived HTTP serving layer for the
+// holisticim library: a registry of immutable, shareable graphs, an
+// asynchronous job manager that runs seed selections off the request path
+// with single-flight deduplication, and an LRU result cache keyed by a
+// canonical fingerprint of (graph, algorithm, k, Options).
+//
+// The request flow for POST /v1/select is:
+//
+//	fingerprint → cache hit?  → respond synchronously (state "done")
+//	            → in-flight?  → attach to the running job (deduped)
+//	            → otherwise   → enqueue a new job, respond 202 with its id
+//
+// Selections — even the paper's scalable EaSyIM/OSIM, let alone TIM+/IMM
+// whose RR-set indexes are expensive to build — are far too costly to run
+// per request, so nothing in this package ever blocks an HTTP handler on
+// a selection.
+package service
+
+import (
+	"fmt"
+
+	"github.com/holisticim/holisticim"
+)
+
+// Options mirrors holisticim.Options with JSON tags. The zero value picks
+// the paper's defaults everywhere, exactly like the library type.
+type Options struct {
+	Model       string  `json:"model,omitempty"`
+	PathLength  int     `json:"path_length,omitempty"`
+	Lambda      float64 `json:"lambda,omitempty"`
+	Epsilon     float64 `json:"epsilon,omitempty"`
+	MCRuns      int     `json:"mc_runs,omitempty"`
+	Seed        uint64  `json:"seed,omitempty"`
+	Workers     int     `json:"workers,omitempty"`
+	TIMThetaCap int     `json:"tim_theta_cap,omitempty"`
+}
+
+func (o Options) toLib() holisticim.Options {
+	return holisticim.Options{
+		Model:       holisticim.ModelKind(o.Model),
+		PathLength:  o.PathLength,
+		Lambda:      o.Lambda,
+		Epsilon:     o.Epsilon,
+		MCRuns:      o.MCRuns,
+		Seed:        o.Seed,
+		Workers:     o.Workers,
+		TIMThetaCap: o.TIMThetaCap,
+	}
+}
+
+// knownAlgorithms lets handlers reject unknown algorithm names with a 400
+// before a job is enqueued, instead of failing the job later.
+var knownAlgorithms = map[holisticim.Algorithm]bool{
+	holisticim.AlgEaSyIM:         true,
+	holisticim.AlgOSIM:           true,
+	holisticim.AlgGreedy:         true,
+	holisticim.AlgCELFPP:         true,
+	holisticim.AlgModifiedGreedy: true,
+	holisticim.AlgTIMPlus:        true,
+	holisticim.AlgIMM:            true,
+	holisticim.AlgIRIE:           true,
+	holisticim.AlgSIMPATH:        true,
+	holisticim.AlgStaticGreedy:   true,
+	holisticim.AlgDegree:         true,
+	holisticim.AlgDegreeDiscount: true,
+	holisticim.AlgPageRank:       true,
+}
+
+// SelectRequest asks for a k-seed selection on a registered graph.
+type SelectRequest struct {
+	Graph     string  `json:"graph"`
+	Algorithm string  `json:"algorithm"`
+	K         int     `json:"k"`
+	Options   Options `json:"options"`
+}
+
+// fingerprint is the canonical cache/deduplication key for the request.
+// Registered graphs are immutable and names cannot be rebound, so the
+// graph name pins the topology and parameters.
+func (r SelectRequest) fingerprint() string {
+	return fmt.Sprintf("graph=%s;%s", r.Graph,
+		r.Options.toLib().Fingerprint(holisticim.Algorithm(r.Algorithm), r.K))
+}
+
+// SelectResult is the JSON form of a completed selection.
+type SelectResult struct {
+	Algorithm string             `json:"algorithm"`
+	Seeds     []int32            `json:"seeds"`
+	TookMS    float64            `json:"took_ms"`
+	Metrics   map[string]float64 `json:"metrics,omitempty"`
+}
+
+// JobState is the lifecycle of an async selection job.
+type JobState string
+
+// Job lifecycle states.
+const (
+	StatePending JobState = "pending"
+	StateRunning JobState = "running"
+	StateDone    JobState = "done"
+	StateFailed  JobState = "failed"
+)
+
+// SelectResponse answers POST /v1/select and GET /v1/jobs/{id}. A cache
+// hit carries the result inline with State "done" and no JobID; otherwise
+// JobID points at the (possibly shared) computation.
+type SelectResponse struct {
+	JobID   string        `json:"job_id,omitempty"`
+	State   JobState      `json:"state"`
+	Cached  bool          `json:"cached,omitempty"`
+	Deduped bool          `json:"deduped,omitempty"`
+	Error   string        `json:"error,omitempty"`
+	Result  *SelectResult `json:"result,omitempty"`
+}
+
+// EstimateRequest asks for a Monte-Carlo spread estimate of a seed set.
+type EstimateRequest struct {
+	Graph   string  `json:"graph"`
+	Seeds   []int32 `json:"seeds"`
+	Options Options `json:"options"`
+}
+
+// EstimateResult is the JSON form of a Monte-Carlo estimate. The opinion
+// fields are meaningful under the opinion-aware models (oi-ic, oi-lt, oc).
+type EstimateResult struct {
+	Runs                   int     `json:"runs"`
+	Spread                 float64 `json:"spread"`
+	OpinionSpread          float64 `json:"opinion_spread"`
+	PositiveSpread         float64 `json:"positive_spread"`
+	NegativeSpread         float64 `json:"negative_spread"`
+	EffectiveOpinionSpread float64 `json:"effective_opinion_spread"`
+	Lambda                 float64 `json:"lambda"`
+	TookMS                 float64 `json:"took_ms"`
+}
+
+// GraphInfo summarizes a registered graph for GET /v1/graphs.
+type GraphInfo struct {
+	Name        string `json:"name"`
+	Nodes       int32  `json:"nodes"`
+	Arcs        int64  `json:"arcs"`
+	Source      string `json:"source"`
+	MemoryBytes int64  `json:"memory_bytes"`
+}
+
+// GraphStats extends GraphInfo with the Table-2 style statistics computed
+// on demand by GET /v1/graphs/{name}.
+type GraphStats struct {
+	GraphInfo
+	AvgOutDegree      float64 `json:"avg_out_degree"`
+	MaxOutDegree      int32   `json:"max_out_degree"`
+	MaxInDegree       int32   `json:"max_in_degree"`
+	EffectiveDiameter float64 `json:"effective_diameter"`
+	Reachable         float64 `json:"reachable"`
+	MeanEdgeProb      float64 `json:"mean_edge_prob"`
+}
+
+// GraphSpec describes a graph to register via POST /v1/graphs: either a
+// server-local file (Path) or a synthetic generator ("ba" or "rmat"),
+// followed by optional edge-parameter and opinion assignment.
+type GraphSpec struct {
+	Name string `json:"name"`
+	// Path loads an edge-list or binary graph file from the server's
+	// filesystem (requires the server to allow path loading).
+	Path string `json:"path,omitempty"`
+	// Generator is "ba" (Barabási–Albert; Nodes, EdgesPerNode) or "rmat"
+	// (R-MAT; Nodes, Arcs, Undirected).
+	Generator    string `json:"generator,omitempty"`
+	Nodes        int32  `json:"nodes,omitempty"`
+	EdgesPerNode int    `json:"edges_per_node,omitempty"`
+	Arcs         int64  `json:"arcs,omitempty"`
+	Undirected   bool   `json:"undirected,omitempty"`
+	Seed         uint64 `json:"seed,omitempty"`
+
+	// Prob sets a uniform influence probability p(u,v); WeightedCascade
+	// sets p(u,v)=1/|In(v)| instead; Trivalency samples p from
+	// {0.1,0.01,0.001}. At most one may be set; none keeps loaded values.
+	Prob            *float64 `json:"prob,omitempty"`
+	WeightedCascade bool     `json:"weighted_cascade,omitempty"`
+	Trivalency      bool     `json:"trivalency,omitempty"`
+	// Phi sets a uniform interaction probability ϕ(u,v).
+	Phi *float64 `json:"phi,omitempty"`
+	// Opinions samples node opinions: "uniform", "normal" or "polarized".
+	// Interactions ϕ are also sampled unless Phi pins them.
+	Opinions string `json:"opinions,omitempty"`
+}
+
+// effectiveEdgesPerNode is the BA attachment count the generator will
+// actually use; the single source of truth for both the size pre-check
+// and the build itself.
+func (s GraphSpec) effectiveEdgesPerNode() int {
+	if s.EdgesPerNode <= 0 {
+		return 3
+	}
+	return s.EdgesPerNode
+}
+
+// effectiveArcs estimates the arc count the spec will materialize, for
+// admission control: BA emits both directions of every attachment, and
+// undirected R-MAT expands each sampled edge to two arcs.
+func (s GraphSpec) effectiveArcs() int64 {
+	switch {
+	case s.Generator == "ba":
+		return 2 * int64(s.Nodes) * int64(s.effectiveEdgesPerNode())
+	case s.Generator == "rmat" && s.Undirected:
+		return 2 * s.Arcs
+	default:
+		return s.Arcs
+	}
+}
+
+// ServerStats reports serving counters for GET /v1/stats.
+type ServerStats struct {
+	Graphs        int   `json:"graphs"`
+	CacheSize     int   `json:"cache_size"`
+	CacheHits     int64 `json:"cache_hits"`
+	CacheMisses   int64 `json:"cache_misses"`
+	JobsSubmitted int64 `json:"jobs_submitted"`
+	JobsDeduped   int64 `json:"jobs_deduped"`
+	SelectionsRun int64 `json:"selections_run"`
+}
