@@ -2,16 +2,24 @@
 // the selection plus its estimated spread, making individual experiments
 // scriptable.
 //
+// Selection runs under a signal-aware context: Ctrl-C (or an expired
+// -timeout) stops it cooperatively and the partial seed prefix selected
+// so far is still reported. -progress streams one line per chosen seed.
+//
 // Usage:
 //
 //	imrun -graph graph.txt -alg osim -k 50 -model oi-ic
 //	imrun -dataset nethept -quick -alg easyim -k 20 -model ic
+//	imrun -dataset soc -alg greedy -k 100 -timeout 30s -progress
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/holisticim/holisticim"
@@ -34,6 +42,8 @@ func main() {
 		opinions  = flag.String("opinions", "", "assign opinions before running: uniform|normal|polarized")
 		p         = flag.Float64("p", 0.1, "edge probabilities: >=0 uniform (paper default 0.1), -1 weighted cascade, -2 keep file/dataset values")
 		thetaCap  = flag.Int("theta-cap", 0, "cap TIM+/IMM RR sets (0 = none)")
+		timeout   = flag.Duration("timeout", 0, "bound selection wall-clock time; 0 = none (partial seeds are reported on expiry)")
+		progress  = flag.Bool("progress", false, "print one line per chosen seed while selecting")
 	)
 	flag.Parse()
 
@@ -97,25 +107,57 @@ func main() {
 		MCRuns:      *runs,
 		Seed:        *seed,
 		TIMThetaCap: *thetaCap,
+		Deadline:    *timeout,
 	}
+	if *progress {
+		opts.Progress = func(seedIdx int, seed holisticim.NodeID, elapsed time.Duration) {
+			fmt.Printf("seed %3d/%d: node %d (%v)\n", seedIdx+1, *k, seed, elapsed.Round(time.Millisecond))
+		}
+	}
+
+	// Ctrl-C / SIGTERM cancels the selection cooperatively; the partial
+	// prefix selected so far is still reported below.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
 	start := time.Now()
-	res, err := holisticim.SelectSeeds(g, *k, holisticim.Algorithm(*alg), opts)
-	if err != nil {
+	res, err := holisticim.SelectSeedsContext(ctx, g, *k, holisticim.Algorithm(*alg), opts)
+	if err != nil && !res.Partial {
 		fatal(err)
 	}
 	fmt.Printf("algorithm : %s\n", res.Algorithm)
 	fmt.Printf("graph     : %d nodes, %d arcs\n", g.NumNodes(), g.NumEdges())
-	fmt.Printf("selection : %v (%v)\n", res.Seeds, time.Since(start).Round(time.Millisecond))
+	state := ""
+	if res.Partial {
+		state = fmt.Sprintf(" [PARTIAL: %d/%d seeds, %v]", len(res.Seeds), *k, err)
+	}
+	fmt.Printf("selection : %v (%v)%s\n", res.Seeds, time.Since(start).Round(time.Millisecond), state)
 	for name, v := range res.Metrics {
 		fmt.Printf("metric    : %s = %g\n", name, v)
 	}
+	if len(res.Seeds) == 0 {
+		fatal(fmt.Errorf("no seeds selected before interruption"))
+	}
 
-	est := holisticim.EstimateSpread(g, res.Seeds, opts)
+	// Estimation runs under a fresh signal context so a second Ctrl-C
+	// still stops the program during a heavyweight evaluation.
+	ectx, ecancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer ecancel()
+	est, eerr := holisticim.EstimateSpreadContext(ectx, g, res.Seeds, opts)
+	if eerr != nil {
+		fatal(eerr)
+	}
 	fmt.Printf("spread σ(S)            : %.2f (over %d runs)\n", est.Spread, est.Runs)
 	if *opinions != "" || holisticim.ModelKind(*model).OpinionAware() {
-		oest := holisticim.EstimateOpinionSpread(g, res.Seeds, opts)
+		oest, oerr := holisticim.EstimateOpinionSpreadContext(ectx, g, res.Seeds, opts)
+		if oerr != nil {
+			fatal(oerr)
+		}
 		fmt.Printf("opinion spread σ_o(S)  : %.3f\n", oest.OpinionSpread)
 		fmt.Printf("effective spread (λ=%g): %.3f\n", *lambda, oest.EffectiveOpinionSpread(*lambda))
+	}
+	if res.Partial {
+		os.Exit(2) // partial outcome is distinguishable for scripts
 	}
 }
 

@@ -29,8 +29,14 @@
 //	POST /v1/graphs          register a graph (generator spec or path)
 //	GET  /v1/graphs/{name}   graph statistics
 //	POST /v1/select          async seed selection -> job id | cached result
-//	GET  /v1/jobs/{id}       job status / result
+//	                         (optional timeout_ms bounds the job's runtime)
+//	GET  /v1/jobs/{id}       job status / result, incl. live seeds_done/k
+//	DELETE /v1/jobs/{id}     cancel a queued or running job
 //	POST /v1/estimate        synchronous Monte-Carlo spread estimate
+//	                         (bounded by the request context)
+//
+// Jobs run under per-job cancellable contexts, so shutdown cancels
+// in-flight selections instead of draining them.
 package main
 
 import (
@@ -122,6 +128,9 @@ func main() {
 		log.Fatalf("imserver: %v", err)
 	}
 	// ListenAndServe returns as soon as the listener closes; wait for
-	// Shutdown to finish draining in-flight requests before exiting.
+	// Shutdown to finish draining in-flight HTTP requests, then cancel
+	// any still-running selection jobs (deferred srv.Close) — shutdown
+	// never waits on a heavyweight selection.
 	<-drained
+	log.Print("cancelling in-flight selection jobs")
 }

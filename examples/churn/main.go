@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -53,7 +54,7 @@ func main() {
 		{"EaSyIM (opinion-oblivious)", easy.Seeds},
 		{"OSIM (opinion-aware MEO)", osim.Seeds},
 	} {
-		est := holisticim.EstimateOpinionSpread(g, run.seeds, opts)
+		est := must(holisticim.EstimateOpinionSpreadContext(context.Background(), g, run.seeds, opts))
 		fmt.Printf("%-32s %14.2f %14.2f\n", run.name,
 			est.OpinionSpread, est.EffectiveOpinionSpread(1))
 	}
@@ -62,7 +63,7 @@ func main() {
 	// own opinions do not count toward spread (Def. 6), so MEO may anchor
 	// campaigns at frontier customers — even likely churners — whose
 	// outreach cascades into loyal, positive-affinity neighborhoods.
-	est := holisticim.EstimateOpinionSpread(g, osim.Seeds, opts)
+	est := must(holisticim.EstimateOpinionSpreadContext(context.Background(), g, osim.Seeds, opts))
 	fmt.Printf("\nOSIM campaign reach: +%.2f positive affinity vs -%.2f negative —\n",
 		est.PositiveSpread, est.NegativeSpread)
 	churnSeeds := 0
@@ -73,4 +74,13 @@ func main() {
 	}
 	fmt.Printf("anchored at %d at-risk and %d loyal customers on the churn frontier.\n",
 		churnSeeds, len(osim.Seeds)-churnSeeds)
+}
+
+// must unwraps the context estimators: the example configurations are
+// known-valid and never cancelled, so an error here is a programming bug.
+func must(est holisticim.Estimate, err error) holisticim.Estimate {
+	if err != nil {
+		panic(err)
+	}
+	return est
 }

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -42,8 +43,8 @@ func main() {
 		{"EaSyIM (opinion-oblivious)", easy.Seeds},
 		{"OSIM   (opinion-aware)", osim.Seeds},
 	} {
-		spread := holisticim.EstimateSpread(g, run.seeds, opts)
-		op := holisticim.EstimateOpinionSpread(g, run.seeds, opts)
+		spread := must(holisticim.EstimateSpreadContext(context.Background(), g, run.seeds, opts))
+		op := must(holisticim.EstimateOpinionSpreadContext(context.Background(), g, run.seeds, opts))
 		fmt.Printf("%s\n", run.name)
 		fmt.Printf("  first seeds        : %v...\n", run.seeds[:5])
 		fmt.Printf("  spread σ(S)        : %8.1f users\n", spread.Spread)
@@ -51,4 +52,13 @@ func main() {
 		fmt.Printf("  effective (λ=1)    : %8.2f\n\n", op.EffectiveOpinionSpread(1))
 	}
 	fmt.Println("EaSyIM reaches more users; OSIM reaches users whose final opinions help.")
+}
+
+// must unwraps the context estimators: the example configurations are
+// known-valid and never cancelled, so an error here is a programming bug.
+func must(est holisticim.Estimate, err error) holisticim.Estimate {
+	if err != nil {
+		panic(err)
+	}
+	return est
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -44,8 +45,8 @@ func figureOne() {
 	fmt.Println("== Figure 1: who should get the one free iPhone? ==")
 	fmt.Printf("%4s  %12s  %16s\n", "node", "IC spread", "opinion spread")
 	for _, v := range []holisticim.NodeID{A, B, C, D} {
-		ic := holisticim.EstimateSpread(g, []holisticim.NodeID{v}, opts)
-		oi := holisticim.EstimateOpinionSpread(g, []holisticim.NodeID{v}, opts)
+		ic := must(holisticim.EstimateSpreadContext(context.Background(), g, []holisticim.NodeID{v}, opts))
+		oi := must(holisticim.EstimateOpinionSpreadContext(context.Background(), g, []holisticim.NodeID{v}, opts))
 		fmt.Printf("%4s  %12.4f  %16.4f\n", names[v], ic.Spread, oi.OpinionSpread)
 	}
 	easy, _ := holisticim.SelectSeeds(g, 1, holisticim.AlgEaSyIM, holisticim.Options{PathLength: 2, Seed: 3})
@@ -84,10 +85,19 @@ func market() {
 		{"EaSyIM (max reach)", easy.Seeds},
 		{"OSIM (max effective opinion)", osim.Seeds},
 	} {
-		sp := holisticim.EstimateSpread(g, run.seeds, opts)
-		op := holisticim.EstimateOpinionSpread(g, run.seeds, opts)
+		sp := must(holisticim.EstimateSpreadContext(context.Background(), g, run.seeds, opts))
+		op := must(holisticim.EstimateOpinionSpreadContext(context.Background(), g, run.seeds, opts))
 		fmt.Printf("%-28s %12.1f %12.2f %12.2f\n",
 			run.name, sp.Spread, op.OpinionSpread, op.EffectiveOpinionSpread(1))
 	}
 	fmt.Println("\nReach-driven campaigns recruit detractors; MEO counts them against you.")
+}
+
+// must unwraps the context estimators: the example configurations are
+// known-valid and never cancelled, so an error here is a programming bug.
+func must(est holisticim.Estimate, err error) holisticim.Estimate {
+	if err != nil {
+		panic(err)
+	}
+	return est
 }

@@ -24,15 +24,25 @@
 //	holisticim.AssignOpinions(g, holisticim.OpinionNormal, 2)
 //	holisticim.AssignInteractions(g, 3)
 //	res, err := holisticim.SelectSeeds(g, 50, holisticim.AlgOSIM, holisticim.Options{})
-//	est := holisticim.EstimateOpinionSpread(g, res.Seeds, holisticim.Options{})
+//	est, err := holisticim.EstimateOpinionSpreadContext(context.Background(), g, res.Seeds, holisticim.Options{})
 //	fmt.Println(res.Seeds, est.EffectiveOpinionSpread(1))
+//
+// The selection contract is context-first: SelectSeedsContext (and every
+// im.Selector underneath it) honors cancellation and deadlines at
+// per-seed checkpoints, returning the partial prefix selected so far
+// with Result.Partial set and an error wrapping ctx.Err(). Attach
+// Options.Progress to observe each seed as it is chosen, or
+// Options.Deadline to bound the selection wall-clock without managing a
+// context yourself.
 //
 // See the examples/ directory for complete programs.
 package holisticim
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"github.com/holisticim/holisticim/internal/core"
 	"github.com/holisticim/holisticim/internal/diffusion"
@@ -57,8 +67,14 @@ type (
 	// Builder accumulates edges and produces an immutable Graph.
 	Builder = graph.Builder
 	// Result reports a seed selection: seeds in selection order, timing
-	// and algorithm-specific metrics.
+	// and algorithm-specific metrics. Partial marks a selection cut short
+	// by cancellation or deadline expiry.
 	Result = im.Result
+	// Progress observes per-seed selection progress (0-based seed index,
+	// the seed and the cumulative elapsed time); attach one via
+	// Options.Progress. Callbacks run synchronously on the selection
+	// goroutine and must be fast.
+	Progress = im.Progress
 	// Estimate is a Monte-Carlo spread estimate.
 	Estimate = diffusion.Estimate
 	// Model is a diffusion process bound to a graph.
@@ -199,6 +215,17 @@ type Options struct {
 	Workers int
 	// TIMThetaCap optionally bounds TIM+/IMM RR sets (0 = unbounded).
 	TIMThetaCap int
+	// Progress, when set, observes every chosen seed as selection runs.
+	// Like Workers it cannot change the selected seeds, so it is excluded
+	// from Fingerprint.
+	Progress Progress
+	// Deadline, when positive, bounds the selection wall-clock time:
+	// SelectSeedsContext derives a timeout context and the selection
+	// returns a Partial result with an error wrapping
+	// context.DeadlineExceeded once it expires. Excluded from Fingerprint
+	// (a deadline changes when a result arrives, never which result a
+	// completed run yields).
+	Deadline time.Duration
 }
 
 func (o Options) withDefaults(opinionAware bool) Options {
@@ -244,19 +271,31 @@ func opinionAware(alg Algorithm) bool {
 // (alg, k, Options) triple would perform: defaults are resolved first, so
 // a zero Options and an Options spelling out the paper defaults map to the
 // same fingerprint, and fields that cannot change the result (Workers —
-// the estimators are deterministic per run regardless of parallelism) are
-// excluded. Serving layers use this as a cache/deduplication key; it is
-// stable across processes but not across releases.
+// the estimators are deterministic per run regardless of parallelism —
+// and the request-lifecycle knobs Progress and Deadline) are excluded.
+// Serving layers use this as a cache/deduplication key; it is stable
+// across processes but not across releases.
 func (o Options) Fingerprint(alg Algorithm, k int) string {
 	c := o.withDefaults(opinionAware(alg))
 	return fmt.Sprintf("alg=%s;k=%d;model=%s;l=%d;lambda=%g;eps=%g;mc=%d;seed=%d;thetacap=%d",
 		alg, k, c.Model, c.PathLength, c.Lambda, c.Epsilon, c.MCRuns, c.Seed, c.TIMThetaCap)
 }
 
-// SelectSeeds picks k seed nodes with the chosen algorithm. It returns an
-// error (rather than panicking) for invalid configuration at this public
-// boundary.
+// SelectSeeds picks k seed nodes with the chosen algorithm, running to
+// completion with no cancellation — a thin context.Background() wrapper
+// around SelectSeedsContext.
 func SelectSeeds(g *Graph, k int, alg Algorithm, opts Options) (Result, error) {
+	return SelectSeedsContext(context.Background(), g, k, alg, opts)
+}
+
+// SelectSeedsContext picks k seed nodes with the chosen algorithm under
+// ctx. It returns an error (rather than panicking) for invalid
+// configuration at this public boundary; when ctx is cancelled — or the
+// deadline from ctx or opts.Deadline passes — mid-selection, it returns
+// promptly with the partial Result (Partial set, Seeds holding the prefix
+// chosen so far) and an error wrapping ctx.Err(). Attach opts.Progress to
+// observe each seed as it is chosen.
+func SelectSeedsContext(ctx context.Context, g *Graph, k int, alg Algorithm, opts Options) (Result, error) {
 	if g == nil {
 		return Result{}, fmt.Errorf("holisticim: nil graph")
 	}
@@ -264,6 +303,14 @@ func SelectSeeds(g *Graph, k int, alg Algorithm, opts Options) (Result, error) {
 		return Result{}, fmt.Errorf("holisticim: invalid k=%d for n=%d", k, g.NumNodes())
 	}
 	o := opts.withDefaults(opinionAware(alg))
+	if o.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.Deadline)
+		defer cancel()
+	}
+	if o.Progress != nil {
+		ctx = im.WithProgress(ctx, o.Progress)
+	}
 
 	model, err := NewModel(g, o.Model)
 	if err != nil {
@@ -274,6 +321,13 @@ func SelectSeeds(g *Graph, k int, alg Algorithm, opts Options) (Result, error) {
 	if o.Model == ModelLT || o.Model == ModelOILT || o.Model == ModelOC {
 		weight = core.WeightLT
 		risKind = ris.ModelLT
+	}
+	// Monte-Carlo objectives honor Workers: the estimates are deterministic
+	// per run regardless of parallelism, so this only changes speed.
+	spreadObjective := func() *greedy.MCObjective {
+		obj := greedy.NewSpreadObjective(model, o.MCRuns, o.Seed)
+		obj.Workers = o.Workers
+		return obj
 	}
 
 	var sel im.Selector
@@ -287,11 +341,13 @@ func SelectSeeds(g *Graph, k int, alg Algorithm, opts Options) (Result, error) {
 			Policy: core.PolicyMCMajority, ProbeModel: model, Seed: o.Seed,
 		})
 	case AlgGreedy:
-		sel = greedy.NewGreedy(greedy.NewSpreadObjective(model, o.MCRuns, o.Seed))
+		sel = greedy.NewGreedy(spreadObjective())
 	case AlgCELFPP:
-		sel = greedy.NewCELFPP(greedy.NewSpreadObjective(model, o.MCRuns, o.Seed))
+		sel = greedy.NewCELFPP(spreadObjective())
 	case AlgModifiedGreedy:
-		sel = greedy.NewModifiedGreedy(greedy.NewEffectiveOpinionObjective(model, o.Lambda, o.MCRuns, o.Seed))
+		obj := greedy.NewEffectiveOpinionObjective(model, o.Lambda, o.MCRuns, o.Seed)
+		obj.Workers = o.Workers
+		sel = greedy.NewModifiedGreedy(obj)
 	case AlgStaticGreedy:
 		snapshots := o.MCRuns / 50
 		if snapshots < 1 {
@@ -319,31 +375,64 @@ func SelectSeeds(g *Graph, k int, alg Algorithm, opts Options) (Result, error) {
 	default:
 		return Result{}, fmt.Errorf("holisticim: unknown algorithm %q", alg)
 	}
-	return sel.Select(k), nil
+	return sel.Select(ctx, k)
 }
 
-// EstimateSpread estimates σ(S) (expected activations beyond the seeds)
-// under opts.Model.
-func EstimateSpread(g *Graph, seeds []NodeID, opts Options) Estimate {
-	o := opts.withDefaults(false)
+// estimate runs the Monte-Carlo estimator shared by the public spread
+// estimators, surfacing configuration errors and cancellation.
+func estimate(ctx context.Context, g *Graph, seeds []NodeID, opts Options, opinionAware bool) (Estimate, error) {
+	if g == nil {
+		return Estimate{}, fmt.Errorf("holisticim: nil graph")
+	}
+	o := opts.withDefaults(opinionAware)
 	model, err := NewModel(g, o.Model)
 	if err != nil {
-		panic(err) // withDefaults guarantees a known model
+		return Estimate{}, err
 	}
-	return diffusion.MonteCarlo(model, seeds, diffusion.MCOptions{
-		Runs: o.MCRuns, Seed: o.Seed, Workers: o.Workers,
+	est := diffusion.MonteCarlo(model, seeds, diffusion.MCOptions{
+		Runs: o.MCRuns, Seed: o.Seed, Workers: o.Workers, Ctx: ctx,
 	})
+	// A cancellation that lands after the final run was dispatched did not
+	// truncate anything — the estimate is complete, so return it as such.
+	if err := ctx.Err(); err != nil && est.Runs < o.MCRuns {
+		return est, fmt.Errorf("holisticim: estimate interrupted after %d of %d runs: %w",
+			est.Runs, o.MCRuns, err)
+	}
+	return est, nil
+}
+
+// EstimateSpreadContext estimates σ(S) (expected activations beyond the
+// seeds) under opts.Model. It returns an error for an unknown model and
+// honors ctx: when cancelled mid-estimation the truncated Estimate comes
+// back alongside an error wrapping ctx.Err().
+func EstimateSpreadContext(ctx context.Context, g *Graph, seeds []NodeID, opts Options) (Estimate, error) {
+	return estimate(ctx, g, seeds, opts, false)
+}
+
+// EstimateOpinionSpreadContext estimates the opinion-aware spreads
+// (Defs. 6-7) under opts.Model (default OI over IC), with the same
+// context and error contract as EstimateSpreadContext.
+func EstimateOpinionSpreadContext(ctx context.Context, g *Graph, seeds []NodeID, opts Options) (Estimate, error) {
+	return estimate(ctx, g, seeds, opts, true)
+}
+
+// EstimateSpread estimates σ(S) under opts.Model.
+//
+// Deprecated: use EstimateSpreadContext, which surfaces configuration
+// errors and supports cancellation. This shim never panics: an invalid
+// opts.Model yields a zero Estimate.
+func EstimateSpread(g *Graph, seeds []NodeID, opts Options) Estimate {
+	est, _ := EstimateSpreadContext(context.Background(), g, seeds, opts)
+	return est
 }
 
 // EstimateOpinionSpread estimates the opinion-aware spreads (Defs. 6-7)
 // under opts.Model (default OI over IC).
+//
+// Deprecated: use EstimateOpinionSpreadContext, which surfaces
+// configuration errors and supports cancellation. This shim never
+// panics: an invalid opts.Model yields a zero Estimate.
 func EstimateOpinionSpread(g *Graph, seeds []NodeID, opts Options) Estimate {
-	o := opts.withDefaults(true)
-	model, err := NewModel(g, o.Model)
-	if err != nil {
-		panic(err)
-	}
-	return diffusion.MonteCarlo(model, seeds, diffusion.MCOptions{
-		Runs: o.MCRuns, Seed: o.Seed, Workers: o.Workers,
-	})
+	est, _ := EstimateOpinionSpreadContext(context.Background(), g, seeds, opts)
+	return est
 }

@@ -64,7 +64,7 @@ func BenchmarkScoreGreedySelect10(b *testing.B) {
 			ProbeRuns:  10,
 			Seed:       uint64(i),
 		})
-		_ = sg.Select(10)
+		_ = runSelect(sg, 10)
 	}
 }
 

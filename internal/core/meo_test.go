@@ -87,7 +87,7 @@ func TestMEOGreedyFindsCover(t *testing.T) {
 		ProbeRuns:  8,
 		Seed:       5,
 	})
-	res := sg.Select(2)
+	res := runSelect(sg, 2)
 	got := evalEffective(g, res.Seeds, 1)
 	if got <= 0 {
 		t.Fatalf("greedy MEO seeds %v give spread %v, want > 0", res.Seeds, got)

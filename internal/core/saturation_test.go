@@ -19,7 +19,7 @@ func TestScoreGreedySaturationFillsBudget(t *testing.T) {
 		ProbeRuns:  4,
 		Seed:       3,
 	})
-	res := sg.Select(5)
+	res := runSelect(sg, 5)
 	if len(res.Seeds) != 5 {
 		t.Fatalf("got %d seeds, want exactly 5", len(res.Seeds))
 	}
@@ -43,7 +43,7 @@ func TestScoreGreedySaturationFillsBudget(t *testing.T) {
 func TestScoreGreedyNoSaturationNoMetric(t *testing.T) {
 	g := graph.Path(10, 0.1, 0.5)
 	sg := NewScoreGreedy(NewEaSyIM(g, 2, WeightProb), ScoreGreedyOptions{Policy: PolicySeedOnly})
-	res := sg.Select(3)
+	res := runSelect(sg, 3)
 	if _, ok := res.Metrics["saturated_at"]; ok {
 		t.Fatal("saturation metric set on non-saturating run")
 	}

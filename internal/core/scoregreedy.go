@@ -2,9 +2,9 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
-	"time"
 
 	"github.com/holisticim/holisticim/internal/diffusion"
 	"github.com/holisticim/holisticim/internal/graph"
@@ -90,13 +90,17 @@ func (sg *ScoreGreedy) Name() string {
 	return "ScoreGreedy(" + sg.scorer.Name() + ")"
 }
 
-// Select implements im.Selector.
-func (sg *ScoreGreedy) Select(k int) im.Result {
+// Select implements im.Selector. Cancellation is checked before every
+// score assignment — the per-seed unit of work (Algorithm 1's O(l·(m+n))
+// scoring pass plus the activation probe).
+func (sg *ScoreGreedy) Select(ctx context.Context, k int) (im.Result, error) {
 	g := sg.scorer.Graph()
 	n := g.NumNodes()
-	im.ValidateK(k, n)
-	start := time.Now()
 	res := im.Result{Algorithm: sg.Name()}
+	if err := im.CheckK(k, n); err != nil {
+		return res, err
+	}
+	tr := im.StartTracker(ctx)
 
 	excluded := make([]bool, n)
 	scores := make([]float64, n)
@@ -109,6 +113,9 @@ func (sg *ScoreGreedy) Select(k int) im.Result {
 	probeRNG := rng.New(sg.opts.Seed)
 
 	for i := 0; i < k; i++ {
+		if err := tr.Interrupted(&res); err != nil {
+			return res, err
+		}
 		sg.scorer.Assign(excluded, scores)
 		res.AddMetric("score_assignments", 1)
 		pick := ArgmaxScore(scores)
@@ -120,22 +127,23 @@ func (sg *ScoreGreedy) Select(k int) im.Result {
 			// nodes (any choice is equivalent under the saturated
 			// objective); record where saturation happened.
 			res.AddMetric("saturated_at", float64(len(res.Seeds)))
-			sg.fillRemaining(&res, k, start)
+			if err := sg.fillRemaining(tr, &res, k); err != nil {
+				return res, err
+			}
 			break
 		}
-		res.Seeds = append(res.Seeds, pick)
 		sg.markActivated(pick, excluded, scratch, counts, probeRNG)
 		excluded[pick] = true
-		res.PerSeed = append(res.PerSeed, time.Since(start))
+		tr.Seed(&res, pick)
 	}
-	res.Took = time.Since(start)
-	return res
+	tr.Finish(&res)
+	return res, nil
 }
 
 // fillRemaining tops the seed list up to k with unselected nodes in
 // descending out-degree order (ties by id), keeping Select's exactly-k
 // contract after the score-based objective saturates.
-func (sg *ScoreGreedy) fillRemaining(res *im.Result, k int, start time.Time) {
+func (sg *ScoreGreedy) fillRemaining(tr *im.Tracker, res *im.Result, k int) error {
 	g := sg.scorer.Graph()
 	chosen := make(map[graph.NodeID]bool, len(res.Seeds))
 	for _, s := range res.Seeds {
@@ -148,10 +156,14 @@ func (sg *ScoreGreedy) fillRemaining(res *im.Result, k int, start time.Time) {
 		if chosen[v] {
 			continue
 		}
+		if err := tr.Interrupted(res); err != nil {
+			return err
+		}
 		chosen[v] = true
-		res.Seeds = append(res.Seeds, v)
-		res.PerSeed = append(res.PerSeed, time.Since(start))
+		tr.Seed(res, v)
 	}
+	tr.Finish(res)
+	return nil
 }
 
 // markActivated grows the excluded mask with the nodes the new seed

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"github.com/holisticim/holisticim/internal/diffusion"
@@ -16,7 +17,7 @@ func TestScoreGreedyFigure1OSIMPicksA(t *testing.T) {
 		ProbeRuns:  50,
 		Seed:       1,
 	})
-	res := sg.Select(1)
+	res := runSelect(sg, 1)
 	if len(res.Seeds) != 1 || res.Seeds[0] != 0 {
 		t.Fatalf("OSIM ScoreGreedy picked %v, want [A=0]", res.Seeds)
 	}
@@ -32,7 +33,7 @@ func TestScoreGreedyFigure1EaSyIMPicksC(t *testing.T) {
 		ProbeModel: diffusion.NewIC(g),
 		Seed:       1,
 	})
-	res := sg.Select(1)
+	res := runSelect(sg, 1)
 	if res.Seeds[0] != 2 {
 		t.Fatalf("EaSyIM ScoreGreedy picked %v, want [C=2]", res.Seeds)
 	}
@@ -56,7 +57,7 @@ func TestScoreGreedyDisjointStars(t *testing.T) {
 		ProbeRuns:  10,
 		Seed:       7,
 	})
-	res := sg.Select(2)
+	res := runSelect(sg, 2)
 	if len(res.Seeds) != 2 {
 		t.Fatalf("seeds %v", res.Seeds)
 	}
@@ -79,7 +80,7 @@ func TestScoreGreedySeedOnlyPolicyCanRepeatCluster(t *testing.T) {
 	}
 	g := b.Build()
 	sg := NewScoreGreedy(NewEaSyIM(g, 2, WeightProb), ScoreGreedyOptions{Policy: PolicySeedOnly})
-	res := sg.Select(2)
+	res := runSelect(sg, 2)
 	if res.Seeds[0] != 0 {
 		t.Fatalf("first seed %v want 0", res.Seeds)
 	}
@@ -97,7 +98,7 @@ func TestScoreGreedyReachPolicy(t *testing.T) {
 	b.AddEdgeP(3, 4, 1, 1) // second component, shorter
 	g := b.Build()
 	sg := NewScoreGreedy(NewEaSyIM(g, 3, WeightProb), ScoreGreedyOptions{Policy: PolicyReach})
-	res := sg.Select(2)
+	res := runSelect(sg, 2)
 	if res.Seeds[0] != 0 || res.Seeds[1] != 3 {
 		t.Fatalf("reach policy seeds %v, want [0 3]", res.Seeds)
 	}
@@ -109,7 +110,7 @@ func TestScoreGreedyPerSeedTimesMonotone(t *testing.T) {
 	sg := NewScoreGreedy(NewEaSyIM(g, 3, WeightProb), ScoreGreedyOptions{
 		Policy: PolicySeedOnly,
 	})
-	res := sg.Select(5)
+	res := runSelect(sg, 5)
 	if len(res.PerSeed) != 5 {
 		t.Fatalf("per-seed times %v", res.PerSeed)
 	}
@@ -126,12 +127,12 @@ func TestScoreGreedyPerSeedTimesMonotone(t *testing.T) {
 func TestScoreGreedyValidatesK(t *testing.T) {
 	g := graph.Path(3, 0.5, 0.5)
 	sg := NewScoreGreedy(NewEaSyIM(g, 1, WeightProb), ScoreGreedyOptions{Policy: PolicySeedOnly})
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic on k=0")
-		}
-	}()
-	sg.Select(0)
+	if _, err := sg.Select(context.Background(), 0); err == nil {
+		t.Fatal("expected error on k=0")
+	}
+	if _, err := sg.Select(context.Background(), 4); err == nil {
+		t.Fatal("expected error on k>n")
+	}
 }
 
 func TestScoreGreedyRequiresProbeModel(t *testing.T) {
@@ -154,7 +155,7 @@ func TestScoreGreedyDeterminism(t *testing.T) {
 			ProbeRuns:  10,
 			Seed:       99,
 		})
-		return sg.Select(4).Seeds
+		return runSelect(sg, 4).Seeds
 	}
 	a, b := mk(), mk()
 	for i := range a {

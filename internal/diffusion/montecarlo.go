@@ -1,6 +1,7 @@
 package diffusion
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -34,6 +35,11 @@ type MCOptions struct {
 	// for callers issuing many small estimations (the greedy baselines
 	// evaluate O(k·n) seed sets).
 	Pool *ScratchPool
+	// Ctx, when set, lets MonteCarlo stop dispatching runs once the
+	// context is cancelled: the estimate then averages only the runs
+	// dispatched so far (Estimate.Runs reports how many). Callers that
+	// cancel are expected to discard the truncated estimate.
+	Ctx context.Context
 }
 
 // ScratchPool recycles Scratch workspaces across MonteCarlo calls. Safe
@@ -120,15 +126,20 @@ func MonteCarlo(m Model, seeds []graph.NodeID, opts MCOptions) Estimate {
 			}
 		}()
 	}
+	dispatched := 0
 	for i := 0; i < opts.Runs; i++ {
+		if opts.Ctx != nil && opts.Ctx.Err() != nil {
+			break
+		}
 		next <- i
+		dispatched++
 	}
 	close(next)
 	wg.Wait()
 
-	est := Estimate{Runs: opts.Runs}
+	est := Estimate{Runs: dispatched}
 	var sumS, sumS2, sumO, sumO2 float64
-	for _, st := range stats {
+	for _, st := range stats[:dispatched] {
 		sumS += st.spread
 		sumS2 += st.spread * st.spread
 		sumO += st.opinion
@@ -136,12 +147,15 @@ func MonteCarlo(m Model, seeds []graph.NodeID, opts MCOptions) Estimate {
 		est.PositiveSpread += st.pos
 		est.NegativeSpread += st.neg
 	}
-	rn := float64(opts.Runs)
+	if dispatched == 0 {
+		return est
+	}
+	rn := float64(dispatched)
 	est.Spread = sumS / rn
 	est.OpinionSpread = sumO / rn
 	est.PositiveSpread /= rn
 	est.NegativeSpread /= rn
-	if opts.Runs > 1 {
+	if dispatched > 1 {
 		est.SpreadVariance = (sumS2 - sumS*sumS/rn) / (rn - 1)
 		est.OpinionVariance = (sumO2 - sumO*sumO/rn) / (rn - 1)
 	}

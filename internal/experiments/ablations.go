@@ -33,7 +33,7 @@ func runAblationPolicy(cfg Config) []Table {
 			ProbeRuns:  probeRuns(cfg),
 			Seed:       cfg.Seed + 103,
 		})
-		res := sel.Select(k)
+		res := selectK(sel, k)
 		t.AddRow(pol.String(), fi(k), f1(evalSpread(m, res.Seeds, cfg)), secs(res.Took.Seconds()))
 	}
 	t.AddNote("mc-majority trades probe time for better seed diversity; seed-only is fastest")
@@ -55,8 +55,8 @@ func runAblationObliviousSeeds(cfg Config) []Table {
 	if cfg.Quick {
 		k = 10
 	}
-	osim := osimSelector(g, 3, 1, cfg).Select(k)
-	easy := easyimSelector(g, 3, core.WeightProb, cfg).Select(k)
+	osim := selectK(osimSelector(g, 3, 1, cfg), k)
+	easy := selectK(easyimSelector(g, 3, core.WeightProb, cfg), k)
 	for _, lambda := range []float64{0, 0.5, 1, 2} {
 		t.AddRow(f1(lambda),
 			f2(evalOpinion(g, osim.Seeds, lambda, cfg)),

@@ -34,8 +34,8 @@ func runFig7a(cfg Config) []Table {
 		prepareOpinion(g, opinion.Uniform, cfg.Seed)
 		ks := cfg.kSweep(200)
 		kMax := ks[len(ks)-1]
-		l1 := osimSelector(g, 3, 1, cfg).Select(kMax)
-		l0 := osimSelector(g, 3, 0, cfg).Select(kMax)
+		l1 := selectK(osimSelector(g, 3, 1, cfg), kMax)
+		l0 := selectK(osimSelector(g, 3, 0, cfg), kMax)
 		for _, k := range ks {
 			t.AddRow(ds, fi(k),
 				f2(evalOpinion(g, prefix(l1, k), 1, cfg)),
@@ -76,12 +76,12 @@ func runFig7bf(cfg Config) []Table {
 		greedyMax = 10
 	}
 	obj := &greedy.MCObjective{Model: ocModel, Kind: greedy.KindOpinionSpread, Runs: greedyRuns(cfg), Seed: cfg.Seed + 89}
-	mg := greedy.NewGreedy(obj).Select(greedyMax)
+	mg := selectK(greedy.NewGreedy(obj), greedyMax)
 	ls := []int{1, 2, 3, 5}
 	osims := make([]im.Result, len(ls))
 	for i, l := range ls {
 		sel, _ := ocSelector(g, l, cfg)
-		osims[i] = sel.Select(kMax)
+		osims[i] = selectK(sel, kMax)
 	}
 	evalOC := func(seeds []int32) float64 {
 		if len(seeds) == 0 {
@@ -133,7 +133,7 @@ func runFig7cg(cfg Config) []Table {
 		kMax := ks[len(ks)-1]
 		results := make([]im.Result, len(ls))
 		for i, l := range ls {
-			results[i] = osimSelector(g, l, 1, cfg).Select(kMax)
+			results[i] = selectK(osimSelector(g, l, 1, cfg), kMax)
 		}
 		for _, k := range ks {
 			qRow := []string{ds, fi(k)}
@@ -164,14 +164,14 @@ func runFig7d(cfg Config) []Table {
 	m, w, kind := modelFor(g, "LT")
 	ks := cfg.kSweep(100)
 	kMax := ks[len(ks)-1]
-	easy := easyimSelector(g, 3, w, cfg).Select(kMax)
-	simpath := newSIMPATH(g).Select(kMax)
-	tim := ris.NewTIMPlus(g, kind, timOptions(cfg, 0.1)).Select(kMax)
+	easy := selectK(easyimSelector(g, 3, w, cfg), kMax)
+	simpath := selectK(newSIMPATH(g), kMax)
+	tim := selectK(ris.NewTIMPlus(g, kind, timOptions(cfg, 0.1)), kMax)
 	kCelf := kMax
 	if cfg.Quick && kCelf > 5 {
 		kCelf = 5
 	}
-	celf := greedy.NewCELFPP(greedy.NewSpreadObjective(m, greedyRuns(cfg), cfg.Seed+101)).Select(kCelf)
+	celf := selectK(greedy.NewCELFPP(greedy.NewSpreadObjective(m, greedyRuns(cfg), cfg.Seed+101)), kCelf)
 	for _, k := range ks {
 		celfCell := "NA"
 		if k <= len(celf.Seeds) {
@@ -197,8 +197,8 @@ func runFig7e(cfg Config) []Table {
 	m, w, _ := modelFor(g, "WC")
 	ks := cfg.kSweep(100)
 	kMax := ks[len(ks)-1]
-	easy := easyimSelector(g, 3, w, cfg).Select(kMax)
-	irie := newIRIE(g).Select(kMax)
+	easy := selectK(easyimSelector(g, 3, w, cfg), kMax)
+	irie := selectK(newIRIE(g), kMax)
 	for _, k := range ks {
 		t.AddRow(fi(k),
 			f1(evalSpread(m, prefix(easy, k), cfg)),
@@ -221,8 +221,8 @@ func runFig7h(cfg Config) []Table {
 	for _, ds := range []string{"nethept", "hepph", "dblp", "youtube"} {
 		g := LoadDataset(ds, cfg)
 		_, w, _ := modelFor(g, "WC")
-		easy := easyimSelector(g, 3, w, cfg).Select(k)
-		irie := newIRIE(g).Select(k)
+		easy := selectK(easyimSelector(g, 3, w, cfg), k)
+		irie := selectK(newIRIE(g), k)
 		t.AddRow(ds, fi(k), secs(easy.Took.Seconds()), secs(irie.Took.Seconds()))
 	}
 	t.AddNote("paper shape: EaSyIM 2-6x faster than IRIE")
@@ -246,8 +246,8 @@ func runFig7i(cfg Config) []Table {
 	for _, ds := range datasets {
 		g := LoadDataset(ds, cfg)
 		_, w, _ := modelFor(g, "LT")
-		easy := easyimSelector(g, 3, w, cfg).Select(k)
-		simpath := newSIMPATH(g).Select(k)
+		easy := selectK(easyimSelector(g, 3, w, cfg), k)
+		simpath := selectK(newSIMPATH(g), k)
 		t.AddRow(ds, fi(k), secs(easy.Took.Seconds()), secs(simpath.Took.Seconds()))
 	}
 	t.AddNote("paper shape: SIMPATH competitive on small graphs, blows up on larger ones")
@@ -267,7 +267,7 @@ func runFig7j(cfg Config) []Table {
 	for _, ds := range []string{"soclive", "orkut", "twitter", "friendster"} {
 		g := LoadDataset(ds, cfg)
 		_, w, _ := modelFor(g, "WC")
-		mem := MeasureMemory(func() { easyimSelector(g, 1, w, cfg).Select(k) })
+		mem := MeasureMemory(func() { selectK(easyimSelector(g, 1, w, cfg), k) })
 		t.AddRow(fmt.Sprintf("%s", Datasets[ds].Name), f1(MB(g.MemoryFootprint())), f1(MB(mem.PeakExtraBytes)))
 	}
 	t.AddNote("paper shape: execution memory is a small constant over graph loading — billion-edge feasible")

@@ -71,7 +71,7 @@ func runLSweep(cfg Config, ds, model string) Table {
 	kMax := ks[len(ks)-1]
 	results := make([]im.Result, len(ls))
 	for i, l := range ls {
-		results[i] = easyimSelector(g, l, w, cfg).Select(kMax)
+		results[i] = selectK(easyimSelector(g, l, w, cfg), kMax)
 	}
 	for _, k := range ks {
 		row := []string{fi(k)}
@@ -98,9 +98,9 @@ func runFig6d(cfg Config) []Table {
 	m, w, kind := modelFor(g, "IC")
 	ks := cfg.kSweep(100)
 	kMax := ks[len(ks)-1]
-	easy := easyimSelector(g, 3, w, cfg).Select(kMax)
-	tim := ris.NewTIMPlus(g, kind, timOptions(cfg, 0.1)).Select(kMax)
-	celf := greedy.NewCELFPP(greedy.NewSpreadObjective(m, greedyRuns(cfg), cfg.Seed+67)).Select(kMax)
+	easy := selectK(easyimSelector(g, 3, w, cfg), kMax)
+	tim := selectK(ris.NewTIMPlus(g, kind, timOptions(cfg, 0.1)), kMax)
+	celf := selectK(greedy.NewCELFPP(greedy.NewSpreadObjective(m, greedyRuns(cfg), cfg.Seed+67)), kMax)
 	for _, k := range ks {
 		t.AddRow(fi(k),
 			f1(evalSpread(m, prefix(easy, k), cfg)),
@@ -121,10 +121,10 @@ func runFig6e(cfg Config) []Table {
 	m, w, kind := modelFor(g, "IC")
 	ks := cfg.kSweep(100)
 	kMax := ks[len(ks)-1]
-	easy := easyimSelector(g, 3, w, cfg).Select(kMax)
+	easy := selectK(easyimSelector(g, 3, w, cfg), kMax)
 	tims := make([]im.Result, 3)
 	for i, eps := range []float64{0.1, 0.15, 0.2} {
-		tims[i] = ris.NewTIMPlus(g, kind, timOptions(cfg, eps)).Select(kMax)
+		tims[i] = selectK(ris.NewTIMPlus(g, kind, timOptions(cfg, eps)), kMax)
 	}
 	for _, k := range ks {
 		row := []string{fi(k), f1(evalSpread(m, prefix(easy, k), cfg))}
@@ -149,9 +149,9 @@ func runTimeComparison(cfg Config, id, ds, model string) Table {
 	kMax := ks[len(ks)-1]
 	var easies []im.Result
 	for _, l := range []int{1, 3, 5} {
-		easies = append(easies, easyimSelector(g, l, w, cfg).Select(kMax))
+		easies = append(easies, selectK(easyimSelector(g, l, w, cfg), kMax))
 	}
-	tim := ris.NewTIMPlus(g, kind, timOptions(cfg, 0.1)).Select(kMax)
+	tim := selectK(ris.NewTIMPlus(g, kind, timOptions(cfg, 0.1)), kMax)
 	// CELF++ only on the small dataset / small k — elsewhere the paper
 	// reports it infeasible ("did not complete even after 7 days").
 	celfFeasible := ds == "nethept" || ds == "nethept-mini"
@@ -161,7 +161,7 @@ func runTimeComparison(cfg Config, id, ds, model string) Table {
 		if cfg.Quick && kCelf > 5 {
 			kCelf = 5
 		}
-		celf = greedy.NewCELFPP(greedy.NewSpreadObjective(m, greedyRuns(cfg), cfg.Seed+71)).Select(kCelf)
+		celf = selectK(greedy.NewCELFPP(greedy.NewSpreadObjective(m, greedyRuns(cfg), cfg.Seed+71)), kCelf)
 	}
 	for _, k := range ks {
 		row := []string{fi(k)}
@@ -194,7 +194,7 @@ func runFig6i(cfg Config) []Table {
 		g := LoadDataset(ds, cfg)
 		m, w, kind := modelFor(g, "IC")
 		for _, k := range ks {
-			easyMem := MeasureMemory(func() { easyimSelector(g, 3, w, cfg).Select(k) })
+			easyMem := MeasureMemory(func() { selectK(easyimSelector(g, 3, w, cfg), k) })
 			kCelf := minInt(k, 2)
 			celfRuns := greedyRuns(cfg) / 4
 			if cfg.Quick {
@@ -203,10 +203,10 @@ func runFig6i(cfg Config) []Table {
 			var celfMem MemUsage
 			if ds == "nethept" {
 				celfMem = MeasureMemory(func() {
-					greedy.NewCELFPP(greedy.NewSpreadObjective(m, celfRuns, cfg.Seed+73)).Select(kCelf)
+					selectK(greedy.NewCELFPP(greedy.NewSpreadObjective(m, celfRuns, cfg.Seed+73)), kCelf)
 				})
 			}
-			timMem := MeasureMemory(func() { ris.NewTIMPlus(g, kind, timOptions(cfg, 0.1)).Select(k) })
+			timMem := MeasureMemory(func() { selectK(ris.NewTIMPlus(g, kind, timOptions(cfg, 0.1)), k) })
 			celfCell := "NA"
 			if ds == "nethept" {
 				celfCell = f1(MB(celfMem.PeakExtraBytes))
@@ -232,8 +232,8 @@ func runFig6j(cfg Config) []Table {
 		g := LoadDataset(ds, cfg)
 		m, w, _ := modelFor(g, "IC")
 		graphMB := MB(g.MemoryFootprint())
-		easyMem := MeasureMemory(func() { easyimSelector(g, 3, w, cfg).Select(k) })
-		irieMem := MeasureMemory(func() { newIRIE(g).Select(k) })
+		easyMem := MeasureMemory(func() { selectK(easyimSelector(g, 3, w, cfg), k) })
+		irieMem := MeasureMemory(func() { selectK(newIRIE(g), k) })
 		celfCell, simpathCell := "NA", "NA"
 		if ds == "nethept" {
 			kC, celfRuns := minInt(k, 2), greedyRuns(cfg)/4
@@ -241,7 +241,7 @@ func runFig6j(cfg Config) []Table {
 				kC, celfRuns = 1, 10
 			}
 			celfMem := MeasureMemory(func() {
-				greedy.NewCELFPP(greedy.NewSpreadObjective(m, celfRuns, cfg.Seed+79)).Select(kC)
+				selectK(greedy.NewCELFPP(greedy.NewSpreadObjective(m, celfRuns, cfg.Seed+79)), kC)
 			})
 			celfCell = f1(MB(celfMem.PeakExtraBytes))
 		}
@@ -252,7 +252,7 @@ func runFig6j(cfg Config) []Table {
 			if cfg.Quick {
 				kS = 2
 			}
-			simpathMem := MeasureMemory(func() { newSIMPATH(gl).Select(kS) })
+			simpathMem := MeasureMemory(func() { selectK(newSIMPATH(gl), kS) })
 			simpathCell = f1(MB(simpathMem.PeakExtraBytes))
 		}
 		t.AddRow(ds, f1(graphMB), f1(MB(easyMem.PeakExtraBytes)), f1(MB(irieMem.PeakExtraBytes)), celfCell, simpathCell)
@@ -285,9 +285,9 @@ func runTable3(cfg Config) []Table {
 		opts.ThetaCap = 0
 		opts.MemoryBudget = budget
 		var timRes im.Result
-		timMem := MeasureMemory(func() { timRes = ris.NewTIMPlus(g, kind, opts).Select(k) })
+		timMem := MeasureMemory(func() { timRes = selectK(ris.NewTIMPlus(g, kind, opts), k) })
 		var easyRes im.Result
-		easyMem := MeasureMemory(func() { easyRes = easyimSelector(g, 1, w, cfg).Select(k) })
+		easyMem := MeasureMemory(func() { easyRes = selectK(easyimSelector(g, 1, w, cfg), k) })
 		timTime, timMB := "NA (OOM)", "NA (OOM)"
 		if timRes.Metrics["aborted_oom"] == 0 && len(timRes.Seeds) > 0 {
 			timTime = secs(timRes.Took.Seconds())
@@ -325,11 +325,11 @@ func runTable4(cfg Config) []Table {
 		var celfMem MemUsage
 		if celfFeasible {
 			celfMem = MeasureMemory(func() {
-				celfRes = greedy.NewCELFPP(greedy.NewSpreadObjective(m, greedyRuns(cfg), cfg.Seed+83)).Select(k)
+				celfRes = selectK(greedy.NewCELFPP(greedy.NewSpreadObjective(m, greedyRuns(cfg), cfg.Seed+83)), k)
 			})
 		}
 		var easyRes im.Result
-		easyMem := MeasureMemory(func() { easyRes = easyimSelector(g, 1, w, cfg).Select(k) })
+		easyMem := MeasureMemory(func() { easyRes = selectK(easyimSelector(g, 1, w, cfg), k) })
 		if celfFeasible {
 			gain := celfRes.Took.Seconds() / maxF(easyRes.Took.Seconds(), 1e-9)
 			t.AddRow(ds, secs(celfRes.Took.Seconds()), secs(easyRes.Took.Seconds()),

@@ -33,10 +33,10 @@ func runFig2(cfg Config) []Table {
 		prepareOpinion(g, opinion.Normal, cfg.Seed)
 		ks := cfg.kSweep(200)
 		kMax := ks[len(ks)-1]
-		oiSel := osimSelector(g, 3, 1, cfg).Select(kMax)
+		oiSel := selectK(osimSelector(g, 3, 1, cfg), kMax)
 		ocSel, _ := ocSelector(g, 3, cfg)
-		ocRes := ocSel.Select(kMax)
-		icRes := easyimSelector(g, 3, 0, cfg).Select(kMax)
+		ocRes := selectK(ocSel, kMax)
+		icRes := selectK(easyimSelector(g, 3, 0, cfg), kMax)
 		for _, k := range ks {
 			t.AddRow(ds, fi(k),
 				f2(evalOpinion(g, prefix(oiSel, k), 1, cfg)),
@@ -173,10 +173,10 @@ func runFig5c(cfg Config) []Table {
 	g.SetOpinions(est)
 	ks := cfg.kSweep(100)
 	kMax := ks[len(ks)-1]
-	oiRes := osimSelector(g, 3, 1, cfg).Select(kMax)
+	oiRes := selectK(osimSelector(g, 3, 1, cfg), kMax)
 	ocSel, _ := ocSelector(g, 3, cfg)
-	ocRes := ocSel.Select(kMax)
-	icRes := easyimSelector(g, 3, 0, cfg).Select(kMax)
+	ocRes := selectK(ocSel, kMax)
+	icRes := selectK(easyimSelector(g, 3, 0, cfg), kMax)
 	for _, k := range ks {
 		t.AddRow(fi(k),
 			f2(evalOpinion(g, prefix(oiRes, k), 1, cfg)),

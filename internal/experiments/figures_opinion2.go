@@ -33,10 +33,10 @@ func runFig5d(cfg Config) []Table {
 	}
 	ks := cfg.kSweep(200)
 	kMax := ks[len(ks)-1]
-	oiRes := osimSelector(g, 3, 1, cfg).Select(kMax)
+	oiRes := selectK(osimSelector(g, 3, 1, cfg), kMax)
 	ocSel, _ := ocSelector(g, 3, cfg)
-	ocRes := ocSel.Select(kMax)
-	icRes := easyimSelector(g, 3, 0, cfg).Select(kMax)
+	ocRes := selectK(ocSel, kMax)
+	icRes := selectK(easyimSelector(g, 3, 0, cfg), kMax)
 	for _, k := range ks {
 		t.AddRow(fi(k),
 			f2(evalOpinion(g, prefix(oiRes, k), 1, cfg)),
@@ -58,8 +58,8 @@ func runFig5e(cfg Config) []Table {
 		prepareOpinion(g, opinion.Normal, cfg.Seed)
 		ks := cfg.kSweep(200)
 		kMax := ks[len(ks)-1]
-		l1 := osimSelector(g, 3, 1, cfg).Select(kMax)
-		l0 := osimSelector(g, 3, 0, cfg).Select(kMax)
+		l1 := selectK(osimSelector(g, 3, 1, cfg), kMax)
+		l0 := selectK(osimSelector(g, 3, 0, cfg), kMax)
 		for _, k := range ks {
 			t.AddRow(ds, fi(k),
 				f2(evalOpinion(g, prefix(l1, k), 1, cfg)),
@@ -89,11 +89,11 @@ func runFig5fg(cfg Config) []Table {
 		greedyMax = 10 // Modified-GREEDY is O(k·n·runs); cap it in quick mode
 	}
 	obj := greedy.NewEffectiveOpinionObjective(diffusion.NewOI(g, diffusion.LayerIC), 1, greedyRuns(cfg), cfg.Seed+59)
-	mg := greedy.NewModifiedGreedy(obj).Select(greedyMax)
+	mg := selectK(greedy.NewModifiedGreedy(obj), greedyMax)
 	ls := []int{1, 2, 3, 5}
 	osimRes := make([]im.Result, len(ls))
 	for i, l := range ls {
-		osimRes[i] = osimSelector(g, l, 1, cfg).Select(ks[len(ks)-1])
+		osimRes[i] = selectK(osimSelector(g, l, 1, cfg), ks[len(ks)-1])
 	}
 	for _, k := range ks {
 		qRow := []string{fi(k)}
@@ -139,7 +139,7 @@ func runFig5h(cfg Config) []Table {
 		prepareOpinion(g, opinion.Normal, cfg.Seed)
 		graphMB := MB(g.MemoryFootprint())
 		osimMem := MeasureMemory(func() {
-			osimSelector(g, 3, 1, cfg).Select(k)
+			selectK(osimSelector(g, 3, 1, cfg), k)
 		})
 		// Greedy memory is k- and runs-independent (the paper notes this),
 		// so the cheapest configuration measures the same footprint.
@@ -149,7 +149,7 @@ func runFig5h(cfg Config) []Table {
 		}
 		obj := greedy.NewEffectiveOpinionObjective(diffusion.NewOI(g, diffusion.LayerIC), 1, runsG, cfg.Seed+61)
 		greedyMem := MeasureMemory(func() {
-			greedy.NewModifiedGreedy(obj).Select(kG)
+			selectK(greedy.NewModifiedGreedy(obj), kG)
 		})
 		t.AddRow(ds, f1(graphMB), f1(MB(osimMem.PeakExtraBytes)), f1(MB(greedyMem.PeakExtraBytes)))
 	}

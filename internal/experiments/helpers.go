@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"github.com/holisticim/holisticim/internal/core"
 	"github.com/holisticim/holisticim/internal/diffusion"
 	"github.com/holisticim/holisticim/internal/graph"
@@ -9,6 +11,18 @@ import (
 	"github.com/holisticim/holisticim/internal/opinion"
 	"github.com/holisticim/holisticim/internal/ris"
 )
+
+// selectK runs a selector to completion with no cancellation — the
+// experiment harness always wants the full selection — panicking on the
+// configuration errors the context-first Select surfaces (experiment
+// configs are known-valid, so an error here is a programming bug).
+func selectK(sel im.Selector, k int) im.Result {
+	res, err := sel.Select(context.Background(), k)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
 
 // prepareIC installs the conventional IC parameterization (uniform
 // p=0.1).

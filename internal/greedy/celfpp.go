@@ -2,7 +2,7 @@ package greedy
 
 import (
 	"container/heap"
-	"time"
+	"context"
 
 	"github.com/holisticim/holisticim/internal/graph"
 	"github.com/holisticim/holisticim/internal/im"
@@ -65,25 +65,33 @@ func (h *celfHeap) Pop() interface{} {
 	return it
 }
 
-// Select implements im.Selector.
-func (c *CELFPP) Select(k int) im.Result {
+// Select implements im.Selector. Cancellation is checked per candidate in
+// the O(n) initial evaluation pass and per heap step in the lazy-forward
+// loop — each checkpoint bounds the wait by a handful of Monte-Carlo
+// objective evaluations.
+func (c *CELFPP) Select(ctx context.Context, k int) (im.Result, error) {
 	g := c.obj.Graph()
 	n := g.NumNodes()
-	im.ValidateK(k, n)
-	start := time.Now()
 	res := im.Result{Algorithm: c.Name()}
+	if err := im.CheckK(k, n); err != nil {
+		return res, err
+	}
+	tr := im.StartTracker(ctx)
 
 	// Initial pass: mg1(u) = σ({u}); curBest tracked to prime mg2.
 	h := make(celfHeap, 0, n)
 	var curBest *celfNode
 	for v := graph.NodeID(0); v < n; v++ {
+		if err := tr.Interrupted(&res); err != nil {
+			return res, err
+		}
 		node := &celfNode{v: v, prevBest: -1, flag: 0}
-		node.mg1 = c.obj.Value([]graph.NodeID{v})
+		node.mg1 = c.obj.Value(ctx, []graph.NodeID{v})
 		res.AddMetric("evaluations", 1)
 		if curBest != nil {
 			node.prevBest = curBest.v
 			// mg2 = σ({curBest, u}) − σ({curBest})
-			node.mg2 = c.obj.Value([]graph.NodeID{curBest.v, v}) - curBest.mg1
+			node.mg2 = c.obj.Value(ctx, []graph.NodeID{curBest.v, v}) - curBest.mg1
 			res.AddMetric("evaluations", 1)
 		} else {
 			node.mg2 = node.mg1
@@ -104,6 +112,9 @@ func (c *CELFPP) Select(k int) im.Result {
 	haveBestCache := false
 
 	for len(seeds) < k && h.Len() > 0 {
+		if err := tr.Interrupted(&res); err != nil {
+			return res, err
+		}
 		u := h[0]
 		if u.flag == len(seeds) {
 			// Marginal gain current — u is the winner.
@@ -113,7 +124,7 @@ func (c *CELFPP) Select(k int) im.Result {
 			lastSeed = u.v
 			curBestV = -1
 			haveBestCache = false
-			res.PerSeed = append(res.PerSeed, time.Since(start))
+			tr.Seed(&res, u.v)
 			continue
 		}
 		if u.prevBest == lastSeed && u.flag == len(seeds)-1 {
@@ -121,17 +132,17 @@ func (c *CELFPP) Select(k int) im.Result {
 			// seed set.
 			u.mg1 = u.mg2
 		} else {
-			val := c.obj.Value(append(seeds, u.v))
+			val := c.obj.Value(ctx, append(seeds, u.v))
 			res.AddMetric("evaluations", 1)
 			u.mg1 = val - seedValue
 			u.prevBest = curBestV
 			if curBestV >= 0 {
 				if !haveBestCache {
-					lastSeedValuePlusBest = c.obj.Value(append(seeds, curBestV))
+					lastSeedValuePlusBest = c.obj.Value(ctx, append(seeds, curBestV))
 					res.AddMetric("evaluations", 1)
 					haveBestCache = true
 				}
-				val2 := c.obj.Value(append(append(seeds, curBestV), u.v))
+				val2 := c.obj.Value(ctx, append(append(seeds, curBestV), u.v))
 				res.AddMetric("evaluations", 1)
 				u.mg2 = val2 - lastSeedValuePlusBest
 			} else {
@@ -146,10 +157,9 @@ func (c *CELFPP) Select(k int) im.Result {
 		}
 		heap.Fix(&h, u.index)
 	}
-	res.Seeds = seeds
-	res.Took = time.Since(start)
+	tr.Finish(&res)
 	res.AddMetric("objective", seedValue)
-	return res
+	return res, nil
 }
 
 var _ im.Selector = (*CELFPP)(nil)

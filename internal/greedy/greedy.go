@@ -1,7 +1,7 @@
 package greedy
 
 import (
-	"time"
+	"context"
 
 	"github.com/holisticim/holisticim/internal/graph"
 	"github.com/holisticim/holisticim/internal/im"
@@ -36,16 +36,21 @@ func NewModifiedGreedy(obj *MCObjective) *Greedy {
 // Name implements im.Selector.
 func (g *Greedy) Name() string { return g.name }
 
-// Select implements im.Selector.
-func (g *Greedy) Select(k int) im.Result {
+// Select implements im.Selector. The inner candidate sweep — k rounds of
+// n Monte-Carlo evaluations each — checks the context per candidate, so
+// cancellation never waits for more than one objective evaluation.
+func (g *Greedy) Select(ctx context.Context, k int) (im.Result, error) {
 	gr := g.obj.Graph()
 	n := gr.NumNodes()
-	im.ValidateK(k, n)
-	start := time.Now()
 	res := im.Result{Algorithm: g.Name()}
+	if err := im.CheckK(k, n); err != nil {
+		return res, err
+	}
+	tr := im.StartTracker(ctx)
 
-	seeds := make([]graph.NodeID, 0, k)
+	res.Seeds = make([]graph.NodeID, 0, k)
 	inSeeds := make([]bool, n)
+	candidate := make([]graph.NodeID, 0, k)
 	base := 0.0
 	for i := 0; i < k; i++ {
 		best := graph.NodeID(-1)
@@ -55,7 +60,11 @@ func (g *Greedy) Select(k int) im.Result {
 			if inSeeds[v] {
 				continue
 			}
-			val := g.obj.Value(append(seeds, v))
+			if err := tr.Interrupted(&res); err != nil {
+				return res, err
+			}
+			candidate = append(candidate[:0], res.Seeds...)
+			val := g.obj.Value(ctx, append(candidate, v))
 			res.AddMetric("evaluations", 1)
 			gain := val - base
 			if first || gain > bestGain {
@@ -67,14 +76,12 @@ func (g *Greedy) Select(k int) im.Result {
 		if best < 0 {
 			break
 		}
-		seeds = append(seeds, best)
 		inSeeds[best] = true
 		base += bestGain
-		res.PerSeed = append(res.PerSeed, time.Since(start))
+		tr.Seed(&res, best)
 	}
-	res.Seeds = seeds
-	res.Took = time.Since(start)
-	return res
+	tr.Finish(&res)
+	return res, nil
 }
 
 var _ im.Selector = (*Greedy)(nil)

@@ -1,6 +1,7 @@
 package greedy
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -13,7 +14,7 @@ func TestGreedyPicksObviousHub(t *testing.T) {
 	// Star with p=1: the center dominates every other choice.
 	g := graph.Star(10, 1, 1)
 	obj := NewSpreadObjective(diffusion.NewIC(g), 100, 7)
-	res := NewGreedy(obj).Select(1)
+	res := runSelect(NewGreedy(obj), 1)
 	if res.Seeds[0] != 0 {
 		t.Fatalf("greedy picked %v, want center 0", res.Seeds)
 	}
@@ -33,7 +34,7 @@ func TestGreedyTwoComponents(t *testing.T) {
 	}
 	g := b.Build()
 	obj := NewSpreadObjective(diffusion.NewIC(g), 50, 3)
-	res := NewGreedy(obj).Select(2)
+	res := runSelect(NewGreedy(obj), 2)
 	got := map[graph.NodeID]bool{res.Seeds[0]: true, res.Seeds[1]: true}
 	if !got[0] || !got[5] {
 		t.Fatalf("greedy seeds %v, want centers {0,5}", res.Seeds)
@@ -46,8 +47,8 @@ func TestCELFPPMatchesGreedySeeds(t *testing.T) {
 	g := graph.ErdosRenyi(60, 300, rng.New(5))
 	g.SetUniformProb(0.2)
 	obj := NewSpreadObjective(diffusion.NewIC(g), 600, 11)
-	gr := NewGreedy(obj).Select(4)
-	cp := NewCELFPP(obj).Select(4)
+	gr := runSelect(NewGreedy(obj), 4)
+	cp := runSelect(NewCELFPP(obj), 4)
 	want := map[graph.NodeID]bool{}
 	for _, s := range gr.Seeds {
 		want[s] = true
@@ -63,8 +64,8 @@ func TestCELFPPFewerEvaluations(t *testing.T) {
 	g := graph.ErdosRenyi(80, 400, rng.New(9))
 	g.SetUniformProb(0.15)
 	obj := NewSpreadObjective(diffusion.NewIC(g), 200, 13)
-	gr := NewGreedy(obj).Select(5)
-	cp := NewCELFPP(obj).Select(5)
+	gr := runSelect(NewGreedy(obj), 5)
+	cp := runSelect(NewCELFPP(obj), 5)
 	if cp.Metrics["evaluations"] >= gr.Metrics["evaluations"] {
 		t.Fatalf("CELF++ %v evals vs greedy %v — lazy forward saved nothing",
 			cp.Metrics["evaluations"], gr.Metrics["evaluations"])
@@ -77,10 +78,10 @@ func TestCELFPPSpreadQuality(t *testing.T) {
 	g := graph.ErdosRenyi(100, 700, rng.New(17))
 	g.SetUniformProb(0.1)
 	obj := NewSpreadObjective(diffusion.NewIC(g), 400, 19)
-	gr := NewGreedy(obj).Select(5)
-	cp := NewCELFPP(obj).Select(5)
-	vg := obj.Value(gr.Seeds)
-	vc := obj.Value(cp.Seeds)
+	gr := runSelect(NewGreedy(obj), 5)
+	cp := runSelect(NewCELFPP(obj), 5)
+	vg := obj.Value(context.Background(), gr.Seeds)
+	vc := obj.Value(context.Background(), cp.Seeds)
 	if vc < 0.9*vg {
 		t.Fatalf("CELF++ spread %v below greedy %v", vc, vg)
 	}
@@ -90,7 +91,7 @@ func TestModifiedGreedyMaximizesEffectiveOpinion(t *testing.T) {
 	// Figure-1 graph: Modified-GREEDY must pick A (paper Example 2).
 	g := graph.ExampleFigure1()
 	obj := NewEffectiveOpinionObjective(diffusion.NewOI(g, diffusion.LayerIC), 1, 20000, 23)
-	res := NewModifiedGreedy(obj).Select(1)
+	res := runSelect(NewModifiedGreedy(obj), 1)
 	if res.Seeds[0] != 0 {
 		t.Fatalf("Modified-GREEDY picked %v, want A=0", res.Seeds)
 	}
@@ -114,20 +115,20 @@ func TestObjectiveKinds(t *testing.T) {
 	g := graph.Path(3, 1, 1)
 	g.SetOpinions([]float64{1, -1, 1})
 	oi := diffusion.NewOI(g, diffusion.LayerIC)
-	spread := (&MCObjective{Model: oi, Kind: KindSpread, Runs: 50, Seed: 1}).Value([]graph.NodeID{0})
+	spread := (&MCObjective{Model: oi, Kind: KindSpread, Runs: 50, Seed: 1}).Value(context.Background(), []graph.NodeID{0})
 	if spread != 2 {
 		t.Fatalf("spread %v want 2", spread)
 	}
 	// o'_1 = (−1+1)/2 = 0 ; o'_2 = (1+0)/2 = 0.5 (φ=1 deterministic)
-	op := (&MCObjective{Model: oi, Kind: KindOpinionSpread, Runs: 50, Seed: 1}).Value([]graph.NodeID{0})
+	op := (&MCObjective{Model: oi, Kind: KindOpinionSpread, Runs: 50, Seed: 1}).Value(context.Background(), []graph.NodeID{0})
 	if math.Abs(op-0.5) > 1e-12 {
 		t.Fatalf("opinion spread %v want 0.5", op)
 	}
-	eff := NewEffectiveOpinionObjective(oi, 1, 50, 1).Value([]graph.NodeID{0})
+	eff := NewEffectiveOpinionObjective(oi, 1, 50, 1).Value(context.Background(), []graph.NodeID{0})
 	if math.Abs(eff-0.5) > 1e-12 {
 		t.Fatalf("effective %v want 0.5", eff)
 	}
-	if v := NewSpreadObjective(oi, 10, 1).Value(nil); v != 0 {
+	if v := NewSpreadObjective(oi, 10, 1).Value(context.Background(), nil); v != 0 {
 		t.Fatalf("empty set value %v", v)
 	}
 }
@@ -136,7 +137,7 @@ func TestGreedyPerSeedTimes(t *testing.T) {
 	g := graph.ErdosRenyi(30, 120, rng.New(21))
 	g.SetUniformProb(0.2)
 	obj := NewSpreadObjective(diffusion.NewIC(g), 50, 1)
-	res := NewGreedy(obj).Select(3)
+	res := runSelect(NewGreedy(obj), 3)
 	if len(res.PerSeed) != 3 || len(res.Seeds) != 3 {
 		t.Fatalf("result %v", res)
 	}

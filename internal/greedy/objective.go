@@ -5,6 +5,7 @@
 package greedy
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/holisticim/holisticim/internal/diffusion"
@@ -41,8 +42,11 @@ func (k ObjectiveKind) String() string {
 type Objective interface {
 	Name() string
 	Graph() *graph.Graph
-	// Value returns the objective for the seed set.
-	Value(seeds []graph.NodeID) float64
+	// Value returns the objective for the seed set. Implementations whose
+	// evaluation is expensive (Monte-Carlo simulation) honor ctx and
+	// return early — with a truncated estimate the caller is expected to
+	// discard — when it is cancelled.
+	Value(ctx context.Context, seeds []graph.NodeID) float64
 }
 
 // MCObjective estimates an objective with Monte-Carlo simulation. Every
@@ -79,8 +83,10 @@ func (o *MCObjective) Name() string {
 // Graph implements Objective.
 func (o *MCObjective) Graph() *graph.Graph { return o.Model.Graph() }
 
-// Value implements Objective.
-func (o *MCObjective) Value(seeds []graph.NodeID) float64 {
+// Value implements Objective. The Monte-Carlo loop stops dispatching runs
+// once ctx is cancelled, so even a single expensive evaluation (the paper
+// budget is 10000 runs per candidate) unblocks promptly.
+func (o *MCObjective) Value(ctx context.Context, seeds []graph.NodeID) float64 {
 	if len(seeds) == 0 {
 		return 0
 	}
@@ -88,7 +94,7 @@ func (o *MCObjective) Value(seeds []graph.NodeID) float64 {
 		o.pool = diffusion.NewScratchPool(o.Model.Graph().NumNodes())
 	}
 	est := diffusion.MonteCarlo(o.Model, seeds, diffusion.MCOptions{
-		Runs: o.Runs, Seed: o.Seed, Workers: o.Workers, Pool: o.pool,
+		Runs: o.Runs, Seed: o.Seed, Workers: o.Workers, Pool: o.pool, Ctx: ctx,
 	})
 	switch o.Kind {
 	case KindSpread:

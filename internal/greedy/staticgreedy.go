@@ -2,7 +2,8 @@ package greedy
 
 import (
 	"container/heap"
-	"time"
+	"context"
+	"fmt"
 
 	"github.com/holisticim/holisticim/internal/graph"
 	"github.com/holisticim/holisticim/internal/im"
@@ -44,7 +45,9 @@ type snapshot struct {
 	to    []graph.NodeID
 }
 
-func (s *StaticGreedy) sample() []snapshot {
+// sample draws the live-edge snapshot ensemble, checking ctx between
+// snapshots (each is an O(m) pass, the natural batch size).
+func (s *StaticGreedy) sample(ctx context.Context) ([]snapshot, error) {
 	g := s.g
 	n := g.NumNodes()
 	snaps := make([]snapshot, s.snapshots)
@@ -52,6 +55,9 @@ func (s *StaticGreedy) sample() []snapshot {
 	deg := make([]int32, n+1)
 	var live []bool
 	for si := range snaps {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		r.Reseed(rng.SplitSeed(s.seed, uint64(si)))
 		// Sample edge liveness in CSR order, then bucket.
 		m := g.NumEdges()
@@ -91,18 +97,26 @@ func (s *StaticGreedy) sample() []snapshot {
 		}
 		snaps[si] = sn
 	}
-	return snaps
+	return snaps, nil
 }
 
 // Select implements im.Selector with CELF lazy evaluation over the
-// snapshot ensemble.
-func (s *StaticGreedy) Select(k int) im.Result {
+// snapshot ensemble. Cancellation checkpoints sit between snapshot draws,
+// between initial-gain BFS evaluations and between lazy-forward steps.
+func (s *StaticGreedy) Select(ctx context.Context, k int) (im.Result, error) {
 	g := s.g
 	n := g.NumNodes()
-	im.ValidateK(k, n)
-	start := time.Now()
 	res := im.Result{Algorithm: s.Name()}
-	snaps := s.sample()
+	if err := im.CheckK(k, n); err != nil {
+		return res, err
+	}
+	tr := im.StartTracker(ctx)
+	snaps, err := s.sample(ctx)
+	if err != nil {
+		res.Partial = true
+		tr.Finish(&res)
+		return res, fmt.Errorf("im: %s interrupted while sampling snapshots: %w", s.Name(), err)
+	}
 	res.AddMetric("snapshots", float64(len(snaps)))
 
 	// Per-snapshot activation state for the growing seed set: covered[si]
@@ -163,26 +177,31 @@ func (s *StaticGreedy) Select(k int) im.Result {
 	// CELF queue (gains are submodular over the fixed ensemble).
 	h := make(celfHeap, 0, n)
 	for v := graph.NodeID(0); v < n; v++ {
+		if err := tr.Interrupted(&res); err != nil {
+			return res, err
+		}
 		h = append(h, &celfNode{v: v, mg1: marginal(v), prevBest: -1, flag: 0})
 	}
 	heap.Init(&h)
 	for len(res.Seeds) < k && h.Len() > 0 {
+		if err := tr.Interrupted(&res); err != nil {
+			return res, err
+		}
 		top := h[0]
 		if top.flag == len(res.Seeds) {
 			heap.Pop(&h)
 			for si := range snaps {
 				walk(si, top.v, true)
 			}
-			res.Seeds = append(res.Seeds, top.v)
-			res.PerSeed = append(res.PerSeed, time.Since(start))
+			tr.Seed(&res, top.v)
 			continue
 		}
 		top.mg1 = marginal(top.v)
 		top.flag = len(res.Seeds)
 		heap.Fix(&h, top.index)
 	}
-	res.Took = time.Since(start)
-	return res
+	tr.Finish(&res)
+	return res, nil
 }
 
 var _ im.Selector = (*StaticGreedy)(nil)

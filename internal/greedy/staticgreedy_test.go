@@ -11,7 +11,7 @@ import (
 
 func TestStaticGreedyPicksHub(t *testing.T) {
 	g := graph.Star(20, 1, 1)
-	res := NewStaticGreedy(g, 20, 3).Select(1)
+	res := runSelect(NewStaticGreedy(g, 20, 3), 1)
 	if res.Seeds[0] != 0 {
 		t.Fatalf("picked %v, want hub", res.Seeds)
 	}
@@ -34,7 +34,7 @@ func TestStaticGreedyMatchesExactRanking(t *testing.T) {
 			best = v
 		}
 	}
-	res := NewStaticGreedy(g, 20000, 5).Select(1)
+	res := runSelect(NewStaticGreedy(g, 20000, 5), 1)
 	got := diffusion.ExactICSpread(g, []graph.NodeID{res.Seeds[0]})
 	if math.Abs(got-bestSpread) > 0.05 {
 		t.Fatalf("picked %d (σ=%v), exact best %d (σ=%v)", res.Seeds[0], got, best, bestSpread)
@@ -44,7 +44,7 @@ func TestStaticGreedyMatchesExactRanking(t *testing.T) {
 func TestStaticGreedyQuality(t *testing.T) {
 	g := graph.ErdosRenyi(200, 1400, rng.New(13))
 	g.SetUniformProb(0.1)
-	res := NewStaticGreedy(g, 150, 7).Select(5)
+	res := runSelect(NewStaticGreedy(g, 150, 7), 5)
 	if len(res.Seeds) != 5 {
 		t.Fatalf("seeds %v", res.Seeds)
 	}
@@ -60,8 +60,8 @@ func TestStaticGreedyQuality(t *testing.T) {
 func TestStaticGreedyDeterminism(t *testing.T) {
 	g := graph.ErdosRenyi(100, 600, rng.New(17))
 	g.SetUniformProb(0.15)
-	a := NewStaticGreedy(g, 50, 21).Select(4).Seeds
-	b := NewStaticGreedy(g, 50, 21).Select(4).Seeds
+	a := runSelect(NewStaticGreedy(g, 50, 21), 4).Seeds
+	b := runSelect(NewStaticGreedy(g, 50, 21), 4).Seeds
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatalf("nondeterministic: %v vs %v", a, b)
@@ -78,7 +78,7 @@ func TestStaticGreedyDisjointStars(t *testing.T) {
 		b.AddEdgeP(6, v, 1, 1)
 	}
 	g := b.Build()
-	res := NewStaticGreedy(g, 10, 3).Select(2)
+	res := runSelect(NewStaticGreedy(g, 10, 3), 2)
 	got := map[graph.NodeID]bool{res.Seeds[0]: true, res.Seeds[1]: true}
 	if !got[0] || !got[6] {
 		t.Fatalf("seeds %v want both centers", res.Seeds)

@@ -19,7 +19,7 @@ func BenchmarkIRIESelect10(b *testing.B) {
 	g := benchGraph(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = NewIRIE(g, 0, 0, 0).Select(10)
+		_ = runSelect(NewIRIE(g, 0, 0, 0), 10)
 	}
 }
 
@@ -38,7 +38,7 @@ func BenchmarkSimpathSelect5(b *testing.B) {
 	g.SetDefaultLTWeights()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = NewSIMPATH(g, 1e-3, 4).Select(5)
+		_ = runSelect(NewSIMPATH(g, 1e-3, 4), 5)
 	}
 }
 
@@ -46,7 +46,7 @@ func BenchmarkDegreeDiscountSelect50(b *testing.B) {
 	g := benchGraph(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = NewDegreeDiscount(g, 0.1).Select(50)
+		_ = runSelect(NewDegreeDiscount(g, 0.1), 50)
 	}
 }
 
@@ -54,6 +54,6 @@ func BenchmarkPageRankSelect(b *testing.B) {
 	g := benchGraph(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = NewPageRank(g, 0, 0).Select(10)
+		_ = runSelect(NewPageRank(g, 0, 0), 10)
 	}
 }

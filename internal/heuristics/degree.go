@@ -7,7 +7,7 @@ package heuristics
 
 import (
 	"container/heap"
-	"time"
+	"context"
 
 	"github.com/holisticim/holisticim/internal/graph"
 	"github.com/holisticim/holisticim/internal/im"
@@ -25,16 +25,23 @@ func NewDegree(g *graph.Graph) *Degree { return &Degree{g: g} }
 // Name implements im.Selector.
 func (d *Degree) Name() string { return "Degree" }
 
-// Select implements im.Selector.
-func (d *Degree) Select(k int) im.Result {
-	im.ValidateK(k, d.g.NumNodes())
-	start := time.Now()
-	seeds := graph.TopKByOutDegree(d.g, k)
-	res := im.Result{Algorithm: d.Name(), Seeds: seeds, Took: time.Since(start)}
-	for range seeds {
-		res.PerSeed = append(res.PerSeed, res.Took)
+// Select implements im.Selector. The top-k scan is effectively instant;
+// the per-seed reporting loop still honors cancellation for contract
+// uniformity.
+func (d *Degree) Select(ctx context.Context, k int) (im.Result, error) {
+	res := im.Result{Algorithm: d.Name()}
+	if err := im.CheckK(k, d.g.NumNodes()); err != nil {
+		return res, err
 	}
-	return res
+	tr := im.StartTracker(ctx)
+	for _, v := range graph.TopKByOutDegree(d.g, k) {
+		if err := tr.Interrupted(&res); err != nil {
+			return res, err
+		}
+		tr.Seed(&res, v)
+	}
+	tr.Finish(&res)
+	return res, nil
 }
 
 // DegreeDiscount implements Chen et al.'s degree-discount heuristic for
@@ -86,13 +93,16 @@ func (h *ddHeap) Pop() interface{} {
 	return it
 }
 
-// Select implements im.Selector.
-func (d *DegreeDiscount) Select(k int) im.Result {
+// Select implements im.Selector, checking cancellation at every chosen
+// seed (the discount update is the per-seed unit of work).
+func (d *DegreeDiscount) Select(ctx context.Context, k int) (im.Result, error) {
 	g := d.g
 	n := g.NumNodes()
-	im.ValidateK(k, n)
-	start := time.Now()
 	res := im.Result{Algorithm: d.Name()}
+	if err := im.CheckK(k, n); err != nil {
+		return res, err
+	}
+	tr := im.StartTracker(ctx)
 
 	items := make([]*ddItem, n)
 	h := make(ddHeap, 0, n)
@@ -104,10 +114,12 @@ func (d *DegreeDiscount) Select(k int) im.Result {
 	heap.Init(&h)
 	selected := make([]bool, n)
 	for len(res.Seeds) < k && h.Len() > 0 {
+		if err := tr.Interrupted(&res); err != nil {
+			return res, err
+		}
 		it := heap.Pop(&h).(*ddItem)
 		selected[it.v] = true
-		res.Seeds = append(res.Seeds, it.v)
-		res.PerSeed = append(res.PerSeed, time.Since(start))
+		tr.Seed(&res, it.v)
 		// Discount undirected-sense neighbors (out-neighbors suffice on the
 		// symmetrized graphs; directed graphs discount influence targets).
 		for _, w := range g.OutNeighbors(it.v) {
@@ -121,8 +133,8 @@ func (d *DegreeDiscount) Select(k int) im.Result {
 			heap.Fix(&h, items[w].index)
 		}
 	}
-	res.Took = time.Since(start)
-	return res
+	tr.Finish(&res)
+	return res, nil
 }
 
 var (

@@ -11,7 +11,7 @@ import (
 
 func TestDegreeSelectsHubs(t *testing.T) {
 	g := graph.Star(8, 0.1, 0.5)
-	res := NewDegree(g).Select(1)
+	res := runSelect(NewDegree(g), 1)
 	if res.Seeds[0] != 0 {
 		t.Fatalf("degree picked %v", res.Seeds)
 	}
@@ -34,7 +34,7 @@ func TestDegreeDiscountAvoidsClusteredSeeds(t *testing.T) {
 	}
 	g := b.Build()
 	g.SetUniformProb(0.1)
-	res := NewDegreeDiscount(g, 0.1).Select(2)
+	res := runSelect(NewDegreeDiscount(g, 0.1), 2)
 	if res.Seeds[1] != 4 {
 		t.Fatalf("degree discount picked %v, want the star hub second", res.Seeds)
 	}
@@ -48,7 +48,7 @@ func TestPageRankRanksInfluencers(t *testing.T) {
 	}
 	b.AddEdgeP(1, 2, 1, 0.5)
 	g := b.Build()
-	res := NewPageRank(g, 0, 0).Select(1)
+	res := runSelect(NewPageRank(g, 0, 0), 1)
 	if res.Seeds[0] != 0 {
 		t.Fatalf("pagerank picked %v", res.Seeds)
 	}
@@ -56,7 +56,7 @@ func TestPageRankRanksInfluencers(t *testing.T) {
 
 func TestIRIESelectsHub(t *testing.T) {
 	g := graph.Star(20, 0.2, 0.5)
-	res := NewIRIE(g, 0, 0, 0).Select(1)
+	res := runSelect(NewIRIE(g, 0, 0, 0), 1)
 	if res.Seeds[0] != 0 {
 		t.Fatalf("IRIE picked %v", res.Seeds)
 	}
@@ -73,7 +73,7 @@ func TestIRIEDiscountsCoveredRegion(t *testing.T) {
 		b.AddEdgeP(10, v, 0.9, 0.5)
 	}
 	g := b.Build()
-	res := NewIRIE(g, 0, 0, 0).Select(2)
+	res := runSelect(NewIRIE(g, 0, 0, 0), 2)
 	if res.Seeds[0] != 0 || res.Seeds[1] != 10 {
 		t.Fatalf("IRIE picked %v, want [0 10]", res.Seeds)
 	}
@@ -82,8 +82,8 @@ func TestIRIEDiscountsCoveredRegion(t *testing.T) {
 func TestIRIEQualityVsDegreeOnRandomGraph(t *testing.T) {
 	g := graph.ErdosRenyi(300, 2400, rng.New(3))
 	g.SetWeightedCascadeProb()
-	seedsIRIE := NewIRIE(g, 0, 0, 0).Select(5).Seeds
-	seedsDeg := NewDegree(g).Select(5).Seeds
+	seedsIRIE := runSelect(NewIRIE(g, 0, 0, 0), 5).Seeds
+	seedsDeg := runSelect(NewDegree(g), 5).Seeds
 	m := diffusion.NewIC(g)
 	ei := diffusion.MonteCarlo(m, seedsIRIE, diffusion.MCOptions{Runs: 4000, Seed: 7})
 	ed := diffusion.MonteCarlo(m, seedsDeg, diffusion.MCOptions{Runs: 4000, Seed: 7})
@@ -151,13 +151,13 @@ func TestSimpathThroughCounters(t *testing.T) {
 func TestSimpathSelectQuality(t *testing.T) {
 	g := graph.ErdosRenyi(150, 900, rng.New(19))
 	g.SetDefaultLTWeights()
-	res := NewSIMPATH(g, 1e-3, 4).Select(5)
+	res := runSelect(NewSIMPATH(g, 1e-3, 4), 5)
 	if len(res.Seeds) != 5 {
 		t.Fatalf("seeds %v", res.Seeds)
 	}
 	m := diffusion.NewLT(g)
 	est := diffusion.MonteCarlo(m, res.Seeds, diffusion.MCOptions{Runs: 4000, Seed: 3})
-	deg := NewDegree(g).Select(5).Seeds
+	deg := runSelect(NewDegree(g), 5).Seeds
 	estDeg := diffusion.MonteCarlo(m, deg, diffusion.MCOptions{Runs: 4000, Seed: 3})
 	if est.Spread < 0.85*estDeg.Spread {
 		t.Fatalf("SIMPATH spread %v below degree %v", est.Spread, estDeg.Spread)
@@ -196,7 +196,7 @@ func TestSimpathSeedsExcludeEachOther(t *testing.T) {
 	b.AddEdge(6, 7)
 	g := b.Build()
 	g.SetDefaultLTWeights()
-	res := NewSIMPATH(g, 1e-12, 2).Select(2)
+	res := runSelect(NewSIMPATH(g, 1e-12, 2), 2)
 	s := sortSeeds(res.Seeds)
 	if s[0] != 0 || s[1] != 4 {
 		t.Fatalf("SIMPATH picked %v, want chain heads {0,4}", res.Seeds)

@@ -1,7 +1,7 @@
 package heuristics
 
 import (
-	"time"
+	"context"
 
 	"github.com/holisticim/holisticim/internal/graph"
 	"github.com/holisticim/holisticim/internal/im"
@@ -44,13 +44,17 @@ func NewIRIE(g *graph.Graph, alpha, theta float64, iters int) *IRIE {
 // Name implements im.Selector.
 func (ir *IRIE) Name() string { return "IRIE" }
 
-// Select implements im.Selector.
-func (ir *IRIE) Select(k int) im.Result {
+// Select implements im.Selector. Checkpoints sit at each rank iteration —
+// the IRIE paper's observation that per-iteration state is tiny makes
+// them essentially free — and at every chosen seed.
+func (ir *IRIE) Select(ctx context.Context, k int) (im.Result, error) {
 	g := ir.g
 	n := g.NumNodes()
-	im.ValidateK(k, n)
-	start := time.Now()
 	res := im.Result{Algorithm: ir.Name()}
+	if err := im.CheckK(k, n); err != nil {
+		return res, err
+	}
+	tr := im.StartTracker(ctx)
 
 	ap := make([]float64, n)   // activation probability by current seeds
 	rank := make([]float64, n) // influence rank
@@ -63,6 +67,9 @@ func (ir *IRIE) Select(k int) im.Result {
 			rank[i] = 1
 		}
 		for it := 0; it < ir.iters; it++ {
+			if err := tr.Interrupted(&res); err != nil {
+				return res, err
+			}
 			for u := graph.NodeID(0); u < n; u++ {
 				if selected[u] {
 					next[u] = 0
@@ -94,15 +101,14 @@ func (ir *IRIE) Select(k int) im.Result {
 			break
 		}
 		selected[best] = true
-		res.Seeds = append(res.Seeds, best)
-		res.PerSeed = append(res.PerSeed, time.Since(start))
 		// --- IE: fold the new seed into AP with forward propagation,
 		// pruned below θ. Additive with saturation at 1 (the linear
 		// approximation the IRIE paper adopts).
 		ir.propagateAP(best, ap)
+		tr.Seed(&res, best)
 	}
-	res.Took = time.Since(start)
-	return res
+	tr.Finish(&res)
+	return res, nil
 }
 
 // propagateAP adds the activation probability contributed by a new seed

@@ -1,8 +1,8 @@
 package heuristics
 
 import (
+	"context"
 	"sort"
-	"time"
 
 	"github.com/holisticim/holisticim/internal/graph"
 	"github.com/holisticim/holisticim/internal/im"
@@ -33,12 +33,16 @@ func NewPageRank(g *graph.Graph, damping float64, iterations int) *PageRank {
 // Name implements im.Selector.
 func (p *PageRank) Name() string { return "PageRank" }
 
-// Select implements im.Selector.
-func (p *PageRank) Select(k int) im.Result {
+// Select implements im.Selector, checking cancellation at each power
+// iteration (one O(m) pass) and at each reported seed.
+func (p *PageRank) Select(ctx context.Context, k int) (im.Result, error) {
 	g := p.g
 	n := g.NumNodes()
-	im.ValidateK(k, n)
-	start := time.Now()
+	res := im.Result{Algorithm: p.Name()}
+	if err := im.CheckK(k, n); err != nil {
+		return res, err
+	}
+	tr := im.StartTracker(ctx)
 
 	rank := make([]float64, n)
 	next := make([]float64, n)
@@ -58,6 +62,9 @@ func (p *PageRank) Select(k int) im.Result {
 		}
 	}
 	for it := 0; it < p.iterations; it++ {
+		if err := tr.Interrupted(&res); err != nil {
+			return res, err
+		}
 		for i := range next {
 			next[i] = (1 - p.damping) * inv
 		}
@@ -83,11 +90,14 @@ func (p *PageRank) Select(k int) im.Result {
 		}
 		return ids[i] < ids[j]
 	})
-	res := im.Result{Algorithm: p.Name(), Seeds: ids[:k], Took: time.Since(start)}
-	for range res.Seeds {
-		res.PerSeed = append(res.PerSeed, res.Took)
+	for _, v := range ids[:k] {
+		if err := tr.Interrupted(&res); err != nil {
+			return res, err
+		}
+		tr.Seed(&res, v)
 	}
-	return res
+	tr.Finish(&res)
+	return res, nil
 }
 
 var _ im.Selector = (*PageRank)(nil)

@@ -2,8 +2,8 @@ package heuristics
 
 import (
 	"container/heap"
+	"context"
 	"sort"
-	"time"
 
 	"github.com/holisticim/holisticim/internal/graph"
 	"github.com/holisticim/holisticim/internal/im"
@@ -161,13 +161,18 @@ func (h *spHeap) Pop() interface{} {
 	return it
 }
 
-// Select implements im.Selector.
-func (sp *SIMPATH) Select(k int) im.Result {
+// Select implements im.Selector. Path enumerations are SIMPATH's unit of
+// work, so the context is checked before each one — in the vertex-cover
+// initialization pass and in the batched look-ahead pricing loop — and at
+// every chosen seed.
+func (sp *SIMPATH) Select(ctx context.Context, k int) (im.Result, error) {
 	g := sp.g
 	n := g.NumNodes()
-	im.ValidateK(k, n)
-	start := time.Now()
 	res := im.Result{Algorithm: sp.Name()}
+	if err := im.CheckK(k, n); err != nil {
+		return res, err
+	}
+	tr := im.StartTracker(ctx)
 
 	// --- Initial spreads with the vertex-cover optimization.
 	cover := sp.vertexCover()
@@ -177,6 +182,9 @@ func (sp *SIMPATH) Select(k int) im.Result {
 	for v := graph.NodeID(0); v < n; v++ {
 		if !cover[v] {
 			continue
+		}
+		if err := tr.Interrupted(&res); err != nil {
+			return res, err
 		}
 		th := make([]float64, n)
 		sigma[v] = sp.spread(v, nil, th)
@@ -219,6 +227,9 @@ func (sp *SIMPATH) Select(k int) im.Result {
 	perSeedSpread := make([]float64, 0, k)
 
 	for len(seeds) < k && h.Len() > 0 {
+		if err := tr.Interrupted(&res); err != nil {
+			return res, err
+		}
 		top := h[0]
 		if top.round == len(seeds) {
 			heap.Pop(&h)
@@ -226,7 +237,7 @@ func (sp *SIMPATH) Select(k int) im.Result {
 			inSeeds[top.v] = true
 			seedSpread += top.gain
 			perSeedSpread = append(perSeedSpread, seedSpread)
-			res.PerSeed = append(res.PerSeed, time.Since(start))
+			tr.Seed(&res, top.v)
 			continue
 		}
 		// Batch the top-ℓ stale candidates.
@@ -244,6 +255,9 @@ func (sp *SIMPATH) Select(k int) im.Result {
 			through[i] = 0
 		}
 		for _, s := range seeds {
+			if err := tr.Interrupted(&res); err != nil {
+				return res, err
+			}
 			inSeeds[s] = false // exclude S \ {s}
 			total := sp.spread(s, inSeeds, through)
 			res.AddMetric("enumerations", 1)
@@ -255,6 +269,9 @@ func (sp *SIMPATH) Select(k int) im.Result {
 			}
 		}
 		for _, it := range batch {
+			if err := tr.Interrupted(&res); err != nil {
+				return res, err
+			}
 			cand := sp.spread(it.v, inSeeds, nil)
 			res.AddMetric("enumerations", 1)
 			newSpread := seedTotals - throughSum[it.v] + cand
@@ -263,12 +280,11 @@ func (sp *SIMPATH) Select(k int) im.Result {
 			heap.Push(&h, it)
 		}
 	}
-	res.Seeds = seeds
-	res.Took = time.Since(start)
+	tr.Finish(&res)
 	if len(perSeedSpread) > 0 {
 		res.AddMetric("estimated_spread", perSeedSpread[len(perSeedSpread)-1])
 	}
-	return res
+	return res, nil
 }
 
 // EstimateSpreadLT exposes SIMPATH's path-based spread estimator for a

@@ -3,10 +3,19 @@
 // shared result/statistics type. Keeping the interface in its own package
 // lets the paper's algorithms (internal/core), the greedy baselines
 // (internal/greedy), the RIS family (internal/ris) and the heuristics
-// (internal/heuristics) all plug into one experiment harness.
+// (internal/heuristics) all plug into one experiment harness and one
+// serving layer.
+//
+// The contract is context-first: Select takes a context.Context and every
+// implementation honors cancellation and deadlines at per-seed (and, for
+// hot inner loops, per-batch) checkpoints, returning the partial Result
+// selected so far with Partial set alongside an error wrapping ctx.Err().
+// Callers observe live progress by attaching a Progress callback to the
+// context with WithProgress.
 package im
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -27,6 +36,10 @@ type Result struct {
 	// Metrics carries algorithm-specific counters, e.g. "simulations" for
 	// Monte-Carlo greedy, "rrsets" for TIM+/IMM, "paths" for SIMPATH.
 	Metrics map[string]float64
+	// Partial marks a selection cut short by context cancellation or
+	// deadline expiry: Seeds holds whatever was chosen before the stop
+	// (possibly none) and the accompanying error wraps ctx.Err().
+	Partial bool
 }
 
 // AddMetric accumulates a named counter.
@@ -43,15 +56,107 @@ func (r *Result) AddMetric(name string, delta float64) {
 type Selector interface {
 	// Name identifies the algorithm ("EaSyIM", "CELF++", "TIM+", ...).
 	Name() string
-	// Select returns k seeds. Implementations panic on k <= 0 or k greater
-	// than the number of nodes.
-	Select(k int) Result
+	// Select returns k seeds. It fails with an error (never a panic) on an
+	// invalid budget, and honors ctx: when the context is cancelled or its
+	// deadline passes mid-selection, Select returns promptly with the
+	// partial Result (Partial set) and an error wrapping ctx.Err().
+	Select(ctx context.Context, k int) (Result, error)
 }
 
-// ValidateK panics unless 0 < k <= n, providing a uniform error message
+// CheckK returns an error unless 0 < k <= n, providing a uniform message
 // for all selectors.
-func ValidateK(k int, n int32) {
+func CheckK(k int, n int32) error {
 	if k <= 0 || int64(k) > int64(n) {
-		panic(fmt.Sprintf("im: invalid seed budget k=%d for n=%d", k, n))
+		return fmt.Errorf("im: invalid seed budget k=%d for n=%d", k, n)
+	}
+	return nil
+}
+
+// Progress observes per-seed selection progress: seedIdx is the 0-based
+// index of the seed just chosen, seed its node id and elapsed the
+// cumulative wall-clock time since Select started. Callbacks run
+// synchronously on the selection goroutine and must be fast; they may be
+// invoked from Select at any point and must be safe for use from a
+// different goroutine than the caller's.
+type Progress func(seedIdx int, seed graph.NodeID, elapsed time.Duration)
+
+type progressKey struct{}
+
+// WithProgress returns a context carrying a Progress callback for
+// selectors to report each chosen seed to.
+func WithProgress(ctx context.Context, p Progress) context.Context {
+	if p == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, progressKey{}, p)
+}
+
+// ProgressFrom extracts the Progress callback attached with WithProgress,
+// or nil when the context carries none.
+func ProgressFrom(ctx context.Context) Progress {
+	p, _ := ctx.Value(progressKey{}).(Progress)
+	return p
+}
+
+// Tracker bundles the per-seed bookkeeping shared by every selector:
+// wall-clock timing, progress reporting and cooperative cancellation
+// checkpoints. Typical use:
+//
+//	tr := im.StartTracker(ctx)
+//	res := im.Result{Algorithm: s.Name()}
+//	for ... {
+//		if err := tr.Interrupted(&res); err != nil {
+//			return res, err
+//		}
+//		... pick next seed ...
+//		tr.Seed(&res, pick)
+//	}
+//	tr.Finish(&res)
+//	return res, nil
+type Tracker struct {
+	ctx      context.Context
+	progress Progress
+	start    time.Time
+}
+
+// StartTracker starts timing a selection under ctx.
+func StartTracker(ctx context.Context) *Tracker {
+	return &Tracker{ctx: ctx, progress: ProgressFrom(ctx), start: time.Now()}
+}
+
+// Elapsed returns the wall-clock time since the tracker started.
+func (t *Tracker) Elapsed() time.Duration { return time.Since(t.start) }
+
+// Seed records a newly chosen seed into res: appends it to Seeds, stamps
+// PerSeed and reports progress when a callback is attached.
+func (t *Tracker) Seed(res *Result, seed graph.NodeID) {
+	res.Seeds = append(res.Seeds, seed)
+	elapsed := t.Elapsed()
+	res.PerSeed = append(res.PerSeed, elapsed)
+	if t.progress != nil {
+		t.progress(len(res.Seeds)-1, seed, elapsed)
 	}
 }
+
+// Interrupted is the cooperative cancellation checkpoint: when the
+// tracker's context is done it marks res partial, stamps Took and returns
+// an error wrapping ctx.Err(); otherwise it returns nil.
+func (t *Tracker) Interrupted(res *Result) error {
+	if err := t.ctx.Err(); err != nil {
+		res.Partial = true
+		res.Took = t.Elapsed()
+		return fmt.Errorf("im: %s interrupted with %d seed(s) selected: %w",
+			res.Algorithm, len(res.Seeds), err)
+	}
+	return nil
+}
+
+// Err reports whether the tracker's context is done, for inner loops that
+// cannot conveniently thread the Result to Interrupted.
+func (t *Tracker) Err() error { return t.ctx.Err() }
+
+// Context returns the context the tracker was started under.
+func (t *Tracker) Context() context.Context { return t.ctx }
+
+// Finish stamps the total selection time.
+func (t *Tracker) Finish(res *Result) { res.Took = t.Elapsed() }

@@ -1,6 +1,11 @@
 package im
 
-import "testing"
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
 
 func TestAddMetric(t *testing.T) {
 	var r Result
@@ -12,17 +17,66 @@ func TestAddMetric(t *testing.T) {
 	}
 }
 
-func TestValidateK(t *testing.T) {
-	ValidateK(1, 10)  // ok
-	ValidateK(10, 10) // ok: boundary
+func TestCheckK(t *testing.T) {
+	if err := CheckK(1, 10); err != nil {
+		t.Fatalf("CheckK(1,10) = %v", err)
+	}
+	if err := CheckK(10, 10); err != nil { // boundary
+		t.Fatalf("CheckK(10,10) = %v", err)
+	}
 	for _, c := range []struct{ k, n int }{{0, 5}, {-1, 5}, {6, 5}} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatalf("ValidateK(%d,%d) did not panic", c.k, c.n)
-				}
-			}()
-			ValidateK(c.k, int32(c.n))
-		}()
+		if err := CheckK(c.k, int32(c.n)); err == nil {
+			t.Fatalf("CheckK(%d,%d) = nil, want error", c.k, c.n)
+		}
+	}
+}
+
+func TestProgressContextRoundTrip(t *testing.T) {
+	if p := ProgressFrom(context.Background()); p != nil {
+		t.Fatal("bare context should carry no progress callback")
+	}
+	var got int
+	ctx := WithProgress(context.Background(), func(seedIdx int, seed int32, elapsed time.Duration) {
+		got = seedIdx
+	})
+	p := ProgressFrom(ctx)
+	if p == nil {
+		t.Fatal("ProgressFrom lost the callback")
+	}
+	p(7, 0, 0)
+	if got != 7 {
+		t.Fatalf("callback saw seedIdx %d, want 7", got)
+	}
+	if WithProgress(context.Background(), nil) != context.Background() {
+		t.Fatal("WithProgress(nil) should be a no-op")
+	}
+}
+
+func TestTrackerLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var reports []int
+	ctx = WithProgress(ctx, func(seedIdx int, seed int32, elapsed time.Duration) {
+		reports = append(reports, seedIdx)
+	})
+	tr := StartTracker(ctx)
+	res := Result{Algorithm: "stub"}
+	if err := tr.Interrupted(&res); err != nil {
+		t.Fatalf("live context: %v", err)
+	}
+	tr.Seed(&res, 4)
+	tr.Seed(&res, 9)
+	if len(res.Seeds) != 2 || len(res.PerSeed) != 2 {
+		t.Fatalf("seeds %v perSeed %v", res.Seeds, res.PerSeed)
+	}
+	if len(reports) != 2 || reports[0] != 0 || reports[1] != 1 {
+		t.Fatalf("progress reports %v", reports)
+	}
+	cancel()
+	err := tr.Interrupted(&res)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Interrupted after cancel = %v", err)
+	}
+	if !res.Partial || res.Took <= 0 {
+		t.Fatalf("result not stamped partial: %+v", res)
 	}
 }

@@ -48,7 +48,7 @@ func BenchmarkTIMPlusSelect(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tp := NewTIMPlus(g, ModelIC, TIMOptions{Epsilon: 0.3, Seed: uint64(i), ThetaCap: 50000})
-		_ = tp.Select(10)
+		_ = runSelect(tp, 10)
 	}
 }
 
@@ -57,6 +57,6 @@ func BenchmarkIMMSelect(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sel := NewIMM(g, ModelIC, TIMOptions{Epsilon: 0.3, Seed: uint64(i), ThetaCap: 50000})
-		_ = sel.Select(10)
+		_ = runSelect(sel, 10)
 	}
 }

@@ -1,8 +1,8 @@
 package ris
 
 import (
+	"context"
 	"math"
-	"time"
 
 	"github.com/holisticim/holisticim/internal/graph"
 	"github.com/holisticim/holisticim/internal/im"
@@ -38,12 +38,16 @@ func NewIMM(g *graph.Graph, kind ModelKind, opts TIMOptions) *IMM {
 // Name implements im.Selector.
 func (t *IMM) Name() string { return "IMM" }
 
-// Select implements im.Selector.
-func (t *IMM) Select(k int) im.Result {
+// Select implements im.Selector. Both the geometric OPT-guessing rounds
+// and the final top-up run their θ-sampling through GenerateCtx, so
+// cancellation lands within a small batch of RR sets.
+func (t *IMM) Select(ctx context.Context, k int) (im.Result, error) {
 	n := t.g.NumNodes()
-	im.ValidateK(k, n)
-	start := time.Now()
 	res := im.Result{Algorithm: t.Name()}
+	if err := im.CheckK(k, n); err != nil {
+		return res, err
+	}
+	tr := im.StartTracker(ctx)
 	nf := float64(n)
 	eps := t.opts.Epsilon
 	// ℓ is inflated so the union bound over both phases still gives
@@ -69,7 +73,9 @@ func (t *IMM) Select(k int) im.Result {
 			res.AddMetric("theta_capped", 1)
 		}
 		if col.Len() < thetaI {
-			col.Generate(thetaI-col.Len(), t.opts.Seed)
+			if err := col.GenerateCtx(ctx, thetaI-col.Len(), t.opts.Seed); err != nil {
+				return res, interrupted(tr, &res, "OPT lower-bounding", err)
+			}
 		}
 		_, frac := col.MaxCoverage(k)
 		if nf*frac >= (1+epsPrime)*x {
@@ -91,19 +97,23 @@ func (t *IMM) Select(k int) im.Result {
 		res.AddMetric("theta_capped", 1)
 	}
 	if col.Len() < theta {
-		col.Generate(theta-col.Len(), t.opts.Seed)
+		if err := col.GenerateCtx(ctx, theta-col.Len(), t.opts.Seed); err != nil {
+			return res, interrupted(tr, &res, "node-selection sampling", err)
+		}
 	}
 	seeds, frac := col.MaxCoverage(k)
-	res.Seeds = seeds
 	res.AddMetric("theta", float64(col.Len()))
 	res.AddMetric("rrset_bytes", float64(col.MemoryFootprint()))
 	res.AddMetric("coverage", frac)
 	res.AddMetric("estimated_spread", frac*nf)
-	res.Took = time.Since(start)
-	for range seeds {
-		res.PerSeed = append(res.PerSeed, res.Took)
+	for _, s := range seeds {
+		if err := tr.Interrupted(&res); err != nil {
+			return res, err
+		}
+		tr.Seed(&res, s)
 	}
-	return res
+	tr.Finish(&res)
+	return res, nil
 }
 
 var _ im.Selector = (*IMM)(nil)

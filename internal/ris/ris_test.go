@@ -105,7 +105,7 @@ func TestTIMPlusQualityOnSmallGraph(t *testing.T) {
 	g := graph.ErdosRenyi(120, 700, rng.New(15))
 	g.SetUniformProb(0.15)
 	tp := NewTIMPlus(g, ModelIC, TIMOptions{Epsilon: 0.3, Seed: 3, ThetaCap: 200000})
-	res := tp.Select(5)
+	res := runSelect(tp, 5)
 	if len(res.Seeds) != 5 {
 		t.Fatalf("seeds %v", res.Seeds)
 	}
@@ -127,7 +127,7 @@ func TestTIMPlusKPTReasonable(t *testing.T) {
 	// positive lower bound ≤ ~OPT.
 	g := graph.Star(64, 1, 1)
 	tp := NewTIMPlus(g, ModelIC, TIMOptions{Epsilon: 0.5, Seed: 1, ThetaCap: 50000})
-	res := tp.Select(1)
+	res := runSelect(tp, 1)
 	kpt := res.Metrics["kpt_plus"]
 	if kpt <= 0 || kpt > 70 {
 		t.Fatalf("KPT+ = %v implausible for OPT≈64", kpt)
@@ -141,7 +141,7 @@ func TestIMMQualityOnSmallGraph(t *testing.T) {
 	g := graph.ErdosRenyi(120, 700, rng.New(25))
 	g.SetUniformProb(0.15)
 	sel := NewIMM(g, ModelIC, TIMOptions{Epsilon: 0.3, Seed: 5, ThetaCap: 200000})
-	res := sel.Select(5)
+	res := runSelect(sel, 5)
 	if len(res.Seeds) != 5 {
 		t.Fatalf("seeds %v", res.Seeds)
 	}
@@ -158,8 +158,8 @@ func TestIMMUsesFewerRRSetsThanTIMPlus(t *testing.T) {
 	// TIM+ at the same ε on the same graph (this is its headline claim).
 	g := graph.ErdosRenyi(200, 1200, rng.New(35))
 	g.SetUniformProb(0.1)
-	tp := NewTIMPlus(g, ModelIC, TIMOptions{Epsilon: 0.4, Seed: 3}).Select(5)
-	imm := NewIMM(g, ModelIC, TIMOptions{Epsilon: 0.4, Seed: 3}).Select(5)
+	tp := runSelect(NewTIMPlus(g, ModelIC, TIMOptions{Epsilon: 0.4, Seed: 3}), 5)
+	imm := runSelect(NewIMM(g, ModelIC, TIMOptions{Epsilon: 0.4, Seed: 3}), 5)
 	if imm.Metrics["theta"] > tp.Metrics["theta"]*1.5 {
 		t.Fatalf("IMM θ=%v vs TIM+ θ=%v", imm.Metrics["theta"], tp.Metrics["theta"])
 	}

@@ -12,6 +12,7 @@
 package ris
 
 import (
+	"context"
 	"math"
 
 	"github.com/holisticim/holisticim/internal/graph"
@@ -83,16 +84,37 @@ func (c *Collection) MemoryFootprint() int64 {
 	return b
 }
 
+// generateCheckEvery is the cancellation-checkpoint granularity of
+// GenerateCtx: one context poll per this many sampled RR sets. Sets are
+// cheap (a truncated reverse BFS/walk), so a small batch keeps the
+// cancellation latency low while the poll cost stays invisible.
+const generateCheckEvery = 64
+
 // Generate samples `count` additional RR sets, each rooted at a uniformly
 // random node, using streams split from (seed, startIndex+i) so the
 // collection contents are deterministic and extendable.
 func (c *Collection) Generate(count int, seed uint64) {
+	_ = c.GenerateCtx(context.Background(), count, seed)
+}
+
+// GenerateCtx is Generate under a context: the θ-sampling loops of
+// TIM+/IMM run through it so a cancelled or deadline-expired selection
+// stops sampling within generateCheckEvery sets. Sets sampled before the
+// stop remain in the collection (the streams are deterministic, so a
+// later extension is unaffected).
+func (c *Collection) GenerateCtx(ctx context.Context, count int, seed uint64) error {
 	r := rng.New(0)
 	for i := 0; i < count; i++ {
+		if i%generateCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		r.Reseed(rng.SplitSeed(seed, uint64(len(c.sets))))
 		root := graph.NodeID(r.Int31n(c.g.NumNodes()))
 		c.addSet(c.sampleFrom(root, r))
 	}
+	return nil
 }
 
 // sampleFrom builds one RR set rooted at root.

@@ -1,12 +1,21 @@
 package ris
 
 import (
+	"context"
+	"fmt"
 	"math"
-	"time"
 
 	"github.com/holisticim/holisticim/internal/graph"
 	"github.com/holisticim/holisticim/internal/im"
 )
+
+// interrupted marks res partial and wraps err (a ctx error observed in
+// phase) in the uniform interruption error shared by TIM+ and IMM.
+func interrupted(tr *im.Tracker, res *im.Result, phase string, err error) error {
+	res.Partial = true
+	tr.Finish(res)
+	return fmt.Errorf("im: %s interrupted during %s: %w", res.Algorithm, phase, err)
+}
 
 // TIMPlus implements TIM+ (Tang, Xiao, Shi — "Influence Maximization:
 // Near-Optimal Time Complexity Meets Practical Efficiency", SIGMOD'14):
@@ -65,12 +74,17 @@ func NewTIMPlus(g *graph.Graph, kind ModelKind, opts TIMOptions) *TIMPlus {
 // Name implements im.Selector.
 func (t *TIMPlus) Name() string { return "TIM+" }
 
-// Select implements im.Selector.
-func (t *TIMPlus) Select(k int) im.Result {
+// Select implements im.Selector. All three RR-sampling phases run through
+// Collection.GenerateCtx, so cancellation lands within a small batch of
+// sets even when θ is in the millions — exactly the loops the paper's
+// scalability experiments show dominating TIM+'s runtime.
+func (t *TIMPlus) Select(ctx context.Context, k int) (im.Result, error) {
 	n := t.g.NumNodes()
-	im.ValidateK(k, n)
-	start := time.Now()
 	res := im.Result{Algorithm: t.Name()}
+	if err := im.CheckK(k, n); err != nil {
+		return res, err
+	}
+	tr := im.StartTracker(ctx)
 	nf := float64(n)
 	mf := float64(t.g.NumEdges())
 	eps := t.opts.Epsilon
@@ -86,8 +100,10 @@ func (t *TIMPlus) Select(k int) im.Result {
 	}
 	for i := 1; i <= maxI; i++ {
 		ci := int(math.Ceil((6*ell*logn + 6*math.Log(float64(maxI+1))) * math.Exp2(float64(i))))
-		for kptCol.Len() < ci {
-			kptCol.Generate(1, t.opts.Seed)
+		if kptCol.Len() < ci {
+			if err := kptCol.GenerateCtx(ctx, ci-kptCol.Len(), t.opts.Seed); err != nil {
+				return res, interrupted(tr, &res, "KPT estimation", err)
+			}
 		}
 		sumKappa := 0.0
 		for _, set := range kptCol.Sets() {
@@ -116,7 +132,9 @@ func (t *TIMPlus) Select(k int) im.Result {
 		res.AddMetric("theta_capped", 1)
 	}
 	refineCol := NewCollection(t.g, t.kind)
-	refineCol.Generate(thetaPrime, t.opts.Seed+1)
+	if err := refineCol.GenerateCtx(ctx, thetaPrime, t.opts.Seed+1); err != nil {
+		return res, interrupted(tr, &res, "KPT refinement", err)
+	}
 	f := refineCol.FractionCoveredBy(sPrime)
 	kptPlus := math.Max(f*nf/(1+epsPrime), kptStar)
 	res.AddMetric("kpt_plus", kptPlus)
@@ -144,8 +162,8 @@ func (t *TIMPlus) Select(k int) im.Result {
 		if projected > t.opts.MemoryBudget {
 			res.AddMetric("aborted_oom", float64(projected))
 			res.AddMetric("theta", float64(theta))
-			res.Took = time.Since(start)
-			return res
+			tr.Finish(&res)
+			return res, nil
 		}
 	}
 	if t.opts.ThetaCap > 0 && theta > t.opts.ThetaCap {
@@ -153,18 +171,25 @@ func (t *TIMPlus) Select(k int) im.Result {
 		res.AddMetric("theta_capped", 1)
 	}
 	col := NewCollection(t.g, t.kind)
-	col.Generate(theta, t.opts.Seed+2)
+	if err := col.GenerateCtx(ctx, theta, t.opts.Seed+2); err != nil {
+		return res, interrupted(tr, &res, "node-selection sampling", err)
+	}
 	seeds, frac := col.MaxCoverage(k)
-	res.Seeds = seeds
 	res.AddMetric("theta", float64(theta))
 	res.AddMetric("rrset_bytes", float64(col.MemoryFootprint()+refineCol.MemoryFootprint()+kptCol.MemoryFootprint()))
 	res.AddMetric("coverage", frac)
 	res.AddMetric("estimated_spread", frac*nf)
-	res.Took = time.Since(start)
-	for range seeds {
-		res.PerSeed = append(res.PerSeed, res.Took) // selection is not incremental
+	// Selection is not incremental: the max-coverage pass yields all k
+	// seeds at once, so per-seed progress fires in a burst at the end
+	// (still honoring cancellation between reports).
+	for _, s := range seeds {
+		if err := tr.Interrupted(&res); err != nil {
+			return res, err
+		}
+		tr.Seed(&res, s)
 	}
-	return res
+	tr.Finish(&res)
+	return res, nil
 }
 
 var _ im.Selector = (*TIMPlus)(nil)

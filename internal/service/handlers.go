@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -117,18 +118,39 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 			"mc_runs %d exceeds the selection cap %d", runs, s.cfg.MaxSelectRuns)
 		return
 	}
+	if req.TimeoutMS < 0 {
+		writeError(w, http.StatusBadRequest, "negative timeout_ms %d", req.TimeoutMS)
+		return
+	}
 
 	key := req.fingerprint()
 	if res, ok := s.cache.Get(key); ok {
-		writeJSON(w, http.StatusOK, SelectResponse{State: StateDone, Cached: true, Result: res})
+		writeJSON(w, http.StatusOK, SelectResponse{
+			State: StateDone, Cached: true, Result: res, SeedsDone: len(res.Seeds), K: req.K,
+		})
 		return
 	}
 
 	opts := req.Options.toLib()
 	k := req.K
-	job, created, err := s.jobs.Submit(key, func() (*SelectResult, error) {
-		res, err := s.selectFn(g, k, alg, opts)
+	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
+	job, created, err := s.jobs.Submit(key, k, func(ctx context.Context, report func(int)) (*SelectResult, error) {
+		if timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+			defer cancel()
+		}
+		opts := opts // per-job copy: Progress must not leak into shared state
+		opts.Progress = func(seedIdx int, seed holisticim.NodeID, elapsed time.Duration) {
+			report(seedIdx + 1)
+		}
+		res, err := s.selectFn(ctx, g, k, alg, opts)
 		if err != nil {
+			if res.Partial {
+				// Surface whatever prefix was selected before the stop so a
+				// cancelled/timed-out job still reports useful work.
+				return toSelectResult(res), err
+			}
 			return nil, err
 		}
 		s.selections.Add(1)
@@ -150,6 +172,24 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.jobs.Get(id)
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+// handleCancelJob cancels a queued or running job. Cancelling is
+// idempotent — repeating the DELETE answers 200 with the job's current
+// state — but a job that already completed (done/failed) answers 409,
+// since its outcome can no longer be revoked.
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, accepted, ok := s.jobs.Cancel(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	if !accepted {
+		writeJSON(w, http.StatusConflict, job.Status())
 		return
 	}
 	writeJSON(w, http.StatusOK, job.Status())
@@ -191,12 +231,20 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The estimate runs synchronously on the request path, so the
+	// request's own context bounds it: a client that disconnects stops
+	// paying for simulations it will never read.
 	start := time.Now()
 	var est holisticim.Estimate
+	var estErr error
 	if model.OpinionAware() {
-		est = holisticim.EstimateOpinionSpread(g, req.Seeds, opts)
+		est, estErr = holisticim.EstimateOpinionSpreadContext(r.Context(), g, req.Seeds, opts)
 	} else {
-		est = holisticim.EstimateSpread(g, req.Seeds, opts)
+		est, estErr = holisticim.EstimateSpreadContext(r.Context(), g, req.Seeds, opts)
+	}
+	if estErr != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", estErr)
+		return
 	}
 	lambda := req.Options.Lambda
 	if lambda == 0 {

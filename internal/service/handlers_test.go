@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -68,7 +69,7 @@ func pollJob(t *testing.T, base, id string) SelectResponse {
 		if code := doJSON(t, "GET", base+"/v1/jobs/"+id, nil, &st); code != http.StatusOK {
 			t.Fatalf("GET job %s: status %d", id, code)
 		}
-		if st.State == StateDone || st.State == StateFailed {
+		if st.State == StateDone || st.State == StateFailed || st.State == StateCanceled {
 			return st
 		}
 		if time.Now().After(deadline) {
@@ -149,7 +150,7 @@ func TestSelectInflightDedup(t *testing.T) {
 	s, ts := newTestServer(t, Config{Workers: 2})
 	release := make(chan struct{})
 	var calls atomic.Int64
-	s.selectFn = func(g *holisticim.Graph, k int, alg holisticim.Algorithm, o holisticim.Options) (holisticim.Result, error) {
+	s.selectFn = func(ctx context.Context, g *holisticim.Graph, k int, alg holisticim.Algorithm, o holisticim.Options) (holisticim.Result, error) {
 		calls.Add(1)
 		<-release
 		return holisticim.Result{Algorithm: "stub", Seeds: make([]int32, k)}, nil
@@ -241,7 +242,7 @@ func TestSelectQueueFull(t *testing.T) {
 	release := make(chan struct{})
 	defer close(release)
 	var started atomic.Int64
-	s.selectFn = func(g *holisticim.Graph, k int, alg holisticim.Algorithm, o holisticim.Options) (holisticim.Result, error) {
+	s.selectFn = func(ctx context.Context, g *holisticim.Graph, k int, alg holisticim.Algorithm, o holisticim.Options) (holisticim.Result, error) {
 		started.Add(1)
 		<-release
 		return holisticim.Result{Seeds: make([]int32, k)}, nil
@@ -459,5 +460,214 @@ func TestConcurrentSelects(t *testing.T) {
 	// 3 distinct fingerprints (k = 2,3,4) => at most 3 computations.
 	if got := s.SelectionsRun(); got < 1 || got > 3 {
 		t.Fatalf("SelectionsRun = %d, want 1..3", got)
+	}
+}
+
+// blockingSelectFn installs a selectFn stub that signals when it starts
+// and then blocks until its context is cancelled, returning a canonical
+// partial result — the shape every cancellation path sees.
+func blockingSelectFn(s *Server) (started chan string, unblocked *atomic.Int64) {
+	started = make(chan string, 16)
+	unblocked = &atomic.Int64{}
+	s.selectFn = func(ctx context.Context, g *holisticim.Graph, k int, alg holisticim.Algorithm, o holisticim.Options) (holisticim.Result, error) {
+		started <- "started"
+		<-ctx.Done()
+		unblocked.Add(1)
+		return holisticim.Result{Algorithm: "stub", Seeds: []int32{0}, Partial: true},
+			fmt.Errorf("stub interrupted: %w", ctx.Err())
+	}
+	return started, unblocked
+}
+
+// TestCancelRunningJob drives DELETE /v1/jobs/{id} against a running job:
+// the job must transition to "canceled", retain the partial result, and
+// free its worker slot for queued work.
+func TestCancelRunningJob(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	started, unblocked := blockingSelectFn(s)
+
+	var first SelectResponse
+	if code := doJSON(t, "POST", ts.URL+"/v1/select",
+		SelectRequest{Graph: "g", Algorithm: "degree", K: 3}, &first); code != http.StatusAccepted {
+		t.Fatalf("POST select status %d", code)
+	}
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("selection never started")
+	}
+
+	var del SelectResponse
+	if code := doJSON(t, "DELETE", ts.URL+"/v1/jobs/"+first.JobID, nil, &del); code != http.StatusOK {
+		t.Fatalf("DELETE status %d (%+v)", code, del)
+	}
+	done := pollJob(t, ts.URL, first.JobID)
+	if done.State != StateCanceled {
+		t.Fatalf("state %q after cancel, want canceled", done.State)
+	}
+	if done.Error == "" {
+		t.Fatalf("canceled job should surface its error: %+v", done)
+	}
+	if done.Result == nil || !done.Result.Partial || len(done.Result.Seeds) != 1 {
+		t.Fatalf("canceled job should retain the partial result: %+v", done.Result)
+	}
+	if got := unblocked.Load(); got != 1 {
+		t.Fatalf("selectFn unblocked %d times, want 1", got)
+	}
+
+	// The freed worker slot must pick up fresh work: a different request
+	// (distinct fingerprint) completes normally.
+	s.selectFn = holisticim.SelectSeedsContext
+	var second SelectResponse
+	if code := doJSON(t, "POST", ts.URL+"/v1/select",
+		SelectRequest{Graph: "g", Algorithm: "degree", K: 2}, &second); code != http.StatusAccepted {
+		t.Fatalf("post-cancel POST status %d", code)
+	}
+	if res := pollJob(t, ts.URL, second.JobID); res.State != StateDone || len(res.Result.Seeds) != 2 {
+		t.Fatalf("post-cancel job %+v", res)
+	}
+
+	// Idempotency: a second DELETE answers 200 with the canceled state.
+	if code := doJSON(t, "DELETE", ts.URL+"/v1/jobs/"+first.JobID, nil, &del); code != http.StatusOK || del.State != StateCanceled {
+		t.Fatalf("repeat DELETE: status %d state %q", code, del.State)
+	}
+	// Cancelling a finished job is a conflict.
+	if code := doJSON(t, "DELETE", ts.URL+"/v1/jobs/"+second.JobID, nil, &del); code != http.StatusConflict {
+		t.Fatalf("DELETE on done job: status %d, want 409", code)
+	}
+	// Unknown ids are 404.
+	if code := doJSON(t, "DELETE", ts.URL+"/v1/jobs/zzz", nil, &map[string]any{}); code != http.StatusNotFound {
+		t.Fatalf("DELETE unknown job: status %d, want 404", code)
+	}
+}
+
+// TestCancelQueuedJob cancels a job that never reached a worker: it must
+// transition immediately and the worker must skip it entirely.
+func TestCancelQueuedJob(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueCap: 4})
+	started, _ := blockingSelectFn(s)
+
+	var blockerResp SelectResponse
+	if code := doJSON(t, "POST", ts.URL+"/v1/select",
+		SelectRequest{Graph: "g", Algorithm: "degree", K: 3}, &blockerResp); code != http.StatusAccepted {
+		t.Fatalf("blocker POST status %d", code)
+	}
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocker never started")
+	}
+	var queued SelectResponse
+	if code := doJSON(t, "POST", ts.URL+"/v1/select",
+		SelectRequest{Graph: "g", Algorithm: "degree", K: 4}, &queued); code != http.StatusAccepted {
+		t.Fatalf("queued POST status %d", code)
+	}
+
+	var del SelectResponse
+	if code := doJSON(t, "DELETE", ts.URL+"/v1/jobs/"+queued.JobID, nil, &del); code != http.StatusOK {
+		t.Fatalf("DELETE queued job: status %d", code)
+	}
+	if del.State != StateCanceled {
+		t.Fatalf("queued job state %q after cancel, want canceled", del.State)
+	}
+	// Unblock the runner and prove the canceled job never ran.
+	if code := doJSON(t, "DELETE", ts.URL+"/v1/jobs/"+blockerResp.JobID, nil, &del); code != http.StatusOK {
+		t.Fatalf("DELETE blocker: status %d", code)
+	}
+	pollJob(t, ts.URL, blockerResp.JobID)
+	if st := pollJob(t, ts.URL, queued.JobID); st.State != StateCanceled {
+		t.Fatalf("queued job resurrected into %q", st.State)
+	}
+	if got := s.SelectionsRun(); got != 0 {
+		t.Fatalf("SelectionsRun = %d, want 0 (both jobs canceled)", got)
+	}
+}
+
+// TestSelectTimeoutMS proves a per-job timeout_ms bounds the selection:
+// the job fails with a deadline error, retains the partial prefix, and
+// the partial result never poisons the cache.
+func TestSelectTimeoutMS(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	s.selectFn = func(ctx context.Context, g *holisticim.Graph, k int, alg holisticim.Algorithm, o holisticim.Options) (holisticim.Result, error) {
+		<-ctx.Done() // simulate a selection that outlives its deadline
+		return holisticim.Result{Algorithm: "stub", Seeds: []int32{0, 1}, Partial: true},
+			fmt.Errorf("stub interrupted: %w", ctx.Err())
+	}
+	req := SelectRequest{Graph: "g", Algorithm: "degree", K: 5, TimeoutMS: 30}
+	var resp SelectResponse
+	if code := doJSON(t, "POST", ts.URL+"/v1/select", req, &resp); code != http.StatusAccepted {
+		t.Fatalf("POST status %d", code)
+	}
+	done := pollJob(t, ts.URL, resp.JobID)
+	if done.State != StateFailed {
+		t.Fatalf("timed-out job state %q, want failed", done.State)
+	}
+	if done.Result == nil || !done.Result.Partial || len(done.Result.Seeds) != 2 {
+		t.Fatalf("timed-out job should retain its partial prefix: %+v", done.Result)
+	}
+
+	// The identical request must MISS the cache (partials are not cached)
+	// and, with a working selectFn, complete cleanly.
+	s.selectFn = holisticim.SelectSeedsContext
+	var retry SelectResponse
+	if code := doJSON(t, "POST", ts.URL+"/v1/select", req, &retry); code != http.StatusAccepted {
+		t.Fatalf("retry POST status %d (cache must not serve partials)", code)
+	}
+	if got := pollJob(t, ts.URL, retry.JobID); got.State != StateDone || len(got.Result.Seeds) != 5 {
+		t.Fatalf("retry job %+v", got)
+	}
+
+	// Negative timeouts are rejected at admission.
+	bad := SelectRequest{Graph: "g", Algorithm: "degree", K: 2, TimeoutMS: -5}
+	if code := doJSON(t, "POST", ts.URL+"/v1/select", bad, &map[string]any{}); code != http.StatusBadRequest {
+		t.Fatalf("negative timeout_ms: status %d, want 400", code)
+	}
+}
+
+// TestJobProgressReporting watches seeds_done/k climb while a selection
+// runs: the progress plumbing from Options.Progress through the job's
+// atomic counter must be visible over HTTP before the job finishes.
+func TestJobProgressReporting(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	release := make(chan struct{})
+	s.selectFn = func(ctx context.Context, g *holisticim.Graph, k int, alg holisticim.Algorithm, o holisticim.Options) (holisticim.Result, error) {
+		seeds := make([]int32, 0, k)
+		for i := 0; i < k; i++ {
+			seeds = append(seeds, int32(i))
+			if o.Progress != nil {
+				o.Progress(i, int32(i), time.Duration(i))
+			}
+			if i == k/2 {
+				<-release // hold mid-selection so the test can observe progress
+			}
+		}
+		return holisticim.Result{Algorithm: "stub", Seeds: seeds}, nil
+	}
+	var resp SelectResponse
+	if code := doJSON(t, "POST", ts.URL+"/v1/select",
+		SelectRequest{Graph: "g", Algorithm: "degree", K: 6}, &resp); code != http.StatusAccepted {
+		t.Fatalf("POST status %d", code)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var st SelectResponse
+		if code := doJSON(t, "GET", ts.URL+"/v1/jobs/"+resp.JobID, nil, &st); code != http.StatusOK {
+			t.Fatalf("GET job status %d", code)
+		}
+		if st.State == StateRunning && st.SeedsDone >= 3 {
+			if st.K != 6 {
+				t.Fatalf("running job k=%d, want 6", st.K)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never observed live progress (last %+v)", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(release)
+	done := pollJob(t, ts.URL, resp.JobID)
+	if done.State != StateDone || done.SeedsDone != 6 {
+		t.Fatalf("final status %+v", done)
 	}
 }

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -11,18 +12,31 @@ import (
 // translate it to 503 and have clients retry.
 var ErrQueueFull = errors.New("service: job queue full")
 
+// JobFunc runs one selection computation. It must honor ctx — returning
+// promptly with an error wrapping ctx.Err() when cancelled — and may call
+// report with the number of seeds selected so far to publish live
+// progress. A cancelled or failed run may still return a non-nil partial
+// result alongside its error; the job retains it for status polling.
+type JobFunc func(ctx context.Context, report func(seedsDone int)) (*SelectResult, error)
+
 // Job is one asynchronous selection computation. Multiple requests with
 // the same fingerprint share a single Job while it is in flight.
 type Job struct {
-	id   string
-	key  string
-	fn   func() (*SelectResult, error)
-	done chan struct{}
+	id     string
+	key    string
+	k      int // requested seed budget, for progress reporting
+	fn     JobFunc
+	done   chan struct{}
+	ctx    context.Context // cancelled by Cancel and by Manager.Close
+	cancel context.CancelFunc
 
-	mu     sync.Mutex
-	state  JobState
-	result *SelectResult
-	err    error
+	seedsDone atomic.Int64
+
+	mu          sync.Mutex
+	state       JobState
+	result      *SelectResult
+	err         error
+	cancelAsked bool // a Cancel already fired for this job
 }
 
 // ID returns the job's identifier.
@@ -31,11 +45,21 @@ func (j *Job) ID() string { return j.id }
 // Done is closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
-// Status snapshots the job as a SelectResponse.
+// Status snapshots the job as a SelectResponse, including live per-seed
+// progress while the job runs.
 func (j *Job) Status() SelectResponse {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	resp := SelectResponse{JobID: j.id, State: j.state, Result: j.result}
+	resp := SelectResponse{
+		JobID:     j.id,
+		State:     j.state,
+		K:         j.k,
+		SeedsDone: int(j.seedsDone.Load()),
+		Result:    j.result,
+	}
+	if j.state == StateDone && resp.Result != nil {
+		resp.SeedsDone = len(resp.Result.Seeds)
+	}
 	if j.err != nil {
 		resp.Error = j.err.Error()
 	}
@@ -47,19 +71,28 @@ func (j *Job) Status() SelectResponse {
 // or running attaches to the existing job instead of spawning another
 // computation. Finished jobs are retained (up to maxJobs) so clients can
 // poll results; the oldest finished jobs are evicted first.
+//
+// Every job runs under its own cancellable context (derived from the
+// manager's): Cancel stops one job, Close cancels all in-flight work.
+// The queue is a slice guarded by the manager lock (not a channel), so
+// cancelling a queued job frees its slot immediately.
 type Manager struct {
-	queue chan *Job
-	stop  chan struct{}
-	wg    sync.WaitGroup
+	baseCtx  context.Context
+	stopJobs context.CancelFunc
+	wg       sync.WaitGroup
 
 	mu       sync.Mutex
+	cond     *sync.Cond // signalled on queue push and on close
+	queue    []*Job     // pending jobs awaiting a worker, FIFO
+	queueCap int
+	closed   bool
 	jobs     map[string]*Job // by id, including finished ones
 	history  []string        // job ids in creation order, for eviction
 	inflight map[string]*Job // by key, pending/running only
 	nextID   uint64
 	maxJobs  int
 
-	submitted, deduped atomic.Int64
+	submitted, deduped, canceled atomic.Int64
 }
 
 // NewManager starts a pool of workers with the given queue capacity,
@@ -75,13 +108,16 @@ func NewManager(workers, queueCap, maxJobs int) *Manager {
 	if maxJobs <= 0 {
 		maxJobs = 1024
 	}
+	baseCtx, stopJobs := context.WithCancel(context.Background())
 	m := &Manager{
-		queue:    make(chan *Job, queueCap),
-		stop:     make(chan struct{}),
+		baseCtx:  baseCtx,
+		stopJobs: stopJobs,
+		queueCap: queueCap,
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*Job),
 		maxJobs:  maxJobs,
 	}
+	m.cond = sync.NewCond(&m.mu)
 	m.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go m.worker()
@@ -89,40 +125,39 @@ func NewManager(workers, queueCap, maxJobs int) *Manager {
 	return m
 }
 
-// Submit enqueues fn under the deduplication key. It returns the job and
-// whether it was newly created (false means the caller attached to an
-// in-flight job and fn was dropped). ErrQueueFull is returned when a new
-// job cannot be queued.
-func (m *Manager) Submit(key string, fn func() (*SelectResult, error)) (*Job, bool, error) {
+// Submit enqueues fn under the deduplication key with the given seed
+// budget k. It returns the job and whether it was newly created (false
+// means the caller attached to an in-flight job and fn was dropped).
+// ErrQueueFull is returned when a new job cannot be queued.
+func (m *Manager) Submit(key string, k int, fn JobFunc) (*Job, bool, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if j, ok := m.inflight[key]; ok {
 		m.deduped.Add(1)
 		return j, false, nil
 	}
+	if len(m.queue) >= m.queueCap {
+		return nil, false, ErrQueueFull
+	}
+	ctx, cancel := context.WithCancel(m.baseCtx)
 	j := &Job{
-		id:    fmt.Sprintf("j%08x", m.nextID),
-		key:   key,
-		fn:    fn,
-		done:  make(chan struct{}),
-		state: StatePending,
+		id:     fmt.Sprintf("j%08x", m.nextID),
+		key:    key,
+		k:      k,
+		fn:     fn,
+		done:   make(chan struct{}),
+		ctx:    ctx,
+		cancel: cancel,
+		state:  StatePending,
 	}
 	m.nextID++
-	// Register before enqueueing so a fast worker can never finish the
-	// job while it is still invisible to Get and deduplication.
 	m.jobs[j.id] = j
 	m.history = append(m.history, j.id)
 	m.inflight[key] = j
-	select {
-	case m.queue <- j:
-	default:
-		delete(m.jobs, j.id)
-		delete(m.inflight, key)
-		m.history = m.history[:len(m.history)-1]
-		return nil, false, ErrQueueFull
-	}
+	m.queue = append(m.queue, j)
 	m.submitted.Add(1)
 	m.evictLocked()
+	m.cond.Signal()
 	return j, true, nil
 }
 
@@ -135,6 +170,69 @@ func (m *Manager) Get(id string) (*Job, bool) {
 	return j, ok
 }
 
+// Cancel stops the job with the given id. A queued job is removed from
+// the queue — freeing its slot immediately — and transitions to
+// StateCanceled; a running job has its context cancelled and transitions
+// once its JobFunc unwinds — promptly, since every selector honors
+// cancellation — freeing the worker slot for queued work. accepted
+// reports whether the job is (now or already) being cancelled; false
+// with ok=true means the job had already completed and its outcome
+// cannot be revoked. Cancel is idempotent.
+func (m *Manager) Cancel(id string) (j *Job, accepted, ok bool) {
+	m.mu.Lock()
+	j, ok = m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return nil, false, false
+	}
+
+	j.mu.Lock()
+	switch j.state {
+	case StatePending:
+		j.cancelAsked = true
+		j.state = StateCanceled
+		j.err = context.Canceled
+		j.mu.Unlock()
+		// Free the queue slot and the dedup entry right away.
+		for i, q := range m.queue {
+			if q == j {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				break
+			}
+		}
+		if m.inflight[j.key] == j {
+			delete(m.inflight, j.key)
+		}
+		m.mu.Unlock()
+		j.cancel()
+		close(j.done)
+		m.canceled.Add(1)
+		return j, true, true
+	case StateRunning:
+		// Drop the dedup entry so new submissions start a fresh job
+		// rather than attaching to one that is being torn down.
+		if m.inflight[j.key] == j {
+			delete(m.inflight, j.key)
+		}
+		asked := j.cancelAsked
+		j.cancelAsked = true
+		j.mu.Unlock()
+		m.mu.Unlock()
+		if !asked {
+			j.cancel() // worker observes the JobFunc return and finalizes
+		}
+		return j, true, true
+	case StateCanceled:
+		j.mu.Unlock()
+		m.mu.Unlock()
+		return j, true, true
+	default: // done or failed: too late to revoke
+		j.mu.Unlock()
+		m.mu.Unlock()
+		return j, false, true
+	}
+}
+
 // Submitted returns the number of jobs accepted (excluding deduplicated
 // submissions).
 func (m *Manager) Submitted() int64 { return m.submitted.Load() }
@@ -143,41 +241,76 @@ func (m *Manager) Submitted() int64 { return m.submitted.Load() }
 // job instead of creating a new one.
 func (m *Manager) Deduped() int64 { return m.deduped.Load() }
 
-// Close stops the workers after their current jobs; queued jobs that were
-// never started remain pending.
+// Canceled returns the number of jobs that reached StateCanceled.
+func (m *Manager) Canceled() int64 { return m.canceled.Load() }
+
+// Close cancels all in-flight jobs and stops the workers once their
+// current (now cancelled) jobs unwind; queued jobs that were never
+// started remain pending.
 func (m *Manager) Close() {
-	close(m.stop)
+	m.stopJobs() // cancel every job context so running work returns promptly
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
 	m.wg.Wait()
 }
 
 func (m *Manager) worker() {
 	defer m.wg.Done()
 	for {
-		select {
-		case <-m.stop:
-			return
-		case j := <-m.queue:
-			j.mu.Lock()
-			j.state = StateRunning
-			j.mu.Unlock()
-			res, err := j.fn()
-			j.mu.Lock()
-			if err != nil {
-				j.state = StateFailed
-				j.err = err
-			} else {
-				j.state = StateDone
-				j.result = res
-			}
-			j.mu.Unlock()
-			close(j.done)
-			m.mu.Lock()
-			if m.inflight[j.key] == j {
-				delete(m.inflight, j.key)
-			}
-			m.mu.Unlock()
+		m.mu.Lock()
+		for len(m.queue) == 0 && !m.closed {
+			m.cond.Wait()
 		}
+		if m.closed {
+			m.mu.Unlock()
+			return
+		}
+		j := m.queue[0]
+		m.queue = m.queue[1:]
+		m.mu.Unlock()
+		m.run(j)
 	}
+}
+
+// run executes one dequeued job to a terminal state.
+func (m *Manager) run(j *Job) {
+	j.mu.Lock()
+	if j.state != StatePending { // cancelled after dequeue won the race
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.mu.Unlock()
+	res, err := j.fn(j.ctx, func(seedsDone int) {
+		j.seedsDone.Store(int64(seedsDone))
+	})
+	j.mu.Lock()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = res
+	case j.ctx.Err() != nil && errors.Is(err, context.Canceled):
+		j.state = StateCanceled
+		j.err = err
+		j.result = res // partial result, when the selector returned one
+		m.canceled.Add(1)
+	default:
+		// Includes deadline expiry from a per-job timeout: the job
+		// failed to produce its full result in time.
+		j.state = StateFailed
+		j.err = err
+		j.result = res
+	}
+	j.mu.Unlock()
+	j.cancel() // release the context's resources
+	close(j.done)
+	m.mu.Lock()
+	if m.inflight[j.key] == j {
+		delete(m.inflight, j.key)
+	}
+	m.mu.Unlock()
 }
 
 // evictLocked drops the oldest finished jobs while over maxJobs. Pending
@@ -209,5 +342,5 @@ func (m *Manager) evictLocked() {
 func (j *Job) terminal() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.state == StateDone || j.state == StateFailed
+	return j.state == StateDone || j.state == StateFailed || j.state == StateCanceled
 }

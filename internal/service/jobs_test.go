@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -21,7 +22,7 @@ func waitDone(t *testing.T, j *Job) {
 func TestManagerRunsJob(t *testing.T) {
 	m := NewManager(2, 8, 16)
 	defer m.Close()
-	j, created, err := m.Submit("k1", func() (*SelectResult, error) {
+	j, created, err := m.Submit("k1", 1, func(ctx context.Context, report func(int)) (*SelectResult, error) {
 		return &SelectResult{Algorithm: "stub", Seeds: []int32{7}}, nil
 	})
 	if err != nil || !created {
@@ -41,7 +42,7 @@ func TestManagerRunsJob(t *testing.T) {
 func TestManagerFailedJob(t *testing.T) {
 	m := NewManager(1, 8, 16)
 	defer m.Close()
-	j, _, err := m.Submit("boom", func() (*SelectResult, error) {
+	j, _, err := m.Submit("boom", 1, func(ctx context.Context, report func(int)) (*SelectResult, error) {
 		return nil, errors.New("synthetic failure")
 	})
 	if err != nil {
@@ -59,16 +60,16 @@ func TestManagerSingleFlightDedup(t *testing.T) {
 	defer m.Close()
 	release := make(chan struct{})
 	var runs atomic.Int64
-	fn := func() (*SelectResult, error) {
+	fn := func(ctx context.Context, report func(int)) (*SelectResult, error) {
 		runs.Add(1)
 		<-release
 		return &SelectResult{Algorithm: "stub"}, nil
 	}
-	j1, created1, err := m.Submit("same", fn)
+	j1, created1, err := m.Submit("same", 1, fn)
 	if err != nil || !created1 {
 		t.Fatalf("first Submit: created=%v err=%v", created1, err)
 	}
-	j2, created2, err := m.Submit("same", fn)
+	j2, created2, err := m.Submit("same", 1, fn)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestManagerSingleFlightDedup(t *testing.T) {
 	}
 	// After completion the key is free again: a new submission must create
 	// a fresh job (result caching is the layer above, not the manager's).
-	j3, created3, err := m.Submit("same", func() (*SelectResult, error) {
+	j3, created3, err := m.Submit("same", 1, func(ctx context.Context, report func(int)) (*SelectResult, error) {
 		return &SelectResult{}, nil
 	})
 	if err != nil || !created3 || j3 == j1 {
@@ -98,13 +99,13 @@ func TestManagerQueueFull(t *testing.T) {
 	m := NewManager(1, 1, 16)
 	defer m.Close()
 	release := make(chan struct{})
-	blocker := func() (*SelectResult, error) {
+	blocker := func(ctx context.Context, report func(int)) (*SelectResult, error) {
 		<-release
 		return &SelectResult{}, nil
 	}
 	// First job occupies the single worker; wait until it is actually
 	// running so the queue slot is observable deterministically.
-	j1, _, err := m.Submit("a", blocker)
+	j1, _, err := m.Submit("a", 1, blocker)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,11 +116,11 @@ func TestManagerQueueFull(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	j2, _, err := m.Submit("b", blocker)
+	j2, _, err := m.Submit("b", 1, blocker)
 	if err != nil {
 		t.Fatalf("queue should hold one job: %v", err)
 	}
-	if _, _, err := m.Submit("c", blocker); !errors.Is(err, ErrQueueFull) {
+	if _, _, err := m.Submit("c", 1, blocker); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("third Submit: err=%v, want ErrQueueFull", err)
 	}
 	// A rejected submission must not poison deduplication: once the queue
@@ -128,7 +129,7 @@ func TestManagerQueueFull(t *testing.T) {
 	close(release)
 	waitDone(t, j1)
 	waitDone(t, j2)
-	j3, created, err := m.Submit("c", func() (*SelectResult, error) {
+	j3, created, err := m.Submit("c", 1, func(ctx context.Context, report func(int)) (*SelectResult, error) {
 		return &SelectResult{}, nil
 	})
 	if err != nil || !created {
@@ -142,7 +143,7 @@ func TestManagerEvictsFinishedJobs(t *testing.T) {
 	defer m.Close()
 	var jobs []*Job
 	for i := 0; i < 12; i++ {
-		j, _, err := m.Submit(fmt.Sprintf("k%d", i), func() (*SelectResult, error) {
+		j, _, err := m.Submit(fmt.Sprintf("k%d", i), 1, func(ctx context.Context, report func(int)) (*SelectResult, error) {
 			return &SelectResult{}, nil
 		})
 		if err != nil {
@@ -183,7 +184,7 @@ func TestManagerConcurrency(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perG; i++ {
 				key := fmt.Sprintf("key%d", (g+i)%8)
-				j, _, err := m.Submit(key, func() (*SelectResult, error) {
+				j, _, err := m.Submit(key, 1, func(ctx context.Context, report func(int)) (*SelectResult, error) {
 					runs.Add(1)
 					return &SelectResult{}, nil
 				})
@@ -210,4 +211,164 @@ func TestManagerConcurrency(t *testing.T) {
 	if runs.Load() != m.Submitted() {
 		t.Fatalf("fn ran %d times for %d created jobs", runs.Load(), m.Submitted())
 	}
+}
+
+// TestManagerCancel exercises Manager.Cancel directly across the three
+// job phases: queued (immediate transition), running (context-driven) and
+// finished (refused).
+func TestManagerCancel(t *testing.T) {
+	m := NewManager(1, 8, 16)
+	defer m.Close()
+	running := make(chan struct{})
+	blocker := func(ctx context.Context, report func(int)) (*SelectResult, error) {
+		close(running)
+		<-ctx.Done()
+		return &SelectResult{Partial: true}, fmt.Errorf("stub: %w", ctx.Err())
+	}
+	j1, _, err := m.Submit("run", 1, blocker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-running
+	j2, _, err := m.Submit("queued", 1, func(ctx context.Context, report func(int)) (*SelectResult, error) {
+		t.Error("canceled queued job must never run")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Queued: transitions immediately, worker later skips it.
+	if _, accepted, ok := m.Cancel(j2.ID()); !accepted || !ok {
+		t.Fatalf("Cancel(queued) = accepted=%v ok=%v", accepted, ok)
+	}
+	if st := j2.Status(); st.State != StateCanceled {
+		t.Fatalf("queued job state %q", st.State)
+	}
+	// Running: unblocks via its context, retains the partial result.
+	if _, accepted, ok := m.Cancel(j1.ID()); !accepted || !ok {
+		t.Fatalf("Cancel(running) = accepted=%v ok=%v", accepted, ok)
+	}
+	waitDone(t, j1)
+	if st := j1.Status(); st.State != StateCanceled || st.Result == nil || !st.Result.Partial {
+		t.Fatalf("running job after cancel: %+v", st)
+	}
+	if got := m.Canceled(); got != 2 {
+		t.Fatalf("Canceled() = %d, want 2", got)
+	}
+	// Finished jobs refuse cancellation.
+	j3, _, err := m.Submit("done", 1, func(ctx context.Context, report func(int)) (*SelectResult, error) {
+		return &SelectResult{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j3)
+	if _, accepted, ok := m.Cancel(j3.ID()); accepted || !ok {
+		t.Fatalf("Cancel(done) = accepted=%v ok=%v, want refused", accepted, ok)
+	}
+	// Unknown ids.
+	if _, _, ok := m.Cancel("nope"); ok {
+		t.Fatal("Cancel(unknown) reported ok")
+	}
+}
+
+// TestManagerCloseCancelsInflight proves shutdown does not drain: a
+// running job's context is cancelled and Close returns once it unwinds.
+func TestManagerCloseCancelsInflight(t *testing.T) {
+	m := NewManager(2, 8, 16)
+	running := make(chan struct{})
+	j, _, err := m.Submit("slow", 1, func(ctx context.Context, report func(int)) (*SelectResult, error) {
+		close(running)
+		<-ctx.Done() // would block forever if shutdown drained politely
+		return nil, fmt.Errorf("stub: %w", ctx.Err())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-running
+	closed := make(chan struct{})
+	go func() {
+		m.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not cancel the in-flight job")
+	}
+	waitDone(t, j)
+	if st := j.Status(); st.State != StateCanceled {
+		t.Fatalf("job state %q after shutdown, want canceled", st.State)
+	}
+}
+
+// TestJobProgressCounter proves the report callback is visible through
+// Status while the job runs.
+func TestJobProgressCounter(t *testing.T) {
+	m := NewManager(1, 8, 16)
+	defer m.Close()
+	mid := make(chan struct{})
+	release := make(chan struct{})
+	j, _, err := m.Submit("prog", 4, func(ctx context.Context, report func(int)) (*SelectResult, error) {
+		report(2)
+		close(mid)
+		<-release
+		report(4)
+		return &SelectResult{Seeds: []int32{0, 1, 2, 3}}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-mid
+	if st := j.Status(); st.SeedsDone != 2 || st.K != 4 {
+		t.Fatalf("mid-run status %+v, want seeds_done=2 k=4", st)
+	}
+	close(release)
+	waitDone(t, j)
+	if st := j.Status(); st.State != StateDone || st.SeedsDone != 4 {
+		t.Fatalf("final status %+v", st)
+	}
+}
+
+// TestCancelFreesQueueSlot is the regression test for queue tombstones:
+// cancelling a queued job must free its slot immediately, so a new
+// submission succeeds while the worker is still busy.
+func TestCancelFreesQueueSlot(t *testing.T) {
+	m := NewManager(1, 1, 16)
+	defer m.Close()
+	running := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	if _, _, err := m.Submit("busy", 1, func(ctx context.Context, report func(int)) (*SelectResult, error) {
+		close(running)
+		<-release
+		return &SelectResult{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-running
+	queued, _, err := m.Submit("q1", 1, func(ctx context.Context, report func(int)) (*SelectResult, error) {
+		t.Error("canceled queued job must never run")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Submit("q2", 1, func(ctx context.Context, report func(int)) (*SelectResult, error) {
+		return &SelectResult{}, nil
+	}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("queue should be full before cancel: err=%v", err)
+	}
+	if _, accepted, ok := m.Cancel(queued.ID()); !accepted || !ok {
+		t.Fatalf("Cancel(queued) accepted=%v ok=%v", accepted, ok)
+	}
+	// The slot is free right now — no worker had to drain a tombstone.
+	replacement, created, err := m.Submit("q2", 1, func(ctx context.Context, report func(int)) (*SelectResult, error) {
+		return &SelectResult{}, nil
+	})
+	if err != nil || !created {
+		t.Fatalf("post-cancel Submit: created=%v err=%v", created, err)
+	}
+	_ = replacement
 }

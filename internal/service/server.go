@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"net/http"
 	"sync/atomic"
 	"time"
@@ -29,10 +30,10 @@ type Config struct {
 	// MaxEstimateRuns caps mc_runs on POST /v1/estimate, which runs
 	// synchronously on the request path (default 100000).
 	MaxEstimateRuns int
-	// MaxSelectRuns caps mc_runs on POST /v1/select. Selections run off
-	// the request path, but jobs have no cancellation, so the budget of
-	// the simulation-driven algorithms must be bounded at admission
-	// (default 1000000).
+	// MaxSelectRuns caps mc_runs on POST /v1/select. Jobs are cancellable
+	// (DELETE /v1/jobs/{id}, timeout_ms), so this cap is a second line of
+	// defense against abandoned heavyweight work rather than the only
+	// bound (default 1000000).
 	MaxSelectRuns int
 	// MaxGraphs caps the number of registered graphs — names can never be
 	// rebound, so the registry only grows (default 64).
@@ -87,9 +88,9 @@ type Server struct {
 	cache *Cache
 	mux   *http.ServeMux
 
-	// selectFn runs one selection; tests substitute stubs to control
-	// timing without real computations.
-	selectFn func(g *holisticim.Graph, k int, alg holisticim.Algorithm, o holisticim.Options) (holisticim.Result, error)
+	// selectFn runs one selection under a job-scoped context; tests
+	// substitute stubs to control timing without real computations.
+	selectFn func(ctx context.Context, g *holisticim.Graph, k int, alg holisticim.Algorithm, o holisticim.Options) (holisticim.Result, error)
 
 	selections atomic.Int64 // actual (non-cached, non-deduped) selections run
 }
@@ -102,7 +103,7 @@ func New(cfg Config) *Server {
 		reg:      NewRegistry(),
 		jobs:     NewManager(cfg.Workers, cfg.QueueCap, cfg.MaxJobs),
 		cache:    NewCache(cfg.CacheSize),
-		selectFn: holisticim.SelectSeeds,
+		selectFn: holisticim.SelectSeedsContext,
 	}
 	// Enforced inside Registry.Add, under its lock, so concurrent
 	// registrations cannot race past the cap.
@@ -118,7 +119,8 @@ func (s *Server) Registry() *Registry { return s.reg }
 // Handler returns the root http.Handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close stops the worker pool.
+// Close cancels all in-flight selections and stops the worker pool once
+// they unwind — shutdown no longer drains heavyweight jobs to completion.
 func (s *Server) Close() { s.jobs.Close() }
 
 // SelectionsRun returns how many selections were actually computed (cache
@@ -134,6 +136,7 @@ func (s *Server) Stats() ServerStats {
 		CacheMisses:   s.cache.Misses(),
 		JobsSubmitted: s.jobs.Submitted(),
 		JobsDeduped:   s.jobs.Deduped(),
+		JobsCanceled:  s.jobs.Canceled(),
 		SelectionsRun: s.selections.Load(),
 	}
 }
@@ -146,6 +149,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/graphs/{name}", s.handleGraphStats)
 	s.mux.HandleFunc("POST /v1/select", s.handleSelect)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	s.mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
 }
 
@@ -155,5 +159,6 @@ func toSelectResult(res holisticim.Result) *SelectResult {
 		Seeds:     res.Seeds,
 		TookMS:    float64(res.Took) / float64(time.Millisecond),
 		Metrics:   res.Metrics,
+		Partial:   res.Partial,
 	}
 }

@@ -14,6 +14,13 @@
 // whose RR-set indexes are expensive to build — are far too costly to run
 // per request, so nothing in this package ever blocks an HTTP handler on
 // a selection.
+//
+// Every job runs under its own cancellable context: DELETE /v1/jobs/{id}
+// cancels a queued or running job (freeing its worker slot promptly,
+// since every selector honors context cancellation), an optional
+// timeout_ms request field bounds a job's wall-clock time, job status
+// reports live seeds_done/k progress, and server shutdown cancels
+// in-flight work instead of draining it.
 package service
 
 import (
@@ -67,11 +74,17 @@ var knownAlgorithms = map[holisticim.Algorithm]bool{
 }
 
 // SelectRequest asks for a k-seed selection on a registered graph.
+// TimeoutMS, when positive, bounds the selection's wall-clock time: the
+// job fails with a deadline error — retaining the partial seed prefix —
+// once it expires. The timeout is a request-lifecycle knob, not part of
+// the result identity, so it is excluded from the fingerprint (a request
+// attaching to an in-flight job shares that job's timeout).
 type SelectRequest struct {
 	Graph     string  `json:"graph"`
 	Algorithm string  `json:"algorithm"`
 	K         int     `json:"k"`
 	Options   Options `json:"options"`
+	TimeoutMS int     `json:"timeout_ms,omitempty"`
 }
 
 // fingerprint is the canonical cache/deduplication key for the request.
@@ -82,12 +95,15 @@ func (r SelectRequest) fingerprint() string {
 		r.Options.toLib().Fingerprint(holisticim.Algorithm(r.Algorithm), r.K))
 }
 
-// SelectResult is the JSON form of a completed selection.
+// SelectResult is the JSON form of a selection. Partial marks a result
+// cut short by cancellation or a timeout: Seeds holds the prefix chosen
+// before the stop.
 type SelectResult struct {
 	Algorithm string             `json:"algorithm"`
 	Seeds     []int32            `json:"seeds"`
 	TookMS    float64            `json:"took_ms"`
 	Metrics   map[string]float64 `json:"metrics,omitempty"`
+	Partial   bool               `json:"partial,omitempty"`
 }
 
 // JobState is the lifecycle of an async selection job.
@@ -95,22 +111,28 @@ type JobState string
 
 // Job lifecycle states.
 const (
-	StatePending JobState = "pending"
-	StateRunning JobState = "running"
-	StateDone    JobState = "done"
-	StateFailed  JobState = "failed"
+	StatePending  JobState = "pending"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
 )
 
-// SelectResponse answers POST /v1/select and GET /v1/jobs/{id}. A cache
-// hit carries the result inline with State "done" and no JobID; otherwise
-// JobID points at the (possibly shared) computation.
+// SelectResponse answers POST /v1/select, GET /v1/jobs/{id} and DELETE
+// /v1/jobs/{id}. A cache hit carries the result inline with State "done"
+// and no JobID; otherwise JobID points at the (possibly shared)
+// computation. While a job runs, SeedsDone/K report live per-seed
+// progress; a canceled or timed-out job may still carry the partial
+// result its selector returned.
 type SelectResponse struct {
-	JobID   string        `json:"job_id,omitempty"`
-	State   JobState      `json:"state"`
-	Cached  bool          `json:"cached,omitempty"`
-	Deduped bool          `json:"deduped,omitempty"`
-	Error   string        `json:"error,omitempty"`
-	Result  *SelectResult `json:"result,omitempty"`
+	JobID     string        `json:"job_id,omitempty"`
+	State     JobState      `json:"state"`
+	Cached    bool          `json:"cached,omitempty"`
+	Deduped   bool          `json:"deduped,omitempty"`
+	SeedsDone int           `json:"seeds_done"`
+	K         int           `json:"k,omitempty"`
+	Error     string        `json:"error,omitempty"`
+	Result    *SelectResult `json:"result,omitempty"`
 }
 
 // EstimateRequest asks for a Monte-Carlo spread estimate of a seed set.
@@ -216,5 +238,6 @@ type ServerStats struct {
 	CacheMisses   int64 `json:"cache_misses"`
 	JobsSubmitted int64 `json:"jobs_submitted"`
 	JobsDeduped   int64 `json:"jobs_deduped"`
+	JobsCanceled  int64 `json:"jobs_canceled"`
 	SelectionsRun int64 `json:"selections_run"`
 }
