@@ -1,0 +1,146 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/holisticim/holisticim"
+)
+
+// benchResult is the machine-readable record one BENCH_<name>.json file
+// carries, so the performance trajectory of every algorithm is trackable
+// across PRs (compare ns_per_op between runs of the same schema).
+type benchResult struct {
+	Schema      string  `json:"schema"` // "holisticim-bench/1"
+	Name        string  `json:"name"`
+	Algorithm   string  `json:"algorithm"`
+	Nodes       int32   `json:"nodes"`
+	Arcs        int64   `json:"arcs"`
+	K           int     `json:"k"`
+	MCRuns      int     `json:"mc_runs,omitempty"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	MsPerOp     float64 `json:"ms_per_op"`
+}
+
+// benchFileName maps an algorithm name to its BENCH_*.json file,
+// replacing characters that do not belong in filenames.
+func benchFileName(name string) string {
+	r := strings.NewReplacer("+", "plus", "/", "-", " ", "-")
+	return "BENCH_" + r.Replace(name) + ".json"
+}
+
+// runBenchJSON micro-benchmarks each selection algorithm (plus the
+// RR-sketch build and warm-select paths) on one deterministic BA graph
+// and writes a BENCH_<name>.json per entry into dir.
+func runBenchJSON(dir string, quick bool) int {
+	n := int32(5000)
+	mcRuns := 500
+	if quick {
+		n = 1500
+		mcRuns = 120
+	}
+	const k = 10
+	g := holisticim.GenerateBA(n, 3, 1)
+	g.SetUniformProb(0.1)
+	holisticim.AssignOpinions(g, holisticim.OpinionNormal, 2)
+	holisticim.AssignInteractions(g, 3)
+
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "imbench: %v\n", err)
+		return 1
+	}
+
+	selectBench := func(alg holisticim.Algorithm) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := holisticim.SelectSeeds(g, k, alg, holisticim.Options{MCRuns: mcRuns, Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	sketchOpts := holisticim.SketchOptions{Epsilon: 0.2, Seed: 1, BuildK: 2 * k}
+	benches := []struct {
+		name string
+		alg  string
+		fn   func(b *testing.B)
+	}{
+		{"easyim", "easyim", selectBench(holisticim.AlgEaSyIM)},
+		{"osim", "osim", selectBench(holisticim.AlgOSIM)},
+		{"tim+", "tim+", selectBench(holisticim.AlgTIMPlus)},
+		{"imm", "imm", selectBench(holisticim.AlgIMM)},
+		{"irie", "irie", selectBench(holisticim.AlgIRIE)},
+		{"degree", "degree", selectBench(holisticim.AlgDegree)},
+		{"degree-discount", "degree-discount", selectBench(holisticim.AlgDegreeDiscount)},
+		{"pagerank", "pagerank", selectBench(holisticim.AlgPageRank)},
+		{"sketch-build", "imm", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := holisticim.BuildSketch(context.Background(), g, sketchOpts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"sketch-select", "imm", func(b *testing.B) {
+			sk, err := holisticim.BuildSketch(context.Background(), g, sketchOpts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sk.Select(context.Background(), 1+i%(2*k)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+
+	exit := 0
+	for _, bench := range benches {
+		r := testing.Benchmark(bench.fn)
+		if r.N == 0 {
+			fmt.Fprintf(os.Stderr, "imbench: benchmark %s failed\n", bench.name)
+			exit = 1
+			continue
+		}
+		res := benchResult{
+			Schema:      "holisticim-bench/1",
+			Name:        bench.name,
+			Algorithm:   bench.alg,
+			Nodes:       g.NumNodes(),
+			Arcs:        g.NumEdges(),
+			K:           k,
+			MCRuns:      mcRuns,
+			Iterations:  r.N,
+			NsPerOp:     r.NsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			MsPerOp:     float64(r.NsPerOp()) / 1e6,
+		}
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "imbench: %v\n", err)
+			exit = 1
+			continue
+		}
+		path := filepath.Join(dir, benchFileName(bench.name))
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "imbench: write %s: %v\n", path, err)
+			exit = 1
+			continue
+		}
+		fmt.Printf("%-18s %12.2f ms/op %12d B/op   -> %s\n",
+			bench.name, res.MsPerOp, res.BytesPerOp, path)
+	}
+	return exit
+}

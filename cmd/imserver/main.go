@@ -17,6 +17,8 @@
 //	-cache int          LRU result-cache entries (default 256)
 //	-max-jobs int       retained job records (default 1024)
 //	-load name=path     preload a graph file (repeatable; edge-list or binary)
+//	-sketch name=path   preload an RR-sketch snapshot (built by imsketch)
+//	                    for the already-loaded graph `name` (repeatable)
 //	-demo n             preload "demo": a BA graph with n nodes, p=0.1,
 //	                    normal opinions and random interactions (0 = off)
 //	-allow-path-load    let POST /v1/graphs read server-local files
@@ -24,12 +26,18 @@
 // Endpoints:
 //
 //	GET  /healthz            liveness
-//	GET  /v1/stats           serving counters (cache hits, jobs, ...)
+//	GET  /v1/stats           serving counters (cache hits, jobs, sketches, ...)
 //	GET  /v1/graphs          registered graphs
 //	POST /v1/graphs          register a graph (generator spec or path)
 //	GET  /v1/graphs/{name}   graph statistics
+//	GET  /v1/sketches        registered RR-sketch indexes
+//	POST /v1/sketches        build a sketch (async job)
+//	GET  /v1/sketches/{id}   sketch details / counters
+//	DELETE /v1/sketches/{id} evict a sketch
 //	POST /v1/select          async seed selection -> job id | cached result
-//	                         (optional timeout_ms bounds the job's runtime)
+//	                         (optional timeout_ms bounds the job's runtime);
+//	                         RIS-family requests matching a sketch are
+//	                         answered synchronously from the index
 //	GET  /v1/jobs/{id}       job status / result, incl. live seeds_done/k
 //	DELETE /v1/jobs/{id}     cancel a queued or running job
 //	POST /v1/estimate        synchronous Monte-Carlo spread estimate
@@ -57,7 +65,7 @@ import (
 )
 
 func main() {
-	var loads []string
+	var loads, sketches []string
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
 		workers   = flag.Int("workers", 2, "concurrent selection jobs")
@@ -72,6 +80,13 @@ func main() {
 			return fmt.Errorf("want name=path, got %q", v)
 		}
 		loads = append(loads, v)
+		return nil
+	})
+	flag.Func("sketch", "preload an RR-sketch snapshot as graphname=path (repeatable)", func(v string) error {
+		if !strings.Contains(v, "=") {
+			return fmt.Errorf("want graphname=path, got %q", v)
+		}
+		sketches = append(sketches, v)
 		return nil
 	})
 	flag.Parse()
@@ -91,6 +106,18 @@ func main() {
 			log.Fatalf("imserver: %v", err)
 		}
 		log.Printf("loaded graph %q from %s", name, path)
+	}
+	for _, sk := range sketches {
+		name, path, _ := strings.Cut(sk, "=")
+		g, err := srv.Registry().Get(name)
+		if err != nil {
+			log.Fatalf("imserver: -sketch %s: %v (load the graph first with -load)", sk, err)
+		}
+		id, err := srv.Sketches().LoadSnapshot(name, g, path)
+		if err != nil {
+			log.Fatalf("imserver: %v", err)
+		}
+		log.Printf("loaded sketch %q from %s", id, path)
 	}
 	if *demo > 0 {
 		g := holisticim.GenerateBA(int32(*demo), 3, 1)

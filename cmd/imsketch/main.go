@@ -1,0 +1,161 @@
+// Command imsketch builds, inspects and queries RR-sketch snapshots —
+// the offline half of the build-once/serve-many pipeline: build a sketch
+// on a beefy machine (or in CI), ship the snapshot with the graph, and
+// point imserver's -sketch flag at it so the /v1/select fast path is
+// warm from the first request.
+//
+// Usage:
+//
+//	imsketch -build -graph g.bin -out g.sketch [-model ic] [-eps 0.1] [-seed 1] [-k 50] [-workers 8]
+//	imsketch -info -sketch g.sketch
+//	imsketch -select -graph g.bin -sketch g.sketch -k 20
+//
+// Modes (exactly one):
+//
+//	-build    sample a sketch over -graph and write it to -out
+//	-info     print a snapshot's header (no graph needed)
+//	-select   load -sketch against -graph and select -k seeds
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/holisticim/holisticim"
+)
+
+func main() {
+	var (
+		build  = flag.Bool("build", false, "build a sketch over -graph and write it to -out")
+		info   = flag.Bool("info", false, "print a snapshot's header")
+		sel    = flag.Bool("select", false, "load -sketch against -graph and select -k seeds")
+		graphP = flag.String("graph", "", "graph file (edge-list or binary)")
+		sketch = flag.String("sketch", "", "sketch snapshot file")
+		out    = flag.String("out", "", "output snapshot path (build mode)")
+		model  = flag.String("model", "ic", "diffusion model; its family picks the RR semantics (ic or lt walks)")
+		eps    = flag.Float64("eps", 0.1, "IMM approximation slack epsilon")
+		seed   = flag.Uint64("seed", 1, "master sampling seed")
+		k      = flag.Int("k", 50, "build: theta budget build-k; select: seeds to pick")
+		worker = flag.Int("workers", 0, "parallel sampling goroutines (0 = GOMAXPROCS)")
+		maxSet = flag.Int("max-sets", 0, "cap on RR sets (0 = unbounded)")
+	)
+	flag.Parse()
+
+	modes := 0
+	for _, m := range []bool{*build, *info, *sel} {
+		if m {
+			modes++
+		}
+	}
+	if modes != 1 {
+		fmt.Fprintln(os.Stderr, "imsketch: pass exactly one of -build, -info, -select")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	switch {
+	case *info:
+		f := mustOpen(*sketch, "-sketch")
+		defer f.Close()
+		h, err := holisticim.ReadSketchHeader(f)
+		if err != nil {
+			log.Fatalf("imsketch: %v", err)
+		}
+		fmt.Printf("graph fingerprint : %016x\n", h.GraphFingerprint)
+		fmt.Printf("graph dims        : %d nodes, %d arcs\n", h.Nodes, h.Arcs)
+		fmt.Printf("rr semantics      : %s\n", h.Kind)
+		fmt.Printf("epsilon / ell     : %g / %g\n", h.Epsilon, h.Ell)
+		fmt.Printf("seed              : %d\n", h.Seed)
+		fmt.Printf("build k           : %d\n", h.BuildK)
+		fmt.Printf("opt lower bound   : %.2f\n", h.LowerBound)
+		fmt.Printf("rr sets           : %d\n", h.Sets)
+
+	case *build:
+		if *out == "" {
+			log.Fatal("imsketch: -build needs -out")
+		}
+		g := loadGraph(*graphP)
+		start := time.Now()
+		sk, err := holisticim.BuildSketch(context.Background(), g, holisticim.SketchOptions{
+			Model:   holisticim.ModelKind(*model),
+			Epsilon: *eps,
+			Seed:    *seed,
+			BuildK:  *k,
+			Workers: *worker,
+			MaxSets: *maxSet,
+		})
+		if err != nil {
+			log.Fatalf("imsketch: %v", err)
+		}
+		built := time.Since(start)
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("imsketch: %v", err)
+		}
+		if err := holisticim.WriteSketch(f, sk); err != nil {
+			log.Fatalf("imsketch: write %s: %v", *out, err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("imsketch: close %s: %v", *out, err)
+		}
+		st := sk.Stats()
+		fmt.Printf("built %d RR sets in %v (%.1f MiB), snapshot %s\n",
+			st.Sets, built.Round(time.Millisecond), float64(st.MemoryBytes)/(1<<20), *out)
+
+	case *sel:
+		g := loadGraph(*graphP)
+		f := mustOpen(*sketch, "-sketch")
+		defer f.Close()
+		sk, err := holisticim.ReadSketch(f, g)
+		if err != nil {
+			log.Fatalf("imsketch: %v", err)
+		}
+		start := time.Now()
+		res, err := sk.Select(context.Background(), *k)
+		if err != nil {
+			log.Fatalf("imsketch: %v", err)
+		}
+		fmt.Printf("selected %d seeds in %v (index: %d sets)\n",
+			len(res.Seeds), time.Since(start).Round(time.Microsecond), sk.Len())
+		fmt.Printf("estimated spread  : %.1f\n", res.Metrics["estimated_spread"])
+		fmt.Printf("seeds             : %v\n", res.Seeds)
+	}
+}
+
+func mustOpen(path, flagName string) *os.File {
+	if path == "" {
+		log.Fatalf("imsketch: missing %s", flagName)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatalf("imsketch: %v", err)
+	}
+	return f
+}
+
+// loadGraph reads an edge-list or binary graph file, sniffing the binary
+// magic so both formats load transparently.
+func loadGraph(path string) *holisticim.Graph {
+	f := mustOpen(path, "-graph")
+	defer f.Close()
+	magic := make([]byte, 4)
+	n, _ := f.Read(magic)
+	if _, err := f.Seek(0, 0); err != nil {
+		log.Fatalf("imsketch: %v", err)
+	}
+	var g *holisticim.Graph
+	var err error
+	if n == 4 && string(magic) == "HIMG" {
+		g, err = holisticim.ReadBinaryGraph(f)
+	} else {
+		g, err = holisticim.ReadEdgeList(f)
+	}
+	if err != nil {
+		log.Fatalf("imsketch: read %s: %v", path, err)
+	}
+	return g
+}

@@ -1,13 +1,16 @@
 // Quickstart: build a social graph, pick seeds with the paper's two
-// algorithms, and compare what each optimizes.
+// algorithms and compare what each optimizes — then build a reusable
+// RR-sketch index and serve many selections from it in milliseconds.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"github.com/holisticim/holisticim"
 )
@@ -52,6 +55,53 @@ func main() {
 		fmt.Printf("  effective (λ=1)    : %8.2f\n\n", op.EffectiveOpinionSpread(1))
 	}
 	fmt.Println("EaSyIM reaches more users; OSIM reaches users whose final opinions help.")
+
+	// --- RR-sketch lifecycle: build once, serve many ---------------------
+	//
+	// TIM+/IMM resample their whole RR collection per query. A sketch
+	// samples once per (graph, model, ε, seed) — in parallel, with
+	// deterministic per-set seeding — and then answers any k from the
+	// shared sample.
+	start := time.Now()
+	sk, err := holisticim.BuildSketch(context.Background(), g, holisticim.SketchOptions{
+		Epsilon: 0.2, Seed: 7, BuildK: 50,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsketch: built %d RR sets once in %v\n", sk.Len(), time.Since(start).Round(time.Millisecond))
+
+	for _, kq := range []int{5, 15, 40} { // serve many ks from one sample
+		start = time.Now()
+		res, err := sk.Select(context.Background(), kq)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  k=%-3d -> %d seeds in %v (est. spread %.1f)\n",
+			kq, len(res.Seeds), time.Since(start).Round(time.Microsecond), res.Metrics["estimated_spread"])
+	}
+
+	// Snapshot round trip: persist the index so a server restart warms
+	// instantly (the snapshot refuses to load against a different graph).
+	var snap bytes.Buffer
+	if err := holisticim.WriteSketch(&snap, sk); err != nil {
+		log.Fatal(err)
+	}
+	snapBytes := snap.Len()
+	restored, err := holisticim.ReadSketch(&snap, g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sketch: snapshot %d bytes, restored %d sets\n", snapBytes, restored.Len())
+
+	// Options.Sketch routes the stock IMM entry point through the index.
+	res, err := holisticim.SelectSeeds(g, 20, holisticim.AlgIMM, holisticim.Options{
+		Epsilon: 0.2, Seed: 7, Sketch: restored,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sketch: AlgIMM served by %s (%d seeds)\n", res.Algorithm, len(res.Seeds))
 }
 
 // must unwraps the context estimators: the example configurations are

@@ -53,6 +53,7 @@ import (
 	"github.com/holisticim/holisticim/internal/opinion"
 	"github.com/holisticim/holisticim/internal/ris"
 	"github.com/holisticim/holisticim/internal/rng"
+	"github.com/holisticim/holisticim/internal/sketch"
 )
 
 // Re-exported core types. The full lower-level APIs live in the internal
@@ -174,6 +175,24 @@ func (k ModelKind) OpinionAware() bool {
 	return k == ModelOIIC || k == ModelOILT || k == ModelOC
 }
 
+// RRSemantics returns which reverse-reachable-set semantics ("ic" or
+// "lt") the RIS family (TIM+/IMM and the RR-sketch index) samples under
+// this model: LT-family models use reverse live-edge walks, everything
+// else reverse IC worlds. Serving layers use it to key sketch indexes.
+func (k ModelKind) RRSemantics() string {
+	if k == ModelLT || k == ModelOILT || k == ModelOC {
+		return "lt"
+	}
+	return "ic"
+}
+
+func risKindFor(k ModelKind) ris.ModelKind {
+	if k.RRSemantics() == "lt" {
+		return ris.ModelLT
+	}
+	return ris.ModelIC
+}
+
 // Algorithm names a seed-selection algorithm.
 type Algorithm string
 
@@ -226,6 +245,14 @@ type Options struct {
 	// (a deadline changes when a result arrives, never which result a
 	// completed run yields).
 	Deadline time.Duration
+	// Sketch, when set, answers AlgTIMPlus/AlgIMM selections from a
+	// prebuilt RR-sketch index (see BuildSketch) instead of resampling —
+	// typically 10-100x faster. Used only when the sketch was built over
+	// the same graph and RR semantics and TIMThetaCap is unset; the
+	// sketch's own ε/seed govern the sample. Excluded from Fingerprint:
+	// serving layers must key sketch-backed results separately (the
+	// bundled service's fast path bypasses its result cache).
+	Sketch *Sketch
 }
 
 func (o Options) withDefaults(opinionAware bool) Options {
@@ -273,6 +300,9 @@ func opinionAware(alg Algorithm) bool {
 // same fingerprint, and fields that cannot change the result (Workers —
 // the estimators are deterministic per run regardless of parallelism —
 // and the request-lifecycle knobs Progress and Deadline) are excluded.
+// Sketch is also excluded even though a sketch-backed run may pick
+// different (equally valid) seeds than a cold run: serving layers that
+// mix the two paths must not cache them under one key.
 // Serving layers use this as a cache/deduplication key; it is stable
 // across processes but not across releases.
 func (o Options) Fingerprint(alg Algorithm, k int) string {
@@ -317,10 +347,9 @@ func SelectSeedsContext(ctx context.Context, g *Graph, k int, alg Algorithm, opt
 		return Result{}, err
 	}
 	weight := core.WeightProb
-	risKind := ris.ModelIC
-	if o.Model == ModelLT || o.Model == ModelOILT || o.Model == ModelOC {
+	risKind := risKindFor(o.Model)
+	if risKind == ris.ModelLT {
 		weight = core.WeightLT
-		risKind = ris.ModelLT
 	}
 	// Monte-Carlo objectives honor Workers: the estimates are deterministic
 	// per run regardless of parallelism, so this only changes speed.
@@ -355,9 +384,17 @@ func SelectSeedsContext(ctx context.Context, g *Graph, k int, alg Algorithm, opt
 		}
 		sel = greedy.NewStaticGreedy(g, snapshots, o.Seed)
 	case AlgTIMPlus:
-		sel = ris.NewTIMPlus(g, risKind, ris.TIMOptions{Epsilon: o.Epsilon, Seed: o.Seed, ThetaCap: o.TIMThetaCap})
+		if s := sketchSelector(o, g, risKind); s != nil {
+			sel = s
+		} else {
+			sel = ris.NewTIMPlus(g, risKind, ris.TIMOptions{Epsilon: o.Epsilon, Seed: o.Seed, ThetaCap: o.TIMThetaCap})
+		}
 	case AlgIMM:
-		sel = ris.NewIMM(g, risKind, ris.TIMOptions{Epsilon: o.Epsilon, Seed: o.Seed, ThetaCap: o.TIMThetaCap})
+		if s := sketchSelector(o, g, risKind); s != nil {
+			sel = s
+		} else {
+			sel = ris.NewIMM(g, risKind, ris.TIMOptions{Epsilon: o.Epsilon, Seed: o.Seed, ThetaCap: o.TIMThetaCap})
+		}
 	case AlgIRIE:
 		sel = heuristics.NewIRIE(g, 0, 0, 0)
 	case AlgSIMPATH:
@@ -435,4 +472,89 @@ func EstimateSpread(g *Graph, seeds []NodeID, opts Options) Estimate {
 func EstimateOpinionSpread(g *Graph, seeds []NodeID, opts Options) Estimate {
 	est, _ := EstimateOpinionSpreadContext(context.Background(), g, seeds, opts)
 	return est
+}
+
+// Sketch is a reusable RR-sketch index: RR sets sampled once per
+// (graph, model, ε, seed) and shared across selections. Build one with
+// BuildSketch, persist it with WriteSketch/ReadSketch, query it directly
+// with Select or attach it to Options.Sketch to accelerate
+// AlgTIMPlus/AlgIMM. All methods are safe for concurrent use.
+type Sketch = sketch.Index
+
+// SketchStats snapshots a sketch's counters (sets held, memoized order
+// length, selects served, lazy extensions, memory footprint).
+type SketchStats = sketch.Stats
+
+// SketchHeader is the metadata prefix of a sketch snapshot, readable
+// without the graph via ReadSketchHeader.
+type SketchHeader = sketch.Header
+
+// SketchOptions configures BuildSketch. Zero values pick the paper's
+// defaults (ε=0.1, seed 1, build-k 50, GOMAXPROCS workers).
+type SketchOptions struct {
+	// Model picks the RR-set semantics: LT-family models sample reverse
+	// live-edge walks, everything else (the default) reverse IC worlds.
+	Model ModelKind
+	// Epsilon is the IMM approximation slack ε (default 0.1).
+	Epsilon float64
+	// Seed drives all sampling (default 1).
+	Seed uint64
+	// BuildK is the seed budget the initial θ bound targets (default 50);
+	// selections with k ≤ BuildK are typically answered without growing
+	// the sample.
+	BuildK int
+	// Workers bounds parallel sampling goroutines (default GOMAXPROCS).
+	// Cannot change the sampled sets: set i always comes from the split
+	// stream (Seed, i).
+	Workers int
+	// MaxSets, when positive, caps the index size (memory bound).
+	MaxSets int
+}
+
+// BuildSketch samples an RR-sketch index over g: IMM's OPT
+// lower-bounding phase followed by a top-up to the θ(BuildK) bound, with
+// parallel deterministic sampling. The resulting index answers
+// Select(ctx, k) for any k in milliseconds, lazily extending its sample
+// when a request's θ bound exceeds the sets held.
+func BuildSketch(ctx context.Context, g *Graph, o SketchOptions) (*Sketch, error) {
+	if g == nil {
+		return nil, fmt.Errorf("holisticim: nil graph")
+	}
+	if o.Model != "" {
+		if _, err := NewModel(g, o.Model); err != nil {
+			return nil, err
+		}
+	}
+	return sketch.Build(ctx, g, sketch.Params{
+		Kind:    risKindFor(o.Model),
+		Epsilon: o.Epsilon,
+		Seed:    o.Seed,
+		BuildK:  o.BuildK,
+		Workers: o.Workers,
+		MaxSets: o.MaxSets,
+	})
+}
+
+// WriteSketch persists a sketch in the versioned binary snapshot format
+// (magic, checksum, graph fingerprint guard).
+func WriteSketch(w io.Writer, s *Sketch) error { return s.Save(w) }
+
+// ReadSketch loads a snapshot written by WriteSketch and binds it to g,
+// which must be the very graph the sketch was built on — the stored
+// content fingerprint is verified before any set is accepted.
+func ReadSketch(r io.Reader, g *Graph) (*Sketch, error) { return sketch.Load(r, g) }
+
+// ReadSketchHeader inspects a snapshot's metadata without loading (or
+// needing) the graph.
+func ReadSketchHeader(r io.Reader) (SketchHeader, error) { return sketch.ReadHeader(r) }
+
+// sketchSelector returns the sketch-backed selector when opts can be
+// served from opts.Sketch: same graph instance, same RR semantics, and
+// no explicit θ cap (a cap changes TIM+/IMM sampling in ways the index
+// does not model).
+func sketchSelector(o Options, g *Graph, kind ris.ModelKind) im.Selector {
+	if o.Sketch == nil || o.TIMThetaCap != 0 || !o.Sketch.Matches(g, kind) {
+		return nil
+	}
+	return o.Sketch
 }

@@ -46,8 +46,42 @@ func WriteBinary(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
+// maxBinaryArcs bounds the arc count ReadBinary will accept. Combined
+// with chunked payload reads it keeps a corrupt or adversarial header
+// from driving an enormous up-front allocation: a truncated stream fails
+// at its first missing chunk having allocated at most one chunk beyond
+// the data actually present.
+const maxBinaryArcs = 1 << 34
+
+// readChunked reads count little-endian values of a fixed-size type,
+// growing the destination one bounded chunk at a time so allocation
+// tracks the bytes actually present in the stream.
+func readChunked[T int32 | int64 | float64](r io.Reader, count uint64, what string) ([]T, error) {
+	const chunk = 1 << 20
+	capHint := count
+	if capHint > chunk {
+		capHint = chunk
+	}
+	out := make([]T, 0, capHint)
+	for read := uint64(0); read < count; {
+		n := count - read
+		if n > chunk {
+			n = chunk
+		}
+		start := len(out)
+		out = append(out, make([]T, n)...)
+		if err := binary.Read(r, binary.LittleEndian, out[start:]); err != nil {
+			return nil, fmt.Errorf("graph: binary %s: %w", what, err)
+		}
+		read += n
+	}
+	return out, nil
+}
+
 // ReadBinary deserializes a graph written by WriteBinary, validating the
-// header and structural invariants before accepting the data.
+// header and every structural and value-range invariant before accepting
+// the data: truncated, corrupt or adversarial input yields an error,
+// never a panic or an unbounded allocation.
 func ReadBinary(r io.Reader) (*Graph, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	magic := make([]byte, 4)
@@ -66,25 +100,36 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 		return nil, fmt.Errorf("graph: unsupported binary version %d", version)
 	}
 	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("graph: binary node count: %w", err)
 	}
 	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("graph: binary arc count: %w", err)
 	}
 	if n > math.MaxInt32 {
 		return nil, fmt.Errorf("graph: node count %d overflows int32", n)
 	}
+	if m > maxBinaryArcs {
+		return nil, fmt.Errorf("graph: implausible arc count %d (max %d)", m, uint64(maxBinaryArcs))
+	}
 	g := &Graph{n: int32(n)}
-	g.outStart = make([]int64, n+1)
-	g.outTo = make([]NodeID, m)
-	g.outProb = make([]float64, m)
-	g.outPhi = make([]float64, m)
-	g.outWt = make([]float64, m)
-	g.opinion = make([]float64, n)
-	for _, arr := range []interface{}{g.outStart, g.outTo, g.outProb, g.outPhi, g.outWt, g.opinion} {
-		if err := binary.Read(br, binary.LittleEndian, arr); err != nil {
-			return nil, fmt.Errorf("graph: binary payload: %w", err)
-		}
+	var err error
+	if g.outStart, err = readChunked[int64](br, uint64(n)+1, "CSR offsets"); err != nil {
+		return nil, err
+	}
+	if g.outTo, err = readChunked[NodeID](br, m, "edge targets"); err != nil {
+		return nil, err
+	}
+	if g.outProb, err = readChunked[float64](br, m, "probabilities"); err != nil {
+		return nil, err
+	}
+	if g.outPhi, err = readChunked[float64](br, m, "interaction probabilities"); err != nil {
+		return nil, err
+	}
+	if g.outWt, err = readChunked[float64](br, m, "LT weights"); err != nil {
+		return nil, err
+	}
+	if g.opinion, err = readChunked[float64](br, uint64(n), "opinions"); err != nil {
+		return nil, err
 	}
 	// Validate structure before building the in-adjacency.
 	if g.outStart[0] != 0 || g.outStart[n] != int64(m) {
@@ -103,6 +148,16 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	for i, p := range g.outProb {
 		if p < 0 || p > 1 || math.IsNaN(p) {
 			return nil, fmt.Errorf("graph: probability %v at edge %d out of range", p, i)
+		}
+	}
+	for i, phi := range g.outPhi {
+		if phi < 0 || phi > 1 || math.IsNaN(phi) {
+			return nil, fmt.Errorf("graph: interaction probability %v at edge %d out of range", phi, i)
+		}
+	}
+	for i, w := range g.outWt {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("graph: LT weight %v at edge %d out of range", w, i)
 		}
 	}
 	for i, o := range g.opinion {

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 
@@ -58,6 +59,147 @@ func TestBinaryRoundTrip(t *testing.T) {
 				t.Fatalf("in-edge index broken at (%d,%d)", u, v)
 			}
 		}
+	}
+}
+
+// Round trip through a Builder with fully custom per-edge parameters:
+// probabilities, interaction probabilities, LT weights and opinions must
+// all survive byte-exactly.
+func TestBinaryRoundTripCustomWeights(t *testing.T) {
+	r := rng.New(11)
+	b := NewBuilder(100)
+	for i := 0; i < 400; i++ {
+		u, v := NodeID(r.Int31n(100)), NodeID(r.Int31n(100))
+		if u == v {
+			continue
+		}
+		b.AddEdgeFull(u, v, r.Float64(), r.Float64(), r.Float64())
+	}
+	g := b.Build()
+	for v := NodeID(0); v < g.NumNodes(); v++ {
+		g.SetOpinion(v, r.Range(-1, 1))
+	}
+
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := NodeID(0); u < g.NumNodes(); u++ {
+		pa, pb := g.OutProbs(u), g2.OutProbs(u)
+		fa, fb := g.OutPhis(u), g2.OutPhis(u)
+		wa, wb := g.OutWeights(u), g2.OutWeights(u)
+		for i := range pa {
+			if pa[i] != pb[i] || fa[i] != fb[i] || wa[i] != wb[i] {
+				t.Fatalf("node %d edge %d params differ", u, i)
+			}
+		}
+		if g.Opinion(u) != g2.Opinion(u) {
+			t.Fatalf("node %d opinion differs", u)
+		}
+	}
+	if g.Fingerprint() != g2.Fingerprint() {
+		t.Fatal("fingerprint changed across round trip")
+	}
+}
+
+// Truncation anywhere in the stream must yield an error — never a panic
+// or a silent partial graph.
+func TestBinaryTruncationSweep(t *testing.T) {
+	g := ErdosRenyi(120, 600, rng.New(2))
+	g.SetUniformProb(0.25)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	offsets := make(map[int]bool)
+	for cut := 0; cut < 64 && cut < len(raw); cut++ {
+		offsets[cut] = true // dense sweep over the header region
+	}
+	r := rng.New(4)
+	for i := 0; i < 200; i++ {
+		offsets[r.Intn(len(raw))] = true
+	}
+	offsets[len(raw)-1] = true
+	for cut := range offsets {
+		if _, err := ReadBinary(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation at %d bytes accepted", cut)
+		}
+	}
+}
+
+// A header claiming an absurd arc count must be rejected up front (and a
+// merely-large lie must fail at the first missing chunk, not allocate
+// the full claimed size).
+func TestBinaryRejectsImplausibleCounts(t *testing.T) {
+	g := Path(4, 0.5, 0.5)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Arc count lives at bytes [12,20).
+	clobber := func(m uint64) []byte {
+		out := append([]byte(nil), raw...)
+		for i := 0; i < 8; i++ {
+			out[12+i] = byte(m >> (8 * i))
+		}
+		return out
+	}
+	if _, err := ReadBinary(bytes.NewReader(clobber(1 << 60))); err == nil {
+		t.Fatal("absurd arc count accepted")
+	}
+	if _, err := ReadBinary(bytes.NewReader(clobber(1 << 30))); err == nil {
+		t.Fatal("lying arc count accepted")
+	}
+}
+
+// Out-of-range edge parameters (phi, LT weight) must be rejected, not
+// just probabilities and opinions.
+func TestBinaryRejectsBadEdgeParams(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdgeFull(0, 1, 0.5, 0.5, 0.5)
+	b.AddEdgeFull(1, 2, 0.5, 0.5, 0.5)
+	g := b.Build()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Layout after the 20-byte header: outStart 4×8, outTo 2×4, then
+	// outProb 2×8, outPhi 2×8, outWt 2×8.
+	const probOff = 20 + 32 + 8
+	writeFloat := func(pos int, f float64) []byte {
+		out := append([]byte(nil), raw...)
+		bits := math.Float64bits(f)
+		for i := 0; i < 8; i++ {
+			out[pos+i] = byte(bits >> (8 * i))
+		}
+		return out
+	}
+	cases := map[string][]byte{
+		"prob > 1":     writeFloat(probOff, 1.5),
+		"phi < 0":      writeFloat(probOff+16, -0.25),
+		"phi NaN":      writeFloat(probOff+16, math.NaN()),
+		"wt negative":  writeFloat(probOff+32, -1),
+		"wt infinite":  writeFloat(probOff+32, math.Inf(1)),
+		"opinion NaN":  writeFloat(len(raw)-24, math.NaN()),
+		"opinion wild": writeFloat(len(raw)-8, 7),
+	}
+	for name, data := range cases {
+		if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Unclobbered input still loads.
+	if _, err := ReadBinary(bytes.NewReader(raw)); err != nil {
+		t.Fatalf("pristine input rejected: %v", err)
 	}
 }
 

@@ -1,0 +1,39 @@
+package graph
+
+import "math"
+
+// Fingerprint returns a 64-bit content hash of the graph: topology (CSR
+// offsets and targets) plus every model parameter (p, ϕ, LT weight,
+// opinions). Two graphs with identical fingerprints are, for hashing
+// purposes, the same diffusion instance, which is what lets a sketch
+// snapshot refuse to load against a different graph than it was built on.
+// FNV-1a over the raw arrays: stable across processes and releases of the
+// binary format, not cryptographic.
+func (g *Graph) Fingerprint() uint64 {
+	const (
+		offset = 0xcbf29ce484222325
+		prime  = 0x00000100000001b3
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	mix(uint64(g.n))
+	mix(uint64(len(g.outTo)))
+	for _, v := range g.outStart {
+		mix(uint64(v))
+	}
+	for _, v := range g.outTo {
+		mix(uint64(uint32(v)))
+	}
+	for _, arr := range [][]float64{g.outProb, g.outPhi, g.outWt, g.opinion} {
+		for _, f := range arr {
+			mix(math.Float64bits(f))
+		}
+	}
+	return h
+}

@@ -1,0 +1,48 @@
+package graph
+
+import (
+	"testing"
+
+	"github.com/holisticim/holisticim/internal/rng"
+)
+
+func TestFingerprint(t *testing.T) {
+	g := ErdosRenyi(200, 800, rng.New(6))
+	g.SetUniformProb(0.1)
+	fp := g.Fingerprint()
+
+	// Deterministic and clone-stable.
+	if g.Fingerprint() != fp {
+		t.Fatal("fingerprint not deterministic")
+	}
+	if g.Clone().Fingerprint() != fp {
+		t.Fatal("clone changed the fingerprint")
+	}
+
+	// Every parameter layer participates.
+	c := g.Clone()
+	c.SetUniformProb(0.2)
+	if c.Fingerprint() == fp {
+		t.Fatal("probability change not detected")
+	}
+	c = g.Clone()
+	c.SetUniformPhi(0.5)
+	if c.Fingerprint() == fp {
+		t.Fatal("interaction change not detected")
+	}
+	c = g.Clone()
+	c.SetDefaultLTWeights()
+	if c.Fingerprint() == fp {
+		t.Fatal("LT weight change not detected")
+	}
+	c = g.Clone()
+	c.SetOpinion(7, 0.5)
+	if c.Fingerprint() == fp {
+		t.Fatal("opinion change not detected")
+	}
+
+	// Topology participates.
+	if ErdosRenyi(200, 800, rng.New(7)).Fingerprint() == fp {
+		t.Fatal("different topology collides")
+	}
+}

@@ -50,15 +50,11 @@ func (t *IMM) Select(ctx context.Context, k int) (im.Result, error) {
 	tr := im.StartTracker(ctx)
 	nf := float64(n)
 	eps := t.opts.Epsilon
-	// ℓ is inflated so the union bound over both phases still gives
-	// probability 1−1/n^ℓ (IMM paper, Sec. 4.3).
-	ell := t.opts.Ell * (1 + math.Ln2/math.Log(nf))
-	logn := math.Log(nf)
-	lognck := logNChooseK(nf, float64(k))
+	ell := t.opts.Ell
 
 	col := NewCollection(t.g, t.kind)
-	epsPrime := math.Sqrt2 * eps
-	lambdaPrime := (2 + 2*epsPrime/3) * (lognck + ell*logn + math.Log(math.Log2(nf))) * nf / (epsPrime * epsPrime)
+	epsPrime := IMMEpsPrime(eps)
+	lambdaPrime := IMMLambdaPrime(nf, k, eps, ell)
 
 	lb := 1.0
 	maxI := int(math.Ceil(math.Log2(nf))) - 1
@@ -85,13 +81,7 @@ func (t *IMM) Select(ctx context.Context, k int) (im.Result, error) {
 	}
 	res.AddMetric("lower_bound", lb)
 
-	alpha := math.Sqrt(ell*logn + math.Ln2)
-	beta := math.Sqrt((1 - 1/math.E) * (lognck + ell*logn + math.Ln2))
-	lambdaStar := 2 * nf * (((1-1/math.E)*alpha + beta) * ((1-1/math.E)*alpha + beta)) / (eps * eps)
-	theta := int(math.Ceil(lambdaStar / lb))
-	if theta < 1 {
-		theta = 1
-	}
+	theta := IMMTheta(nf, k, eps, ell, lb)
 	if t.opts.ThetaCap > 0 && theta > t.opts.ThetaCap {
 		theta = t.opts.ThetaCap
 		res.AddMetric("theta_capped", 1)

@@ -1,0 +1,99 @@
+package ris
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/holisticim/holisticim/internal/graph"
+)
+
+// parallelChunk is the number of consecutive set indices a worker claims
+// per atomic fetch. Large enough that the counter is off the hot path,
+// small enough that cancellation lands quickly and stragglers cannot
+// unbalance the split.
+const parallelChunk = 128
+
+// parallelMinCount is the batch size below which GenerateParallelCtx
+// falls back to sequential generation: spawning workers for a handful of
+// truncated BFS walks costs more than it saves.
+const parallelMinCount = 4 * parallelChunk
+
+// maxGenWorkers bounds the goroutines one generation call will spawn,
+// whatever the caller asked for: sampling is CPU-bound, every worker
+// owns an O(n) scratch array, and the workers knob can reach this code
+// from untrusted request fields. Floor of 16 so determinism tests can
+// exercise a genuinely parallel split even on small machines.
+func maxGenWorkers() int {
+	if w := 2 * runtime.GOMAXPROCS(0); w > 16 {
+		return w
+	}
+	return 16
+}
+
+// GenerateParallelCtx samples `count` additional RR sets across up to
+// `workers` goroutines. The collection contents are identical to a
+// sequential GenerateCtx call with the same arguments: set i is produced
+// from the split stream (seed, startIndex+i) by whichever worker claims
+// it, and the results are appended in index order. workers <= 0 picks
+// GOMAXPROCS.
+//
+// On cancellation the contiguous prefix of completed sets is appended
+// (later sets sampled by still-draining workers are discarded) and the
+// context error is returned; because the streams are per-index
+// deterministic, a later extension regenerates the discarded sets
+// identically.
+func (c *Collection) GenerateParallelCtx(ctx context.Context, count int, seed uint64, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if w := maxGenWorkers(); workers > w {
+		workers = w
+	}
+	if workers == 1 || count < parallelMinCount {
+		return c.GenerateCtx(ctx, count, seed)
+	}
+	if count <= 0 {
+		return ctx.Err()
+	}
+
+	base := uint64(len(c.sets))
+	results := make([][]graph.NodeID, count)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := NewSampler(c.g, c.kind)
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				lo := next.Add(parallelChunk) - parallelChunk
+				if lo >= int64(count) {
+					return
+				}
+				hi := lo + parallelChunk
+				if hi > int64(count) {
+					hi = int64(count)
+				}
+				for i := lo; i < hi; i++ {
+					results[i] = s.Sample(seed, base+uint64(i))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Append in index order; stop at the first gap a cancellation left
+	// (an RR set always contains its root, so nil marks "not sampled").
+	for _, set := range results {
+		if set == nil {
+			break
+		}
+		c.addSet(set)
+	}
+	return ctx.Err()
+}

@@ -46,9 +46,7 @@ type Collection struct {
 	sets     [][]graph.NodeID // RR sets
 	nodeSets [][]int32        // node -> ids of sets containing it
 	width    int64            // Σ over sets of in-degree mass (for KPT)
-	scratch  []uint32         // visited stamps for generation
-	epoch    uint32
-	queue    []graph.NodeID
+	smp      *Sampler         // reused by sequential generation
 }
 
 // NewCollection returns an empty RR-set collection over g.
@@ -57,7 +55,7 @@ func NewCollection(g *graph.Graph, kind ModelKind) *Collection {
 		g:        g,
 		kind:     kind,
 		nodeSets: make([][]int32, g.NumNodes()),
-		scratch:  make([]uint32, g.NumNodes()),
+		smp:      NewSampler(g, kind),
 	}
 }
 
@@ -70,6 +68,17 @@ func (c *Collection) Width() int64 { return c.width }
 
 // Sets exposes the raw RR sets (read-only).
 func (c *Collection) Sets() [][]graph.NodeID { return c.sets }
+
+// SetsContaining returns the ids of the sets containing v — one row of
+// the inverted index (read-only). Selection layers maintaining their own
+// coverage counters (the sketch index) are built on this accessor.
+func (c *Collection) SetsContaining(v graph.NodeID) []int32 { return c.nodeSets[v] }
+
+// Add appends an externally produced RR set (e.g. one loaded from a
+// sketch snapshot) to the collection, maintaining the inverted index and
+// width exactly as generation would. The caller guarantees every node id
+// is in range and the set is duplicate-free.
+func (c *Collection) Add(set []graph.NodeID) { c.addSet(set) }
 
 // MemoryFootprint approximates the bytes held by the sets and the
 // inverted index.
@@ -103,48 +112,78 @@ func (c *Collection) Generate(count int, seed uint64) {
 // stop remain in the collection (the streams are deterministic, so a
 // later extension is unaffected).
 func (c *Collection) GenerateCtx(ctx context.Context, count int, seed uint64) error {
-	r := rng.New(0)
 	for i := 0; i < count; i++ {
 		if i%generateCheckEvery == 0 {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
 		}
-		r.Reseed(rng.SplitSeed(seed, uint64(len(c.sets))))
-		root := graph.NodeID(r.Int31n(c.g.NumNodes()))
-		c.addSet(c.sampleFrom(root, r))
+		c.addSet(c.smp.Sample(seed, uint64(len(c.sets))))
 	}
 	return nil
 }
 
-// sampleFrom builds one RR set rooted at root.
-func (c *Collection) sampleFrom(root graph.NodeID, r *rng.RNG) []graph.NodeID {
-	c.epoch++
-	if c.epoch == 0 {
-		for i := range c.scratch {
-			c.scratch[i] = 0
-		}
-		c.epoch = 1
+// Sampler produces single RR sets from (seed, setIndex) pairs. Each
+// Sampler owns its visited-stamp scratch, BFS queue and RNG, so one
+// Sampler per goroutine is the unit of parallel generation; set contents
+// depend only on (graph, kind, seed, setIndex), never on which Sampler —
+// or how many — produced them.
+type Sampler struct {
+	g       *graph.Graph
+	kind    ModelKind
+	scratch []uint32 // visited stamps
+	epoch   uint32
+	queue   []graph.NodeID
+	rng     *rng.RNG
+}
+
+// NewSampler returns a sampler of RR sets over g.
+func NewSampler(g *graph.Graph, kind ModelKind) *Sampler {
+	return &Sampler{
+		g:       g,
+		kind:    kind,
+		scratch: make([]uint32, g.NumNodes()),
+		rng:     rng.New(0),
 	}
-	g := c.g
+}
+
+// Sample builds the setIndex-th RR set of the stream keyed by seed: the
+// root is drawn from the split stream (seed, setIndex), then a reverse
+// live-edge traversal is run with the same stream.
+func (s *Sampler) Sample(seed, setIndex uint64) []graph.NodeID {
+	s.rng.Reseed(rng.SplitSeed(seed, setIndex))
+	root := graph.NodeID(s.rng.Int31n(s.g.NumNodes()))
+	return s.sampleFrom(root)
+}
+
+// sampleFrom builds one RR set rooted at root.
+func (s *Sampler) sampleFrom(root graph.NodeID) []graph.NodeID {
+	s.epoch++
+	if s.epoch == 0 {
+		for i := range s.scratch {
+			s.scratch[i] = 0
+		}
+		s.epoch = 1
+	}
+	g, r := s.g, s.rng
 	set := make([]graph.NodeID, 0, 4)
-	c.scratch[root] = c.epoch
+	s.scratch[root] = s.epoch
 	set = append(set, root)
-	if c.kind == ModelIC {
-		c.queue = c.queue[:0]
-		c.queue = append(c.queue, root)
-		for head := 0; head < len(c.queue); head++ {
-			x := c.queue[head]
+	if s.kind == ModelIC {
+		s.queue = s.queue[:0]
+		s.queue = append(s.queue, root)
+		for head := 0; head < len(s.queue); head++ {
+			x := s.queue[head]
 			froms := g.InNeighbors(x)
 			idxs := g.InEdgeIndices(x)
 			for j, u := range froms {
-				if c.scratch[u] == c.epoch {
+				if s.scratch[u] == s.epoch {
 					continue
 				}
 				if r.Float64() < g.ProbAt(idxs[j]) {
-					c.scratch[u] = c.epoch
+					s.scratch[u] = s.epoch
 					set = append(set, u)
-					c.queue = append(c.queue, u)
+					s.queue = append(s.queue, u)
 				}
 			}
 		}
@@ -168,10 +207,10 @@ func (c *Collection) sampleFrom(root graph.NodeID, r *rng.RNG) []graph.NodeID {
 				break
 			}
 		}
-		if chosen < 0 || c.scratch[chosen] == c.epoch {
+		if chosen < 0 || s.scratch[chosen] == s.epoch {
 			return set
 		}
-		c.scratch[chosen] = c.epoch
+		s.scratch[chosen] = s.epoch
 		set = append(set, chosen)
 		x = chosen
 	}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"time"
 
 	"github.com/holisticim/holisticim"
@@ -131,6 +132,36 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Fast path: a RIS-family request whose (graph, RR semantics, ε,
+	// seed) matches a registered sketch is answered synchronously from
+	// the prebuilt index — milliseconds instead of a sampling job. An
+	// explicit θ cap opts out (the index does not model capped sampling).
+	// Sketch results stay out of the LRU cache: a sketch-backed and a
+	// cold run may pick different (equally valid) seeds, and one
+	// fingerprint must never alias the two.
+	if (alg == holisticim.AlgIMM || alg == holisticim.AlgTIMPlus) && req.Options.TIMThetaCap == 0 {
+		resolved := req.Options.toLib().Resolved(false)
+		if idx := s.sketches.Lookup(req.Graph, resolved.Model.RRSemantics(), resolved.Epsilon, resolved.Seed); idx != nil {
+			ctx := r.Context()
+			if req.TimeoutMS > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+				defer cancel()
+			}
+			res, err := idx.Select(ctx, req.K)
+			if err != nil {
+				writeError(w, http.StatusServiceUnavailable, "%v", err)
+				return
+			}
+			s.sketchHits.Add(1)
+			writeJSON(w, http.StatusOK, SelectResponse{
+				State: StateDone, Sketch: true, Result: toSelectResult(res),
+				SeedsDone: len(res.Seeds), K: req.K,
+			})
+			return
+		}
+	}
+
 	opts := req.Options.toLib()
 	k := req.K
 	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
@@ -193,6 +224,124 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) handleListSketches(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"sketches": s.sketches.List()})
+}
+
+func (s *Server) handleSketchInfo(w http.ResponseWriter, r *http.Request) {
+	info, err := s.sketches.Info(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleDeleteSketch evicts a sketch. Unlike graphs, sketch ids can be
+// rebound: the id fully determines the deterministic sample, so a
+// rebuilt sketch is interchangeable with the evicted one.
+func (s *Server) handleDeleteSketch(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.sketches.Evict(id) {
+		writeError(w, http.StatusNotFound, "%v: %q", ErrSketchNotFound, id)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"evicted": id})
+}
+
+// handleBuildSketch runs a sketch build as an async job on the shared
+// worker pool, deduplicated by the canonical sketch id.
+func (s *Server) handleBuildSketch(w http.ResponseWriter, r *http.Request) {
+	var spec SketchSpec
+	if !decodeJSON(w, r, &spec) {
+		return
+	}
+	g, err := s.reg.Get(spec.Graph)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	model := holisticim.ModelKind(spec.Model)
+	if spec.Model != "" {
+		if _, err := holisticim.NewModel(g, model); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	if spec.Epsilon < 0 || spec.Epsilon > 1 {
+		writeError(w, http.StatusBadRequest, "epsilon %v out of (0,1]", spec.Epsilon)
+		return
+	}
+	if spec.BuildK < 0 || int64(spec.BuildK) > int64(g.NumNodes()) {
+		writeError(w, http.StatusBadRequest, "invalid build_k=%d for graph with %d nodes", spec.BuildK, g.NumNodes())
+		return
+	}
+	// Workers is a speed knob (it cannot change the sample); clamp the
+	// client's wish to this process's parallelism rather than letting a
+	// request size the goroutine pool.
+	workers := spec.Workers
+	if max := runtime.GOMAXPROCS(0); workers <= 0 || workers > max {
+		workers = max
+	}
+	// Canonicalize the key the way the build will resolve defaults, so
+	// `{}` and a spelled-out default spec share one sketch.
+	epsilon := spec.Epsilon
+	if epsilon == 0 {
+		epsilon = 0.1
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	semantics := model.RRSemantics()
+	if s.sketches.Lookup(spec.Graph, semantics, epsilon, seed) != nil {
+		writeError(w, http.StatusConflict, "%v: %q", ErrSketchExists,
+			sketchID(spec.Graph, semantics, epsilon, seed))
+		return
+	}
+	maxSets := spec.MaxSets
+	if maxSets <= 0 || maxSets > s.cfg.MaxSketchSets {
+		maxSets = s.cfg.MaxSketchSets
+	}
+
+	opts := holisticim.SketchOptions{
+		Model:   model,
+		Epsilon: epsilon,
+		Seed:    seed,
+		BuildK:  spec.BuildK,
+		Workers: workers,
+		MaxSets: maxSets,
+	}
+	graphName := spec.Graph
+	key := "sketchbuild:" + sketchID(graphName, semantics, epsilon, seed)
+	job, created, err := s.jobs.Submit(key, 0, func(ctx context.Context, report func(int)) (*SelectResult, error) {
+		start := time.Now()
+		idx, err := holisticim.BuildSketch(ctx, g, opts)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := s.sketches.Add(graphName, semantics, epsilon, seed, idx); err != nil {
+			return nil, err
+		}
+		st := idx.Stats()
+		return &SelectResult{
+			Algorithm: "sketch-build",
+			TookMS:    float64(time.Since(start)) / float64(time.Millisecond),
+			Metrics: map[string]float64{
+				"sets":         float64(st.Sets),
+				"memory_bytes": float64(st.MemoryBytes),
+			},
+		}, nil
+	})
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	resp := job.Status()
+	resp.Deduped = !created
+	writeJSON(w, http.StatusAccepted, resp)
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {

@@ -42,6 +42,11 @@ type Config struct {
 	// POST /v1/graphs (defaults 5M nodes, 50M arcs).
 	MaxGraphNodes int32
 	MaxGraphArcs  int64
+	// MaxSketches caps the RR-sketch registry (default 16).
+	MaxSketches int
+	// MaxSketchSets caps each sketch's RR-set count — builds stop there
+	// and fast-path selections serve from the capped sample (default 2M).
+	MaxSketchSets int
 }
 
 func (c Config) withDefaults() Config {
@@ -75,6 +80,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxGraphArcs <= 0 {
 		c.MaxGraphArcs = 50_000_000
 	}
+	if c.MaxSketches <= 0 {
+		c.MaxSketches = 16
+	}
+	if c.MaxSketchSets <= 0 {
+		c.MaxSketchSets = 2_000_000
+	}
 	return c
 }
 
@@ -82,17 +93,19 @@ func (c Config) withDefaults() Config {
 // http.Handler. Construct with New, register graphs via Registry() or the
 // API, then serve Handler().
 type Server struct {
-	cfg   Config
-	reg   *Registry
-	jobs  *Manager
-	cache *Cache
-	mux   *http.ServeMux
+	cfg      Config
+	reg      *Registry
+	sketches *SketchRegistry
+	jobs     *Manager
+	cache    *Cache
+	mux      *http.ServeMux
 
 	// selectFn runs one selection under a job-scoped context; tests
 	// substitute stubs to control timing without real computations.
 	selectFn func(ctx context.Context, g *holisticim.Graph, k int, alg holisticim.Algorithm, o holisticim.Options) (holisticim.Result, error)
 
 	selections atomic.Int64 // actual (non-cached, non-deduped) selections run
+	sketchHits atomic.Int64 // /v1/select requests served by the sketch fast path
 }
 
 // New returns a ready-to-serve Server with an empty registry.
@@ -101,6 +114,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:      cfg,
 		reg:      NewRegistry(),
+		sketches: NewSketchRegistry(),
 		jobs:     NewManager(cfg.Workers, cfg.QueueCap, cfg.MaxJobs),
 		cache:    NewCache(cfg.CacheSize),
 		selectFn: holisticim.SelectSeedsContext,
@@ -108,6 +122,7 @@ func New(cfg Config) *Server {
 	// Enforced inside Registry.Add, under its lock, so concurrent
 	// registrations cannot race past the cap.
 	s.reg.maxGraphs = cfg.MaxGraphs
+	s.sketches.maxSketches = cfg.MaxSketches
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s
@@ -115,6 +130,9 @@ func New(cfg Config) *Server {
 
 // Registry exposes the graph registry for startup preloading.
 func (s *Server) Registry() *Registry { return s.reg }
+
+// Sketches exposes the sketch registry for startup snapshot preloading.
+func (s *Server) Sketches() *SketchRegistry { return s.sketches }
 
 // Handler returns the root http.Handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -129,15 +147,21 @@ func (s *Server) SelectionsRun() int64 { return s.selections.Load() }
 
 // Stats snapshots the serving counters.
 func (s *Server) Stats() ServerStats {
+	skCount, skSets, skBytes, skBuilds := s.sketches.Totals()
 	return ServerStats{
-		Graphs:        s.reg.Len(),
-		CacheSize:     s.cache.Len(),
-		CacheHits:     s.cache.Hits(),
-		CacheMisses:   s.cache.Misses(),
-		JobsSubmitted: s.jobs.Submitted(),
-		JobsDeduped:   s.jobs.Deduped(),
-		JobsCanceled:  s.jobs.Canceled(),
-		SelectionsRun: s.selections.Load(),
+		Graphs:             s.reg.Len(),
+		CacheSize:          s.cache.Len(),
+		CacheHits:          s.cache.Hits(),
+		CacheMisses:        s.cache.Misses(),
+		JobsSubmitted:      s.jobs.Submitted(),
+		JobsDeduped:        s.jobs.Deduped(),
+		JobsCanceled:       s.jobs.Canceled(),
+		SelectionsRun:      s.selections.Load(),
+		Sketches:           skCount,
+		SketchSets:         skSets,
+		SketchMemoryBytes:  skBytes,
+		SketchBuilds:       skBuilds,
+		SketchFastPathHits: s.sketchHits.Load(),
 	}
 }
 
@@ -147,6 +171,10 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
 	s.mux.HandleFunc("POST /v1/graphs", s.handleAddGraph)
 	s.mux.HandleFunc("GET /v1/graphs/{name}", s.handleGraphStats)
+	s.mux.HandleFunc("GET /v1/sketches", s.handleListSketches)
+	s.mux.HandleFunc("POST /v1/sketches", s.handleBuildSketch)
+	s.mux.HandleFunc("GET /v1/sketches/{id}", s.handleSketchInfo)
+	s.mux.HandleFunc("DELETE /v1/sketches/{id}", s.handleDeleteSketch)
 	s.mux.HandleFunc("POST /v1/select", s.handleSelect)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)

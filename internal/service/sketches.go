@@ -1,0 +1,177 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"github.com/holisticim/holisticim"
+	"github.com/holisticim/holisticim/internal/ris"
+)
+
+// Sketch registry errors.
+var (
+	ErrSketchNotFound = errors.New("service: sketch not found")
+	ErrSketchExists   = errors.New("service: sketch already registered")
+	ErrSketchesFull   = errors.New("service: sketch registry full")
+)
+
+// sketchID is the canonical identifier of a sketch: one index per
+// (graph, RR semantics, ε, seed). Graphs are immutable and names never
+// rebind, so the id pins the sample a fast-path selection will use.
+func sketchID(graph, semantics string, epsilon float64, seed uint64) string {
+	return fmt.Sprintf("%s:%s:e%g:s%d", graph, semantics, epsilon, seed)
+}
+
+// SketchRegistry holds the server's RR-sketch indexes. Like the graph
+// registry it only ever grows up to its cap — but sketches, unlike
+// graphs, can be evicted (DELETE /v1/sketches/{id}) and rebuilt, since
+// an id always maps to the same deterministic sample.
+type SketchRegistry struct {
+	mu          sync.RWMutex
+	maxSketches int
+	entries     map[string]*sketchEntry
+	builds      int64 // completed builds/loads, for /v1/stats
+}
+
+type sketchEntry struct {
+	idx       *holisticim.Sketch
+	graph     string
+	semantics string
+	epsilon   float64
+	seed      uint64
+}
+
+// NewSketchRegistry returns an empty sketch registry.
+func NewSketchRegistry() *SketchRegistry {
+	return &SketchRegistry{entries: make(map[string]*sketchEntry)}
+}
+
+// Add registers idx under the canonical id for its key.
+func (r *SketchRegistry) Add(graph, semantics string, epsilon float64, seed uint64, idx *holisticim.Sketch) (string, error) {
+	if idx == nil {
+		return "", errors.New("service: nil sketch")
+	}
+	id := sketchID(graph, semantics, epsilon, seed)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[id]; ok {
+		return "", fmt.Errorf("%w: %q", ErrSketchExists, id)
+	}
+	if r.maxSketches > 0 && len(r.entries) >= r.maxSketches {
+		return "", fmt.Errorf("%w (%d sketches)", ErrSketchesFull, r.maxSketches)
+	}
+	r.entries[id] = &sketchEntry{idx: idx, graph: graph, semantics: semantics, epsilon: epsilon, seed: seed}
+	r.builds++
+	return id, nil
+}
+
+// Lookup returns the index serving (graph, semantics, ε, seed), or nil.
+func (r *SketchRegistry) Lookup(graph, semantics string, epsilon float64, seed uint64) *holisticim.Sketch {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[sketchID(graph, semantics, epsilon, seed)]
+	if !ok {
+		return nil
+	}
+	return e.idx
+}
+
+// Get returns the index with the given id.
+func (r *SketchRegistry) Get(id string) (*holisticim.Sketch, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrSketchNotFound, id)
+	}
+	return e.idx, nil
+}
+
+// Evict drops the index with the given id. In-flight selections holding
+// the index finish against it; the memory is reclaimed once they unwind.
+func (r *SketchRegistry) Evict(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[id]; !ok {
+		return false
+	}
+	delete(r.entries, id)
+	return true
+}
+
+// info materializes one entry's SketchInfo (counters read live).
+func (e *sketchEntry) info(id string) SketchInfo {
+	st := e.idx.Stats()
+	p := e.idx.Params()
+	return SketchInfo{
+		ID:          id,
+		Graph:       e.graph,
+		Model:       e.semantics,
+		Epsilon:     e.epsilon,
+		Seed:        e.seed,
+		BuildK:      p.BuildK,
+		Sets:        st.Sets,
+		OrderLen:    st.OrderLen,
+		Selects:     st.Selects,
+		Extensions:  st.Extensions,
+		MemoryBytes: st.MemoryBytes,
+	}
+}
+
+// List returns the registered sketches' summaries, sorted by id.
+func (r *SketchRegistry) List() []SketchInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]SketchInfo, 0, len(r.entries))
+	for id, e := range r.entries {
+		out = append(out, e.info(id))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Info returns the summary for one id.
+func (r *SketchRegistry) Info(id string) (SketchInfo, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[id]
+	if !ok {
+		return SketchInfo{}, fmt.Errorf("%w: %q", ErrSketchNotFound, id)
+	}
+	return e.info(id), nil
+}
+
+// Totals sums the registry-wide counters for /v1/stats.
+func (r *SketchRegistry) Totals() (count int, sets int64, bytes int64, builds int64) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, e := range r.entries {
+		st := e.idx.Stats()
+		sets += int64(st.Sets)
+		bytes += st.MemoryBytes
+	}
+	return len(r.entries), sets, bytes, r.builds
+}
+
+// LoadSnapshot registers a sketch loaded from a snapshot file, keyed by
+// the parameters stored in the snapshot itself.
+func (r *SketchRegistry) LoadSnapshot(graphName string, g *holisticim.Graph, path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", fmt.Errorf("service: open sketch snapshot: %w", err)
+	}
+	defer f.Close()
+	idx, err := holisticim.ReadSketch(f, g)
+	if err != nil {
+		return "", fmt.Errorf("service: read %s: %w", path, err)
+	}
+	p := idx.Params()
+	semantics := "ic"
+	if p.Kind == ris.ModelLT {
+		semantics = "lt"
+	}
+	return r.Add(graphName, semantics, p.Epsilon, p.Seed, idx)
+}

@@ -129,6 +129,7 @@ type SelectResponse struct {
 	State     JobState      `json:"state"`
 	Cached    bool          `json:"cached,omitempty"`
 	Deduped   bool          `json:"deduped,omitempty"`
+	Sketch    bool          `json:"sketch,omitempty"` // served synchronously from an RR-sketch index
 	SeedsDone int           `json:"seeds_done"`
 	K         int           `json:"k,omitempty"`
 	Error     string        `json:"error,omitempty"`
@@ -230,6 +231,40 @@ func (s GraphSpec) effectiveArcs() int64 {
 	}
 }
 
+// SketchSpec asks POST /v1/sketches to build an RR-sketch index over a
+// registered graph. The build runs as an async job on the shared worker
+// pool; the resulting index is keyed by (graph, RR semantics of model,
+// epsilon, seed) and serves the /v1/select fast path.
+type SketchSpec struct {
+	Graph string `json:"graph"`
+	// Model picks the RR-set semantics via its family: LT-family models
+	// ("lt", "oi-lt", "oc") sample reverse live-edge walks, everything
+	// else (default "ic") reverse IC worlds.
+	Model   string  `json:"model,omitempty"`
+	Epsilon float64 `json:"epsilon,omitempty"` // default 0.1
+	Seed    uint64  `json:"seed,omitempty"`    // default 1
+	BuildK  int     `json:"build_k,omitempty"` // default 50
+	Workers int     `json:"workers,omitempty"` // default GOMAXPROCS
+	// MaxSets caps the index size; clamped to the server's
+	// MaxSketchSets either way.
+	MaxSets int `json:"max_sets,omitempty"`
+}
+
+// SketchInfo summarizes a registered sketch for GET /v1/sketches.
+type SketchInfo struct {
+	ID          string  `json:"id"`
+	Graph       string  `json:"graph"`
+	Model       string  `json:"model"` // RR semantics: "ic" or "lt"
+	Epsilon     float64 `json:"epsilon"`
+	Seed        uint64  `json:"seed"`
+	BuildK      int     `json:"build_k"`
+	Sets        int     `json:"sets"`
+	OrderLen    int     `json:"order_len"` // memoized greedy prefix
+	Selects     int64   `json:"selects"`
+	Extensions  int64   `json:"extensions"`
+	MemoryBytes int64   `json:"memory_bytes"`
+}
+
 // ServerStats reports serving counters for GET /v1/stats.
 type ServerStats struct {
 	Graphs        int   `json:"graphs"`
@@ -240,4 +275,12 @@ type ServerStats struct {
 	JobsDeduped   int64 `json:"jobs_deduped"`
 	JobsCanceled  int64 `json:"jobs_canceled"`
 	SelectionsRun int64 `json:"selections_run"`
+	// Sketch registry metrics: indexes held, RR sets across them, their
+	// memory footprint, completed builds/loads and how many /v1/select
+	// requests the sketch fast path answered synchronously.
+	Sketches           int   `json:"sketches"`
+	SketchSets         int64 `json:"sketch_sets"`
+	SketchMemoryBytes  int64 `json:"sketch_memory_bytes"`
+	SketchBuilds       int64 `json:"sketch_builds"`
+	SketchFastPathHits int64 `json:"sketch_fastpath_hits"`
 }

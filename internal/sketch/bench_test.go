@@ -1,0 +1,170 @@
+package sketch
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/holisticim/holisticim/internal/graph"
+	"github.com/holisticim/holisticim/internal/ris"
+	"github.com/holisticim/holisticim/internal/rng"
+)
+
+// Acceptance: on a generated BA graph with n ≥ 50k, answering a new k
+// from a prebuilt sketch must be ≥ 10× faster than a cold IMM selection.
+// The margin is normally 100×+; the test asserts the conservative bound.
+func TestSketchSpeedupVsColdIMM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("50k-node speedup acceptance test")
+	}
+	g := graph.BarabasiAlbert(50000, 3, rng.New(1))
+	g.SetUniformProb(0.1)
+	g.SetDefaultLTWeights()
+	const eps, seed = 0.25, 9
+
+	x := mustBuild(t, g, Params{Epsilon: eps, Seed: seed, BuildK: 50})
+	// Serve from the build-time sample, as a memory-capped server would.
+	x.params.MaxSets = x.col.Len()
+
+	start := time.Now()
+	imm := ris.NewIMM(g, ris.ModelIC, ris.TIMOptions{Epsilon: eps, Seed: seed})
+	coldRes, err := imm.Select(context.Background(), 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := time.Since(start)
+
+	start = time.Now()
+	warmRes, err := x.Select(context.Background(), 25) // a k never asked of the index
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := time.Since(start)
+
+	if len(warmRes.Seeds) != len(coldRes.Seeds) {
+		t.Fatalf("sketch selected %d seeds, cold IMM %d", len(warmRes.Seeds), len(coldRes.Seeds))
+	}
+	t.Logf("cold IMM: %v (%d sets), sketch: %v (%d sets)",
+		cold, int(coldRes.Metrics["theta"]), warm, x.Len())
+	if warm*10 > cold {
+		t.Fatalf("sketch select %v not >=10x faster than cold IMM %v", warm, cold)
+	}
+	// And the answers converge: both are (1-1/e-eps) approximations of
+	// the same objective on the same graph.
+	if est := x.EstimateSpread(warmRes.Seeds); est <= 0 {
+		t.Fatalf("degenerate sketch estimate %v", est)
+	}
+}
+
+// Acceptance: parallel build with 8 workers must be ≥ 3× faster than 1
+// worker. Meaningful only with enough cores; on smaller machines the
+// benchmarks below document the scaling instead.
+func TestParallelBuildSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second build-speedup acceptance test")
+	}
+	if runtime.NumCPU() < 8 {
+		t.Skipf("need >=8 CPUs for the 3x assertion, have %d (see BenchmarkBuildWorkers*)", runtime.NumCPU())
+	}
+	g := graph.BarabasiAlbert(50000, 3, rng.New(1))
+	g.SetUniformProb(0.1)
+	g.SetDefaultLTWeights()
+	p := Params{Epsilon: 0.15, Seed: 3, BuildK: 50}
+
+	p.Workers = 1
+	start := time.Now()
+	x1 := mustBuild(t, g, p)
+	seq := time.Since(start)
+
+	p.Workers = 8
+	start = time.Now()
+	x8 := mustBuild(t, g, p)
+	par := time.Since(start)
+
+	if x1.Len() != x8.Len() {
+		t.Fatalf("worker count changed the sample: %d vs %d sets", x1.Len(), x8.Len())
+	}
+	t.Logf("build with 1 worker: %v, 8 workers: %v (%.1fx)", seq, par, float64(seq)/float64(par))
+	if par*3 > seq {
+		t.Fatalf("8-worker build %v not >=3x faster than 1-worker %v", par, seq)
+	}
+}
+
+func benchGraph(b *testing.B) *graph.Graph {
+	g := graph.BarabasiAlbert(20000, 3, rng.New(1))
+	g.SetUniformProb(0.1)
+	g.SetDefaultLTWeights()
+	return g
+}
+
+func benchmarkBuild(b *testing.B, workers int) {
+	g := benchGraph(b)
+	p := Params{Epsilon: 0.2, Seed: 1, BuildK: 50, Workers: workers}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x, err := Build(context.Background(), g, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(x.Len()), "sets")
+	}
+}
+
+func BenchmarkBuildWorkers1(b *testing.B) { benchmarkBuild(b, 1) }
+func BenchmarkBuildWorkers4(b *testing.B) { benchmarkBuild(b, 4) }
+func BenchmarkBuildWorkers8(b *testing.B) { benchmarkBuild(b, 8) }
+
+// BenchmarkSketchSelect measures the warm serve-many path: one prebuilt
+// index answering a stream of differing ks.
+func BenchmarkSketchSelect(b *testing.B) {
+	g := benchGraph(b)
+	x, err := Build(context.Background(), g, Params{Epsilon: 0.2, Seed: 1, BuildK: 50})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x.params.MaxSets = x.col.Len()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := x.Select(context.Background(), 1+i%50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkColdIMMSelect is the baseline the sketch replaces: resample
+// the whole RR collection for every query.
+func BenchmarkColdIMMSelect(b *testing.B) {
+	g := benchGraph(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		imm := ris.NewIMM(g, ris.ModelIC, ris.TIMOptions{Epsilon: 0.2, Seed: 1})
+		if _, err := imm.Select(context.Background(), 1+i%50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSnapshotSaveLoad(b *testing.B) {
+	g := benchGraph(b)
+	x, err := Build(context.Background(), g, Params{Epsilon: 0.2, Seed: 1, BuildK: 50})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := x.Save(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Load(bytes.NewReader(buf.Bytes()), g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

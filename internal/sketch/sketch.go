@@ -1,0 +1,408 @@
+// Package sketch turns RR-set sampling — the engine behind TIM+/IMM and
+// the cost that dominates the paper's scalability experiments (Figures
+// 6i/6j, Table 3) — into a long-lived, shareable index. A one-off
+// selection regenerates its RR collection from scratch and throws it
+// away; an Index is built once per (graph, model, ε, seed), answers
+// Select(ctx, k) for any k in milliseconds by incremental greedy
+// max-coverage over memoized coverage counters, lazily extends its
+// sample when a request's IMM θ bound needs more sets than it holds, and
+// persists to a versioned binary snapshot so restarts warm instantly.
+//
+// Three properties make the index sound to share:
+//
+//   - Determinism: set i is produced from the split stream (seed, i)
+//     regardless of how many goroutines sample (Build runs the workers of
+//     ris.GenerateParallelCtx), so an index is a pure function of
+//     (graph, Params) — parallel build, sequential build and
+//     snapshot-restore all yield identical state.
+//   - Monotonicity: extensions only append sets; the greedy order is
+//     recomputed against the grown sample, exactly as IMM's martingale
+//     analysis permits reusing sets across phases.
+//   - Guarded persistence: snapshots carry the graph's content
+//     fingerprint and refuse to load against a different graph.
+package sketch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/holisticim/holisticim/internal/graph"
+	"github.com/holisticim/holisticim/internal/im"
+	"github.com/holisticim/holisticim/internal/ris"
+)
+
+// AlgorithmName is reported as im.Result.Algorithm by sketch-backed
+// selections, distinguishing them from cold TIM+/IMM runs in logs and
+// metrics.
+const AlgorithmName = "RR-sketch"
+
+// maxExtendRounds bounds the extend→recompute fixpoint loop in Select.
+// θ shrinks as the coverage-based OPT bound tightens, so the loop settles
+// in one or two rounds in practice; the bound is a backstop, recorded as
+// metric "theta_unmet" when hit.
+const maxExtendRounds = 16
+
+// Params keys an Index. Zero values pick the paper's defaults.
+type Params struct {
+	// Kind is the RR-set semantics to sample (reverse IC or reverse LT).
+	Kind ris.ModelKind
+	// Epsilon is the IMM approximation slack ε (default 0.1).
+	Epsilon float64
+	// Ell is the failure-probability exponent ℓ (default 1).
+	Ell float64
+	// Seed drives all sampling (default 1). Set i of the index is always
+	// the i-th set of the (Seed)-keyed stream.
+	Seed uint64
+	// BuildK is the seed budget the initial θ bound is computed for
+	// (default 50, clamped to n). Requests with k ≤ BuildK are typically
+	// answered without extension.
+	BuildK int
+	// Workers bounds parallel sampling goroutines during build and lazy
+	// extension (default GOMAXPROCS). Cannot change the sampled sets.
+	Workers int
+	// MaxSets, when positive, caps the index size: builds and extensions
+	// stop there and selections record metric "theta_capped". The
+	// serving layer uses it to bound per-sketch memory.
+	MaxSets int
+}
+
+func (p Params) withDefaults(n int32) Params {
+	if p.Epsilon <= 0 {
+		p.Epsilon = 0.1
+	}
+	if p.Ell <= 0 {
+		p.Ell = 1
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.BuildK <= 0 {
+		p.BuildK = 50
+	}
+	if int64(p.BuildK) > int64(n) {
+		p.BuildK = int(n)
+	}
+	if p.Workers <= 0 {
+		p.Workers = runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// Index is a reusable RR-sketch over one graph. All methods are safe for
+// concurrent use; Select memoizes the greedy seed order so repeated and
+// prefix queries are O(k) lookups.
+type Index struct {
+	g  *graph.Graph
+	fp uint64 // graph content fingerprint, pinned at build/load
+
+	mu     sync.Mutex
+	params Params
+	col    *ris.Collection
+	lb     float64 // lower bound on OPT_{BuildK} from the build phase
+
+	// Memoized incremental greedy max-coverage state over col. order is
+	// the greedy seed permutation computed so far; orderCov[i] is the
+	// number of sets covered by order[:i+1]. Extensions reset all of it.
+	counts   []int32
+	covered  []bool
+	inOrder  []bool
+	totalCov int
+	order    []graph.NodeID
+	orderCov []int
+
+	selects    atomic.Int64
+	extensions atomic.Int64
+}
+
+// Stats snapshots an index's counters for monitoring.
+type Stats struct {
+	Sets        int   // RR sets held
+	OrderLen    int   // memoized greedy prefix length
+	Selects     int64 // Select calls served
+	Extensions  int64 // lazy extensions performed
+	MemoryBytes int64 // approximate footprint of sets + index + counters
+}
+
+// Build samples an index over g: IMM's OPT lower-bounding phase at
+// BuildK, then a top-up to θ(BuildK), all with Workers parallel samplers.
+// Honors ctx at batch granularity; an interrupted build returns the error
+// and no index.
+func Build(ctx context.Context, g *graph.Graph, p Params) (*Index, error) {
+	if g == nil {
+		return nil, errors.New("sketch: nil graph")
+	}
+	if g.NumNodes() == 0 {
+		return nil, errors.New("sketch: empty graph")
+	}
+	p = p.withDefaults(g.NumNodes())
+	x := &Index{
+		g:      g,
+		fp:     g.Fingerprint(),
+		params: p,
+		col:    ris.NewCollection(g, p.Kind),
+	}
+
+	// IMM sampling phase (geometric OPT guesses) at BuildK.
+	n := float64(g.NumNodes())
+	epsPrime := ris.IMMEpsPrime(p.Epsilon)
+	lambdaPrime := ris.IMMLambdaPrime(n, p.BuildK, p.Epsilon, p.Ell)
+	lb := 1.0
+	maxI := int(math.Ceil(math.Log2(n))) - 1
+	if maxI < 1 {
+		maxI = 1
+	}
+	for i := 1; i <= maxI; i++ {
+		guess := n / math.Exp2(float64(i))
+		thetaI := x.capSets(int(math.Ceil(lambdaPrime / guess)))
+		if x.col.Len() < thetaI {
+			if err := x.col.GenerateParallelCtx(ctx, thetaI-x.col.Len(), p.Seed, p.Workers); err != nil {
+				return nil, fmt.Errorf("sketch: build interrupted during OPT lower-bounding: %w", err)
+			}
+		}
+		_, frac := x.col.MaxCoverage(p.BuildK)
+		if n*frac >= (1+epsPrime)*guess {
+			lb = n * frac / (1 + epsPrime)
+			break
+		}
+	}
+	x.lb = lb
+
+	theta := x.capSets(ris.IMMTheta(n, p.BuildK, p.Epsilon, p.Ell, lb))
+	if x.col.Len() < theta {
+		if err := x.col.GenerateParallelCtx(ctx, theta-x.col.Len(), p.Seed, p.Workers); err != nil {
+			return nil, fmt.Errorf("sketch: build interrupted during top-up sampling: %w", err)
+		}
+	}
+	x.resetGreedyLocked()
+	return x, nil
+}
+
+// capSets clamps a requested set count to MaxSets when configured.
+func (x *Index) capSets(sets int) int {
+	if x.params.MaxSets > 0 && sets > x.params.MaxSets {
+		return x.params.MaxSets
+	}
+	return sets
+}
+
+// Graph returns the graph the index was built over.
+func (x *Index) Graph() *graph.Graph { return x.g }
+
+// GraphFingerprint returns the content fingerprint of that graph, pinned
+// at build (or load) time.
+func (x *Index) GraphFingerprint() uint64 { return x.fp }
+
+// Kind returns the RR-set semantics the index samples.
+func (x *Index) Kind() ris.ModelKind { return x.params.Kind }
+
+// Params returns the normalized build parameters.
+func (x *Index) Params() Params {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.params
+}
+
+// SetWorkers retunes extension parallelism (e.g. after loading a snapshot
+// built on different hardware). Non-positive picks GOMAXPROCS.
+func (x *Index) SetWorkers(w int) {
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	x.mu.Lock()
+	x.params.Workers = w
+	x.mu.Unlock()
+}
+
+// Len returns the number of RR sets held.
+func (x *Index) Len() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.col.Len()
+}
+
+// Matches reports whether the index can serve selections for (g, kind):
+// same graph instance and same RR-set semantics.
+func (x *Index) Matches(g *graph.Graph, kind ris.ModelKind) bool {
+	return x.g == g && x.params.Kind == kind
+}
+
+// Stats snapshots the index counters.
+func (x *Index) Stats() Stats {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return Stats{
+		Sets:        x.col.Len(),
+		OrderLen:    len(x.order),
+		Selects:     x.selects.Load(),
+		Extensions:  x.extensions.Load(),
+		MemoryBytes: x.memoryLocked(),
+	}
+}
+
+// MemoryFootprint approximates the bytes held by the index.
+func (x *Index) MemoryFootprint() int64 {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.memoryLocked()
+}
+
+func (x *Index) memoryLocked() int64 {
+	b := x.col.MemoryFootprint()
+	b += int64(len(x.counts))*4 + int64(len(x.covered)) + int64(len(x.inOrder))
+	b += int64(len(x.order))*4 + int64(len(x.orderCov))*8
+	return b
+}
+
+// resetGreedyLocked rebuilds the coverage counters from the inverted
+// index and clears the memoized order. Called after every extension.
+func (x *Index) resetGreedyLocked() {
+	n := x.g.NumNodes()
+	if x.counts == nil {
+		x.counts = make([]int32, n)
+		x.inOrder = make([]bool, n)
+	}
+	for v := graph.NodeID(0); v < n; v++ {
+		x.counts[v] = int32(len(x.col.SetsContaining(v)))
+		x.inOrder[v] = false
+	}
+	x.covered = make([]bool, x.col.Len())
+	x.totalCov = 0
+	x.order = x.order[:0]
+	x.orderCov = x.orderCov[:0]
+}
+
+// extendOrderLocked grows the memoized greedy order to k seeds. Each step
+// is an O(n) argmax over the marginal-coverage counters followed by
+// counter updates over the newly covered sets — the standard greedy
+// max-coverage step, but resumable at any prefix.
+func (x *Index) extendOrderLocked(k int) {
+	n := x.g.NumNodes()
+	sets := x.col.Sets()
+	for len(x.order) < k {
+		best := graph.NodeID(-1)
+		bestCount := int32(-1)
+		for v := graph.NodeID(0); v < n; v++ {
+			if x.inOrder[v] {
+				continue
+			}
+			if x.counts[v] > bestCount {
+				bestCount = x.counts[v]
+				best = v
+			}
+		}
+		if best < 0 {
+			return // k > n, excluded by CheckK; defensive
+		}
+		x.inOrder[best] = true
+		x.order = append(x.order, best)
+		for _, sid := range x.col.SetsContaining(best) {
+			if x.covered[sid] {
+				continue
+			}
+			x.covered[sid] = true
+			x.totalCov++
+			for _, u := range sets[sid] {
+				x.counts[u]--
+			}
+		}
+		x.orderCov = append(x.orderCov, x.totalCov)
+	}
+}
+
+// Select answers a k-seed selection from the index. Repeated or prefix
+// queries hit the memoized greedy order; a larger k extends the order
+// incrementally; and when IMM's θ(k) bound exceeds the sets held, the
+// sample is lazily extended (deterministically — the new sets are the
+// next indices of the same stream) before the order is recomputed.
+func (x *Index) Select(ctx context.Context, k int) (im.Result, error) {
+	res := im.Result{Algorithm: AlgorithmName}
+	if err := im.CheckK(k, x.g.NumNodes()); err != nil {
+		return res, err
+	}
+	tr := im.StartTracker(ctx)
+	x.mu.Lock()
+	defer x.mu.Unlock()
+
+	n := float64(x.g.NumNodes())
+	epsPrime := ris.IMMEpsPrime(x.params.Epsilon)
+	extended := 0
+	capped := false
+	var theta int
+	for round := 0; ; round++ {
+		if err := tr.Interrupted(&res); err != nil {
+			return res, err
+		}
+		x.extendOrderLocked(k)
+		// Coverage of the greedy k-prefix lower-bounds OPT_k on this
+		// sample. The build-phase bound transfers too: OPT is monotone in
+		// k (so it applies directly for k ≥ BuildK) and submodular (so
+		// OPT_k ≥ (k/BuildK)·OPT_BuildK below it). Take the tightest.
+		frac := float64(x.orderCov[k-1]) / float64(x.col.Len())
+		lb := n * frac / (1 + epsPrime)
+		if scaled := x.lb * math.Min(1, float64(k)/float64(x.params.BuildK)); scaled > lb {
+			lb = scaled
+		}
+		want := ris.IMMTheta(n, k, x.params.Epsilon, x.params.Ell, lb)
+		theta = x.capSets(want)
+		capped = capped || theta < want
+		if x.col.Len() >= theta {
+			break
+		}
+		if round >= maxExtendRounds {
+			res.AddMetric("theta_unmet", 1)
+			break
+		}
+		grow := theta - x.col.Len()
+		extended += grow
+		if err := x.col.GenerateParallelCtx(ctx, grow, x.params.Seed, x.params.Workers); err != nil {
+			res.Partial = true
+			tr.Finish(&res)
+			// The appended prefix is already consistent; only the memoized
+			// greedy state must be rebuilt before the next Select.
+			x.resetGreedyLocked()
+			return res, fmt.Errorf("im: %s interrupted during lazy extension: %w", AlgorithmName, err)
+		}
+		x.extensions.Add(1)
+		x.resetGreedyLocked()
+	}
+
+	frac := float64(x.orderCov[k-1]) / float64(x.col.Len())
+	res.AddMetric("sets", float64(x.col.Len()))
+	res.AddMetric("theta", float64(theta))
+	if capped {
+		res.AddMetric("theta_capped", 1)
+	}
+	if extended > 0 {
+		res.AddMetric("extended_sets", float64(extended))
+	}
+	res.AddMetric("coverage", frac)
+	res.AddMetric("estimated_spread", frac*n)
+	res.AddMetric("rrset_bytes", float64(x.memoryLocked()))
+	for _, s := range x.order[:k] {
+		if err := tr.Interrupted(&res); err != nil {
+			return res, err
+		}
+		tr.Seed(&res, s)
+	}
+	tr.Finish(&res)
+	x.selects.Add(1)
+	return res, nil
+}
+
+// Name implements im.Selector.
+func (x *Index) Name() string { return AlgorithmName }
+
+var _ im.Selector = (*Index)(nil)
+
+// EstimateSpread returns the RIS estimator n·F(S) of σ(S) over the
+// index's current sample.
+func (x *Index) EstimateSpread(seeds []graph.NodeID) float64 {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.col.EstimateSpread(seeds)
+}

@@ -1,0 +1,281 @@
+package sketch
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"io"
+	"math"
+
+	"github.com/holisticim/holisticim/internal/graph"
+	"github.com/holisticim/holisticim/internal/ris"
+)
+
+// Versioned binary snapshot of an Index, so imserver restarts (and
+// offline build pipelines via cmd/imsketch) warm instead of resampling.
+// Little-endian layout:
+//
+//	magic "HIMS" | version u32
+//	graphFP u64 | n u32 | m u64        — guards: refuse a foreign graph
+//	kind u32 | epsilon f64 | ell f64 | seed u64 | buildK u32 | lb f64
+//	numSets u64
+//	lens    numSets × u32
+//	ids     Σlens × u32
+//	checksum u64                       — FNV-1a of every preceding byte
+//
+// The layout is deterministic: Save after Load reproduces the input
+// byte-for-byte, which is what the snapshot tests pin.
+const (
+	snapshotMagic   = "HIMS"
+	snapshotVersion = 1
+
+	// maxSnapshotSets bounds how many sets Load will accept; a corrupt
+	// count must not drive a multi-terabyte allocation.
+	maxSnapshotSets = 1 << 31
+)
+
+// Save writes the index snapshot. Concurrent Selects are held off for the
+// duration (the sets must not grow mid-write).
+func (x *Index) Save(w io.Writer) error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+
+	bw := bufio.NewWriterSize(w, 1<<20)
+	h := fnv.New64a()
+	mw := io.MultiWriter(bw, h)
+
+	if _, err := mw.Write([]byte(snapshotMagic)); err != nil {
+		return err
+	}
+	sets := x.col.Sets()
+	hdr := []any{
+		uint32(snapshotVersion),
+		x.fp,
+		uint32(x.g.NumNodes()),
+		uint64(x.g.NumEdges()),
+		uint32(x.params.Kind),
+		x.params.Epsilon,
+		x.params.Ell,
+		x.params.Seed,
+		uint32(x.params.BuildK),
+		x.lb,
+		uint64(len(sets)),
+	}
+	for _, v := range hdr {
+		if err := binary.Write(mw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	lens := make([]uint32, len(sets))
+	total := 0
+	for i, s := range sets {
+		lens[i] = uint32(len(s))
+		total += len(s)
+	}
+	if err := binary.Write(mw, binary.LittleEndian, lens); err != nil {
+		return err
+	}
+	flat := make([]int32, 0, total)
+	for _, s := range sets {
+		flat = append(flat, s...)
+	}
+	if err := binary.Write(mw, binary.LittleEndian, flat); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, h.Sum64()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Header is the metadata prefix of a snapshot, readable without the
+// graph (ReadHeader) for inspection tooling. Payload and checksum are
+// not verified at this level — Load does that.
+type Header struct {
+	GraphFingerprint uint64
+	Nodes            int32
+	Arcs             int64
+	Kind             ris.ModelKind
+	Epsilon          float64
+	Ell              float64
+	Seed             uint64
+	BuildK           int
+	LowerBound       float64
+	Sets             uint64
+}
+
+// ReadHeader parses just the snapshot header for inspection (cmd/imsketch
+// -info). It validates magic and version but not the payload checksum.
+func ReadHeader(r io.Reader) (Header, error) {
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return Header{}, fmt.Errorf("sketch: snapshot header: %w", err)
+	}
+	if string(magic) != snapshotMagic {
+		return Header{}, fmt.Errorf("sketch: bad snapshot magic %q", magic)
+	}
+	var (
+		version, n, buildK, kind uint32
+		m                        uint64
+		h                        Header
+	)
+	for _, v := range []any{&version, &h.GraphFingerprint, &n, &m, &kind, &h.Epsilon, &h.Ell, &h.Seed, &buildK, &h.LowerBound, &h.Sets} {
+		if err := binary.Read(r, binary.LittleEndian, v); err != nil {
+			return Header{}, fmt.Errorf("sketch: snapshot header: %w", err)
+		}
+	}
+	if version != snapshotVersion {
+		return Header{}, fmt.Errorf("sketch: unsupported snapshot version %d", version)
+	}
+	h.Nodes = int32(n)
+	h.Arcs = int64(m)
+	h.Kind = ris.ModelKind(kind)
+	h.BuildK = int(buildK)
+	return h, nil
+}
+
+// hashedReader tees everything read into the checksum hash.
+type hashedReader struct {
+	r io.Reader
+	h hash.Hash64
+}
+
+func (hr *hashedReader) Read(p []byte) (int, error) {
+	n, err := hr.r.Read(p)
+	if n > 0 {
+		hr.h.Write(p[:n])
+	}
+	return n, err
+}
+
+// readChunked reads count little-endian values, growing the destination
+// one bounded chunk at a time: allocation tracks the bytes actually
+// present in the stream, so a header lying about its counts fails at the
+// first missing chunk instead of driving an enormous up-front make.
+// (Same defense as graph.ReadBinary's payload reads.)
+func readChunked[T int32 | uint32](r io.Reader, count uint64, what string) ([]T, error) {
+	const chunk = 1 << 20
+	capHint := count
+	if capHint > chunk {
+		capHint = chunk
+	}
+	out := make([]T, 0, capHint)
+	for read := uint64(0); read < count; {
+		n := count - read
+		if n > chunk {
+			n = chunk
+		}
+		start := len(out)
+		out = append(out, make([]T, n)...)
+		if err := binary.Read(r, binary.LittleEndian, out[start:]); err != nil {
+			return nil, fmt.Errorf("sketch: snapshot %s: %w", what, err)
+		}
+		read += n
+	}
+	return out, nil
+}
+
+// Load reads a snapshot written by Save and binds it to g, which must be
+// the very graph the sketch was built on: the stored content fingerprint
+// and dimensions are verified before any set is accepted. The returned
+// index extends with GOMAXPROCS workers; retune with SetWorkers.
+func Load(r io.Reader, g *graph.Graph) (*Index, error) {
+	if g == nil {
+		return nil, fmt.Errorf("sketch: nil graph")
+	}
+	br := bufio.NewReaderSize(r, 1<<20)
+	hr := &hashedReader{r: br, h: fnv.New64a()}
+
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(hr, magic); err != nil {
+		return nil, fmt.Errorf("sketch: snapshot header: %w", err)
+	}
+	if string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("sketch: bad snapshot magic %q", magic)
+	}
+	var (
+		version, n, buildK, kind uint32
+		m, seed, numSets, fp     uint64
+		epsilon, ell, lb         float64
+	)
+	for _, v := range []any{&version, &fp, &n, &m, &kind, &epsilon, &ell, &seed, &buildK, &lb, &numSets} {
+		if err := binary.Read(hr, binary.LittleEndian, v); err != nil {
+			return nil, fmt.Errorf("sketch: snapshot header: %w", err)
+		}
+	}
+	if version != snapshotVersion {
+		return nil, fmt.Errorf("sketch: unsupported snapshot version %d", version)
+	}
+	if int32(n) != g.NumNodes() || int64(m) != g.NumEdges() {
+		return nil, fmt.Errorf("sketch: snapshot is for a %d-node/%d-arc graph, got %d/%d",
+			n, m, g.NumNodes(), g.NumEdges())
+	}
+	if gfp := g.Fingerprint(); fp != gfp {
+		return nil, fmt.Errorf("sketch: graph fingerprint mismatch (snapshot %016x, graph %016x)", fp, gfp)
+	}
+	if kind > uint32(ris.ModelLT) {
+		return nil, fmt.Errorf("sketch: unknown model kind %d", kind)
+	}
+	if epsilon <= 0 || ell <= 0 || math.IsNaN(epsilon) || math.IsNaN(ell) {
+		return nil, fmt.Errorf("sketch: corrupt parameters (eps=%v, ell=%v)", epsilon, ell)
+	}
+	if lb < 1 || math.IsNaN(lb) || lb > float64(n) {
+		return nil, fmt.Errorf("sketch: corrupt lower bound %v", lb)
+	}
+	if numSets == 0 || numSets > maxSnapshotSets {
+		return nil, fmt.Errorf("sketch: implausible set count %d", numSets)
+	}
+
+	lens, err := readChunked[uint32](hr, numSets, "set lengths")
+	if err != nil {
+		return nil, err
+	}
+	total := uint64(0)
+	for i, l := range lens {
+		if l == 0 || int64(l) > int64(n) {
+			return nil, fmt.Errorf("sketch: implausible set %d length %d", i, l)
+		}
+		total += uint64(l)
+	}
+	flat, err := readChunked[int32](hr, total, "set payload")
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range flat {
+		if v < 0 || v >= int32(n) {
+			return nil, fmt.Errorf("sketch: set member %d out of range [0,%d)", v, n)
+		}
+	}
+	sum := hr.h.Sum64()
+	var stored uint64
+	if err := binary.Read(br, binary.LittleEndian, &stored); err != nil {
+		return nil, fmt.Errorf("sketch: snapshot checksum: %w", err)
+	}
+	if stored != sum {
+		return nil, fmt.Errorf("sketch: checksum mismatch (stored %016x, computed %016x)", stored, sum)
+	}
+
+	p := Params{
+		Kind:    ris.ModelKind(kind),
+		Epsilon: epsilon,
+		Ell:     ell,
+		Seed:    seed,
+		BuildK:  int(buildK),
+	}.withDefaults(g.NumNodes())
+	x := &Index{
+		g:      g,
+		fp:     fp,
+		params: p,
+		col:    ris.NewCollection(g, p.Kind),
+		lb:     lb,
+	}
+	off := int64(0)
+	for _, l := range lens {
+		x.col.Add(flat[off : off+int64(l) : off+int64(l)])
+		off += int64(l)
+	}
+	x.resetGreedyLocked()
+	return x, nil
+}

@@ -1,0 +1,176 @@
+package sketch
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/holisticim/holisticim/internal/ris"
+)
+
+// Acceptance: snapshot save/load must round-trip byte-identically, and a
+// loaded sketch must yield the same seed set as the in-memory one.
+func TestSnapshotRoundTrip(t *testing.T) {
+	g := testGraph(t, 1200)
+	x := mustBuild(t, g, Params{Epsilon: 0.3, Seed: 13, BuildK: 15})
+
+	var buf1 bytes.Buffer
+	if err := x.Save(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(buf1.Bytes()), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := loaded.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Fatalf("save->load->save not byte-identical: %d vs %d bytes", buf1.Len(), buf2.Len())
+	}
+
+	if loaded.Len() != x.Len() {
+		t.Fatalf("loaded %d sets, want %d", loaded.Len(), x.Len())
+	}
+	want, err := x.Select(context.Background(), 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Select(context.Background(), 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Seeds) != len(want.Seeds) {
+		t.Fatalf("loaded sketch selected %d seeds, want %d", len(got.Seeds), len(want.Seeds))
+	}
+	for i := range want.Seeds {
+		if got.Seeds[i] != want.Seeds[i] {
+			t.Fatalf("seed %d: loaded %d, in-memory %d", i, got.Seeds[i], want.Seeds[i])
+		}
+	}
+	if got.Algorithm != AlgorithmName {
+		t.Fatalf("algorithm %q", got.Algorithm)
+	}
+}
+
+// A loaded sketch must continue the same deterministic stream when a
+// later request extends it.
+func TestSnapshotExtensionContinuity(t *testing.T) {
+	g := testGraph(t, 600)
+	x := mustBuild(t, g, Params{Epsilon: 0.35, Seed: 17, BuildK: 4})
+
+	var buf bytes.Buffer
+	if err := x.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := x.Select(context.Background(), 60) // likely extends
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Select(context.Background(), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != x.Len() {
+		t.Fatalf("loaded index extended to %d sets, in-memory to %d", loaded.Len(), x.Len())
+	}
+	for i := range want.Seeds {
+		if got.Seeds[i] != want.Seeds[i] {
+			t.Fatalf("post-extension seed %d diverged", i)
+		}
+	}
+}
+
+func TestSnapshotGuards(t *testing.T) {
+	g := testGraph(t, 400)
+	x := mustBuild(t, g, Params{Epsilon: 0.35, Seed: 19, BuildK: 5})
+	var buf bytes.Buffer
+	if err := x.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Wrong graph: same dimensions, different parameters.
+	other := testGraph(t, 400)
+	other.SetUniformProb(0.2)
+	if _, err := Load(bytes.NewReader(raw), other); err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("foreign graph accepted: %v", err)
+	}
+	// Different dimensions.
+	small := testGraph(t, 300)
+	if _, err := Load(bytes.NewReader(raw), small); err == nil {
+		t.Fatal("wrong-size graph accepted")
+	}
+	// Nil graph.
+	if _, err := Load(bytes.NewReader(raw), nil); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	// Bad magic.
+	bad := append([]byte("XXXX"), raw[4:]...)
+	if _, err := Load(bytes.NewReader(bad), g); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Bad version.
+	bad = append([]byte(nil), raw...)
+	bad[4] = 99
+	if _, err := Load(bytes.NewReader(bad), g); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("bad version accepted: %v", err)
+	}
+	// Truncation at a spread of offsets must error, never panic.
+	for _, cut := range []int{0, 3, 4, 7, 11, 30, 60, len(raw) / 2, len(raw) - 9, len(raw) - 1} {
+		if cut >= len(raw) {
+			continue
+		}
+		if _, err := Load(bytes.NewReader(raw[:cut]), g); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// A flipped payload byte must fail the checksum.
+	bad = append([]byte(nil), raw...)
+	bad[len(bad)-20] ^= 0xff
+	if _, err := Load(bytes.NewReader(bad), g); err == nil {
+		t.Fatal("corrupted payload accepted")
+	}
+	// A header lying about its set count must fail at the first missing
+	// chunk (bounded allocation), not attempt a gigantic make.
+	bad = append([]byte(nil), raw...)
+	const numSetsOff = 68 // magic+version+fp+n+m+kind+eps+ell+seed+buildK+lb
+	for i := 0; i < 8; i++ {
+		bad[numSetsOff+i] = byte(uint64(maxSnapshotSets) >> (8 * i))
+	}
+	if _, err := Load(bytes.NewReader(bad), g); err == nil {
+		t.Fatal("lying set count accepted")
+	}
+	// The pristine snapshot still loads.
+	if _, err := Load(bytes.NewReader(raw), g); err != nil {
+		t.Fatalf("pristine snapshot rejected: %v", err)
+	}
+}
+
+func TestSnapshotHeader(t *testing.T) {
+	g := testGraph(t, 500)
+	x := mustBuild(t, g, Params{Kind: ris.ModelLT, Epsilon: 0.25, Seed: 23, BuildK: 7})
+	var buf bytes.Buffer
+	if err := x.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadHeader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Kind != ris.ModelLT || h.Epsilon != 0.25 || h.Seed != 23 || h.BuildK != 7 {
+		t.Fatalf("header mismatch: %+v", h)
+	}
+	if h.Nodes != 500 || int(h.Sets) != x.Len() {
+		t.Fatalf("header dims mismatch: %+v", h)
+	}
+	if h.GraphFingerprint != g.Fingerprint() {
+		t.Fatal("header fingerprint mismatch")
+	}
+}
