@@ -103,6 +103,54 @@ func runBenchJSON(dir string, quick bool) int {
 				}
 			}
 		}},
+		// Opinion-aware path: weighted ("oc") sketch build, weighted
+		// selection and the sketch-served opinion estimate — the workload
+		// the opinion fast paths replace Monte Carlo for.
+		{"sketch-oc-build", "oc", func(b *testing.B) {
+			opts := sketchOpts
+			opts.Model = holisticim.ModelOC
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := holisticim.BuildSketch(context.Background(), g, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"sketch-oc-select", "oc", func(b *testing.B) {
+			opts := sketchOpts
+			opts.Model = holisticim.ModelOC
+			sk, err := holisticim.BuildSketch(context.Background(), g, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sk.Select(context.Background(), 1+i%(2*k)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"sketch-oc-estimate", "oc", func(b *testing.B) {
+			opts := sketchOpts
+			opts.Model = holisticim.ModelOC
+			sk, err := holisticim.BuildSketch(context.Background(), g, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := sk.Select(context.Background(), k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			estOpts := holisticim.Options{Model: holisticim.ModelOC, Epsilon: 0.2, Seed: 1, Sketch: sk}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := holisticim.EstimateOpinionSpreadContext(context.Background(), g, res.Seeds, estOpts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 	}
 
 	exit := 0

@@ -18,7 +18,9 @@
 //	-max-jobs int       retained job records (default 1024)
 //	-load name=path     preload a graph file (repeatable; edge-list or binary)
 //	-sketch name=path   preload an RR-sketch snapshot (built by imsketch)
-//	                    for the already-loaded graph `name` (repeatable)
+//	                    for the already-loaded graph `name` (repeatable);
+//	                    v2 (opinion-weighted "oc") snapshots serve the
+//	                    opinion fast paths below
 //	-demo n             preload "demo": a BA graph with n nodes, p=0.1,
 //	                    normal opinions and random interactions (0 = off)
 //	-allow-path-load    let POST /v1/graphs read server-local files
@@ -37,11 +39,15 @@
 //	POST /v1/select          async seed selection -> job id | cached result
 //	                         (optional timeout_ms bounds the job's runtime);
 //	                         RIS-family requests matching a sketch are
-//	                         answered synchronously from the index
+//	                         answered synchronously from the index — with
+//	                         model "oc" the weighted index maximizes
+//	                         opinion coverage
 //	GET  /v1/jobs/{id}       job status / result, incl. live seeds_done/k
 //	DELETE /v1/jobs/{id}     cancel a queued or running job
-//	POST /v1/estimate        synchronous Monte-Carlo spread estimate
-//	                         (bounded by the request context)
+//	POST /v1/estimate        synchronous spread estimate (bounded by the
+//	                         request context): Monte Carlo, or served
+//	                         from an opinion-weighted sketch for model
+//	                         "oc" when one matches ("sketch":true)
 //
 // Jobs run under per-job cancellable contexts, so shutdown cancels
 // in-flight selections instead of draining them.

@@ -15,6 +15,11 @@
 //	-build    sample a sketch over -graph and write it to -out
 //	-info     print a snapshot's header (no graph needed)
 //	-select   load -sketch against -graph and select -k seeds
+//
+// -model oc builds an opinion-weighted sketch (snapshot format v2): the
+// same reverse live-edge walks as -model lt plus per-set root-opinion
+// weights, so selections maximize opinion coverage and the served index
+// answers opinion-spread estimates without Monte Carlo.
 package main
 
 import (
@@ -65,6 +70,11 @@ func main() {
 		if err != nil {
 			log.Fatalf("imsketch: %v", err)
 		}
+		weighted := ""
+		if h.Weighted() {
+			weighted = " (opinion-weighted)"
+		}
+		fmt.Printf("snapshot version  : %d%s\n", h.Version, weighted)
 		fmt.Printf("graph fingerprint : %016x\n", h.GraphFingerprint)
 		fmt.Printf("graph dims        : %d nodes, %d arcs\n", h.Nodes, h.Arcs)
 		fmt.Printf("rr semantics      : %s\n", h.Kind)
@@ -122,6 +132,12 @@ func main() {
 		fmt.Printf("selected %d seeds in %v (index: %d sets)\n",
 			len(res.Seeds), time.Since(start).Round(time.Microsecond), sk.Len())
 		fmt.Printf("estimated spread  : %.1f\n", res.Metrics["estimated_spread"])
+		// Opinion-weighted (oc) sketches maximize opinion coverage and
+		// report the opinion-spread estimate alongside.
+		if _, ok := res.Metrics["weighted_coverage"]; ok {
+			fmt.Printf("opinion coverage  : %.3f\n", res.Metrics["weighted_coverage"])
+			fmt.Printf("est opinion spread: %.2f\n", res.Metrics["estimated_opinion_spread"])
+		}
 		fmt.Printf("seeds             : %v\n", res.Seeds)
 	}
 }

@@ -1,6 +1,7 @@
 // Quickstart: build a social graph, pick seeds with the paper's two
 // algorithms and compare what each optimizes — then build a reusable
-// RR-sketch index and serve many selections from it in milliseconds.
+// RR-sketch index and serve many selections from it in milliseconds,
+// including the opinion-aware ("oc") workload via weighted RR walks.
 //
 //	go run ./examples/quickstart
 package main
@@ -102,6 +103,42 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("sketch: AlgIMM served by %s (%d seeds)\n", res.Algorithm, len(res.Seeds))
+
+	// --- Opinion-aware sketch ("oc" semantics) ---------------------------
+	//
+	// Model "oc" samples the same reverse live-edge walks as "lt" but
+	// records each walk's root-opinion weight (snapshot format v2; v1
+	// files still load). The one index then serves BOTH halves of the
+	// opinion workload without Monte Carlo: Select maximizes opinion
+	// coverage, and EstimateOpinionSpreadContext answers from the
+	// weighted sample.
+	start = time.Now()
+	ocSk, err := holisticim.BuildSketch(context.Background(), g, holisticim.SketchOptions{
+		Model: holisticim.ModelOC, Epsilon: 0.2, Seed: 7, BuildK: 50,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\noc sketch: %d weighted walks in %v\n", ocSk.Len(), time.Since(start).Round(time.Millisecond))
+
+	ocRes, err := holisticim.SelectSeeds(g, k, holisticim.AlgIMM, holisticim.Options{
+		Model: holisticim.ModelOC, Epsilon: 0.2, Seed: 7, Sketch: ocSk,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	start = time.Now()
+	ocEst := must(holisticim.EstimateOpinionSpreadContext(context.Background(), g, ocRes.Seeds, holisticim.Options{
+		Model: holisticim.ModelOC, Sketch: ocSk,
+	}))
+	fmt.Printf("oc sketch: opinion spread %.2f (pos %.2f / neg %.2f) from %d walks in %v — no Monte Carlo\n",
+		ocEst.OpinionSpread, ocEst.PositiveSpread, ocEst.NegativeSpread,
+		ocEst.Runs, time.Since(start).Round(time.Microsecond))
+	mcEst := must(holisticim.EstimateOpinionSpreadContext(context.Background(), g, ocRes.Seeds, holisticim.Options{
+		Model: holisticim.ModelOC, MCRuns: 2000, Seed: 7,
+	}))
+	fmt.Printf("oc MC     : opinion spread %.2f with %d simulations (the estimate the sketch replaces)\n",
+		mcEst.OpinionSpread, mcEst.Runs)
 }
 
 // must unwraps the context estimators: the example configurations are

@@ -175,22 +175,38 @@ func (k ModelKind) OpinionAware() bool {
 	return k == ModelOIIC || k == ModelOILT || k == ModelOC
 }
 
-// RRSemantics returns which reverse-reachable-set semantics ("ic" or
-// "lt") the RIS family (TIM+/IMM and the RR-sketch index) samples under
-// this model: LT-family models use reverse live-edge walks, everything
-// else reverse IC worlds. Serving layers use it to key sketch indexes.
+// RRSemantics returns which reverse-reachable-set semantics the RIS
+// family (TIM+/IMM and the RR-sketch index) samples under this model:
+//
+//   - "ic": reverse IC worlds (ic, wc, oi-ic and the default);
+//   - "lt": reverse live-edge walks (lt, oi-lt);
+//   - "oc": the same reverse live-edge walks, additionally recording
+//     each set's root-opinion weight so the index can answer
+//     opinion-aware estimates and weighted (opinion-coverage) selections.
+//
+// Serving layers use it to key sketch indexes — an "oc" sketch samples
+// the very sets an "lt" one does, but only the weighted index can serve
+// the opinion path, so the two are distinct keys.
 func (k ModelKind) RRSemantics() string {
-	if k == ModelLT || k == ModelOILT || k == ModelOC {
+	switch k {
+	case ModelLT, ModelOILT:
 		return "lt"
+	case ModelOC:
+		return "oc"
+	default:
+		return "ic"
 	}
-	return "ic"
 }
 
 func risKindFor(k ModelKind) ris.ModelKind {
-	if k.RRSemantics() == "lt" {
+	switch k.RRSemantics() {
+	case "lt":
 		return ris.ModelLT
+	case "oc":
+		return ris.ModelOC
+	default:
+		return ris.ModelIC
 	}
-	return ris.ModelIC
 }
 
 // Algorithm names a seed-selection algorithm.
@@ -247,8 +263,11 @@ type Options struct {
 	Deadline time.Duration
 	// Sketch, when set, answers AlgTIMPlus/AlgIMM selections from a
 	// prebuilt RR-sketch index (see BuildSketch) instead of resampling —
-	// typically 10-100x faster. Used only when the sketch was built over
-	// the same graph and RR semantics and TIMThetaCap is unset; the
+	// typically 10-100x faster — and, for Model "oc", also answers
+	// EstimateOpinionSpreadContext from the opinion-weighted sample
+	// instead of Monte Carlo. Used only when the sketch was built over
+	// the same graph content (pointer or fingerprint match) and RR
+	// semantics, and for selections only when TIMThetaCap is unset; the
 	// sketch's own ε/seed govern the sample. Excluded from Fingerprint:
 	// serving layers must key sketch-backed results separately (the
 	// bundled service's fast path bypasses its result cache).
@@ -269,17 +288,24 @@ func (o Options) withDefaults(opinionAware bool) Options {
 	if o.Lambda == 0 {
 		o.Lambda = 1
 	}
-	if o.Epsilon <= 0 {
-		o.Epsilon = 0.1
-	}
+	o.Epsilon = CanonicalEpsilon(o.Epsilon)
+	o.Seed = CanonicalSeed(o.Seed)
 	if o.MCRuns <= 0 {
 		o.MCRuns = 10000
 	}
-	if o.Seed == 0 {
-		o.Seed = 1
-	}
 	return o
 }
+
+// CanonicalEpsilon resolves the RIS approximation slack ε exactly as
+// Options, SketchOptions and the bundled service's sketch keys do:
+// non-positive means the paper's default 0.1. Serving layers
+// canonicalize request fields through this single helper so a `{}`
+// request and one spelling out the defaults key the same sample.
+func CanonicalEpsilon(eps float64) float64 { return ris.CanonicalEpsilon(eps) }
+
+// CanonicalSeed resolves the master sampling seed the same way (zero
+// means the default seed 1). See CanonicalEpsilon.
+func CanonicalSeed(seed uint64) uint64 { return ris.CanonicalSeed(seed) }
 
 // Resolved returns the options with every default filled in, exactly as
 // SelectSeeds and the estimators will use them. opinionAware selects the
@@ -348,7 +374,9 @@ func SelectSeedsContext(ctx context.Context, g *Graph, k int, alg Algorithm, opt
 	}
 	weight := core.WeightProb
 	risKind := risKindFor(o.Model)
-	if risKind == ris.ModelLT {
+	if risKind != ris.ModelIC {
+		// LT-family models (lt, oi-lt, oc) drive EaSyIM/OSIM scores and
+		// reverse sampling by the LT edge weights.
 		weight = core.WeightLT
 	}
 	// Monte-Carlo objectives honor Workers: the estimates are deterministic
@@ -449,8 +477,41 @@ func EstimateSpreadContext(ctx context.Context, g *Graph, seeds []NodeID, opts O
 // EstimateOpinionSpreadContext estimates the opinion-aware spreads
 // (Defs. 6-7) under opts.Model (default OI over IC), with the same
 // context and error contract as EstimateSpreadContext.
+//
+// When opts.Model is ModelOC and opts.Sketch is an opinion-aware ("oc")
+// sketch over the same graph content, the estimate is answered from the
+// weighted RR sample instead of Monte Carlo — typically orders of
+// magnitude faster. A sketch-served Estimate reports the RR-set count as
+// Runs and zero variances; SketchServedEstimate reports whether a given
+// call would take the fast path.
 func EstimateOpinionSpreadContext(ctx context.Context, g *Graph, seeds []NodeID, opts Options) (Estimate, error) {
+	if g != nil && SketchServedEstimate(g, opts) {
+		oe, err := opts.Sketch.EstimateOpinion(seeds)
+		if err == nil {
+			return Estimate{
+				Runs:           oe.Sets,
+				Spread:         oe.Spread,
+				OpinionSpread:  oe.Opinion,
+				PositiveSpread: oe.Positive,
+				NegativeSpread: oe.Negative,
+			}, nil
+		}
+		// An index that cannot answer (defensively: unweighted kind) falls
+		// through to the Monte-Carlo path below.
+	}
 	return estimate(ctx, g, seeds, opts, true)
+}
+
+// SketchServedEstimate reports whether EstimateOpinionSpreadContext with
+// these options would be answered from opts.Sketch instead of running
+// Monte Carlo: the resolved model must be ModelOC and the sketch must be
+// an opinion-weighted index over the same graph content.
+func SketchServedEstimate(g *Graph, opts Options) bool {
+	if opts.Sketch == nil {
+		return false
+	}
+	o := opts.withDefaults(true)
+	return o.Model == ModelOC && opts.Sketch.Matches(g, ris.ModelOC)
 }
 
 // EstimateSpread estimates σ(S) under opts.Model.
@@ -485,6 +546,11 @@ type Sketch = sketch.Index
 // length, selects served, lazy extensions, memory footprint).
 type SketchStats = sketch.Stats
 
+// SketchOpinionEstimate is a sketch-backed opinion-spread estimate (the
+// weighted-RIS counterpart of Estimate), returned by
+// Sketch.EstimateOpinion on "oc" sketches.
+type SketchOpinionEstimate = sketch.OpinionEstimate
+
 // SketchHeader is the metadata prefix of a sketch snapshot, readable
 // without the graph via ReadSketchHeader.
 type SketchHeader = sketch.Header
@@ -492,8 +558,11 @@ type SketchHeader = sketch.Header
 // SketchOptions configures BuildSketch. Zero values pick the paper's
 // defaults (ε=0.1, seed 1, build-k 50, GOMAXPROCS workers).
 type SketchOptions struct {
-	// Model picks the RR-set semantics: LT-family models sample reverse
-	// live-edge walks, everything else (the default) reverse IC worlds.
+	// Model picks the RR-set semantics: "lt"/"oi-lt" sample reverse
+	// live-edge walks, "oc" samples the same walks while recording each
+	// set's root-opinion weight (enabling sketch-backed opinion estimates
+	// and opinion-coverage selection), everything else (the default)
+	// reverse IC worlds.
 	Model ModelKind
 	// Epsilon is the IMM approximation slack ε (default 0.1).
 	Epsilon float64
@@ -549,9 +618,9 @@ func ReadSketch(r io.Reader, g *Graph) (*Sketch, error) { return sketch.Load(r, 
 func ReadSketchHeader(r io.Reader) (SketchHeader, error) { return sketch.ReadHeader(r) }
 
 // sketchSelector returns the sketch-backed selector when opts can be
-// served from opts.Sketch: same graph instance, same RR semantics, and
-// no explicit θ cap (a cap changes TIM+/IMM sampling in ways the index
-// does not model).
+// served from opts.Sketch: same graph content (pointer or fingerprint
+// match), same RR semantics, and no explicit θ cap (a cap changes
+// TIM+/IMM sampling in ways the index does not model).
 func sketchSelector(o Options, g *Graph, kind ris.ModelKind) im.Selector {
 	if o.Sketch == nil || o.TIMThetaCap != 0 || !o.Sketch.Matches(g, kind) {
 		return nil

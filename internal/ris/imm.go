@@ -26,9 +26,7 @@ type IMM struct {
 
 // NewIMM returns an IMM selector over g.
 func NewIMM(g *graph.Graph, kind ModelKind, opts TIMOptions) *IMM {
-	if opts.Epsilon <= 0 {
-		opts.Epsilon = 0.1
-	}
+	opts.Epsilon = CanonicalEpsilon(opts.Epsilon)
 	if opts.Ell <= 0 {
 		opts.Ell = 1
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/holisticim/holisticim/internal/graph"
+	"github.com/holisticim/holisticim/internal/opinion"
 	"github.com/holisticim/holisticim/internal/rng"
 )
 
@@ -18,13 +19,17 @@ func parallelTestGraph(t testing.TB) *graph.Graph {
 
 // Parallel generation must be invisible in the output: the collection is
 // a pure function of (graph, kind, seed, count), never of worker count or
-// scheduling. Set-for-set comparison, both models.
+// scheduling. Set-for-set comparison, all models — for the weighted OC
+// kind the per-set root-opinion weights must agree bit-for-bit too (run
+// under -race in CI; the Workers=8≡1 case is the satellite determinism
+// guarantee for the weighted sampler).
 func TestGenerateParallelMatchesSequential(t *testing.T) {
 	g := parallelTestGraph(t)
-	for _, kind := range []ModelKind{ModelIC, ModelLT} {
+	opinion.AssignOpinions(g, opinion.Normal, 3)
+	for _, kind := range []ModelKind{ModelIC, ModelLT, ModelOC} {
 		seq := NewCollection(g, kind)
 		seq.Generate(3000, 42)
-		for _, workers := range []int{2, 8} {
+		for _, workers := range []int{1, 2, 8} {
 			par := NewCollection(g, kind)
 			if err := par.GenerateParallelCtx(context.Background(), 3000, 42, workers); err != nil {
 				t.Fatalf("%v workers=%d: %v", kind, workers, err)
@@ -43,6 +48,17 @@ func TestGenerateParallelMatchesSequential(t *testing.T) {
 				for j := range want {
 					if got[j] != want[j] {
 						t.Fatalf("%v workers=%d: set %d differs at %d", kind, workers, i, j)
+					}
+				}
+			}
+			if kind.Weighted() {
+				ww, wp := seq.Weights(), par.Weights()
+				if len(ww) != seq.Len() || len(wp) != par.Len() {
+					t.Fatalf("%v workers=%d: weight column length %d/%d, want %d", kind, workers, len(wp), len(ww), seq.Len())
+				}
+				for i := range ww {
+					if wp[i] != ww[i] {
+						t.Fatalf("%v workers=%d: weight %d = %v, want %v", kind, workers, i, wp[i], ww[i])
 					}
 				}
 			}

@@ -29,14 +29,29 @@ const (
 	// ModelLT samples reverse LT live-edge walks (at most one live in-edge
 	// per node, chosen with probability w).
 	ModelLT
+	// ModelOC samples the same reverse LT live-edge walks as ModelLT —
+	// the OC baseline activates by LT — but additionally records each
+	// set's root-opinion weight (see OCRootWeight), turning the
+	// collection into a weighted-RIS estimator of OC opinion spread in
+	// the spirit of Gionis et al., "Opinion Maximization in Social
+	// Networks". The sampled sets are bit-identical to ModelLT's: the
+	// weight is derived from the walk, never drawn from the stream.
+	ModelOC
 )
 
 func (m ModelKind) String() string {
-	if m == ModelLT {
+	switch m {
+	case ModelLT:
 		return "LT"
+	case ModelOC:
+		return "OC"
+	default:
+		return "IC"
 	}
-	return "IC"
 }
+
+// Weighted reports whether the kind records per-set root-opinion weights.
+func (m ModelKind) Weighted() bool { return m == ModelOC }
 
 // Collection holds sampled RR sets and their inverted index.
 type Collection struct {
@@ -45,6 +60,7 @@ type Collection struct {
 
 	sets     [][]graph.NodeID // RR sets
 	nodeSets [][]int32        // node -> ids of sets containing it
+	weights  []float64        // per-set root-opinion weight (ModelOC only)
 	width    int64            // Σ over sets of in-degree mass (for KPT)
 	smp      *Sampler         // reused by sequential generation
 }
@@ -74,14 +90,45 @@ func (c *Collection) Sets() [][]graph.NodeID { return c.sets }
 // coverage counters (the sketch index) are built on this accessor.
 func (c *Collection) SetsContaining(v graph.NodeID) []int32 { return c.nodeSets[v] }
 
+// Weighted reports whether the collection records per-set root-opinion
+// weights (ModelOC).
+func (c *Collection) Weighted() bool { return c.kind.Weighted() }
+
+// Rebind points the collection (and its sequential sampler) at a new
+// graph instance. The caller guarantees identical content — the sketch
+// index does so by fingerprint before rebinding — otherwise every
+// sampled set would silently describe the wrong graph. Rebinding exists
+// so a replaced-but-identical graph does not stay pinned in memory for
+// the collection's lifetime.
+func (c *Collection) Rebind(g *graph.Graph) {
+	c.g = g
+	c.smp.g = g
+}
+
+// Weights exposes the per-set root-opinion weights (read-only), aligned
+// with Sets. Nil for unweighted kinds.
+func (c *Collection) Weights() []float64 { return c.weights }
+
 // Add appends an externally produced RR set (e.g. one loaded from a
 // sketch snapshot) to the collection, maintaining the inverted index and
-// width exactly as generation would. The caller guarantees every node id
-// is in range and the set is duplicate-free.
+// width exactly as generation would — including recomputing the
+// root-opinion weight for weighted kinds. The caller guarantees every
+// node id is in range and the set is duplicate-free.
 func (c *Collection) Add(set []graph.NodeID) { c.addSet(set) }
 
-// MemoryFootprint approximates the bytes held by the sets and the
-// inverted index.
+// AddWeighted appends an externally produced RR set carrying its stored
+// root-opinion weight (the snapshot-load path: the persisted weight is
+// authoritative, so a load→save round trip is byte-identical even across
+// releases that refine the weight function). Panics on unweighted kinds.
+func (c *Collection) AddWeighted(set []graph.NodeID, w float64) {
+	if !c.kind.Weighted() {
+		panic("ris: AddWeighted on an unweighted collection")
+	}
+	c.addSetWeight(set, w)
+}
+
+// MemoryFootprint approximates the bytes held by the sets, the inverted
+// index and (for weighted kinds) the weight column.
 func (c *Collection) MemoryFootprint() int64 {
 	var b int64
 	for _, s := range c.sets {
@@ -90,6 +137,7 @@ func (c *Collection) MemoryFootprint() int64 {
 	for _, ns := range c.nodeSets {
 		b += int64(cap(ns))*4 + 24
 	}
+	b += int64(cap(c.weights)) * 8
 	return b
 }
 
@@ -217,12 +265,52 @@ func (s *Sampler) sampleFrom(root graph.NodeID) []graph.NodeID {
 }
 
 func (c *Collection) addSet(set []graph.NodeID) {
+	w := 0.0
+	if c.kind.Weighted() {
+		w = OCRootWeight(c.g, set)
+	}
+	c.addSetWeight(set, w)
+}
+
+func (c *Collection) addSetWeight(set []graph.NodeID, w float64) {
 	id := int32(len(c.sets))
 	c.sets = append(c.sets, set)
+	if c.kind.Weighted() {
+		c.weights = append(c.weights, w)
+	}
 	for _, v := range set {
 		c.nodeSets[v] = append(c.nodeSets[v], id)
 		c.width += int64(c.g.InDegree(v))
 	}
+}
+
+// OCRootWeight returns the root-opinion weight of a reverse LT walk
+// under OC semantics: the root's expected final opinion assuming
+// activation reaches it along the sampled live-edge chain. With the walk
+// u_0 (root) ← u_1 ← … ← u_L and the seed assumed at the chain's end
+// (OC seeds keep their personal opinion; every relayed node averages its
+// own opinion with its activator's, Sec. 2.1 of the paper's OC
+// characterization):
+//
+//	w(R) = Σ_{i<L} o(u_i)/2^{i+1} + o(u_L)/2^L.
+//
+// The scalar is the greedy's coverage objective (one weight per set
+// keeps the incremental counters O(1) per update) and what snapshots
+// persist; a seed hitting the chain at depth j < L changes the true
+// value by at most 2^{1-j}, so it is a good surrogate across hit
+// positions. Estimation over a FIXED seed set does not pay even that:
+// OpinionCoverage re-derives the depth-exact value by truncating the
+// walk at the shallowest seed. A one-node walk (no live in-edge) weighs
+// o(root): such a set is only ever covered by the root itself being a
+// seed, and estimators exclude root-seeded sets anyway. |w| ≤ 1 always,
+// since opinions live in [-1,1] and the coefficients sum to 1.
+func OCRootWeight(g *graph.Graph, walk []graph.NodeID) float64 {
+	last := len(walk) - 1
+	w := g.Opinion(walk[last])
+	for i := last - 1; i >= 0; i-- {
+		w = (g.Opinion(walk[i]) + w) / 2
+	}
+	return w
 }
 
 // MaxCoverage greedily picks k nodes maximizing the number of covered RR
@@ -295,6 +383,72 @@ func (c *Collection) FractionCoveredBy(seeds []graph.NodeID) float64 {
 // F is the covered fraction. Unbiased for any fixed S.
 func (c *Collection) EstimateSpread(seeds []graph.NodeID) float64 {
 	return c.FractionCoveredBy(seeds) * float64(c.g.NumNodes())
+}
+
+// OpinionCoverage sums, over the RR walks hit by the seed set whose root
+// is NOT itself a seed, the positive and negative parts of the root's
+// final opinion under the live-edge chain, along with the total
+// covered-set count (roots in S included — the plain coverage number).
+//
+// Unlike the per-set scalar weight the greedy optimizes — which fixes
+// the activator chain at the full walk — a FIXED seed set lets the
+// estimator be depth-exact: activation reaches the root from the
+// shallowest seed on the walk (every deeper node is irrelevant, since
+// each node has exactly one live in-edge and seeds keep their personal
+// opinion), so the root's opinion is OCRootWeight over the walk prefix
+// truncated at that seed. This is what makes the estimator track the
+// Monte-Carlo OC spread instead of merely correlating with it.
+//
+// Root-seeded walks are excluded from the opinion sums because Def. 6
+// counts opinions of activated NON-seed nodes only: a root in S
+// contributes its activation (spread) but not a relayed opinion.
+// Weighted kinds only.
+func (c *Collection) OpinionCoverage(seeds []graph.NodeID) (covered int, pos, neg float64) {
+	if !c.kind.Weighted() {
+		panic("ris: OpinionCoverage on an unweighted collection")
+	}
+	inSeeds := make(map[graph.NodeID]bool, len(seeds))
+	for _, s := range seeds {
+		inSeeds[s] = true
+	}
+	hit := make([]bool, len(c.sets))
+	for _, s := range seeds {
+		if int64(s) < 0 || int64(s) >= int64(len(c.nodeSets)) {
+			continue
+		}
+		for _, sid := range c.nodeSets[s] {
+			if hit[sid] {
+				continue
+			}
+			hit[sid] = true
+			covered++
+			walk := c.sets[sid]
+			if inSeeds[walk[0]] { // walk roots are stored first
+				continue
+			}
+			depth := 1
+			for !inSeeds[walk[depth]] { // a seed exists: the walk is covered
+				depth++
+			}
+			if w := OCRootWeight(c.g, walk[:depth+1]); w > 0 {
+				pos += w
+			} else {
+				neg -= w
+			}
+		}
+	}
+	return covered, pos, neg
+}
+
+// EstimateOpinionSpread returns the weighted-RIS estimator of the OC
+// opinion spread σ_o(S) (Def. 6): n/θ · Σ over covered, non-root-seeded
+// sets of the root-opinion weight.
+func (c *Collection) EstimateOpinionSpread(seeds []graph.NodeID) float64 {
+	if len(c.sets) == 0 {
+		return 0
+	}
+	_, pos, neg := c.OpinionCoverage(seeds)
+	return (pos - neg) * float64(c.g.NumNodes()) / float64(len(c.sets))
 }
 
 // logNChooseK computes ln C(n,k) via lgamma.

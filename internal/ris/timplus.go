@@ -62,9 +62,7 @@ type TIMOptions struct {
 
 // NewTIMPlus returns a TIM+ selector over g for the given model kind.
 func NewTIMPlus(g *graph.Graph, kind ModelKind, opts TIMOptions) *TIMPlus {
-	if opts.Epsilon <= 0 {
-		opts.Epsilon = 0.1
-	}
+	opts.Epsilon = CanonicalEpsilon(opts.Epsilon)
 	if opts.Ell <= 0 {
 		opts.Ell = 1
 	}

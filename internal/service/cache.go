@@ -2,14 +2,17 @@ package service
 
 import (
 	"container/list"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
 
 // Cache is a thread-safe LRU over completed selection results, keyed by
 // the canonical request fingerprint. Selections are deterministic given
-// the fingerprint (it includes the master seed), so entries never go
-// stale — only eviction removes them.
+// the fingerprint (it includes the master seed), so entries only go
+// stale when a graph name is rebound to different content — the server
+// then drops that graph's entries via DropPrefix; nothing else ever
+// invalidates.
 type Cache struct {
 	mu       sync.Mutex
 	capacity int
@@ -67,6 +70,28 @@ func (c *Cache) Add(key string, res *SelectResult) {
 		c.order.Remove(oldest)
 		delete(c.items, oldest.Value.(*cacheItem).key)
 	}
+}
+
+// DropPrefix removes every entry whose key starts with prefix, returning
+// how many were dropped. Fingerprints lead with "graph=<name>;", so a
+// graph replaced with different content can invalidate exactly the
+// results computed against its old topology — the cache's "entries never
+// go stale" premise is re-established by dropping, not by hoping.
+func (c *Cache) DropPrefix(prefix string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		item := el.Value.(*cacheItem)
+		if strings.HasPrefix(item.key, prefix) {
+			c.order.Remove(el)
+			delete(c.items, item.key)
+			dropped++
+		}
+		el = next
+	}
+	return dropped
 }
 
 // Len returns the number of cached results.

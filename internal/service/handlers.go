@@ -97,7 +97,12 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "unknown algorithm %q", req.Algorithm)
 		return
 	}
-	g, err := s.reg.Get(req.Graph)
+	// Graph and rebind generation are read atomically: the generation is
+	// folded into the cache/dedup key below, so a selection computed
+	// against this instance can neither be served from the cache nor
+	// attached to as an in-flight job once the name is rebound — even
+	// when the job completes (and re-caches) after the replacement.
+	g, gen, err := s.reg.GetWithGeneration(req.Graph)
 	if err != nil {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
@@ -125,6 +130,10 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	}
 
 	key := req.fingerprint()
+	if gen > 0 {
+		// Suffixed, so DropPrefix("graph=<name>;") still matches.
+		key = fmt.Sprintf("%s;gen=%d", key, gen)
+	}
 	if res, ok := s.cache.Get(key); ok {
 		writeJSON(w, http.StatusOK, SelectResponse{
 			State: StateDone, Cached: true, Result: res, SeedsDone: len(res.Seeds), K: req.K,
@@ -134,11 +143,14 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 
 	// Fast path: a RIS-family request whose (graph, RR semantics, ε,
 	// seed) matches a registered sketch is answered synchronously from
-	// the prebuilt index — milliseconds instead of a sampling job. An
-	// explicit θ cap opts out (the index does not model capped sampling).
-	// Sketch results stay out of the LRU cache: a sketch-backed and a
-	// cold run may pick different (equally valid) seeds, and one
-	// fingerprint must never alias the two.
+	// the prebuilt index — milliseconds instead of a sampling job. With
+	// model "oc" the matching sketch is opinion-weighted and the greedy
+	// maximizes opinion coverage (the selection the paper's opinion-aware
+	// workload needs) rather than plain set coverage. An explicit θ cap
+	// opts out (the index does not model capped sampling). Sketch results
+	// stay out of the LRU cache: a sketch-backed and a cold run may pick
+	// different (equally valid) seeds, and one fingerprint must never
+	// alias the two.
 	if (alg == holisticim.AlgIMM || alg == holisticim.AlgTIMPlus) && req.Options.TIMThetaCap == 0 {
 		resolved := req.Options.toLib().Resolved(false)
 		if idx := s.sketches.Lookup(req.Graph, resolved.Model.RRSemantics(), resolved.Epsilon, resolved.Seed); idx != nil {
@@ -258,7 +270,7 @@ func (s *Server) handleBuildSketch(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &spec) {
 		return
 	}
-	g, err := s.reg.Get(spec.Graph)
+	g, gen, err := s.reg.GetWithGeneration(spec.Graph)
 	if err != nil {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
@@ -285,16 +297,12 @@ func (s *Server) handleBuildSketch(w http.ResponseWriter, r *http.Request) {
 	if max := runtime.GOMAXPROCS(0); workers <= 0 || workers > max {
 		workers = max
 	}
-	// Canonicalize the key the way the build will resolve defaults, so
-	// `{}` and a spelled-out default spec share one sketch.
-	epsilon := spec.Epsilon
-	if epsilon == 0 {
-		epsilon = 0.1
-	}
-	seed := spec.Seed
-	if seed == 0 {
-		seed = 1
-	}
+	// Canonicalize the key through the library's single canonicalization
+	// helper — the same one Options.withDefaults and the sketch builder
+	// resolve through — so `{}` and a spelled-out default spec share one
+	// sketch and the three sites cannot drift.
+	epsilon := holisticim.CanonicalEpsilon(spec.Epsilon)
+	seed := holisticim.CanonicalSeed(spec.Seed)
 	semantics := model.RRSemantics()
 	if s.sketches.Lookup(spec.Graph, semantics, epsilon, seed) != nil {
 		writeError(w, http.StatusConflict, "%v: %q", ErrSketchExists,
@@ -321,6 +329,12 @@ func (s *Server) handleBuildSketch(w http.ResponseWriter, r *http.Request) {
 		idx, err := holisticim.BuildSketch(ctx, g, opts)
 		if err != nil {
 			return nil, err
+		}
+		// Refuse to register a sample built over an instance that was
+		// replaced mid-build: a stale sketch must not enter the registry
+		// and start serving the new topology's fast path.
+		if _, cur, err := s.reg.GetWithGeneration(graphName); err != nil || cur != gen {
+			return nil, fmt.Errorf("service: graph %q was replaced during the sketch build", graphName)
 		}
 		if _, err := s.sketches.Add(graphName, semantics, epsilon, seed, idx); err != nil {
 			return nil, err
@@ -372,6 +386,44 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	lambda := req.Options.Lambda
+	if lambda == 0 {
+		lambda = 1
+	}
+
+	// Opinion fast path: an "oc" estimate whose (graph, ε, seed) matches a
+	// registered opinion-weighted sketch is answered from the index —
+	// milliseconds instead of a Monte-Carlo run, and exempt from the MC
+	// budget cap it never spends.
+	if model.RRSemantics() == "oc" {
+		resolved := opts.Resolved(model.OpinionAware())
+		if idx := s.sketches.Lookup(req.Graph, "oc", resolved.Epsilon, resolved.Seed); idx != nil {
+			fastOpts := opts
+			fastOpts.Sketch = idx
+			if holisticim.SketchServedEstimate(g, fastOpts) {
+				start := time.Now()
+				est, err := holisticim.EstimateOpinionSpreadContext(r.Context(), g, req.Seeds, fastOpts)
+				if err != nil {
+					writeError(w, http.StatusServiceUnavailable, "%v", err)
+					return
+				}
+				s.sketchEstimates.Add(1)
+				writeJSON(w, http.StatusOK, EstimateResult{
+					Sketch:                 true,
+					Runs:                   est.Runs,
+					Spread:                 est.Spread,
+					OpinionSpread:          est.OpinionSpread,
+					PositiveSpread:         est.PositiveSpread,
+					NegativeSpread:         est.NegativeSpread,
+					EffectiveOpinionSpread: est.EffectiveOpinionSpread(lambda),
+					Lambda:                 lambda,
+					TookMS:                 float64(time.Since(start)) / float64(time.Millisecond),
+				})
+				return
+			}
+		}
+	}
+
 	// Validate the defaults-resolved budget, not the raw field: omitted
 	// mc_runs resolves to the paper's 10000, which must still fit.
 	if runs := opts.Resolved(model.OpinionAware()).MCRuns; runs > s.cfg.MaxEstimateRuns {
@@ -394,10 +446,6 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	if estErr != nil {
 		writeError(w, http.StatusServiceUnavailable, "%v", estErr)
 		return
-	}
-	lambda := req.Options.Lambda
-	if lambda == 0 {
-		lambda = 1
 	}
 	writeJSON(w, http.StatusOK, EstimateResult{
 		Runs:                   est.Runs,

@@ -20,20 +20,33 @@ var (
 )
 
 // Registry holds named immutable graphs shared across requests. Graphs
-// are loaded or generated once; a name can never be rebound, which is
-// what makes the name a sound component of result-cache fingerprints.
+// are loaded or generated once; the untrusted API (POST /v1/graphs)
+// can never rebind a name, which is what makes the name a sound
+// component of result-cache fingerprints. The operator-facing Replace
+// and LoadFile paths MAY rebind — refreshing a dataset in place — and
+// every rebind fires onReplace so the server can drop stale cache
+// entries and rebind or evict the sketches pinned to the old instance.
 type Registry struct {
 	mu sync.RWMutex
 	// maxGraphs caps registrations when positive. Enforced inside Add,
-	// under the lock, so concurrent registrations cannot exceed it —
-	// names can never be rebound, so the registry only ever grows.
+	// under the lock, so concurrent registrations cannot exceed it.
 	maxGraphs int
 	graphs    map[string]*regEntry
+	// onReplace observes name rebinds (never first registrations). Called
+	// outside the registry lock with the new graph already visible.
+	onReplace func(name string, g *holisticim.Graph)
 }
 
 type regEntry struct {
 	g    *holisticim.Graph
 	info GraphInfo
+	// gen counts how many times this name has been rebound. Serving
+	// layers fold it into cache and job-deduplication keys so work
+	// computed against a replaced instance can never be served — or
+	// attached to — after the replacement (an in-flight job completing
+	// post-replace re-caches under its old generation, which no new
+	// request can reach).
+	gen uint64
 
 	statsOnce sync.Once
 	stats     GraphStats
@@ -61,25 +74,71 @@ func (r *Registry) Add(name string, g *holisticim.Graph, source string) error {
 	if r.maxGraphs > 0 && len(r.graphs) >= r.maxGraphs {
 		return fmt.Errorf("%w (%d graphs)", ErrRegistryFull, r.maxGraphs)
 	}
-	r.graphs[name] = &regEntry{g: g, info: GraphInfo{
+	r.graphs[name] = newRegEntry(name, g, source)
+	return nil
+}
+
+func newRegEntry(name string, g *holisticim.Graph, source string) *regEntry {
+	return &regEntry{g: g, info: GraphInfo{
 		Name:        name,
 		Nodes:       g.NumNodes(),
 		Arcs:        g.NumEdges(),
 		Source:      source,
 		MemoryBytes: g.MemoryFootprint(),
 	}}
+}
+
+// Replace registers g under name, rebinding the name if it is already
+// taken (the memoized stats are recomputed for the new content). This is
+// the operator-facing refresh path — reloading a dataset file in place —
+// not reachable from POST /v1/graphs, whose names stay immutable. A
+// rebind fires the onReplace hook so dependent state (result cache,
+// sketch registry) is made consistent before the call returns.
+func (r *Registry) Replace(name string, g *holisticim.Graph, source string) error {
+	if name == "" {
+		return errors.New("service: empty graph name")
+	}
+	if g == nil {
+		return errors.New("service: nil graph")
+	}
+	r.mu.Lock()
+	old, replaced := r.graphs[name]
+	if !replaced && r.maxGraphs > 0 && len(r.graphs) >= r.maxGraphs {
+		r.mu.Unlock()
+		return fmt.Errorf("%w (%d graphs)", ErrRegistryFull, r.maxGraphs)
+	}
+	e := newRegEntry(name, g, source)
+	if replaced {
+		e.gen = old.gen + 1
+	}
+	r.graphs[name] = e
+	hook := r.onReplace
+	r.mu.Unlock()
+	if replaced && hook != nil {
+		hook(name, g)
+	}
 	return nil
 }
 
 // Get returns the named graph.
 func (r *Registry) Get(name string) (*holisticim.Graph, error) {
+	g, _, err := r.GetWithGeneration(name)
+	return g, err
+}
+
+// GetWithGeneration returns the named graph together with its rebind
+// generation, read under one lock acquisition: the pair is consistent
+// even against a concurrent Replace, which is what lets a caller key
+// derived work (cached selections, deduplicated jobs) to the exact
+// instance it fetched.
+func (r *Registry) GetWithGeneration(name string) (*holisticim.Graph, uint64, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	e, ok := r.graphs[name]
 	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrGraphNotFound, name)
+		return nil, 0, fmt.Errorf("%w: %q", ErrGraphNotFound, name)
 	}
-	return e.g, nil
+	return e.g, e.gen, nil
 }
 
 // List returns the registered graphs' summaries, sorted by name.
@@ -166,13 +225,16 @@ func readGraphFile(path string) (*holisticim.Graph, error) {
 	return g, nil
 }
 
-// LoadFile registers a graph read from an edge-list or binary file.
+// LoadFile registers a graph read from an edge-list or binary file. A
+// name that is already registered is REBOUND to the freshly read content
+// (Replace semantics): re-running the operator's load path refreshes the
+// dataset, and the replacement hook keeps caches and sketches honest.
 func (r *Registry) LoadFile(name, path string) error {
 	g, err := readGraphFile(path)
 	if err != nil {
 		return err
 	}
-	return r.Add(name, g, "file:"+path)
+	return r.Replace(name, g, "file:"+path)
 }
 
 // Build registers a graph described by spec. allowPaths gates file

@@ -104,8 +104,10 @@ type Server struct {
 	// substitute stubs to control timing without real computations.
 	selectFn func(ctx context.Context, g *holisticim.Graph, k int, alg holisticim.Algorithm, o holisticim.Options) (holisticim.Result, error)
 
-	selections atomic.Int64 // actual (non-cached, non-deduped) selections run
-	sketchHits atomic.Int64 // /v1/select requests served by the sketch fast path
+	selections      atomic.Int64 // actual (non-cached, non-deduped) selections run
+	sketchHits      atomic.Int64 // /v1/select requests served by the sketch fast path
+	sketchEstimates atomic.Int64 // /v1/estimate requests served by an opinion sketch
+	replacements    atomic.Int64 // graph names rebound to new content
 }
 
 // New returns a ready-to-serve Server with an empty registry.
@@ -123,6 +125,17 @@ func New(cfg Config) *Server {
 	// registrations cannot race past the cap.
 	s.reg.maxGraphs = cfg.MaxGraphs
 	s.sketches.maxSketches = cfg.MaxSketches
+	// A graph name rebound to new content (operator reload) must not keep
+	// serving results computed against the old topology: drop the name's
+	// cached selections and rebind-or-evict its sketches before the
+	// replacement call returns. Identical-content reloads keep their
+	// sketches (fingerprint match) — only the cache is cleared, cheaply
+	// re-fillable either way.
+	s.reg.onReplace = func(name string, g *holisticim.Graph) {
+		s.replacements.Add(1)
+		s.cache.DropPrefix("graph=" + name + ";")
+		s.sketches.RebindGraph(name, g)
+	}
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s
@@ -162,6 +175,8 @@ func (s *Server) Stats() ServerStats {
 		SketchMemoryBytes:  skBytes,
 		SketchBuilds:       skBuilds,
 		SketchFastPathHits: s.sketchHits.Load(),
+		SketchEstimateHits: s.sketchEstimates.Load(),
+		GraphReplacements:  s.replacements.Load(),
 	}
 }
 

@@ -19,10 +19,24 @@ var (
 )
 
 // sketchID is the canonical identifier of a sketch: one index per
-// (graph, RR semantics, ε, seed). Graphs are immutable and names never
-// rebind, so the id pins the sample a fast-path selection will use.
+// (graph, RR semantics, ε, seed), semantics being "ic", "lt" or the
+// opinion-weighted "oc". The id pins the sample a fast-path selection
+// will use: a graph name rebound to different content evicts its
+// sketches (RebindGraph), so a live id always means a live sample.
 func sketchID(graph, semantics string, epsilon float64, seed uint64) string {
 	return fmt.Sprintf("%s:%s:e%g:s%d", graph, semantics, epsilon, seed)
+}
+
+// semanticsOf maps an index's RR kind back to its registry semantics key.
+func semanticsOf(kind ris.ModelKind) string {
+	switch kind {
+	case ris.ModelLT:
+		return "lt"
+	case ris.ModelOC:
+		return "oc"
+	default:
+		return "ic"
+	}
 }
 
 // SketchRegistry holds the server's RR-sketch indexes. Like the graph
@@ -169,9 +183,28 @@ func (r *SketchRegistry) LoadSnapshot(graphName string, g *holisticim.Graph, pat
 		return "", fmt.Errorf("service: read %s: %w", path, err)
 	}
 	p := idx.Params()
-	semantics := "ic"
-	if p.Kind == ris.ModelLT {
-		semantics = "lt"
+	return r.Add(graphName, semanticsOf(p.Kind), p.Epsilon, p.Seed, idx)
+}
+
+// RebindGraph reconciles the registry with a graph name that was just
+// rebound: every sketch registered for the name is rebound to the new
+// instance when the content fingerprints still agree (Index.Matches
+// self-rebinds on a fingerprint match), and evicted when they don't — a
+// sketch over the old topology must never serve the new graph's fast
+// path. Returns how many sketches were kept and how many evicted.
+func (r *SketchRegistry) RebindGraph(graphName string, g *holisticim.Graph) (kept, evicted int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for id, e := range r.entries {
+		if e.graph != graphName {
+			continue
+		}
+		if e.idx.Matches(g, e.idx.Kind()) {
+			kept++
+			continue
+		}
+		delete(r.entries, id)
+		evicted++
 	}
-	return r.Add(graphName, semantics, p.Epsilon, p.Seed, idx)
+	return kept, evicted
 }

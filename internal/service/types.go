@@ -143,9 +143,13 @@ type EstimateRequest struct {
 	Options Options `json:"options"`
 }
 
-// EstimateResult is the JSON form of a Monte-Carlo estimate. The opinion
-// fields are meaningful under the opinion-aware models (oi-ic, oi-lt, oc).
+// EstimateResult is the JSON form of a spread estimate. The opinion
+// fields are meaningful under the opinion-aware models (oi-ic, oi-lt,
+// oc). Sketch marks an estimate answered from an opinion-weighted
+// RR-sketch index instead of Monte Carlo — Runs then reports the RR-set
+// count the estimate was computed over.
 type EstimateResult struct {
+	Sketch                 bool    `json:"sketch,omitempty"`
 	Runs                   int     `json:"runs"`
 	Spread                 float64 `json:"spread"`
 	OpinionSpread          float64 `json:"opinion_spread"`
@@ -237,9 +241,11 @@ func (s GraphSpec) effectiveArcs() int64 {
 // epsilon, seed) and serves the /v1/select fast path.
 type SketchSpec struct {
 	Graph string `json:"graph"`
-	// Model picks the RR-set semantics via its family: LT-family models
-	// ("lt", "oi-lt", "oc") sample reverse live-edge walks, everything
-	// else (default "ic") reverse IC worlds.
+	// Model picks the RR-set semantics via its family: "lt" and "oi-lt"
+	// sample reverse live-edge walks, "oc" samples the same walks while
+	// recording per-set root-opinion weights (serving opinion-aware
+	// estimates and opinion-coverage selection), everything else
+	// (default "ic") reverse IC worlds.
 	Model   string  `json:"model,omitempty"`
 	Epsilon float64 `json:"epsilon,omitempty"` // default 0.1
 	Seed    uint64  `json:"seed,omitempty"`    // default 1
@@ -254,7 +260,7 @@ type SketchSpec struct {
 type SketchInfo struct {
 	ID          string  `json:"id"`
 	Graph       string  `json:"graph"`
-	Model       string  `json:"model"` // RR semantics: "ic" or "lt"
+	Model       string  `json:"model"` // RR semantics: "ic", "lt" or "oc"
 	Epsilon     float64 `json:"epsilon"`
 	Seed        uint64  `json:"seed"`
 	BuildK      int     `json:"build_k"`
@@ -276,11 +282,17 @@ type ServerStats struct {
 	JobsCanceled  int64 `json:"jobs_canceled"`
 	SelectionsRun int64 `json:"selections_run"`
 	// Sketch registry metrics: indexes held, RR sets across them, their
-	// memory footprint, completed builds/loads and how many /v1/select
-	// requests the sketch fast path answered synchronously.
+	// memory footprint, completed builds/loads, how many /v1/select
+	// requests the sketch fast path answered synchronously and how many
+	// /v1/estimate requests an opinion-weighted ("oc") sketch served
+	// without Monte Carlo. GraphReplacements counts operator reloads that
+	// rebound a graph name (each dropped the name's cached results and
+	// rebound or evicted its sketches).
 	Sketches           int   `json:"sketches"`
 	SketchSets         int64 `json:"sketch_sets"`
 	SketchMemoryBytes  int64 `json:"sketch_memory_bytes"`
 	SketchBuilds       int64 `json:"sketch_builds"`
 	SketchFastPathHits int64 `json:"sketch_fastpath_hits"`
+	SketchEstimateHits int64 `json:"sketch_estimate_hits"`
+	GraphReplacements  int64 `json:"graph_replacements"`
 }

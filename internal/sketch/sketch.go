@@ -72,14 +72,10 @@ type Params struct {
 }
 
 func (p Params) withDefaults(n int32) Params {
-	if p.Epsilon <= 0 {
-		p.Epsilon = 0.1
-	}
+	p.Epsilon = ris.CanonicalEpsilon(p.Epsilon)
+	p.Seed = ris.CanonicalSeed(p.Seed)
 	if p.Ell <= 0 {
 		p.Ell = 1
-	}
-	if p.Seed == 0 {
-		p.Seed = 1
 	}
 	if p.BuildK <= 0 {
 		p.BuildK = 50
@@ -108,12 +104,25 @@ type Index struct {
 	// Memoized incremental greedy max-coverage state over col. order is
 	// the greedy seed permutation computed so far; orderCov[i] is the
 	// number of sets covered by order[:i+1]. Extensions reset all of it.
-	counts   []int32
-	covered  []bool
-	inOrder  []bool
-	totalCov int
-	order    []graph.NodeID
-	orderCov []int
+	// For weighted (OC) indexes the argmax runs over wgain — the summed
+	// root-opinion weight of the uncovered sets containing each node —
+	// so the greedy order maximizes opinion coverage instead of plain
+	// set coverage; orderWCov[i] is the weight covered by order[:i+1].
+	// counts/orderCov are maintained either way: the unweighted coverage
+	// of the chosen prefix still lower-bounds OPT for the θ machinery.
+	counts    []int32
+	wgain     []float64
+	covered   []bool
+	inOrder   []bool
+	totalCov  int
+	totalWCov float64
+	order     []graph.NodeID
+	orderCov  []int
+	orderWCov []float64
+	// opinionEst memoizes the depth-exact Def. 6 estimate per k for the
+	// current order, so repeat weighted selects stay O(k) instead of
+	// re-walking every covered set. Cleared with the rest of the state.
+	opinionEst map[int]float64
 
 	selects    atomic.Int64
 	extensions atomic.Int64
@@ -226,9 +235,32 @@ func (x *Index) Len() int {
 }
 
 // Matches reports whether the index can serve selections for (g, kind):
-// same graph instance and same RR-set semantics.
+// same RR-set semantics and the same graph CONTENT. The common case —
+// the very instance the index was built on — is a pointer check; a
+// different instance is accepted iff its content fingerprint equals the
+// one pinned at build/load time, so a graph re-registered under the same
+// name (a reload with identical bytes) keeps serving the fast path
+// instead of silently falling back to cold runs. On a fingerprint match
+// the index rebinds to the new instance, making subsequent calls
+// pointer-fast again; every sampled set remains valid because the
+// fingerprint covers topology and all model parameters.
 func (x *Index) Matches(g *graph.Graph, kind ris.ModelKind) bool {
-	return x.g == g && x.params.Kind == kind
+	if g == nil || x.params.Kind != kind {
+		return false
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.g == g {
+		return true
+	}
+	if g.NumNodes() != x.g.NumNodes() || g.NumEdges() != x.g.NumEdges() || g.Fingerprint() != x.fp {
+		return false
+	}
+	// Rebind the collection too, or the replaced instance would stay
+	// pinned in memory (and keep being sampled) for the index's lifetime.
+	x.g = g
+	x.col.Rebind(g)
+	return true
 }
 
 // Stats snapshots the index counters.
@@ -255,6 +287,7 @@ func (x *Index) memoryLocked() int64 {
 	b := x.col.MemoryFootprint()
 	b += int64(len(x.counts))*4 + int64(len(x.covered)) + int64(len(x.inOrder))
 	b += int64(len(x.order))*4 + int64(len(x.orderCov))*8
+	b += int64(len(x.wgain))*8 + int64(len(x.orderWCov))*8
 	return b
 }
 
@@ -262,37 +295,72 @@ func (x *Index) memoryLocked() int64 {
 // index and clears the memoized order. Called after every extension.
 func (x *Index) resetGreedyLocked() {
 	n := x.g.NumNodes()
+	weighted := x.params.Kind.Weighted()
 	if x.counts == nil {
 		x.counts = make([]int32, n)
 		x.inOrder = make([]bool, n)
 	}
+	if weighted && x.wgain == nil {
+		x.wgain = make([]float64, n)
+	}
+	weights := x.col.Weights()
 	for v := graph.NodeID(0); v < n; v++ {
-		x.counts[v] = int32(len(x.col.SetsContaining(v)))
+		sids := x.col.SetsContaining(v)
+		x.counts[v] = int32(len(sids))
+		if weighted {
+			w := 0.0
+			for _, sid := range sids {
+				w += weights[sid]
+			}
+			x.wgain[v] = w
+		}
 		x.inOrder[v] = false
 	}
 	x.covered = make([]bool, x.col.Len())
 	x.totalCov = 0
+	x.totalWCov = 0
 	x.order = x.order[:0]
 	x.orderCov = x.orderCov[:0]
+	x.orderWCov = x.orderWCov[:0]
+	x.opinionEst = nil
 }
 
 // extendOrderLocked grows the memoized greedy order to k seeds. Each step
-// is an O(n) argmax over the marginal-coverage counters followed by
-// counter updates over the newly covered sets — the standard greedy
-// max-coverage step, but resumable at any prefix.
+// is an O(n) argmax over the marginal counters followed by counter
+// updates over the newly covered sets — the standard greedy max-coverage
+// step, but resumable at any prefix. Unweighted indexes maximize covered
+// sets; weighted (OC) indexes maximize the summed root-opinion weight of
+// covered sets (weighted max coverage — marginal gains may go negative
+// once only negative-opinion sets remain, and the argmax then picks the
+// least-damaging node so a full-k selection is still returned).
 func (x *Index) extendOrderLocked(k int) {
 	n := x.g.NumNodes()
 	sets := x.col.Sets()
+	weighted := x.params.Kind.Weighted()
+	weights := x.col.Weights()
 	for len(x.order) < k {
 		best := graph.NodeID(-1)
-		bestCount := int32(-1)
-		for v := graph.NodeID(0); v < n; v++ {
-			if x.inOrder[v] {
-				continue
+		if weighted {
+			bestGain := math.Inf(-1)
+			for v := graph.NodeID(0); v < n; v++ {
+				if x.inOrder[v] {
+					continue
+				}
+				if x.wgain[v] > bestGain {
+					bestGain = x.wgain[v]
+					best = v
+				}
 			}
-			if x.counts[v] > bestCount {
-				bestCount = x.counts[v]
-				best = v
+		} else {
+			bestCount := int32(-1)
+			for v := graph.NodeID(0); v < n; v++ {
+				if x.inOrder[v] {
+					continue
+				}
+				if x.counts[v] > bestCount {
+					bestCount = x.counts[v]
+					best = v
+				}
 			}
 		}
 		if best < 0 {
@@ -306,11 +374,21 @@ func (x *Index) extendOrderLocked(k int) {
 			}
 			x.covered[sid] = true
 			x.totalCov++
-			for _, u := range sets[sid] {
-				x.counts[u]--
+			if weighted {
+				w := weights[sid]
+				x.totalWCov += w
+				for _, u := range sets[sid] {
+					x.counts[u]--
+					x.wgain[u] -= w
+				}
+			} else {
+				for _, u := range sets[sid] {
+					x.counts[u]--
+				}
 			}
 		}
 		x.orderCov = append(x.orderCov, x.totalCov)
+		x.orderWCov = append(x.orderWCov, x.totalWCov)
 	}
 }
 
@@ -383,6 +461,24 @@ func (x *Index) Select(ctx context.Context, k int) (im.Result, error) {
 	res.AddMetric("coverage", frac)
 	res.AddMetric("estimated_spread", frac*n)
 	res.AddMetric("rrset_bytes", float64(x.memoryLocked()))
+	if x.params.Kind.Weighted() {
+		// weighted_coverage is the objective the greedy maximized (summed
+		// scalar walk weights of covered sets); estimated_opinion_spread is
+		// the depth-exact Def. 6 estimator for the chosen seeds — the same
+		// number EstimateOpinion would report, memoized per k so repeat
+		// selects keep their O(k) cost.
+		res.AddMetric("weighted_coverage", x.orderWCov[k-1])
+		est, ok := x.opinionEst[k]
+		if !ok {
+			_, pos, neg := x.col.OpinionCoverage(x.order[:k])
+			est = (pos - neg) * n / float64(x.col.Len())
+			if x.opinionEst == nil {
+				x.opinionEst = make(map[int]float64)
+			}
+			x.opinionEst[k] = est
+		}
+		res.AddMetric("estimated_opinion_spread", est)
+	}
 	for _, s := range x.order[:k] {
 		if err := tr.Interrupted(&res); err != nil {
 			return res, err
@@ -405,4 +501,62 @@ func (x *Index) EstimateSpread(seeds []graph.NodeID) float64 {
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	return x.col.EstimateSpread(seeds)
+}
+
+// OpinionEstimate is a sketch-backed estimate of the OC opinion spreads
+// (Defs. 6–7) for a fixed seed set, the weighted-RIS counterpart of a
+// Monte-Carlo diffusion.Estimate. All spread fields are in node-opinion
+// units scaled to the whole graph (n/θ times covered weight).
+type OpinionEstimate struct {
+	Sets     int     // RR sets the estimate was computed over (θ)
+	Coverage float64 // fraction of sets hit by the seeds
+	Spread   float64 // σ(S): estimated activations beyond the seeds
+	Opinion  float64 // σ_o(S) = Positive − Negative (Def. 6)
+	Positive float64 // Σ of positive final opinions (non-seed nodes)
+	Negative float64 // Σ |negative final opinions| (non-seed nodes)
+}
+
+// EffectiveOpinion returns σ_λ^o(S) = Positive − λ·Negative (Def. 7).
+func (e OpinionEstimate) EffectiveOpinion(lambda float64) float64 {
+	return e.Positive - lambda*e.Negative
+}
+
+// EstimateOpinion answers the opinion-aware estimate from the weighted
+// sample: covered sets whose root is not itself a seed contribute their
+// root-opinion weight (split into positive and negative mass), scaled by
+// n/θ. Only weighted (OC) indexes can answer; others return an error so
+// callers fall back to Monte Carlo.
+func (x *Index) EstimateOpinion(seeds []graph.NodeID) (OpinionEstimate, error) {
+	if !x.params.Kind.Weighted() {
+		return OpinionEstimate{}, fmt.Errorf("sketch: %s index carries no opinion weights", x.params.Kind)
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	theta := x.col.Len()
+	if theta == 0 {
+		return OpinionEstimate{}, errors.New("sketch: empty index")
+	}
+	covered, pos, neg := x.col.OpinionCoverage(seeds)
+	n := float64(x.g.NumNodes())
+	scale := n / float64(theta)
+	frac := float64(covered) / float64(theta)
+	// n·F counts every activation including the seeds themselves (a root
+	// in S is always covered); subtract the distinct seeds to report the
+	// same "beyond the seeds" spread Monte Carlo does.
+	distinct := make(map[graph.NodeID]bool, len(seeds))
+	for _, s := range seeds {
+		distinct[s] = true
+	}
+	spread := n*frac - float64(len(distinct))
+	if spread < 0 {
+		spread = 0
+	}
+	return OpinionEstimate{
+		Sets:     theta,
+		Coverage: frac,
+		Spread:   spread,
+		Opinion:  (pos - neg) * scale,
+		Positive: pos * scale,
+		Negative: neg * scale,
+	}, nil
 }

@@ -23,13 +23,21 @@ import (
 //	numSets u64
 //	lens    numSets × u32
 //	ids     Σlens × u32
+//	weights numSets × f64              — version 2 (weighted kinds) only
 //	checksum u64                       — FNV-1a of every preceding byte
+//
+// Version 1 (kinds IC and LT) has no weights block; version 2 carries
+// the per-set root-opinion weights of an opinion-aware (OC) index.
+// Unweighted indexes keep writing version 1, so every pre-existing
+// snapshot — and any new IC/LT one — round-trips byte-identically
+// through old and new readers alike.
 //
 // The layout is deterministic: Save after Load reproduces the input
 // byte-for-byte, which is what the snapshot tests pin.
 const (
-	snapshotMagic   = "HIMS"
-	snapshotVersion = 1
+	snapshotMagic     = "HIMS"
+	snapshotVersion   = 1 // unweighted layout
+	snapshotVersionV2 = 2 // + per-set root-opinion weights
 
 	// maxSnapshotSets bounds how many sets Load will accept; a corrupt
 	// count must not drive a multi-terabyte allocation.
@@ -49,9 +57,13 @@ func (x *Index) Save(w io.Writer) error {
 	if _, err := mw.Write([]byte(snapshotMagic)); err != nil {
 		return err
 	}
+	version := uint32(snapshotVersion)
+	if x.params.Kind.Weighted() {
+		version = snapshotVersionV2
+	}
 	sets := x.col.Sets()
 	hdr := []any{
-		uint32(snapshotVersion),
+		version,
 		x.fp,
 		uint32(x.g.NumNodes()),
 		uint64(x.g.NumEdges()),
@@ -84,6 +96,11 @@ func (x *Index) Save(w io.Writer) error {
 	if err := binary.Write(mw, binary.LittleEndian, flat); err != nil {
 		return err
 	}
+	if version >= snapshotVersionV2 {
+		if err := binary.Write(mw, binary.LittleEndian, x.col.Weights()); err != nil {
+			return err
+		}
+	}
 	if err := binary.Write(bw, binary.LittleEndian, h.Sum64()); err != nil {
 		return err
 	}
@@ -94,6 +111,7 @@ func (x *Index) Save(w io.Writer) error {
 // graph (ReadHeader) for inspection tooling. Payload and checksum are
 // not verified at this level — Load does that.
 type Header struct {
+	Version          int // 1 = unweighted, 2 = per-set opinion weights
 	GraphFingerprint uint64
 	Nodes            int32
 	Arcs             int64
@@ -104,6 +122,27 @@ type Header struct {
 	BuildK           int
 	LowerBound       float64
 	Sets             uint64
+}
+
+// Weighted reports whether the snapshot carries per-set opinion weights.
+func (h Header) Weighted() bool { return h.Version >= snapshotVersionV2 }
+
+// versionKindConsistent checks the version/kind pairing both readers
+// enforce: v1 holds the unweighted kinds, v2 the weighted ones.
+func versionKindConsistent(version, kind uint32) error {
+	switch version {
+	case snapshotVersion:
+		if kind > uint32(ris.ModelLT) {
+			return fmt.Errorf("sketch: v1 snapshot with unknown or weighted kind %d", kind)
+		}
+	case snapshotVersionV2:
+		if kind > uint32(ris.ModelOC) || !ris.ModelKind(kind).Weighted() {
+			return fmt.Errorf("sketch: v2 snapshot with unknown or unweighted kind %d", kind)
+		}
+	default:
+		return fmt.Errorf("sketch: unsupported snapshot version %d", version)
+	}
+	return nil
 }
 
 // ReadHeader parses just the snapshot header for inspection (cmd/imsketch
@@ -126,9 +165,10 @@ func ReadHeader(r io.Reader) (Header, error) {
 			return Header{}, fmt.Errorf("sketch: snapshot header: %w", err)
 		}
 	}
-	if version != snapshotVersion {
-		return Header{}, fmt.Errorf("sketch: unsupported snapshot version %d", version)
+	if err := versionKindConsistent(version, kind); err != nil {
+		return Header{}, err
 	}
+	h.Version = int(version)
 	h.Nodes = int32(n)
 	h.Arcs = int64(m)
 	h.Kind = ris.ModelKind(kind)
@@ -155,7 +195,7 @@ func (hr *hashedReader) Read(p []byte) (int, error) {
 // present in the stream, so a header lying about its counts fails at the
 // first missing chunk instead of driving an enormous up-front make.
 // (Same defense as graph.ReadBinary's payload reads.)
-func readChunked[T int32 | uint32](r io.Reader, count uint64, what string) ([]T, error) {
+func readChunked[T int32 | uint32 | float64](r io.Reader, count uint64, what string) ([]T, error) {
 	const chunk = 1 << 20
 	capHint := count
 	if capHint > chunk {
@@ -205,8 +245,8 @@ func Load(r io.Reader, g *graph.Graph) (*Index, error) {
 			return nil, fmt.Errorf("sketch: snapshot header: %w", err)
 		}
 	}
-	if version != snapshotVersion {
-		return nil, fmt.Errorf("sketch: unsupported snapshot version %d", version)
+	if err := versionKindConsistent(version, kind); err != nil {
+		return nil, err
 	}
 	if int32(n) != g.NumNodes() || int64(m) != g.NumEdges() {
 		return nil, fmt.Errorf("sketch: snapshot is for a %d-node/%d-arc graph, got %d/%d",
@@ -214,9 +254,6 @@ func Load(r io.Reader, g *graph.Graph) (*Index, error) {
 	}
 	if gfp := g.Fingerprint(); fp != gfp {
 		return nil, fmt.Errorf("sketch: graph fingerprint mismatch (snapshot %016x, graph %016x)", fp, gfp)
-	}
-	if kind > uint32(ris.ModelLT) {
-		return nil, fmt.Errorf("sketch: unknown model kind %d", kind)
 	}
 	if epsilon <= 0 || ell <= 0 || math.IsNaN(epsilon) || math.IsNaN(ell) {
 		return nil, fmt.Errorf("sketch: corrupt parameters (eps=%v, ell=%v)", epsilon, ell)
@@ -248,6 +285,20 @@ func Load(r io.Reader, g *graph.Graph) (*Index, error) {
 			return nil, fmt.Errorf("sketch: set member %d out of range [0,%d)", v, n)
 		}
 	}
+	var setWeights []float64
+	if version >= snapshotVersionV2 {
+		setWeights, err = readChunked[float64](hr, numSets, "set weights")
+		if err != nil {
+			return nil, err
+		}
+		for i, w := range setWeights {
+			// Root-opinion weights are convex combinations of opinions in
+			// [-1,1]; anything outside marks corruption.
+			if math.IsNaN(w) || w < -1 || w > 1 {
+				return nil, fmt.Errorf("sketch: implausible set %d weight %v", i, w)
+			}
+		}
+	}
 	sum := hr.h.Sum64()
 	var stored uint64
 	if err := binary.Read(br, binary.LittleEndian, &stored); err != nil {
@@ -272,8 +323,13 @@ func Load(r io.Reader, g *graph.Graph) (*Index, error) {
 		lb:     lb,
 	}
 	off := int64(0)
-	for _, l := range lens {
-		x.col.Add(flat[off : off+int64(l) : off+int64(l)])
+	for i, l := range lens {
+		set := flat[off : off+int64(l) : off+int64(l)]
+		if setWeights != nil {
+			x.col.AddWeighted(set, setWeights[i])
+		} else {
+			x.col.Add(set)
+		}
 		off += int64(l)
 	}
 	x.resetGreedyLocked()

@@ -112,10 +112,78 @@ func TestSketchPersistenceFacade(t *testing.T) {
 	}
 }
 
+// An "oc" sketch serves both the weighted selection (via AlgTIMPlus/
+// AlgIMM with Model "oc") and the opinion-spread estimate without Monte
+// Carlo.
+func TestOpinionSketchFastPath(t *testing.T) {
+	g := sketchTestGraph()
+	AssignOpinions(g, OpinionNormal, 2)
+	sk, err := BuildSketch(context.Background(), g, SketchOptions{Model: ModelOC, Epsilon: 0.3, Seed: 5, BuildK: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk.Kind().String() != "OC" {
+		t.Fatalf("sketch kind %v, want OC", sk.Kind())
+	}
+
+	// Weighted selection rides the TIM+/IMM entry points.
+	res, err := SelectSeeds(g, 10, AlgIMM, Options{Model: ModelOC, Epsilon: 0.3, Seed: 5, Sketch: sk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != "RR-sketch" {
+		t.Fatalf("algorithm %q, want RR-sketch", res.Algorithm)
+	}
+	if _, ok := res.Metrics["weighted_coverage"]; !ok {
+		t.Fatal("weighted selection did not report weighted_coverage")
+	}
+
+	// The opinion estimate is served from the sketch: it must equal the
+	// index's own estimator, not a Monte-Carlo average.
+	opts := Options{Model: ModelOC, Epsilon: 0.3, Seed: 5, Sketch: sk}
+	if !SketchServedEstimate(g, opts) {
+		t.Fatal("matching oc sketch not recognized for the estimate fast path")
+	}
+	est, err := EstimateOpinionSpreadContext(context.Background(), g, res.Seeds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := sk.EstimateOpinion(res.Seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.OpinionSpread != direct.Opinion || est.Spread != direct.Spread ||
+		est.PositiveSpread != direct.Positive || est.NegativeSpread != direct.Negative {
+		t.Fatalf("facade estimate %+v differs from sketch estimator %+v", est, direct)
+	}
+	if est.Runs != direct.Sets {
+		t.Fatalf("sketch-served estimate reports Runs=%d, want RR-set count %d", est.Runs, direct.Sets)
+	}
+
+	// Non-OC models never take the opinion fast path, nor do foreign
+	// graphs (few MC runs keep the fallback cheap).
+	mcOpts := Options{Model: ModelOIIC, MCRuns: 50, Sketch: sk}
+	if SketchServedEstimate(g, mcOpts) {
+		t.Fatal("oi-ic estimate claimed the oc sketch")
+	}
+	est, err = EstimateOpinionSpreadContext(context.Background(), g, res.Seeds, mcOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Runs != 50 {
+		t.Fatalf("fallback estimate ran %d MC runs, want 50", est.Runs)
+	}
+	other := sketchTestGraph()
+	AssignOpinions(other, OpinionUniform, 9)
+	if SketchServedEstimate(other, Options{Model: ModelOC, MCRuns: 50, Sketch: sk}) {
+		t.Fatal("foreign graph claimed the oc sketch")
+	}
+}
+
 func TestRRSemantics(t *testing.T) {
 	cases := map[ModelKind]string{
 		ModelIC: "ic", ModelWC: "ic", ModelOIIC: "ic", "": "ic",
-		ModelLT: "lt", ModelOILT: "lt", ModelOC: "lt",
+		ModelLT: "lt", ModelOILT: "lt", ModelOC: "oc",
 	}
 	for k, want := range cases {
 		if got := k.RRSemantics(); got != want {
