@@ -6,11 +6,18 @@
 // -timeout) stops it cooperatively and the partial seed prefix selected
 // so far is still reported. -progress streams one line per chosen seed.
 //
+// A comma-separated -ks list runs a batch query through the unified
+// planner (holisticim.Run): every budget is served from shared state —
+// one RR collection or one selector run at the largest k — and the
+// execution plan says which backend ran and why (-explain prints it for
+// single selections too).
+//
 // Usage:
 //
 //	imrun -graph graph.txt -alg osim -k 50 -model oi-ic
 //	imrun -dataset nethept -quick -alg easyim -k 20 -model ic
 //	imrun -dataset soc -alg greedy -k 100 -timeout 30s -progress
+//	imrun -dataset soc -alg imm -ks 5,10,25,50 -explain
 package main
 
 import (
@@ -19,6 +26,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -34,6 +43,8 @@ func main() {
 		alg       = flag.String("alg", "easyim", "algorithm: easyim|osim|greedy|celf++|modified-greedy|tim+|imm|irie|simpath|degree|degree-discount|pagerank")
 		model     = flag.String("model", "", "diffusion model: ic|wc|lt|oi-ic|oi-lt|oc (default per algorithm)")
 		k         = flag.Int("k", 10, "seed budget")
+		ks        = flag.String("ks", "", "comma-separated seed budgets: run a batch query over shared state (overrides -k)")
+		explain   = flag.Bool("explain", false, "print the planner's backend choice per member")
 		l         = flag.Int("l", 3, "EaSyIM/OSIM path length")
 		lambda    = flag.Float64("lambda", 1, "MEO penalty λ")
 		eps       = flag.Float64("eps", 0.1, "TIM+/IMM ε")
@@ -99,6 +110,22 @@ func main() {
 		holisticim.AssignInteractions(g, *seed+3)
 	}
 
+	budgets := []int{*k}
+	if *ks != "" {
+		budgets = nil
+		for _, part := range strings.Split(*ks, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				fatal(fmt.Errorf("bad -ks entry %q: %v", part, err))
+			}
+			budgets = append(budgets, v)
+		}
+		if len(budgets) == 0 {
+			fatal(fmt.Errorf("-ks parsed no budgets"))
+		}
+	}
+	singleK := budgets[0] // the effective budget when -ks names one (or none)
+
 	opts := holisticim.Options{
 		Model:       holisticim.ModelKind(*model),
 		PathLength:  *l,
@@ -111,7 +138,7 @@ func main() {
 	}
 	if *progress {
 		opts.Progress = func(seedIdx int, seed holisticim.NodeID, elapsed time.Duration) {
-			fmt.Printf("seed %3d/%d: node %d (%v)\n", seedIdx+1, *k, seed, elapsed.Round(time.Millisecond))
+			fmt.Printf("seed %3d/%d: node %d (%v)\n", seedIdx+1, singleK, seed, elapsed.Round(time.Millisecond))
 		}
 	}
 
@@ -120,8 +147,28 @@ func main() {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 
+	query := holisticim.Query{
+		Task:      holisticim.TaskSelect,
+		Algorithm: holisticim.Algorithm(*alg),
+		Ks:        budgets,
+		Options:   opts,
+	}
+	if *explain {
+		plan, perr := holisticim.PlanQuery(g, query)
+		if perr != nil {
+			fatal(perr)
+		}
+		for _, line := range plan.Explain() {
+			fmt.Printf("plan      : %s\n", line)
+		}
+	}
+	if len(budgets) > 1 {
+		runBatch(ctx, g, query, opts, *lambda, *model, *opinions)
+		return
+	}
+
 	start := time.Now()
-	res, err := holisticim.SelectSeedsContext(ctx, g, *k, holisticim.Algorithm(*alg), opts)
+	res, err := holisticim.SelectSeedsContext(ctx, g, singleK, holisticim.Algorithm(*alg), opts)
 	if err != nil && !res.Partial {
 		fatal(err)
 	}
@@ -129,7 +176,7 @@ func main() {
 	fmt.Printf("graph     : %d nodes, %d arcs\n", g.NumNodes(), g.NumEdges())
 	state := ""
 	if res.Partial {
-		state = fmt.Sprintf(" [PARTIAL: %d/%d seeds, %v]", len(res.Seeds), *k, err)
+		state = fmt.Sprintf(" [PARTIAL: %d/%d seeds, %v]", len(res.Seeds), singleK, err)
 	}
 	fmt.Printf("selection : %v (%v)%s\n", res.Seeds, time.Since(start).Round(time.Millisecond), state)
 	for name, v := range res.Metrics {
@@ -158,6 +205,49 @@ func main() {
 	}
 	if res.Partial {
 		os.Exit(2) // partial outcome is distinguishable for scripts
+	}
+}
+
+// runBatch executes a multi-k query through the planner and reports one
+// line per member plus a spread estimate of the largest selection.
+func runBatch(ctx context.Context, g *holisticim.Graph, query holisticim.Query, opts holisticim.Options, lambda float64, model, opinions string) {
+	start := time.Now()
+	ans, err := holisticim.Run(ctx, g, query)
+	if err != nil && len(ans.Members) == 0 {
+		fatal(err)
+	}
+	fmt.Printf("graph     : %d nodes, %d arcs\n", g.NumNodes(), g.NumEdges())
+	fmt.Printf("batch     : %d members in %v\n", len(ans.Members), time.Since(start).Round(time.Millisecond))
+	var largest *holisticim.Member
+	for i := range ans.Members {
+		m := &ans.Members[i]
+		state := ""
+		if m.Result.Partial {
+			state = " [PARTIAL]"
+		}
+		fmt.Printf("k=%-5d   : %v (%v)%s\n", m.K, m.Result.Seeds, m.Result.Took.Round(time.Millisecond), state)
+		if largest == nil || m.K > largest.K {
+			largest = m
+		}
+	}
+	if err != nil {
+		fmt.Printf("interrupted: %v\n", err)
+		os.Exit(2)
+	}
+	ectx, ecancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer ecancel()
+	est, eerr := holisticim.EstimateSpreadContext(ectx, g, largest.Result.Seeds, opts)
+	if eerr != nil {
+		fatal(eerr)
+	}
+	fmt.Printf("spread σ(S) at k=%d     : %.2f (over %d runs)\n", largest.K, est.Spread, est.Runs)
+	if opinions != "" || holisticim.ModelKind(model).OpinionAware() {
+		oest, oerr := holisticim.EstimateOpinionSpreadContext(ectx, g, largest.Result.Seeds, opts)
+		if oerr != nil {
+			fatal(oerr)
+		}
+		fmt.Printf("opinion spread σ_o(S)  : %.3f\n", oest.OpinionSpread)
+		fmt.Printf("effective spread (λ=%g): %.3f\n", lambda, oest.EffectiveOpinionSpread(lambda))
 	}
 }
 

@@ -49,6 +49,27 @@
 //	                         from an opinion-weighted sketch for model
 //	                         "oc" when one matches ("sketch":true)
 //
+//	POST /v2/query           the unified typed query: task "select" or
+//	                         "estimate", one OR many k values/seed sets,
+//	                         executed by the backend planner against
+//	                         shared state (one RR collection or sketch
+//	                         order serves every k <= max(ks)); the
+//	                         response always carries the execution plan.
+//	                         Sketch-served plans answer synchronously,
+//	                         everything else runs as an async job.
+//	GET  /v2/jobs/{id}        job status in the v2 shape (plan, members,
+//	                         members_done, answer)
+//	DELETE /v2/jobs/{id}     cancel, v2 shape
+//	GET  /v2/jobs/{id}/events stream job progress as NDJSON (one JSON
+//	                         object per line) or SSE with
+//	                         Accept: text/event-stream; the final event
+//	                         carries the answer
+//
+// The /v1 routes are shims over the same planner, so both surfaces share
+// one result cache and job deduplication. Every error response uses the
+// envelope {"error": {"code", "message"}}, and method mismatches answer
+// 405 with an Allow header.
+//
 // Jobs run under per-job cancellable contexts, so shutdown cancels
 // in-flight selections instead of draining them.
 package main

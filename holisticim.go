@@ -351,26 +351,27 @@ func SelectSeeds(g *Graph, k int, alg Algorithm, opts Options) (Result, error) {
 // promptly with the partial Result (Partial set, Seeds holding the prefix
 // chosen so far) and an error wrapping ctx.Err(). Attach opts.Progress to
 // observe each seed as it is chosen.
+//
+// SelectSeedsContext is a thin wrapper over Run with a single-member
+// select Query; batch workloads (many k values in one call) go through
+// Run directly.
 func SelectSeedsContext(ctx context.Context, g *Graph, k int, alg Algorithm, opts Options) (Result, error) {
-	if g == nil {
-		return Result{}, fmt.Errorf("holisticim: nil graph")
+	ans, err := Run(ctx, g, Query{Task: TaskSelect, Algorithm: alg, Ks: []int{k}, Options: opts})
+	if len(ans.Members) > 0 && ans.Members[0].Result != nil {
+		return *ans.Members[0].Result, err
 	}
-	if k <= 0 || int64(k) > int64(g.NumNodes()) {
-		return Result{}, fmt.Errorf("holisticim: invalid k=%d for n=%d", k, g.NumNodes())
-	}
-	o := opts.withDefaults(opinionAware(alg))
-	if o.Deadline > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, o.Deadline)
-		defer cancel()
-	}
-	if o.Progress != nil {
-		ctx = im.WithProgress(ctx, o.Progress)
-	}
+	return Result{}, err
+}
 
+// newSelector constructs the im.Selector implementing alg over g with
+// resolved options o — the single algorithm table the planner, Run and
+// every selection entrypoint share. A matching opts.Sketch short-circuits
+// TIM+/IMM to the prebuilt index exactly as the planner's sketch backend
+// does.
+func newSelector(g *Graph, o Options, alg Algorithm) (im.Selector, error) {
 	model, err := NewModel(g, o.Model)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	weight := core.WeightProb
 	risKind := risKindFor(o.Model)
@@ -438,32 +439,21 @@ func SelectSeedsContext(ctx context.Context, g *Graph, k int, alg Algorithm, opt
 	case AlgPageRank:
 		sel = heuristics.NewPageRank(g, 0, 0)
 	default:
-		return Result{}, fmt.Errorf("holisticim: unknown algorithm %q", alg)
+		return nil, fmt.Errorf("holisticim: unknown algorithm %q", alg)
 	}
-	return sel.Select(ctx, k)
+	return sel, nil
 }
 
-// estimate runs the Monte-Carlo estimator shared by the public spread
-// estimators, surfacing configuration errors and cancellation.
-func estimate(ctx context.Context, g *Graph, seeds []NodeID, opts Options, opinionAware bool) (Estimate, error) {
-	if g == nil {
-		return Estimate{}, fmt.Errorf("holisticim: nil graph")
-	}
-	o := opts.withDefaults(opinionAware)
-	model, err := NewModel(g, o.Model)
-	if err != nil {
-		return Estimate{}, err
-	}
-	est := diffusion.MonteCarlo(model, seeds, diffusion.MCOptions{
-		Runs: o.MCRuns, Seed: o.Seed, Workers: o.Workers, Ctx: ctx,
+// estimateQuery adapts the single-seed-set estimator entrypoints onto a
+// one-member estimate Query.
+func estimateQuery(ctx context.Context, g *Graph, seeds []NodeID, opts Options, obj Objective) (Estimate, error) {
+	ans, err := Run(ctx, g, Query{
+		Task: TaskEstimate, Objective: obj, SeedSets: [][]NodeID{seeds}, Options: opts,
 	})
-	// A cancellation that lands after the final run was dispatched did not
-	// truncate anything — the estimate is complete, so return it as such.
-	if err := ctx.Err(); err != nil && est.Runs < o.MCRuns {
-		return est, fmt.Errorf("holisticim: estimate interrupted after %d of %d runs: %w",
-			est.Runs, o.MCRuns, err)
+	if len(ans.Members) > 0 && ans.Members[0].Estimate != nil {
+		return *ans.Members[0].Estimate, err
 	}
-	return est, nil
+	return Estimate{}, err
 }
 
 // EstimateSpreadContext estimates σ(S) (expected activations beyond the
@@ -471,7 +461,7 @@ func estimate(ctx context.Context, g *Graph, seeds []NodeID, opts Options, opini
 // honors ctx: when cancelled mid-estimation the truncated Estimate comes
 // back alongside an error wrapping ctx.Err().
 func EstimateSpreadContext(ctx context.Context, g *Graph, seeds []NodeID, opts Options) (Estimate, error) {
-	return estimate(ctx, g, seeds, opts, false)
+	return estimateQuery(ctx, g, seeds, opts, ObjectiveSpread)
 }
 
 // EstimateOpinionSpreadContext estimates the opinion-aware spreads
@@ -485,21 +475,7 @@ func EstimateSpreadContext(ctx context.Context, g *Graph, seeds []NodeID, opts O
 // Runs and zero variances; SketchServedEstimate reports whether a given
 // call would take the fast path.
 func EstimateOpinionSpreadContext(ctx context.Context, g *Graph, seeds []NodeID, opts Options) (Estimate, error) {
-	if g != nil && SketchServedEstimate(g, opts) {
-		oe, err := opts.Sketch.EstimateOpinion(seeds)
-		if err == nil {
-			return Estimate{
-				Runs:           oe.Sets,
-				Spread:         oe.Spread,
-				OpinionSpread:  oe.Opinion,
-				PositiveSpread: oe.Positive,
-				NegativeSpread: oe.Negative,
-			}, nil
-		}
-		// An index that cannot answer (defensively: unweighted kind) falls
-		// through to the Monte-Carlo path below.
-	}
-	return estimate(ctx, g, seeds, opts, true)
+	return estimateQuery(ctx, g, seeds, opts, ObjectiveOpinion)
 }
 
 // SketchServedEstimate reports whether EstimateOpinionSpreadContext with

@@ -7,8 +7,9 @@ import (
 	"sync/atomic"
 )
 
-// Cache is a thread-safe LRU over completed selection results, keyed by
-// the canonical request fingerprint. Selections are deterministic given
+// Cache is a thread-safe LRU over completed results — v1 selection
+// results and v2 query answers — keyed by the canonical request
+// fingerprint. Selections are deterministic given
 // the fingerprint (it includes the master seed), so entries only go
 // stale when a graph name is rebound to different content — the server
 // then drops that graph's entries via DropPrefix; nothing else ever
@@ -24,7 +25,7 @@ type Cache struct {
 
 type cacheItem struct {
 	key string
-	res *SelectResult
+	res any
 }
 
 // NewCache returns an LRU holding at most capacity results. capacity <= 0
@@ -38,7 +39,7 @@ func NewCache(capacity int) *Cache {
 }
 
 // Get returns the cached result for key, marking it most recently used.
-func (c *Cache) Get(key string) (*SelectResult, bool) {
+func (c *Cache) Get(key string) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
@@ -53,7 +54,7 @@ func (c *Cache) Get(key string) (*SelectResult, bool) {
 
 // Add inserts (or refreshes) a result, evicting the least recently used
 // entry when over capacity.
-func (c *Cache) Add(key string, res *SelectResult) {
+func (c *Cache) Add(key string, res any) {
 	if c.capacity <= 0 {
 		return
 	}

@@ -2,6 +2,7 @@ package service
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"github.com/holisticim/holisticim"
@@ -51,8 +52,8 @@ func TestCacheRefreshExistingKey(t *testing.T) {
 		t.Fatalf("Len() = %d, want 1", c.Len())
 	}
 	got, _ := c.Get("a")
-	if got.Algorithm != "v2" {
-		t.Fatalf("refresh kept old value %q", got.Algorithm)
+	if got.(*SelectResult).Algorithm != "v2" {
+		t.Fatalf("refresh kept old value %q", got.(*SelectResult).Algorithm)
 	}
 }
 
@@ -64,39 +65,49 @@ func TestCacheDisabled(t *testing.T) {
 	}
 }
 
+// selectKey builds the production cache key for a one-member v1-style
+// select, through the same path prepareQuery uses.
+func selectKey(graph, alg string, k int, o Options) string {
+	q := QueryRequest{Graph: graph, Task: "select", Algorithm: alg, K: k, Options: o}.toQuery()
+	return queryKey(graph, q, 0)
+}
+
 // TestFingerprintStability pins the canonicalization contract the cache
-// key depends on: defaults resolve before hashing, irrelevant fields are
-// excluded, and every relevant field separates keys.
+// key depends on — via the production queryKey/Query.Fingerprint path:
+// defaults resolve before hashing, irrelevant fields are excluded, and
+// every relevant field separates keys.
 func TestFingerprintStability(t *testing.T) {
-	zero := SelectRequest{Graph: "g", Algorithm: "easyim", K: 10}
-	explicit := SelectRequest{Graph: "g", Algorithm: "easyim", K: 10, Options: Options{
+	zero := selectKey("g", "easyim", 10, Options{})
+	explicit := selectKey("g", "easyim", 10, Options{
 		Model: "ic", PathLength: 3, Lambda: 1, Epsilon: 0.1, MCRuns: 10000, Seed: 1,
-	}}
-	if zero.fingerprint() != explicit.fingerprint() {
-		t.Fatalf("zero options %q != explicit defaults %q", zero.fingerprint(), explicit.fingerprint())
+	})
+	if zero != explicit {
+		t.Fatalf("zero options %q != explicit defaults %q", zero, explicit)
 	}
-	workers := explicit
-	workers.Options.Workers = 8
-	if workers.fingerprint() != explicit.fingerprint() {
+	if selectKey("g", "easyim", 10, Options{Workers: 8}) != zero {
 		t.Fatal("Workers must not affect the fingerprint")
 	}
 	// Opinion-aware algorithms default to the OI model, so the same zero
 	// Options must fingerprint differently under osim.
-	osim := SelectRequest{Graph: "g", Algorithm: "osim", K: 10}
-	if osim.fingerprint() == zero.fingerprint() {
+	if selectKey("g", "osim", 10, Options{}) == zero {
 		t.Fatal("algorithm must separate fingerprints")
 	}
-	variants := []SelectRequest{
-		{Graph: "h", Algorithm: "easyim", K: 10},
-		{Graph: "g", Algorithm: "easyim", K: 11},
-		{Graph: "g", Algorithm: "easyim", K: 10, Options: Options{Seed: 2}},
-		{Graph: "g", Algorithm: "easyim", K: 10, Options: Options{MCRuns: 500}},
-		{Graph: "g", Algorithm: "easyim", K: 10, Options: Options{Model: "lt"}},
-		{Graph: "g", Algorithm: "easyim", K: 10, Options: Options{PathLength: 4}},
+	// The rebind generation separates keys while keeping the graph prefix
+	// DropPrefix matches on.
+	genKey := queryKey("g", QueryRequest{Graph: "g", Task: "select", Algorithm: "easyim", K: 10}.toQuery(), 3)
+	if genKey == zero || !strings.HasPrefix(genKey, "graph=g;") {
+		t.Fatalf("generation-fenced key %q", genKey)
 	}
-	seen := map[string]int{zero.fingerprint(): -1}
-	for i, v := range variants {
-		fp := v.fingerprint()
+	variants := []string{
+		selectKey("h", "easyim", 10, Options{}),
+		selectKey("g", "easyim", 11, Options{}),
+		selectKey("g", "easyim", 10, Options{Seed: 2}),
+		selectKey("g", "easyim", 10, Options{MCRuns: 500}),
+		selectKey("g", "easyim", 10, Options{Model: "lt"}),
+		selectKey("g", "easyim", 10, Options{PathLength: 4}),
+	}
+	seen := map[string]int{zero: -1}
+	for i, fp := range variants {
 		if prev, dup := seen[fp]; dup {
 			t.Fatalf("variant %d collides with %d: %q", i, prev, fp)
 		}
@@ -104,17 +115,24 @@ func TestFingerprintStability(t *testing.T) {
 	}
 }
 
-// TestFingerprintMatchesLibrary ensures the service DTO and the library
-// Options produce identical canonical strings, so out-of-process callers
-// can precompute keys with the public API.
+// TestFingerprintMatchesLibrary ensures the production cache key and the
+// library Options.Fingerprint produce identical canonical strings for a
+// single-k select, so out-of-process callers can precompute keys with
+// the public API — and so v1 and v2 requests share entries.
 func TestFingerprintMatchesLibrary(t *testing.T) {
 	o := Options{Model: "oi-ic", Lambda: 2, MCRuns: 300, Seed: 9}
 	libFP := holisticim.Options{
 		Model: "oi-ic", Lambda: 2, MCRuns: 300, Seed: 9,
 	}.Fingerprint(holisticim.AlgOSIM, 5)
-	req := SelectRequest{Graph: "g", Algorithm: "osim", K: 5, Options: o}
 	want := fmt.Sprintf("graph=g;%s", libFP)
-	if req.fingerprint() != want {
-		t.Fatalf("fingerprint %q != %q", req.fingerprint(), want)
+	if got := selectKey("g", "osim", 5, o); got != want {
+		t.Fatalf("key %q != %q", got, want)
+	}
+	// The batch form extends the same canonical family without colliding
+	// with any single-k key.
+	batch := queryKey("g", QueryRequest{Graph: "g", Task: "select", Algorithm: "osim",
+		Ks: []int{5, 10}, Options: o}.toQuery(), 0)
+	if batch == want || !strings.HasPrefix(batch, "graph=g;") {
+		t.Fatalf("batch key %q", batch)
 	}
 }

@@ -20,8 +20,53 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// errorCode maps an HTTP status to the stable machine-readable code of
+// the error envelope.
+func errorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusForbidden:
+		return "forbidden"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusTooManyRequests:
+		return "too_many_requests"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	default:
+		return "internal"
+	}
+}
+
+// writeError answers with the uniform JSON error envelope
+// {"error": {"code", "message"}} every handler shares.
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+	writeJSON(w, status, ErrorResponse{Error: ErrorBody{
+		Code:    errorCode(status),
+		Message: fmt.Sprintf(format, args...),
+	}})
+}
+
+// apiError carries a status-coded validation failure from the shared
+// query-preparation path to the handler that surfaces it.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func errf(status int, format string, args ...any) *apiError {
+	return &apiError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+func (s *Server) writeAPIError(w http.ResponseWriter, err *apiError) {
+	writeError(w, err.status, "%s", err.msg)
 }
 
 func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
@@ -87,97 +132,246 @@ func (s *Server) handleGraphStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
+// preparedQuery is the outcome of the shared admission path every
+// selection/estimation surface (v1 select, v1 estimate, /v2/query) runs:
+// the resolved graph and rebind generation, the normalized library Query
+// with any matching registered sketch attached, the planner's routing
+// decision, and the generation-fenced cache/dedup key.
+type preparedQuery struct {
+	graph   string
+	g       *holisticim.Graph
+	gen     uint64
+	q       holisticim.Query
+	task    holisticim.Task
+	ks      []int // select: normalized budgets, in member order
+	kmax    int
+	plan    Plan
+	key     string
+	timeout time.Duration
+	lambda  float64 // resolved λ, for estimate member JSON
+}
+
+// prepareQuery validates req against the registry, attaches the matching
+// registered sketch (the planner decides whether it serves), plans the
+// query and applies the service's admission caps. estimateCap is the MC
+// budget bound for estimate tasks (the synchronous v1 path and the async
+// v2 path are capped differently); sketch-served estimates are exempt
+// from a budget they never spend.
+func (s *Server) prepareQuery(req QueryRequest, estimateCap int) (*preparedQuery, *apiError) {
+	// Graph and rebind generation are read atomically: the generation is
+	// folded into the cache/dedup key, so work computed against this
+	// instance can neither be served from the cache nor attached to as an
+	// in-flight job once the name is rebound — even when a job completes
+	// (and re-caches) after the replacement.
+	g, gen, err := s.reg.GetWithGeneration(req.Graph)
+	if err != nil {
+		return nil, errf(http.StatusNotFound, "%v", err)
+	}
+	if req.TimeoutMS < 0 {
+		return nil, errf(http.StatusBadRequest, "negative timeout_ms %d", req.TimeoutMS)
+	}
+	q := req.toQuery()
+
+	// Infer the task the same way the planner will, to validate seed sets
+	// and pick the sketch key's model resolution.
+	task := q.Task
+	if task == "" {
+		if len(q.SeedSets) > 0 {
+			task = holisticim.TaskEstimate
+		} else {
+			task = holisticim.TaskSelect
+		}
+	}
+	opinionAware := false
+	if task == holisticim.TaskEstimate {
+		for _, set := range q.SeedSets {
+			if len(set) == 0 {
+				return nil, errf(http.StatusBadRequest, "empty seed set")
+			}
+			for _, v := range set {
+				if v < 0 || v >= g.NumNodes() {
+					return nil, errf(http.StatusBadRequest, "seed %d out of range [0,%d)", v, g.NumNodes())
+				}
+			}
+		}
+		obj := q.Objective
+		if obj == "" && q.Options.Model.OpinionAware() {
+			obj = holisticim.ObjectiveOpinion
+		}
+		opinionAware = obj == holisticim.ObjectiveOpinion
+	}
+
+	// Attach the registered sketch matching the resolved (graph, RR
+	// semantics, ε, seed) — through the same canonicalization helpers the
+	// builder resolves, so a `{}` request hits a spelled-out default
+	// sketch. Whether it actually serves is the planner's call (θ caps,
+	// objective and kind mismatches all opt out there).
+	resolved := q.Options.Resolved(opinionAware)
+	if idx := s.sketches.Lookup(req.Graph, resolved.Model.RRSemantics(), resolved.Epsilon, resolved.Seed); idx != nil {
+		q.Options.Sketch = idx
+	}
+
+	plan, err := holisticim.PlanQuery(g, q)
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, "%v", err)
+	}
+	if members := len(plan.Steps); members > s.cfg.MaxQueryMembers {
+		return nil, errf(http.StatusBadRequest,
+			"batch of %d members exceeds the cap %d", members, s.cfg.MaxQueryMembers)
+	}
+
+	// Validate the defaults-resolved budget, not the raw field: omitted
+	// mc_runs resolves to the paper's 10000, which must still fit.
+	switch task {
+	case holisticim.TaskSelect:
+		if resolved.MCRuns > s.cfg.MaxSelectRuns {
+			return nil, errf(http.StatusBadRequest,
+				"mc_runs %d exceeds the selection cap %d", resolved.MCRuns, s.cfg.MaxSelectRuns)
+		}
+	case holisticim.TaskEstimate:
+		if !plan.SketchOnly() && resolved.MCRuns > estimateCap {
+			return nil, errf(http.StatusBadRequest,
+				"mc_runs %d exceeds the estimate cap %d", resolved.MCRuns, estimateCap)
+		}
+	}
+
+	p := &preparedQuery{
+		graph:   req.Graph,
+		g:       g,
+		gen:     gen,
+		q:       q,
+		task:    task,
+		plan:    plan,
+		timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
+		lambda:  resolved.Lambda,
+	}
+	if task == holisticim.TaskSelect {
+		if len(q.Ks) > 0 {
+			p.ks = q.Ks
+		} else {
+			p.ks = []int{q.K}
+		}
+		for _, k := range p.ks {
+			if k > p.kmax {
+				p.kmax = k
+			}
+		}
+	}
+	p.key = queryKey(req.Graph, q, gen)
+	return p, nil
+}
+
+// queryKey is the canonical cache/deduplication key for a query against
+// a registered graph: the graph name pins the topology, Query.Fingerprint
+// the work, and gen (when the name was ever rebound) fences out results
+// computed against replaced content. The generation is suffixed so
+// DropPrefix("graph=<name>;") still matches every entry of the name.
+func queryKey(graph string, q holisticim.Query, gen uint64) string {
+	key := fmt.Sprintf("graph=%s;%s", graph, q.Fingerprint())
+	if gen > 0 {
+		key = fmt.Sprintf("%s;gen=%d", key, gen)
+	}
+	return key
+}
+
+// runPrepared executes a prepared query synchronously under the request
+// context (plus the per-request timeout).
+func (s *Server) runPrepared(ctx context.Context, p *preparedQuery) (holisticim.Answer, error) {
+	if p.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.timeout)
+		defer cancel()
+	}
+	return s.queryFn(ctx, p.g, p.q)
+}
+
+// cachedAnswer views a cache entry as a QueryAnswer, wrapping legacy
+// *SelectResult entries (sketch-build job results never enter the cache).
+func cachedAnswer(v any, p *preparedQuery) *QueryAnswer {
+	switch e := v.(type) {
+	case *QueryAnswer:
+		return e
+	case *SelectResult:
+		return &QueryAnswer{
+			Task:    string(holisticim.TaskSelect),
+			Plan:    p.plan,
+			Members: []QueryMember{{K: p.kmax, Result: e}},
+		}
+	}
+	return nil
+}
+
+// handleSelect is the v1 selection surface, a shim over the planner: the
+// request becomes a one-member select Query, PlanQuery routes it
+// (sketch-only plans answer synchronously), and everything else runs as
+// an async job keyed by the query fingerprint.
 func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	var req SelectRequest
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	alg := holisticim.Algorithm(req.Algorithm)
-	if !knownAlgorithms[alg] {
-		writeError(w, http.StatusBadRequest, "unknown algorithm %q", req.Algorithm)
-		return
-	}
-	// Graph and rebind generation are read atomically: the generation is
-	// folded into the cache/dedup key below, so a selection computed
-	// against this instance can neither be served from the cache nor
-	// attached to as an in-flight job once the name is rebound — even
-	// when the job completes (and re-caches) after the replacement.
-	g, gen, err := s.reg.GetWithGeneration(req.Graph)
-	if err != nil {
-		writeError(w, http.StatusNotFound, "%v", err)
-		return
-	}
-	if req.K <= 0 || int64(req.K) > int64(g.NumNodes()) {
-		writeError(w, http.StatusBadRequest, "invalid k=%d for graph with %d nodes", req.K, g.NumNodes())
-		return
-	}
-	if req.Options.Model != "" {
-		if _, err := holisticim.NewModel(g, holisticim.ModelKind(req.Options.Model)); err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-	}
-	// Validate the defaults-resolved budget, not the raw field: omitted
-	// mc_runs resolves to the paper's 10000, which must still fit.
-	if runs := req.Options.toLib().Resolved(false).MCRuns; runs > s.cfg.MaxSelectRuns {
-		writeError(w, http.StatusBadRequest,
-			"mc_runs %d exceeds the selection cap %d", runs, s.cfg.MaxSelectRuns)
-		return
-	}
-	if req.TimeoutMS < 0 {
-		writeError(w, http.StatusBadRequest, "negative timeout_ms %d", req.TimeoutMS)
+	p, aerr := s.prepareQuery(QueryRequest{
+		Graph:     req.Graph,
+		Task:      string(holisticim.TaskSelect),
+		Algorithm: req.Algorithm,
+		K:         req.K,
+		Options:   req.Options,
+		TimeoutMS: req.TimeoutMS,
+	}, s.cfg.MaxEstimateRuns)
+	if aerr != nil {
+		s.writeAPIError(w, aerr)
 		return
 	}
 
-	key := req.fingerprint()
-	if gen > 0 {
-		// Suffixed, so DropPrefix("graph=<name>;") still matches.
-		key = fmt.Sprintf("%s;gen=%d", key, gen)
-	}
-	if res, ok := s.cache.Get(key); ok {
+	// Sketch-served plans run on the request path — milliseconds instead
+	// of a sampling job. Sketch results stay out of the LRU cache: a
+	// sketch-backed and a cold run may pick different (equally valid)
+	// seeds, and one fingerprint must never alias the two.
+	if p.plan.SketchOnly() {
+		ans, err := s.runPrepared(r.Context(), p)
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		s.sketchHits.Add(1)
+		sr := toSelectResult(*ans.Members[0].Result)
 		writeJSON(w, http.StatusOK, SelectResponse{
-			State: StateDone, Cached: true, Result: res, SeedsDone: len(res.Seeds), K: req.K,
+			State: StateDone, Sketch: true, Result: sr,
+			SeedsDone: len(sr.Seeds), K: p.kmax,
 		})
 		return
 	}
 
-	// Fast path: a RIS-family request whose (graph, RR semantics, ε,
-	// seed) matches a registered sketch is answered synchronously from
-	// the prebuilt index — milliseconds instead of a sampling job. With
-	// model "oc" the matching sketch is opinion-weighted and the greedy
-	// maximizes opinion coverage (the selection the paper's opinion-aware
-	// workload needs) rather than plain set coverage. An explicit θ cap
-	// opts out (the index does not model capped sampling). Sketch results
-	// stay out of the LRU cache: a sketch-backed and a cold run may pick
-	// different (equally valid) seeds, and one fingerprint must never
-	// alias the two.
-	if (alg == holisticim.AlgIMM || alg == holisticim.AlgTIMPlus) && req.Options.TIMThetaCap == 0 {
-		resolved := req.Options.toLib().Resolved(false)
-		if idx := s.sketches.Lookup(req.Graph, resolved.Model.RRSemantics(), resolved.Epsilon, resolved.Seed); idx != nil {
-			ctx := r.Context()
-			if req.TimeoutMS > 0 {
-				var cancel context.CancelFunc
-				ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
-				defer cancel()
-			}
-			res, err := idx.Select(ctx, req.K)
-			if err != nil {
-				writeError(w, http.StatusServiceUnavailable, "%v", err)
-				return
-			}
-			s.sketchHits.Add(1)
+	if v, ok := s.cache.Get(p.key); ok {
+		if qa := cachedAnswer(v, p); qa != nil && len(qa.Members) == 1 && qa.Members[0].Result != nil {
+			res := qa.Members[0].Result
 			writeJSON(w, http.StatusOK, SelectResponse{
-				State: StateDone, Sketch: true, Result: toSelectResult(res),
-				SeedsDone: len(res.Seeds), K: req.K,
+				State: StateDone, Cached: true, Result: res, SeedsDone: len(res.Seeds), K: p.kmax,
 			})
 			return
 		}
 	}
 
-	opts := req.Options.toLib()
-	k := req.K
-	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
-	job, created, err := s.jobs.Submit(key, k, func(ctx context.Context, report func(int)) (*SelectResult, error) {
+	job, created, err := s.submitSelectJob(p)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	resp := job.Status()
+	resp.Deduped = !created
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+// submitSelectJob enqueues a one-member v1 selection as an async job. The
+// computation goes through s.selectFn (the single-selection hook tests
+// stub), which is itself a thin wrapper over the planner's Run.
+func (s *Server) submitSelectJob(p *preparedQuery) (*Job, bool, error) {
+	g, k, alg := p.g, p.kmax, p.q.Algorithm
+	opts := p.q.Options
+	timeout := p.timeout
+	key := p.key
+	plan := p.plan
+	return s.jobs.SubmitQuery(key, k, 1, p.ks, &plan, func(ctx context.Context, report func(int)) (any, error) {
 		if timeout > 0 {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, timeout)
@@ -187,27 +381,26 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		opts.Progress = func(seedIdx int, seed holisticim.NodeID, elapsed time.Duration) {
 			report(seedIdx + 1)
 		}
+		start := time.Now()
 		res, err := s.selectFn(ctx, g, k, alg, opts)
+		payload := &QueryAnswer{
+			Task:    string(holisticim.TaskSelect),
+			Plan:    plan,
+			Members: []QueryMember{{K: k, Result: toSelectResult(res)}},
+			TookMS:  float64(time.Since(start)) / float64(time.Millisecond),
+		}
 		if err != nil {
 			if res.Partial {
 				// Surface whatever prefix was selected before the stop so a
 				// cancelled/timed-out job still reports useful work.
-				return toSelectResult(res), err
+				return payload, err
 			}
 			return nil, err
 		}
 		s.selections.Add(1)
-		sr := toSelectResult(res)
-		s.cache.Add(key, sr)
-		return sr, nil
+		s.cache.Add(key, payload)
+		return payload, nil
 	})
-	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
-		return
-	}
-	resp := job.Status()
-	resp.Deduped = !created
-	writeJSON(w, http.StatusAccepted, resp)
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -324,7 +517,7 @@ func (s *Server) handleBuildSketch(w http.ResponseWriter, r *http.Request) {
 	}
 	graphName := spec.Graph
 	key := "sketchbuild:" + sketchID(graphName, semantics, epsilon, seed)
-	job, created, err := s.jobs.Submit(key, 0, func(ctx context.Context, report func(int)) (*SelectResult, error) {
+	job, created, err := s.jobs.Submit(key, 0, func(ctx context.Context, report func(int)) (any, error) {
 		start := time.Now()
 		idx, err := holisticim.BuildSketch(ctx, g, opts)
 		if err != nil {
@@ -358,103 +551,37 @@ func (s *Server) handleBuildSketch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, resp)
 }
 
+// handleEstimate is the v1 estimate surface, a shim over the planner: a
+// one-member estimate Query runs synchronously on the request path (the
+// request context bounds it — a client that disconnects stops paying for
+// simulations it will never read), served from an opinion-weighted
+// sketch when the plan says so.
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	var req EstimateRequest
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	g, err := s.reg.Get(req.Graph)
-	if err != nil {
-		writeError(w, http.StatusNotFound, "%v", err)
+	p, aerr := s.prepareQuery(QueryRequest{
+		Graph:   req.Graph,
+		Task:    string(holisticim.TaskEstimate),
+		Seeds:   req.Seeds,
+		Options: req.Options,
+	}, s.cfg.MaxEstimateRuns)
+	if aerr != nil {
+		s.writeAPIError(w, aerr)
 		return
 	}
-	if len(req.Seeds) == 0 {
-		writeError(w, http.StatusBadRequest, "empty seed set")
-		return
-	}
-	for _, v := range req.Seeds {
-		if v < 0 || v >= g.NumNodes() {
-			writeError(w, http.StatusBadRequest, "seed %d out of range [0,%d)", v, g.NumNodes())
-			return
-		}
-	}
-	opts := req.Options.toLib()
-	model := holisticim.ModelKind(req.Options.Model)
-	if req.Options.Model != "" {
-		if _, err := holisticim.NewModel(g, model); err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-	}
-	lambda := req.Options.Lambda
-	if lambda == 0 {
-		lambda = 1
-	}
-
-	// Opinion fast path: an "oc" estimate whose (graph, ε, seed) matches a
-	// registered opinion-weighted sketch is answered from the index —
-	// milliseconds instead of a Monte-Carlo run, and exempt from the MC
-	// budget cap it never spends.
-	if model.RRSemantics() == "oc" {
-		resolved := opts.Resolved(model.OpinionAware())
-		if idx := s.sketches.Lookup(req.Graph, "oc", resolved.Epsilon, resolved.Seed); idx != nil {
-			fastOpts := opts
-			fastOpts.Sketch = idx
-			if holisticim.SketchServedEstimate(g, fastOpts) {
-				start := time.Now()
-				est, err := holisticim.EstimateOpinionSpreadContext(r.Context(), g, req.Seeds, fastOpts)
-				if err != nil {
-					writeError(w, http.StatusServiceUnavailable, "%v", err)
-					return
-				}
-				s.sketchEstimates.Add(1)
-				writeJSON(w, http.StatusOK, EstimateResult{
-					Sketch:                 true,
-					Runs:                   est.Runs,
-					Spread:                 est.Spread,
-					OpinionSpread:          est.OpinionSpread,
-					PositiveSpread:         est.PositiveSpread,
-					NegativeSpread:         est.NegativeSpread,
-					EffectiveOpinionSpread: est.EffectiveOpinionSpread(lambda),
-					Lambda:                 lambda,
-					TookMS:                 float64(time.Since(start)) / float64(time.Millisecond),
-				})
-				return
-			}
-		}
-	}
-
-	// Validate the defaults-resolved budget, not the raw field: omitted
-	// mc_runs resolves to the paper's 10000, which must still fit.
-	if runs := opts.Resolved(model.OpinionAware()).MCRuns; runs > s.cfg.MaxEstimateRuns {
-		writeError(w, http.StatusBadRequest,
-			"mc_runs %d exceeds the synchronous estimate cap %d", runs, s.cfg.MaxEstimateRuns)
-		return
-	}
-
-	// The estimate runs synchronously on the request path, so the
-	// request's own context bounds it: a client that disconnects stops
-	// paying for simulations it will never read.
+	sketchServed := p.plan.SketchOnly()
 	start := time.Now()
-	var est holisticim.Estimate
-	var estErr error
-	if model.OpinionAware() {
-		est, estErr = holisticim.EstimateOpinionSpreadContext(r.Context(), g, req.Seeds, opts)
-	} else {
-		est, estErr = holisticim.EstimateSpreadContext(r.Context(), g, req.Seeds, opts)
-	}
-	if estErr != nil {
-		writeError(w, http.StatusServiceUnavailable, "%v", estErr)
+	ans, err := s.runPrepared(r.Context(), p)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, EstimateResult{
-		Runs:                   est.Runs,
-		Spread:                 est.Spread,
-		OpinionSpread:          est.OpinionSpread,
-		PositiveSpread:         est.PositiveSpread,
-		NegativeSpread:         est.NegativeSpread,
-		EffectiveOpinionSpread: est.EffectiveOpinionSpread(lambda),
-		Lambda:                 lambda,
-		TookMS:                 float64(time.Since(start)) / float64(time.Millisecond),
-	})
+	if sketchServed {
+		s.sketchEstimates.Add(1)
+	}
+	res := toEstimateResult(*ans.Members[0].Estimate, p.lambda, sketchServed)
+	res.TookMS = float64(time.Since(start)) / float64(time.Millisecond)
+	writeJSON(w, http.StatusOK, res)
 }

@@ -248,7 +248,7 @@ func TestSelectQueueFull(t *testing.T) {
 		return holisticim.Result{Seeds: make([]int32, k)}, nil
 	}
 	post := func(seed uint64) int {
-		var out SelectResponse
+		var out map[string]any
 		return doJSON(t, "POST", ts.URL+"/v1/select",
 			SelectRequest{Graph: "g", Algorithm: "degree", K: 2, Options: Options{Seed: seed}}, &out)
 	}

@@ -12,15 +12,18 @@ import (
 // translate it to 503 and have clients retry.
 var ErrQueueFull = errors.New("service: job queue full")
 
-// JobFunc runs one selection computation. It must honor ctx — returning
-// promptly with an error wrapping ctx.Err() when cancelled — and may call
-// report with the number of seeds selected so far to publish live
-// progress. A cancelled or failed run may still return a non-nil partial
-// result alongside its error; the job retains it for status polling.
-type JobFunc func(ctx context.Context, report func(seedsDone int)) (*SelectResult, error)
+// JobFunc runs one computation. It must honor ctx — returning promptly
+// with an error wrapping ctx.Err() when cancelled — and may call report
+// with the number of progress units (seeds selected, or batch members
+// estimated) completed so far to publish live progress. A cancelled or
+// failed run may still return a non-nil partial payload alongside its
+// error; the job retains it for status polling. Payloads are
+// *SelectResult (v1 selections, sketch builds) or *QueryAnswer (planner
+// queries).
+type JobFunc func(ctx context.Context, report func(seedsDone int)) (any, error)
 
-// Job is one asynchronous selection computation. Multiple requests with
-// the same fingerprint share a single Job while it is in flight.
+// Job is one asynchronous computation. Multiple requests with the same
+// fingerprint share a single Job while it is in flight.
 type Job struct {
 	id     string
 	key    string
@@ -30,11 +33,18 @@ type Job struct {
 	ctx    context.Context // cancelled by Cancel and by Manager.Close
 	cancel context.CancelFunc
 
+	// Batch-query view, set at submission: how many members the query
+	// has, the per-member seed budgets (select batches, for deriving
+	// members-done from seed progress) and the immutable execution plan.
+	members  int
+	memberKs []int
+	plan     *Plan
+
 	seedsDone atomic.Int64
 
 	mu          sync.Mutex
 	state       JobState
-	result      *SelectResult
+	result      any
 	err         error
 	cancelAsked bool // a Cancel already fired for this job
 }
@@ -45,23 +55,90 @@ func (j *Job) ID() string { return j.id }
 // Done is closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
-// Status snapshots the job as a SelectResponse, including live per-seed
-// progress while the job runs.
-func (j *Job) Status() SelectResponse {
+// JobSnapshot is a point-in-time view of a job, shared by the v1 and v2
+// status shapes and the event stream.
+type JobSnapshot struct {
+	ID          string
+	State       JobState
+	K           int
+	SeedsDone   int
+	Members     int
+	MembersDone int
+	Payload     any
+	Err         error
+	Plan        *Plan
+}
+
+// Snapshot captures the job's current state, progress and payload.
+// MembersDone derives from the progress counter: for select batches it
+// counts the budgets already covered by the seeds selected so far; for
+// other batch jobs the counter reports members directly.
+func (j *Job) Snapshot() JobSnapshot {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	resp := SelectResponse{
-		JobID:     j.id,
+	s := JobSnapshot{
+		ID:        j.id,
 		State:     j.state,
 		K:         j.k,
 		SeedsDone: int(j.seedsDone.Load()),
-		Result:    j.result,
+		Members:   j.members,
+		Payload:   j.result,
+		Err:       j.err,
+		Plan:      j.plan,
 	}
-	if j.state == StateDone && resp.Result != nil {
-		resp.SeedsDone = len(resp.Result.Seeds)
+	switch {
+	case j.state == StateDone:
+		s.MembersDone = j.members
+	case j.memberKs != nil:
+		for _, k := range j.memberKs {
+			if k <= s.SeedsDone {
+				s.MembersDone++
+			}
+		}
+	default:
+		s.MembersDone = s.SeedsDone
+		if s.MembersDone > j.members {
+			s.MembersDone = j.members
+		}
 	}
-	if j.err != nil {
-		resp.Error = j.err.Error()
+	if j.state == StateDone {
+		if res := extractSelectResult(j.result); res != nil {
+			s.SeedsDone = len(res.Seeds)
+		}
+	}
+	return s
+}
+
+// extractSelectResult views a job payload as a single selection result:
+// directly for *SelectResult payloads, and through the sole member of a
+// one-member select QueryAnswer — the shape every /v1/select job
+// produces — so v1 clients can poll jobs regardless of which surface
+// created them.
+func extractSelectResult(payload any) *SelectResult {
+	switch p := payload.(type) {
+	case *SelectResult:
+		return p
+	case *QueryAnswer:
+		if p != nil && p.Task == "select" && len(p.Members) == 1 {
+			return p.Members[0].Result
+		}
+	}
+	return nil
+}
+
+// Status snapshots the job as a v1 SelectResponse, including live
+// per-seed progress while the job runs.
+func (j *Job) Status() SelectResponse {
+	s := j.Snapshot()
+	resp := SelectResponse{
+		JobID:     s.ID,
+		State:     s.State,
+		K:         s.K,
+		SeedsDone: s.SeedsDone,
+		Result:    extractSelectResult(s.Payload),
+	}
+	if s.Err != nil {
+		resp.Error = s.Err.Error()
 	}
 	return resp
 }
@@ -130,6 +207,14 @@ func NewManager(workers, queueCap, maxJobs int) *Manager {
 // means the caller attached to an in-flight job and fn was dropped).
 // ErrQueueFull is returned when a new job cannot be queued.
 func (m *Manager) Submit(key string, k int, fn JobFunc) (*Job, bool, error) {
+	return m.SubmitQuery(key, k, 0, nil, nil, fn)
+}
+
+// SubmitQuery is Submit for planner queries: members/memberKs/plan attach
+// the batch view served by job status, the v2 surface and the event
+// stream. Deduplication is unchanged — two submissions sharing a key by
+// construction share the query, so the attached view is identical.
+func (m *Manager) SubmitQuery(key string, k, members int, memberKs []int, plan *Plan, fn JobFunc) (*Job, bool, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if j, ok := m.inflight[key]; ok {
@@ -141,14 +226,17 @@ func (m *Manager) Submit(key string, k int, fn JobFunc) (*Job, bool, error) {
 	}
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	j := &Job{
-		id:     fmt.Sprintf("j%08x", m.nextID),
-		key:    key,
-		k:      k,
-		fn:     fn,
-		done:   make(chan struct{}),
-		ctx:    ctx,
-		cancel: cancel,
-		state:  StatePending,
+		id:       fmt.Sprintf("j%08x", m.nextID),
+		key:      key,
+		k:        k,
+		fn:       fn,
+		members:  members,
+		memberKs: memberKs,
+		plan:     plan,
+		done:     make(chan struct{}),
+		ctx:      ctx,
+		cancel:   cancel,
+		state:    StatePending,
 	}
 	m.nextID++
 	m.jobs[j.id] = j

@@ -22,7 +22,7 @@ func waitDone(t *testing.T, j *Job) {
 func TestManagerRunsJob(t *testing.T) {
 	m := NewManager(2, 8, 16)
 	defer m.Close()
-	j, created, err := m.Submit("k1", 1, func(ctx context.Context, report func(int)) (*SelectResult, error) {
+	j, created, err := m.Submit("k1", 1, func(ctx context.Context, report func(int)) (any, error) {
 		return &SelectResult{Algorithm: "stub", Seeds: []int32{7}}, nil
 	})
 	if err != nil || !created {
@@ -42,7 +42,7 @@ func TestManagerRunsJob(t *testing.T) {
 func TestManagerFailedJob(t *testing.T) {
 	m := NewManager(1, 8, 16)
 	defer m.Close()
-	j, _, err := m.Submit("boom", 1, func(ctx context.Context, report func(int)) (*SelectResult, error) {
+	j, _, err := m.Submit("boom", 1, func(ctx context.Context, report func(int)) (any, error) {
 		return nil, errors.New("synthetic failure")
 	})
 	if err != nil {
@@ -60,7 +60,7 @@ func TestManagerSingleFlightDedup(t *testing.T) {
 	defer m.Close()
 	release := make(chan struct{})
 	var runs atomic.Int64
-	fn := func(ctx context.Context, report func(int)) (*SelectResult, error) {
+	fn := func(ctx context.Context, report func(int)) (any, error) {
 		runs.Add(1)
 		<-release
 		return &SelectResult{Algorithm: "stub"}, nil
@@ -86,7 +86,7 @@ func TestManagerSingleFlightDedup(t *testing.T) {
 	}
 	// After completion the key is free again: a new submission must create
 	// a fresh job (result caching is the layer above, not the manager's).
-	j3, created3, err := m.Submit("same", 1, func(ctx context.Context, report func(int)) (*SelectResult, error) {
+	j3, created3, err := m.Submit("same", 1, func(ctx context.Context, report func(int)) (any, error) {
 		return &SelectResult{}, nil
 	})
 	if err != nil || !created3 || j3 == j1 {
@@ -99,7 +99,7 @@ func TestManagerQueueFull(t *testing.T) {
 	m := NewManager(1, 1, 16)
 	defer m.Close()
 	release := make(chan struct{})
-	blocker := func(ctx context.Context, report func(int)) (*SelectResult, error) {
+	blocker := func(ctx context.Context, report func(int)) (any, error) {
 		<-release
 		return &SelectResult{}, nil
 	}
@@ -129,7 +129,7 @@ func TestManagerQueueFull(t *testing.T) {
 	close(release)
 	waitDone(t, j1)
 	waitDone(t, j2)
-	j3, created, err := m.Submit("c", 1, func(ctx context.Context, report func(int)) (*SelectResult, error) {
+	j3, created, err := m.Submit("c", 1, func(ctx context.Context, report func(int)) (any, error) {
 		return &SelectResult{}, nil
 	})
 	if err != nil || !created {
@@ -143,7 +143,7 @@ func TestManagerEvictsFinishedJobs(t *testing.T) {
 	defer m.Close()
 	var jobs []*Job
 	for i := 0; i < 12; i++ {
-		j, _, err := m.Submit(fmt.Sprintf("k%d", i), 1, func(ctx context.Context, report func(int)) (*SelectResult, error) {
+		j, _, err := m.Submit(fmt.Sprintf("k%d", i), 1, func(ctx context.Context, report func(int)) (any, error) {
 			return &SelectResult{}, nil
 		})
 		if err != nil {
@@ -184,7 +184,7 @@ func TestManagerConcurrency(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perG; i++ {
 				key := fmt.Sprintf("key%d", (g+i)%8)
-				j, _, err := m.Submit(key, 1, func(ctx context.Context, report func(int)) (*SelectResult, error) {
+				j, _, err := m.Submit(key, 1, func(ctx context.Context, report func(int)) (any, error) {
 					runs.Add(1)
 					return &SelectResult{}, nil
 				})
@@ -220,7 +220,7 @@ func TestManagerCancel(t *testing.T) {
 	m := NewManager(1, 8, 16)
 	defer m.Close()
 	running := make(chan struct{})
-	blocker := func(ctx context.Context, report func(int)) (*SelectResult, error) {
+	blocker := func(ctx context.Context, report func(int)) (any, error) {
 		close(running)
 		<-ctx.Done()
 		return &SelectResult{Partial: true}, fmt.Errorf("stub: %w", ctx.Err())
@@ -230,7 +230,7 @@ func TestManagerCancel(t *testing.T) {
 		t.Fatal(err)
 	}
 	<-running
-	j2, _, err := m.Submit("queued", 1, func(ctx context.Context, report func(int)) (*SelectResult, error) {
+	j2, _, err := m.Submit("queued", 1, func(ctx context.Context, report func(int)) (any, error) {
 		t.Error("canceled queued job must never run")
 		return nil, nil
 	})
@@ -257,7 +257,7 @@ func TestManagerCancel(t *testing.T) {
 		t.Fatalf("Canceled() = %d, want 2", got)
 	}
 	// Finished jobs refuse cancellation.
-	j3, _, err := m.Submit("done", 1, func(ctx context.Context, report func(int)) (*SelectResult, error) {
+	j3, _, err := m.Submit("done", 1, func(ctx context.Context, report func(int)) (any, error) {
 		return &SelectResult{}, nil
 	})
 	if err != nil {
@@ -278,7 +278,7 @@ func TestManagerCancel(t *testing.T) {
 func TestManagerCloseCancelsInflight(t *testing.T) {
 	m := NewManager(2, 8, 16)
 	running := make(chan struct{})
-	j, _, err := m.Submit("slow", 1, func(ctx context.Context, report func(int)) (*SelectResult, error) {
+	j, _, err := m.Submit("slow", 1, func(ctx context.Context, report func(int)) (any, error) {
 		close(running)
 		<-ctx.Done() // would block forever if shutdown drained politely
 		return nil, fmt.Errorf("stub: %w", ctx.Err())
@@ -310,7 +310,7 @@ func TestJobProgressCounter(t *testing.T) {
 	defer m.Close()
 	mid := make(chan struct{})
 	release := make(chan struct{})
-	j, _, err := m.Submit("prog", 4, func(ctx context.Context, report func(int)) (*SelectResult, error) {
+	j, _, err := m.Submit("prog", 4, func(ctx context.Context, report func(int)) (any, error) {
 		report(2)
 		close(mid)
 		<-release
@@ -340,7 +340,7 @@ func TestCancelFreesQueueSlot(t *testing.T) {
 	running := make(chan struct{})
 	release := make(chan struct{})
 	defer close(release)
-	if _, _, err := m.Submit("busy", 1, func(ctx context.Context, report func(int)) (*SelectResult, error) {
+	if _, _, err := m.Submit("busy", 1, func(ctx context.Context, report func(int)) (any, error) {
 		close(running)
 		<-release
 		return &SelectResult{}, nil
@@ -348,14 +348,14 @@ func TestCancelFreesQueueSlot(t *testing.T) {
 		t.Fatal(err)
 	}
 	<-running
-	queued, _, err := m.Submit("q1", 1, func(ctx context.Context, report func(int)) (*SelectResult, error) {
+	queued, _, err := m.Submit("q1", 1, func(ctx context.Context, report func(int)) (any, error) {
 		t.Error("canceled queued job must never run")
 		return nil, nil
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := m.Submit("q2", 1, func(ctx context.Context, report func(int)) (*SelectResult, error) {
+	if _, _, err := m.Submit("q2", 1, func(ctx context.Context, report func(int)) (any, error) {
 		return &SelectResult{}, nil
 	}); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("queue should be full before cancel: err=%v", err)
@@ -364,7 +364,7 @@ func TestCancelFreesQueueSlot(t *testing.T) {
 		t.Fatalf("Cancel(queued) accepted=%v ok=%v", accepted, ok)
 	}
 	// The slot is free right now — no worker had to drain a tombstone.
-	replacement, created, err := m.Submit("q2", 1, func(ctx context.Context, report func(int)) (*SelectResult, error) {
+	replacement, created, err := m.Submit("q2", 1, func(ctx context.Context, report func(int)) (any, error) {
 		return &SelectResult{}, nil
 	})
 	if err != nil || !created {

@@ -86,7 +86,7 @@ func TestDefaultCanonicalizationSharesSketch(t *testing.T) {
 
 	// The duplicate-build guard sees through the same canonicalization: a
 	// `{}`-spec build of the same sketch conflicts instead of duplicating.
-	var resp SelectResponse
+	var resp map[string]any
 	if code := doJSON(t, "POST", ts.URL+"/v1/sketches", SketchSpec{Graph: "g", BuildK: 5}, &resp); code != http.StatusConflict {
 		t.Fatalf("zero-value spec did not conflict with the default-spec sketch: %d", code)
 	}
@@ -179,7 +179,7 @@ func TestGraphReplacementStaleness(t *testing.T) {
 
 	// POST /v1/graphs still refuses rebinding: the untrusted API cannot
 	// replace graphs.
-	var errResp map[string]string
+	var errResp map[string]any
 	spec := GraphSpec{Name: "h", Generator: "ba", Nodes: 50}
 	if code := doJSON(t, "POST", ts.URL+"/v1/graphs", spec, &errResp); code != http.StatusConflict {
 		t.Fatalf("POST /v1/graphs rebound a name: status %d (%v)", code, errResp)

@@ -1,0 +1,308 @@
+package service
+
+// This file implements the /v2 surface: one typed query endpoint over
+// the library's planner (POST /v2/query, single and batch, plan included
+// in every response), job status/cancel in the v2 shape and NDJSON/SSE
+// progress streaming (GET /v2/jobs/{id}/events). The /v1 routes are
+// shims over the same planner; /v2 adds batch execution and streaming.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/holisticim/holisticim"
+)
+
+// toQueryAnswer maps a library Answer onto the wire form. Estimate
+// members report whether their own plan step was sketch-served.
+func toQueryAnswer(p *preparedQuery, ans holisticim.Answer) *QueryAnswer {
+	qa := &QueryAnswer{
+		Task:    string(p.task),
+		Plan:    ans.Plan,
+		Members: make([]QueryMember, 0, len(ans.Members)),
+		TookMS:  float64(ans.Took) / float64(time.Millisecond),
+	}
+	for i, m := range ans.Members {
+		qm := QueryMember{K: m.K, Seeds: m.Seeds}
+		if m.Result != nil {
+			qm.Result = toSelectResult(*m.Result)
+		}
+		if m.Estimate != nil {
+			sketchServed := i < len(ans.Plan.Steps) && ans.Plan.Steps[i].Backend == holisticim.BackendSketch
+			e := toEstimateResult(*m.Estimate, p.lambda, sketchServed)
+			qm.Estimate = &e
+		}
+		qa.Members = append(qa.Members, qm)
+	}
+	return qa
+}
+
+// queryResponseOf renders a job snapshot in the v2 shape.
+func queryResponseOf(snap JobSnapshot) QueryResponse {
+	resp := QueryResponse{
+		JobID:       snap.ID,
+		State:       snap.State,
+		SeedsDone:   snap.SeedsDone,
+		Members:     snap.Members,
+		MembersDone: snap.MembersDone,
+		Plan:        snap.Plan,
+	}
+	if snap.Err != nil {
+		resp.Error = snap.Err.Error()
+	}
+	switch payload := snap.Payload.(type) {
+	case *QueryAnswer:
+		resp.Answer = payload
+	case *SelectResult:
+		// A job created outside the query surface (sketch builds); expose
+		// the raw result as a one-member answer so v2 pollers see it.
+		if payload != nil {
+			resp.Answer = &QueryAnswer{
+				Task:    string(holisticim.TaskSelect),
+				Members: []QueryMember{{Result: payload}},
+				TookMS:  payload.TookMS,
+			}
+			if snap.Plan != nil {
+				resp.Answer.Plan = *snap.Plan
+			}
+		}
+	}
+	return resp
+}
+
+// handleQuery serves POST /v2/query: plan → sketch-served plans answer
+// synchronously with the plan inline → cache hit → async job on the
+// shared worker pool, deduplicated and cached by Query.Fingerprint.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	// Async estimates run on the cancellable job path, so they get the
+	// job-sized budget cap rather than the tighter synchronous one.
+	p, aerr := s.prepareQuery(req, s.cfg.MaxSelectRuns)
+	if aerr != nil {
+		s.writeAPIError(w, aerr)
+		return
+	}
+
+	if p.plan.SketchOnly() {
+		ans, err := s.runPrepared(r.Context(), p)
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		if p.task == holisticim.TaskSelect {
+			s.sketchHits.Add(1)
+		} else {
+			s.sketchEstimates.Add(1)
+		}
+		qa := toQueryAnswer(p, ans)
+		writeJSON(w, http.StatusOK, QueryResponse{
+			State: StateDone, Sketch: true, Plan: &p.plan,
+			SeedsDone: seedsDoneOf(qa), Members: len(qa.Members), MembersDone: len(qa.Members),
+			Answer: qa,
+		})
+		return
+	}
+
+	if v, ok := s.cache.Get(p.key); ok {
+		if qa := cachedAnswer(v, p); qa != nil {
+			writeJSON(w, http.StatusOK, QueryResponse{
+				State: StateDone, Cached: true, Plan: &p.plan,
+				SeedsDone: seedsDoneOf(qa), Members: len(qa.Members), MembersDone: len(qa.Members),
+				Answer: qa,
+			})
+			return
+		}
+	}
+
+	job, created, err := s.submitQueryJob(p)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	resp := queryResponseOf(job.Snapshot())
+	resp.Deduped = !created
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+// seedsDoneOf sums the selected seeds across a completed answer's
+// members (estimate answers report zero).
+func seedsDoneOf(qa *QueryAnswer) int {
+	max := 0
+	for _, m := range qa.Members {
+		if m.Result != nil && len(m.Result.Seeds) > max {
+			max = len(m.Result.Seeds)
+		}
+	}
+	return max
+}
+
+// submitQueryJob enqueues a prepared query as an async job running the
+// planner end to end (s.queryFn), reporting per-seed progress for select
+// tasks and per-member progress for estimates, and caching the answer on
+// success under the generation-fenced fingerprint key.
+func (s *Server) submitQueryJob(p *preparedQuery) (*Job, bool, error) {
+	q := p.q
+	g := p.g
+	task := p.task
+	timeout := p.timeout
+	key := p.key
+	plan := p.plan
+	members := len(plan.Steps)
+	fn := func(ctx context.Context, report func(int)) (any, error) {
+		if timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+			defer cancel()
+		}
+		q := q // per-job copy: callbacks must not leak into shared state
+		if task == holisticim.TaskSelect {
+			q.Options.Progress = func(seedIdx int, seed holisticim.NodeID, elapsed time.Duration) {
+				report(seedIdx + 1)
+			}
+		} else {
+			q.OnMember = func(member int, m holisticim.Member) {
+				report(member + 1)
+			}
+		}
+		ans, err := s.queryFn(ctx, g, q)
+		payload := toQueryAnswer(p, ans)
+		if err != nil {
+			if len(ans.Members) > 0 {
+				// Retain the members completed (or partially selected)
+				// before the stop for status polling.
+				return payload, err
+			}
+			return nil, err
+		}
+		s.queries.Add(1)
+		if task == holisticim.TaskSelect {
+			s.selections.Add(1)
+		}
+		s.cache.Add(key, payload)
+		return payload, nil
+	}
+	var memberKs []int
+	if task == holisticim.TaskSelect {
+		memberKs = p.ks
+	}
+	return s.jobs.SubmitQuery(key, p.kmax, members, memberKs, &plan, fn)
+}
+
+func (s *Server) handleQueryJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.jobs.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, queryResponseOf(job.Snapshot()))
+}
+
+// handleCancelQueryJob is DELETE /v1/jobs/{id} in the v2 response shape.
+func (s *Server) handleCancelQueryJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, accepted, ok := s.jobs.Cancel(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	status := http.StatusOK
+	if !accepted {
+		status = http.StatusConflict
+	}
+	writeJSON(w, status, queryResponseOf(job.Snapshot()))
+}
+
+// eventsPollInterval paces the event stream's progress snapshots.
+const eventsPollInterval = 25 * time.Millisecond
+
+// handleQueryEvents streams a job's progress as NDJSON (one QueryResponse
+// per line) or, when the client asks with Accept: text/event-stream, as
+// SSE `data:` events. A new event is emitted whenever the job's state or
+// progress changes, and a final event carries the terminal state with
+// the answer; the stream then ends. Polling GET /v2/jobs/{id} and this
+// stream see the same snapshots.
+func (s *Server) handleQueryEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.jobs.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	var last string
+	emit := func(final bool) bool {
+		resp := queryResponseOf(job.Snapshot())
+		if !final {
+			// Progress events stay light: the answer rides only the final
+			// event, mirroring how a poller would read it once.
+			resp.Answer = nil
+		}
+		b, err := json.Marshal(resp)
+		if err != nil {
+			return false
+		}
+		if string(b) == last {
+			return true
+		}
+		last = string(b)
+		if sse {
+			if _, err := w.Write([]byte("data: ")); err != nil {
+				return false
+			}
+		}
+		if _, err := w.Write(append(b, '\n')); err != nil {
+			return false
+		}
+		if sse {
+			if _, err := w.Write([]byte{'\n'}); err != nil {
+				return false
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	// A job that is already terminal streams exactly one final event.
+	select {
+	case <-job.Done():
+		emit(true)
+		return
+	default:
+	}
+	if !emit(false) {
+		return
+	}
+	ticker := time.NewTicker(eventsPollInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-job.Done():
+			emit(true)
+			return
+		case <-ticker.C:
+			if !emit(false) {
+				return
+			}
+		}
+	}
+}

@@ -3,6 +3,8 @@ package service
 import (
 	"context"
 	"net/http"
+	"sort"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -47,6 +49,8 @@ type Config struct {
 	// MaxSketchSets caps each sketch's RR-set count — builds stop there
 	// and fast-path selections serve from the capped sample (default 2M).
 	MaxSketchSets int
+	// MaxQueryMembers caps the members of one /v2/query batch (default 64).
+	MaxQueryMembers int
 }
 
 func (c Config) withDefaults() Config {
@@ -86,6 +90,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxSketchSets <= 0 {
 		c.MaxSketchSets = 2_000_000
 	}
+	if c.MaxQueryMembers <= 0 {
+		c.MaxQueryMembers = 64
+	}
 	return c
 }
 
@@ -99,14 +106,20 @@ type Server struct {
 	jobs     *Manager
 	cache    *Cache
 	mux      *http.ServeMux
+	patterns []string // registered mux patterns, for 405 probing and conformance
 
-	// selectFn runs one selection under a job-scoped context; tests
-	// substitute stubs to control timing without real computations.
+	// selectFn runs one v1 selection under a job-scoped context; tests
+	// substitute stubs to control timing without real computations. It is
+	// a thin wrapper over queryFn's planner (SelectSeedsContext → Run).
 	selectFn func(ctx context.Context, g *holisticim.Graph, k int, alg holisticim.Algorithm, o holisticim.Options) (holisticim.Result, error)
+	// queryFn plans and executes one query (holisticim.Run); tests may
+	// substitute stubs.
+	queryFn func(ctx context.Context, g *holisticim.Graph, q holisticim.Query) (holisticim.Answer, error)
 
 	selections      atomic.Int64 // actual (non-cached, non-deduped) selections run
-	sketchHits      atomic.Int64 // /v1/select requests served by the sketch fast path
-	sketchEstimates atomic.Int64 // /v1/estimate requests served by an opinion sketch
+	queries         atomic.Int64 // /v2 query jobs run to completion
+	sketchHits      atomic.Int64 // select requests served by the sketch fast path
+	sketchEstimates atomic.Int64 // estimate requests served by an opinion sketch
 	replacements    atomic.Int64 // graph names rebound to new content
 }
 
@@ -120,6 +133,7 @@ func New(cfg Config) *Server {
 		jobs:     NewManager(cfg.Workers, cfg.QueueCap, cfg.MaxJobs),
 		cache:    NewCache(cfg.CacheSize),
 		selectFn: holisticim.SelectSeedsContext,
+		queryFn:  holisticim.Run,
 	}
 	// Enforced inside Registry.Add, under its lock, so concurrent
 	// registrations cannot race past the cap.
@@ -147,8 +161,53 @@ func (s *Server) Registry() *Registry { return s.reg }
 // Sketches exposes the sketch registry for startup snapshot preloading.
 func (s *Server) Sketches() *SketchRegistry { return s.sketches }
 
-// Handler returns the root http.Handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the root http.Handler: the mux wrapped so that
+// not-found and method-mismatch responses carry the same JSON error
+// envelope as every handler, with a correct Allow header on 405s.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, pattern := s.mux.Handler(r); pattern == "" {
+			if allowed := s.allowedMethods(r); len(allowed) > 0 {
+				w.Header().Set("Allow", strings.Join(allowed, ", "))
+				writeError(w, http.StatusMethodNotAllowed,
+					"method %s not allowed for %s", r.Method, r.URL.Path)
+			} else {
+				writeError(w, http.StatusNotFound, "no route for %s %s", r.Method, r.URL.Path)
+			}
+			return
+		}
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// probeMethods are the verbs allowedMethods tests a path against.
+var probeMethods = []string{
+	http.MethodGet, http.MethodHead, http.MethodPost,
+	http.MethodPut, http.MethodPatch, http.MethodDelete,
+}
+
+// allowedMethods probes the mux for the verbs that WOULD match r's path,
+// for the Allow header of a 405 — derived from the real routing table,
+// so it can never drift from the registered patterns.
+func (s *Server) allowedMethods(r *http.Request) []string {
+	var out []string
+	for _, m := range probeMethods {
+		probe := r.Clone(r.Context())
+		probe.Method = m
+		if _, pattern := s.mux.Handler(probe); pattern != "" {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Routes returns every registered mux pattern ("METHOD /path"), sorted —
+// the source of truth for the route-conformance test.
+func (s *Server) Routes() []string {
+	out := append([]string(nil), s.patterns...)
+	sort.Strings(out)
+	return out
+}
 
 // Close cancels all in-flight selections and stops the worker pool once
 // they unwind — shutdown no longer drains heavyweight jobs to completion.
@@ -163,6 +222,7 @@ func (s *Server) Stats() ServerStats {
 	skCount, skSets, skBytes, skBuilds := s.sketches.Totals()
 	return ServerStats{
 		Graphs:             s.reg.Len(),
+		QueriesRun:         s.queries.Load(),
 		CacheSize:          s.cache.Len(),
 		CacheHits:          s.cache.Hits(),
 		CacheMisses:        s.cache.Misses(),
@@ -180,20 +240,30 @@ func (s *Server) Stats() ServerStats {
 	}
 }
 
+// handle registers a pattern on the mux and records it for Routes().
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, h)
+	s.patterns = append(s.patterns, pattern)
+}
+
 func (s *Server) routes() {
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
-	s.mux.HandleFunc("POST /v1/graphs", s.handleAddGraph)
-	s.mux.HandleFunc("GET /v1/graphs/{name}", s.handleGraphStats)
-	s.mux.HandleFunc("GET /v1/sketches", s.handleListSketches)
-	s.mux.HandleFunc("POST /v1/sketches", s.handleBuildSketch)
-	s.mux.HandleFunc("GET /v1/sketches/{id}", s.handleSketchInfo)
-	s.mux.HandleFunc("DELETE /v1/sketches/{id}", s.handleDeleteSketch)
-	s.mux.HandleFunc("POST /v1/select", s.handleSelect)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
-	s.mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
+	s.handle("GET /healthz", s.handleHealthz)
+	s.handle("GET /v1/stats", s.handleStats)
+	s.handle("GET /v1/graphs", s.handleListGraphs)
+	s.handle("POST /v1/graphs", s.handleAddGraph)
+	s.handle("GET /v1/graphs/{name}", s.handleGraphStats)
+	s.handle("GET /v1/sketches", s.handleListSketches)
+	s.handle("POST /v1/sketches", s.handleBuildSketch)
+	s.handle("GET /v1/sketches/{id}", s.handleSketchInfo)
+	s.handle("DELETE /v1/sketches/{id}", s.handleDeleteSketch)
+	s.handle("POST /v1/select", s.handleSelect)
+	s.handle("GET /v1/jobs/{id}", s.handleJob)
+	s.handle("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	s.handle("POST /v1/estimate", s.handleEstimate)
+	s.handle("POST /v2/query", s.handleQuery)
+	s.handle("GET /v2/jobs/{id}", s.handleQueryJob)
+	s.handle("DELETE /v2/jobs/{id}", s.handleCancelQueryJob)
+	s.handle("GET /v2/jobs/{id}/events", s.handleQueryEvents)
 }
 
 func toSelectResult(res holisticim.Result) *SelectResult {

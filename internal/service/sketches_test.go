@@ -127,15 +127,15 @@ func TestSketchBuildValidation(t *testing.T) {
 		{"bad build_k", SketchSpec{Graph: "g", BuildK: 10_000}, http.StatusBadRequest},
 	}
 	for _, c := range cases {
-		var resp map[string]string
+		var resp map[string]any
 		if code := doJSON(t, "POST", ts.URL+"/v1/sketches", c.spec, &resp); code != c.code {
 			t.Errorf("%s: status %d, want %d (%v)", c.name, code, c.code, resp)
 		}
 	}
 
-	// Duplicate build: 409 once registered.
+	// Duplicate build: 409 once registered, in the uniform error envelope.
 	buildTestSketch(t, ts.URL, SketchSpec{Graph: "g", Epsilon: 0.3, BuildK: 5})
-	var resp SelectResponse
+	var resp ErrorResponse
 	if code := doJSON(t, "POST", ts.URL+"/v1/sketches", SketchSpec{Graph: "g", Epsilon: 0.3, BuildK: 5}, &resp); code != http.StatusConflict {
 		t.Fatalf("duplicate sketch build status %d", code)
 	}

@@ -24,8 +24,6 @@
 package service
 
 import (
-	"fmt"
-
 	"github.com/holisticim/holisticim"
 )
 
@@ -55,22 +53,23 @@ func (o Options) toLib() holisticim.Options {
 	}
 }
 
-// knownAlgorithms lets handlers reject unknown algorithm names with a 400
-// before a job is enqueued, instead of failing the job later.
-var knownAlgorithms = map[holisticim.Algorithm]bool{
-	holisticim.AlgEaSyIM:         true,
-	holisticim.AlgOSIM:           true,
-	holisticim.AlgGreedy:         true,
-	holisticim.AlgCELFPP:         true,
-	holisticim.AlgModifiedGreedy: true,
-	holisticim.AlgTIMPlus:        true,
-	holisticim.AlgIMM:            true,
-	holisticim.AlgIRIE:           true,
-	holisticim.AlgSIMPATH:        true,
-	holisticim.AlgStaticGreedy:   true,
-	holisticim.AlgDegree:         true,
-	holisticim.AlgDegreeDiscount: true,
-	holisticim.AlgPageRank:       true,
+// Plan aliases the library's execution plan so serving types can embed
+// it directly: the planner's decision is part of the wire format.
+type Plan = holisticim.Plan
+
+// ErrorBody is the payload of the uniform JSON error envelope. Code is a
+// stable machine-readable slug derived from the HTTP status
+// (bad_request, not_found, method_not_allowed, conflict, forbidden,
+// too_many_requests, unavailable, internal); Message is human-readable.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorResponse is the envelope every non-2xx response carries:
+// {"error": {"code": "...", "message": "..."}}.
+type ErrorResponse struct {
+	Error ErrorBody `json:"error"`
 }
 
 // SelectRequest asks for a k-seed selection on a registered graph.
@@ -85,14 +84,6 @@ type SelectRequest struct {
 	K         int     `json:"k"`
 	Options   Options `json:"options"`
 	TimeoutMS int     `json:"timeout_ms,omitempty"`
-}
-
-// fingerprint is the canonical cache/deduplication key for the request.
-// Registered graphs are immutable and names cannot be rebound, so the
-// graph name pins the topology and parameters.
-func (r SelectRequest) fingerprint() string {
-	return fmt.Sprintf("graph=%s;%s", r.Graph,
-		r.Options.toLib().Fingerprint(holisticim.Algorithm(r.Algorithm), r.K))
 }
 
 // SelectResult is the JSON form of a selection. Partial marks a result
@@ -158,6 +149,95 @@ type EstimateResult struct {
 	EffectiveOpinionSpread float64 `json:"effective_opinion_spread"`
 	Lambda                 float64 `json:"lambda"`
 	TookMS                 float64 `json:"took_ms"`
+}
+
+// QueryRequest is the one typed request POST /v2/query serves: a task
+// ("select" | "estimate", inferred when omitted), an algorithm or
+// objective, one (K / Seeds) or many (Ks / SeedSets) members, Options
+// and an optional per-job timeout. Batch members execute against shared
+// state — one RR collection or sketch order serves every k ≤ max(ks).
+type QueryRequest struct {
+	Graph     string    `json:"graph"`
+	Task      string    `json:"task,omitempty"`
+	Algorithm string    `json:"algorithm,omitempty"`
+	Objective string    `json:"objective,omitempty"`
+	K         int       `json:"k,omitempty"`
+	Ks        []int     `json:"ks,omitempty"`
+	Seeds     []int32   `json:"seeds,omitempty"`
+	SeedSets  [][]int32 `json:"seed_sets,omitempty"`
+	Options   Options   `json:"options"`
+	TimeoutMS int       `json:"timeout_ms,omitempty"`
+}
+
+// toQuery maps the wire request onto the library's Query.
+func (r QueryRequest) toQuery() holisticim.Query {
+	q := holisticim.Query{
+		Task:      holisticim.Task(r.Task),
+		Algorithm: holisticim.Algorithm(r.Algorithm),
+		Objective: holisticim.Objective(r.Objective),
+		K:         r.K,
+		Ks:        r.Ks,
+		Options:   r.Options.toLib(),
+	}
+	switch {
+	case len(r.SeedSets) > 0:
+		q.SeedSets = r.SeedSets
+	case r.Seeds != nil:
+		q.SeedSets = [][]int32{r.Seeds}
+	}
+	return q
+}
+
+// QueryMember is one completed member of a QueryAnswer: a selection for
+// one k, or an estimate for one seed set.
+type QueryMember struct {
+	K        int             `json:"k,omitempty"`
+	Seeds    []int32         `json:"seeds,omitempty"` // estimate input
+	Result   *SelectResult   `json:"result,omitempty"`
+	Estimate *EstimateResult `json:"estimate,omitempty"`
+}
+
+// QueryAnswer is the JSON form of a completed (possibly partial) query:
+// the executed plan and one member per request member, in request order.
+type QueryAnswer struct {
+	Task    string        `json:"task"`
+	Plan    Plan          `json:"plan"`
+	Members []QueryMember `json:"members"`
+	TookMS  float64       `json:"took_ms"`
+}
+
+// QueryResponse answers POST /v2/query, GET/DELETE /v2/jobs/{id} and
+// each event of GET /v2/jobs/{id}/events. A sketch-served or cached
+// query carries the Answer inline with state "done" and no JobID;
+// otherwise JobID points at the (possibly shared) computation. While a
+// job runs, SeedsDone and MembersDone/Members report live progress.
+type QueryResponse struct {
+	JobID       string       `json:"job_id,omitempty"`
+	State       JobState     `json:"state"`
+	Cached      bool         `json:"cached,omitempty"`
+	Deduped     bool         `json:"deduped,omitempty"`
+	Sketch      bool         `json:"sketch,omitempty"` // served synchronously from an RR-sketch index
+	Plan        *Plan        `json:"plan,omitempty"`
+	SeedsDone   int          `json:"seeds_done"`
+	Members     int          `json:"members,omitempty"`
+	MembersDone int          `json:"members_done"`
+	Error       string       `json:"error,omitempty"`
+	Answer      *QueryAnswer `json:"answer,omitempty"`
+}
+
+// toEstimateResult maps a library Estimate onto the wire form at the
+// resolved λ.
+func toEstimateResult(est holisticim.Estimate, lambda float64, sketch bool) EstimateResult {
+	return EstimateResult{
+		Sketch:                 sketch,
+		Runs:                   est.Runs,
+		Spread:                 est.Spread,
+		OpinionSpread:          est.OpinionSpread,
+		PositiveSpread:         est.PositiveSpread,
+		NegativeSpread:         est.NegativeSpread,
+		EffectiveOpinionSpread: est.EffectiveOpinionSpread(lambda),
+		Lambda:                 lambda,
+	}
 }
 
 // GraphInfo summarizes a registered graph for GET /v1/graphs.
@@ -273,7 +353,11 @@ type SketchInfo struct {
 
 // ServerStats reports serving counters for GET /v1/stats.
 type ServerStats struct {
-	Graphs        int   `json:"graphs"`
+	Graphs int `json:"graphs"`
+	// QueriesRun counts /v2 query jobs run to completion (cache hits,
+	// deduplicated submissions and synchronous sketch-served queries do
+	// not count).
+	QueriesRun    int64 `json:"queries_run"`
 	CacheSize     int   `json:"cache_size"`
 	CacheHits     int64 `json:"cache_hits"`
 	CacheMisses   int64 `json:"cache_misses"`

@@ -1,0 +1,108 @@
+package sketch
+
+import (
+	"context"
+	"testing"
+
+	"github.com/holisticim/holisticim/internal/graph"
+	"github.com/holisticim/holisticim/internal/opinion"
+	"github.com/holisticim/holisticim/internal/ris"
+	"github.com/holisticim/holisticim/internal/rng"
+)
+
+// TestSelectPrefixes pins the batch contract: results align with the
+// requested ks (any order, duplicates allowed), every smaller budget is
+// an exact prefix of the largest, and non-max members are marked as
+// prefix serves.
+func TestSelectPrefixes(t *testing.T) {
+	g := graph.BarabasiAlbert(2000, 3, rng.New(1))
+	g.SetUniformProb(0.1)
+	g.SetDefaultLTWeights()
+	x := mustBuild(t, g, Params{Epsilon: 0.3, Seed: 5, BuildK: 25})
+
+	ks := []int{10, 5, 25, 5}
+	results, err := x.SelectPrefixes(context.Background(), ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(ks) {
+		t.Fatalf("got %d results for %d budgets", len(results), len(ks))
+	}
+	full := results[2] // k=25
+	for i, k := range ks {
+		r := results[i]
+		if len(r.Seeds) != k {
+			t.Fatalf("member %d (k=%d) selected %d seeds", i, k, len(r.Seeds))
+		}
+		for j, s := range r.Seeds {
+			if s != full.Seeds[j] {
+				t.Fatalf("member %d (k=%d) seed %d = %d, not a prefix of k=25 (%d)", i, k, j, s, full.Seeds[j])
+			}
+		}
+		if k != 25 {
+			if r.Metrics["batch_prefix"] != 1 {
+				t.Fatalf("member %d (k=%d) missing batch_prefix metric: %v", i, k, r.Metrics)
+			}
+			if r.Metrics["coverage"] <= 0 || r.Metrics["estimated_spread"] <= 0 {
+				t.Fatalf("member %d (k=%d) metrics %v", i, k, r.Metrics)
+			}
+		}
+	}
+	// The memoized order survives the batch: a follow-up Select(10) must
+	// return the same seeds as the batch member.
+	again, err := x.Select(context.Background(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, s := range again.Seeds {
+		if s != results[0].Seeds[j] {
+			t.Fatalf("post-batch Select(10) diverged at seed %d", j)
+		}
+	}
+
+	// Degenerate batches are rejected.
+	if _, err := x.SelectPrefixes(context.Background(), nil); err == nil {
+		t.Fatal("empty batch not rejected")
+	}
+	if _, err := x.SelectPrefixes(context.Background(), []int{3, 0}); err == nil {
+		t.Fatal("invalid budget not rejected")
+	}
+}
+
+// TestSelectPrefixesWeighted: an opinion-weighted (OC) index serves batch
+// prefixes with the weighted metrics, consistent with its own Select.
+func TestSelectPrefixesWeighted(t *testing.T) {
+	g := graph.BarabasiAlbert(2000, 3, rng.New(1))
+	g.SetUniformProb(0.1)
+	g.SetDefaultLTWeights()
+	opinion.AssignOpinions(g, opinion.Normal, 2)
+	x := mustBuild(t, g, Params{Kind: ris.ModelOC, Epsilon: 0.3, Seed: 5, BuildK: 20})
+
+	results, err := x.SelectPrefixes(context.Background(), []int{5, 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if _, ok := r.Metrics["weighted_coverage"]; !ok {
+			t.Fatalf("member %d missing weighted_coverage: %v", i, r.Metrics)
+		}
+		if _, ok := r.Metrics["estimated_opinion_spread"]; !ok {
+			t.Fatalf("member %d missing estimated_opinion_spread: %v", i, r.Metrics)
+		}
+	}
+	for j, s := range results[0].Seeds {
+		if s != results[1].Seeds[j] {
+			t.Fatalf("weighted batch member not a prefix at seed %d", j)
+		}
+	}
+	// The prefix member's opinion estimate equals what a direct Select of
+	// that k reports (same memoized estimator).
+	direct, err := x.Select(context.Background(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Metrics["estimated_opinion_spread"] != results[0].Metrics["estimated_opinion_spread"] {
+		t.Fatalf("prefix opinion estimate %v != direct %v",
+			results[0].Metrics["estimated_opinion_spread"], direct.Metrics["estimated_opinion_spread"])
+	}
+}

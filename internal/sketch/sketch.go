@@ -398,13 +398,20 @@ func (x *Index) extendOrderLocked(k int) {
 // sample is lazily extended (deterministically — the new sets are the
 // next indices of the same stream) before the order is recomputed.
 func (x *Index) Select(ctx context.Context, k int) (im.Result, error) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.selectLocked(ctx, k)
+}
+
+// selectLocked is Select's body, factored out so SelectPrefixes can run a
+// whole batch under one critical section (the memoized order must not be
+// reset by a concurrent extension between members of a batch).
+func (x *Index) selectLocked(ctx context.Context, k int) (im.Result, error) {
 	res := im.Result{Algorithm: AlgorithmName}
 	if err := im.CheckK(k, x.g.NumNodes()); err != nil {
 		return res, err
 	}
 	tr := im.StartTracker(ctx)
-	x.mu.Lock()
-	defer x.mu.Unlock()
 
 	n := float64(x.g.NumNodes())
 	epsPrime := ris.IMMEpsPrime(x.params.Epsilon)
@@ -468,16 +475,7 @@ func (x *Index) Select(ctx context.Context, k int) (im.Result, error) {
 		// number EstimateOpinion would report, memoized per k so repeat
 		// selects keep their O(k) cost.
 		res.AddMetric("weighted_coverage", x.orderWCov[k-1])
-		est, ok := x.opinionEst[k]
-		if !ok {
-			_, pos, neg := x.col.OpinionCoverage(x.order[:k])
-			est = (pos - neg) * n / float64(x.col.Len())
-			if x.opinionEst == nil {
-				x.opinionEst = make(map[int]float64)
-			}
-			x.opinionEst[k] = est
-		}
-		res.AddMetric("estimated_opinion_spread", est)
+		res.AddMetric("estimated_opinion_spread", x.opinionEstLocked(k))
 	}
 	for _, s := range x.order[:k] {
 		if err := tr.Interrupted(&res); err != nil {
@@ -488,6 +486,102 @@ func (x *Index) Select(ctx context.Context, k int) (im.Result, error) {
 	tr.Finish(&res)
 	x.selects.Add(1)
 	return res, nil
+}
+
+// opinionEstLocked returns the depth-exact Def. 6 opinion-spread
+// estimate for the memoized k-prefix, memoized per k.
+func (x *Index) opinionEstLocked(k int) float64 {
+	est, ok := x.opinionEst[k]
+	if !ok {
+		_, pos, neg := x.col.OpinionCoverage(x.order[:k])
+		est = (pos - neg) * float64(x.g.NumNodes()) / float64(x.col.Len())
+		if x.opinionEst == nil {
+			x.opinionEst = make(map[int]float64)
+		}
+		x.opinionEst[k] = est
+	}
+	return est
+}
+
+// SelectPrefixes answers a batch of seed budgets from one shared sample
+// and one memoized greedy order, guaranteeing the batch-prefix invariant:
+// the seeds returned for a smaller budget are exactly the first k seeds
+// of every larger member's selection. The full θ machinery — lazy
+// extension included — runs once for the largest budget; every other
+// member is then served as a prefix of that settled order without growing
+// the sample, so a batch costs one kmax selection plus O(k) slicing per
+// member. The whole batch runs under one critical section: a concurrent
+// Select cannot extend the sample (and reset the order) between members.
+// Results align with ks, which may repeat and come in any order.
+//
+// When the kmax selection is interrupted, every member that can be
+// served from the prefix chosen so far is returned with Partial set (the
+// sample was never θ-validated for it) alongside the error.
+func (x *Index) SelectPrefixes(ctx context.Context, ks []int) ([]im.Result, error) {
+	if len(ks) == 0 {
+		return nil, errors.New("sketch: empty batch")
+	}
+	kmax := 0
+	for _, k := range ks {
+		if err := im.CheckK(k, x.g.NumNodes()); err != nil {
+			return nil, err
+		}
+		if k > kmax {
+			kmax = k
+		}
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	full, err := x.selectLocked(ctx, kmax)
+	if err != nil {
+		// Salvage what the interrupted kmax run selected: complete
+		// prefixes are not certified (θ unmet), so every member is partial.
+		out := make([]im.Result, len(ks))
+		for i, k := range ks {
+			end := k
+			if end > len(full.Seeds) {
+				end = len(full.Seeds)
+			}
+			out[i] = im.Result{
+				Algorithm: AlgorithmName,
+				Seeds:     append([]graph.NodeID(nil), full.Seeds[:end]...),
+				Took:      full.Took,
+				Partial:   true,
+			}
+		}
+		return out, err
+	}
+	out := make([]im.Result, len(ks))
+	for i, k := range ks {
+		if k == kmax {
+			out[i] = full
+			continue
+		}
+		out[i] = x.prefixResultLocked(k)
+		x.selects.Add(1)
+	}
+	return out, nil
+}
+
+// prefixResultLocked materializes the memoized k-prefix of the greedy
+// order as a Result, without touching the sample. Callers must have run
+// selectLocked for some budget ≥ k first.
+func (x *Index) prefixResultLocked(k int) im.Result {
+	res := im.Result{Algorithm: AlgorithmName}
+	// Copy: the order's backing array is reused when an extension resets
+	// the memoized state, and results outlive the lock.
+	res.Seeds = append(res.Seeds, x.order[:k]...)
+	n := float64(x.g.NumNodes())
+	frac := float64(x.orderCov[k-1]) / float64(x.col.Len())
+	res.AddMetric("sets", float64(x.col.Len()))
+	res.AddMetric("coverage", frac)
+	res.AddMetric("estimated_spread", frac*n)
+	res.AddMetric("batch_prefix", 1)
+	if x.params.Kind.Weighted() {
+		res.AddMetric("weighted_coverage", x.orderWCov[k-1])
+		res.AddMetric("estimated_opinion_spread", x.opinionEstLocked(k))
+	}
+	return res
 }
 
 // Name implements im.Selector.
