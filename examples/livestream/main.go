@@ -1,0 +1,105 @@
+// Live stream: the live-graph serving loop end to end — tail a stream
+// of follow/unfollow events on the Twitter study's background graph,
+// apply them as versioned mutation batches, repair the RR-sketch index
+// incrementally after every batch, and keep influence queries answered
+// from the (always fresh) sketch. The same loop runs behind
+// POST /v1/graphs/{name}/edges in the service.
+//
+//	go run ./examples/livestream
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+
+	"github.com/holisticim/holisticim"
+	"github.com/holisticim/holisticim/datasets"
+)
+
+// streamBatch fabricates one batch of follow events against the current
+// snapshot: users in a sliding window unfollow their first followee and
+// pick up a new one. Deterministic, so the demo replays identically.
+func streamBatch(g *holisticim.Graph, round int) []holisticim.EdgeOp {
+	var ops []holisticim.EdgeOp
+	n := g.NumNodes()
+	base := n - 1 - int32(round*60)
+	p := 0.15
+	for u := base; u > base-30 && u > 0; u-- {
+		if nbrs := g.OutNeighbors(u); len(nbrs) > 0 {
+			ops = append(ops, holisticim.EdgeOp{Op: holisticim.OpRemoveEdge, From: u, To: nbrs[0]})
+		}
+		v := (u + n/2) % n
+		if u != v && !g.HasEdge(u, v) {
+			ops = append(ops, holisticim.EdgeOp{Op: holisticim.OpAddEdge, From: u, To: v, P: &p, Phi: &p})
+		}
+	}
+	return ops
+}
+
+func main() {
+	ctx := context.Background()
+
+	// The Sec.-4.1.1 pipeline supplies a realistic substrate: an R-MAT
+	// follow graph with latent propagation/agreement parameters and
+	// history-estimated opinions.
+	study := datasets.BuildTwitterStudy(datasets.TwitterOptions{Users: 3000, Topics: 6, Seed: 1})
+	g := study.Background
+	fmt.Printf("follow graph: %d users, %d follow arcs\n", g.NumNodes(), g.NumEdges())
+
+	sk, err := holisticim.BuildSketch(ctx, g, holisticim.SketchOptions{
+		Model: holisticim.ModelLT, Epsilon: 0.3, Seed: 7, BuildK: 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("RR-sketch built: %d sets at graph version 0\n\n", sk.Len())
+
+	query := holisticim.Query{
+		Algorithm: holisticim.AlgIMM,
+		K:         10,
+		Options:   holisticim.Options{Model: holisticim.ModelLT, Epsilon: 0.3, Seed: 7, Sketch: sk},
+	}
+
+	lv := holisticim.WrapLive(g, holisticim.LiveOptions{})
+	for round := 0; round < 4; round++ {
+		ops := streamBatch(lv.Graph(), round)
+		res, err := lv.Apply(ctx, ops, holisticim.ApplyOptions{RebalanceLT: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("v%d: %d follow events applied, %d users dirty\n",
+			res.Version, res.Applied, len(res.Dirty))
+
+		if round == 0 {
+			// Before repair the sketch no longer matches the snapshot:
+			// the planner refuses it and re-routes — stale answers are
+			// never served silently.
+			plan, err := holisticim.PlanQuery(lv.Graph(), query)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, line := range plan.Explain() {
+				if strings.Contains(line, "awaiting repair") {
+					fmt.Printf("    planner before repair: %s\n", line)
+				}
+			}
+		}
+
+		st, err := sk.Repair(ctx, lv.Graph(), res.Dirty, res.Version, holisticim.SketchRepairOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("    repair: %d/%d RR sets resampled (%d changed), sketch now at v%d\n",
+			st.Resampled, sk.Len(), st.Changed, sk.GraphVersion())
+
+		ans, err := holisticim.Run(ctx, lv.Graph(), query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := ans.Members[0].Result
+		fmt.Printf("    fresh k=10 selection (sketch-served=%v), top 5: %v\n\n",
+			ans.Plan.SketchOnly(), r.Seeds[:5])
+	}
+}

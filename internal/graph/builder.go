@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -47,10 +48,23 @@ func (b *Builder) AddEdge(u, v NodeID) { b.AddEdgeFull(u, v, 0, 0, 0) }
 // probability phi.
 func (b *Builder) AddEdgeP(u, v NodeID, p, phi float64) { b.AddEdgeFull(u, v, p, phi, 0) }
 
-// AddEdgeFull adds the arc (u,v) with all edge parameters.
+// AddEdgeFull adds the arc (u,v) with all edge parameters. Parameters are
+// validated with the same bounds ReadBinary enforces — p and ϕ are
+// probabilities in [0,1], the LT weight is non-negative and finite — so a
+// graph assembled programmatically (including from live mutation batches)
+// can never hold values a file load would have rejected.
 func (b *Builder) AddEdgeFull(u, v NodeID, p, phi, w float64) {
 	if u < 0 || u >= b.n || v < 0 || v >= b.n {
 		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		panic(fmt.Sprintf("graph: edge (%d,%d) probability %v out of [0,1]", u, v, p))
+	}
+	if phi < 0 || phi > 1 || math.IsNaN(phi) {
+		panic(fmt.Sprintf("graph: edge (%d,%d) interaction %v out of [0,1]", u, v, phi))
+	}
+	if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		panic(fmt.Sprintf("graph: edge (%d,%d) LT weight %v negative or non-finite", u, v, w))
 	}
 	if u == v {
 		return // self-loops are meaningless for diffusion

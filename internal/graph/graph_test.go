@@ -60,6 +60,40 @@ func TestBuilderOutOfRangePanics(t *testing.T) {
 	NewBuilder(2).AddEdge(0, 5)
 }
 
+func TestBuilderRejectsBadEdgeParams(t *testing.T) {
+	cases := map[string]func(*Builder){
+		"p-negative":   func(b *Builder) { b.AddEdgeFull(0, 1, -0.1, 0, 0) },
+		"p-above-one":  func(b *Builder) { b.AddEdgeFull(0, 1, 1.5, 0, 0) },
+		"p-nan":        func(b *Builder) { b.AddEdgeFull(0, 1, math.NaN(), 0, 0) },
+		"phi-negative": func(b *Builder) { b.AddEdgeFull(0, 1, 0, -0.1, 0) },
+		"phi-above":    func(b *Builder) { b.AddEdgeFull(0, 1, 0, 2, 0) },
+		"phi-nan":      func(b *Builder) { b.AddEdgeFull(0, 1, 0, math.NaN(), 0) },
+		"w-negative":   func(b *Builder) { b.AddEdgeFull(0, 1, 0, 0, -1) },
+		"w-nan":        func(b *Builder) { b.AddEdgeFull(0, 1, 0, 0, math.NaN()) },
+		"w-inf":        func(b *Builder) { b.AddEdgeFull(0, 1, 0, 0, math.Inf(1)) },
+		"u-negative":   func(b *Builder) { b.AddEdgeFull(-1, 1, 0, 0, 0) },
+		"v-range":      func(b *Builder) { b.AddEdgeFull(0, 2, 0, 0, 0) },
+	}
+	for name, add := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s accepted", name)
+				}
+			}()
+			add(NewBuilder(2))
+		})
+	}
+	// Boundary values pass; self-loops validate, then drop silently.
+	b := NewBuilder(2)
+	b.AddEdgeFull(0, 1, 1, 1, 0)
+	b.AddEdgeFull(1, 0, 0, 0, 2.5)
+	b.AddEdgeFull(1, 1, 0.5, 0.5, 0.5)
+	if g := b.Build(); g.NumEdges() != 2 {
+		t.Fatalf("edges = %d, want 2 (self-loop dropped)", g.NumEdges())
+	}
+}
+
 func TestInOutConsistency(t *testing.T) {
 	r := rng.New(1)
 	g := ErdosRenyi(200, 1500, r)

@@ -284,6 +284,89 @@ func (c *Collection) addSetWeight(set []graph.NodeID, w float64) {
 	}
 }
 
+// ReplaceSets swaps the contents of the given set ids in place,
+// maintaining the inverted index and (for weighted kinds) the
+// root-opinion weights exactly as if the new contents had been generated
+// at those indices. ids must be sorted ascending and duplicate-free;
+// sets[i] is the new contents of ids[i]. Rows of the inverted index stay
+// sorted — generation appends ids in increasing order, so a repaired
+// collection is structurally identical to one generated from scratch
+// over the current graph. This is the primitive incremental sketch
+// repair is built on: after a graph mutation, only the sets whose walks
+// touched a dirty node are replaced (resampled deterministically from
+// their (seed, id) streams) and every other set — and its index rows —
+// stays byte-for-byte untouched.
+//
+// Each affected row is rebuilt in one filter+merge pass, so the cost is
+// linear in the affected rows plus the old and new set contents —
+// replacing many sets at once is far cheaper than per-set splicing when
+// the batch hits hub rows. Width is NOT maintained; callers follow up
+// with RecomputeWidth (cheap) after the graph rebind.
+func (c *Collection) ReplaceSets(ids []int32, sets [][]graph.NodeID) {
+	if len(ids) != len(sets) {
+		panic("ris: ReplaceSets ids/sets length mismatch")
+	}
+	if len(ids) == 0 {
+		return
+	}
+	replaced := make(map[int32]struct{}, len(ids))
+	for _, id := range ids {
+		replaced[id] = struct{}{}
+	}
+	// Per-node additions. Walking ids in ascending order keeps every
+	// per-node list sorted, so the merge below preserves row order.
+	add := make(map[graph.NodeID][]int32)
+	touched := make(map[graph.NodeID]struct{})
+	for i, id := range ids {
+		for _, v := range c.sets[id] {
+			touched[v] = struct{}{}
+		}
+		for _, v := range sets[i] {
+			add[v] = append(add[v], id)
+			touched[v] = struct{}{}
+		}
+	}
+	for v := range touched {
+		row := c.nodeSets[v]
+		ins := add[v]
+		merged := make([]int32, 0, len(row)+len(ins))
+		j := 0
+		for _, id := range row {
+			if _, gone := replaced[id]; gone {
+				continue
+			}
+			for j < len(ins) && ins[j] < id {
+				merged = append(merged, ins[j])
+				j++
+			}
+			merged = append(merged, id)
+		}
+		merged = append(merged, ins[j:]...)
+		c.nodeSets[v] = merged
+	}
+	for i, id := range ids {
+		c.sets[id] = sets[i]
+		if c.kind.Weighted() {
+			c.weights[id] = OCRootWeight(c.g, sets[i])
+		}
+	}
+}
+
+// RecomputeWidth recomputes the cumulative width Σ_R w(R) against the
+// CURRENT graph. After a rebind to mutated content the stored width —
+// accumulated from the in-degrees of a previous snapshot — is stale even
+// for sets whose contents survived the mutation; repair calls this once
+// after all replacements. Width factors through the inverted index —
+// Σ_R Σ_{v∈R} indeg(v) = Σ_v |sets∋v|·indeg(v) — so the pass is O(n),
+// not O(total set contents).
+func (c *Collection) RecomputeWidth() {
+	var w int64
+	for v, row := range c.nodeSets {
+		w += int64(len(row)) * int64(c.g.InDegree(graph.NodeID(v)))
+	}
+	c.width = w
+}
+
 // OCRootWeight returns the root-opinion weight of a reverse LT walk
 // under OC semantics: the root's expected final opinion assuming
 // activation reaches it along the sampled live-edge chain. With the walk

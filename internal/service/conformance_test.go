@@ -15,16 +15,41 @@ import (
 func TestRouteConformance(t *testing.T) {
 	s, ts := newTestServer(t, Config{})
 
+	// A guaranteed-valid mutation for the edges route: the first absent
+	// arc of the test graph, found by scanning (the BA topology is not
+	// otherwise pinned by this test).
+	g, err := s.reg.Get("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutFrom, mutTo := int32(-1), int32(-1)
+findAbsent:
+	for u := int32(0); u < g.NumNodes(); u++ {
+		for v := int32(0); v < g.NumNodes(); v++ {
+			if u != v && !g.HasEdge(u, v) {
+				mutFrom, mutTo = u, v
+				break findAbsent
+			}
+		}
+	}
+	if mutFrom < 0 {
+		t.Fatal("test graph is complete; no absent edge to add")
+	}
+	mutP := 0.1
+
 	type probe struct {
 		body any
 		want int
 	}
 	cases := map[string]probe{
-		"GET /healthz":             {nil, http.StatusOK},
-		"GET /v1/stats":            {nil, http.StatusOK},
-		"GET /v1/graphs":           {nil, http.StatusOK},
-		"POST /v1/graphs":          {GraphSpec{Name: "conf-ba", Generator: "ba", Nodes: 20, EdgesPerNode: 2}, http.StatusCreated},
-		"GET /v1/graphs/{name}":    {nil, http.StatusOK},
+		"GET /healthz":          {nil, http.StatusOK},
+		"GET /v1/stats":         {nil, http.StatusOK},
+		"GET /v1/graphs":        {nil, http.StatusOK},
+		"POST /v1/graphs":       {GraphSpec{Name: "conf-ba", Generator: "ba", Nodes: 20, EdgesPerNode: 2}, http.StatusCreated},
+		"GET /v1/graphs/{name}": {nil, http.StatusOK},
+		"POST /v1/graphs/{name}/edges": {MutateRequest{Ops: []EdgeOpSpec{
+			{Op: "add", From: mutFrom, To: mutTo, P: &mutP},
+		}}, http.StatusOK},
 		"GET /v1/sketches":         {nil, http.StatusOK},
 		"POST /v1/sketches":        {SketchSpec{Graph: "g", Epsilon: 0.4, BuildK: 3}, http.StatusAccepted},
 		"GET /v1/sketches/{id}":    {nil, http.StatusNotFound}, // unknown id still exercises the route

@@ -468,6 +468,17 @@ func (s *Server) handleBuildSketch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
+	// The mutation-log version of the snapshot the build will run over.
+	// Stamped on the finished index so later mutations repair from the
+	// right baseline. (A mutation racing the two reads bumps the
+	// generation, so the post-build gen re-check refuses the sketch and
+	// any inconsistency here never registers.)
+	baseInfo, err := s.reg.Info(spec.Graph)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	baseVersion := baseInfo.Version
 	model := holisticim.ModelKind(spec.Model)
 	if spec.Model != "" {
 		if _, err := holisticim.NewModel(g, model); err != nil {
@@ -524,13 +535,25 @@ func (s *Server) handleBuildSketch(w http.ResponseWriter, r *http.Request) {
 			return nil, err
 		}
 		// Refuse to register a sample built over an instance that was
-		// replaced mid-build: a stale sketch must not enter the registry
-		// and start serving the new topology's fast path.
+		// replaced or mutated mid-build: a stale sketch must not enter the
+		// registry and start serving the new topology's fast path.
 		if _, cur, err := s.reg.GetWithGeneration(graphName); err != nil || cur != gen {
 			return nil, fmt.Errorf("service: graph %q was replaced during the sketch build", graphName)
 		}
-		if _, err := s.sketches.Add(graphName, semantics, epsilon, seed, idx); err != nil {
+		idx.SetGraphVersion(baseVersion)
+		id, err := s.sketches.Add(graphName, semantics, epsilon, seed, idx)
+		if err != nil {
 			return nil, err
+		}
+		// Re-check AFTER registration too: a mutation landing between the
+		// first check and Add would schedule repairs before the sketch was
+		// visible, leaving it permanently one batch behind — and a later
+		// repair would then stamp the new fingerprint over a sample that
+		// missed that batch. Evicting on the re-check closes the window
+		// (a mutation after Add is seen by ScheduleRepair and handled).
+		if _, cur, err := s.reg.GetWithGeneration(graphName); err != nil || cur != gen {
+			s.sketches.Evict(id)
+			return nil, fmt.Errorf("service: graph %q changed during the sketch build", graphName)
 		}
 		st := idx.Stats()
 		return &SelectResult{

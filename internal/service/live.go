@@ -1,0 +1,64 @@
+package service
+
+import (
+	"errors"
+	"net/http"
+
+	"github.com/holisticim/holisticim"
+)
+
+// handleMutateGraph applies an edge batch to a registered graph
+// (POST /v1/graphs/{name}/edges). The batch is atomic — either every op
+// is valid and the graph advances one version, or a 400 names the first
+// offending op and nothing changes. On success the name's cached results
+// are dropped and incremental background repairs are scheduled for its
+// sketches (both via the registry's onMutate hook, before Mutate
+// returns), so the response's version is never served from stale state.
+func (s *Server) handleMutateGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req MutateRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Ops) == 0 {
+		writeError(w, http.StatusBadRequest, "empty edge batch")
+		return
+	}
+	if len(req.Ops) > s.cfg.MaxMutationOps {
+		writeError(w, http.StatusBadRequest,
+			"batch of %d ops exceeds the cap %d", len(req.Ops), s.cfg.MaxMutationOps)
+		return
+	}
+	ops := make([]holisticim.EdgeOp, len(req.Ops))
+	for i, o := range req.Ops {
+		ops[i] = holisticim.EdgeOp{
+			Op:   holisticim.EdgeOpKind(o.Op),
+			From: o.From,
+			To:   o.To,
+			P:    o.P,
+			Phi:  o.Phi,
+			W:    o.W,
+		}
+	}
+	res, err := s.reg.Mutate(r.Context(), name, ops, holisticim.ApplyOptions{RebalanceLT: req.RebalanceLT})
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrGraphNotFound):
+			writeError(w, http.StatusNotFound, "%v", err)
+		case errors.Is(err, ErrGraphReplaced):
+			writeError(w, http.StatusConflict, "%v", err)
+		default:
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, MutateResponse{
+		Graph:            name,
+		Version:          res.Version,
+		Nodes:            res.Nodes,
+		Arcs:             res.Arcs,
+		Applied:          res.Applied,
+		Dirty:            res.Dirty,
+		RepairsScheduled: s.sketches.CountFor(name),
+	})
+}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -9,6 +10,7 @@ import (
 
 	"github.com/holisticim/holisticim"
 	"github.com/holisticim/holisticim/internal/graph"
+	"github.com/holisticim/holisticim/internal/live"
 )
 
 // Registry errors.
@@ -17,6 +19,11 @@ var (
 	ErrGraphExists      = errors.New("service: graph already registered")
 	ErrPathLoadDisabled = errors.New("service: loading server-local paths is disabled")
 	ErrRegistryFull     = errors.New("service: graph registry full")
+	// ErrGraphReplaced reports a mutation batch that lost a race against an
+	// operator Replace: the lineage the batch was prepared for no longer
+	// exists, so the batch is refused rather than applied to unrelated
+	// content.
+	ErrGraphReplaced = errors.New("service: graph was replaced concurrently")
 )
 
 // Registry holds named immutable graphs shared across requests. Graphs
@@ -35,6 +42,12 @@ type Registry struct {
 	// onReplace observes name rebinds (never first registrations). Called
 	// outside the registry lock with the new graph already visible.
 	onReplace func(name string, g *holisticim.Graph)
+	// onMutate observes edge-batch mutations (Mutate). Unlike a Replace,
+	// a mutation preserves the lineage — node count and version history —
+	// so the hook carries the dirty-node set and new version, letting the
+	// server repair its sketches incrementally instead of evicting them.
+	// Called outside the registry lock with the new snapshot visible.
+	onMutate func(name string, g *holisticim.Graph, version uint64, dirty []holisticim.NodeID)
 }
 
 type regEntry struct {
@@ -48,8 +61,23 @@ type regEntry struct {
 	// request can reach).
 	gen uint64
 
+	// live is the mutation lineage this entry belongs to, shared by every
+	// snapshot a chain of Mutate calls produces for the name. nil until
+	// the first mutation; reset to nil by Replace, which abandons the
+	// lineage (versions restart from zero on the next mutation).
+	live *liveState
+
 	statsOnce sync.Once
 	stats     GraphStats
+}
+
+// liveState serializes mutations for one graph lineage. Its mutex is
+// held across the whole rebuild (validate → build new CSR → install), so
+// concurrent Apply batches for the same name get consecutive versions
+// while readers keep serving the previous immutable snapshot.
+type liveState struct {
+	mu sync.Mutex
+	lv *live.Graph
 }
 
 // NewRegistry returns an empty registry.
@@ -118,6 +146,84 @@ func (r *Registry) Replace(name string, g *holisticim.Graph, source string) erro
 		hook(name, g)
 	}
 	return nil
+}
+
+// liveStateOf returns the entry's mutation lineage, creating it on first
+// use. The lineage is attached under the write lock so concurrent first
+// mutations agree on one liveState.
+func (r *Registry) liveStateOf(name string) (*liveState, *regEntry, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.graphs[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q", ErrGraphNotFound, name)
+	}
+	if e.live == nil {
+		e.live = &liveState{}
+	}
+	return e.live, e, nil
+}
+
+// Mutate applies an edge batch to the named graph and installs the new
+// immutable snapshot under the same name. Readers are never blocked: a
+// request in flight keeps the snapshot it fetched, and the generation
+// bump keys caches and jobs off the old content exactly as a Replace
+// does. Unlike Replace, the mutation carries its lineage — the returned
+// BatchResult's Version and Dirty set — through the onMutate hook, so
+// dependent sketches can be repaired incrementally instead of evicted.
+func (r *Registry) Mutate(ctx context.Context, name string, ops []live.EdgeOp, opts live.ApplyOptions) (live.BatchResult, error) {
+	ls, e, err := r.liveStateOf(name)
+	if err != nil {
+		return live.BatchResult{}, err
+	}
+
+	// The lineage lock serializes whole batches; the registry lock is
+	// only taken briefly around the final install.
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+
+	// Re-read the entry: a Replace (or another mutation) may have rebound
+	// the name while we waited. Another mutation keeps e.live == ls and we
+	// simply continue from its snapshot; a Replace abandons the lineage
+	// and the batch must be refused.
+	r.mu.RLock()
+	cur, ok := r.graphs[name]
+	r.mu.RUnlock()
+	if !ok {
+		return live.BatchResult{}, fmt.Errorf("%w: %q", ErrGraphNotFound, name)
+	}
+	if cur.live != ls {
+		return live.BatchResult{}, fmt.Errorf("%w: %q", ErrGraphReplaced, name)
+	}
+	e = cur
+	if ls.lv == nil {
+		// First mutation of the lineage: start the log at the current
+		// snapshot (version 0).
+		ls.lv = live.Wrap(e.g, live.Options{})
+	}
+
+	res, err := ls.lv.Apply(ctx, ops, opts)
+	if err != nil {
+		return live.BatchResult{}, err
+	}
+	newG := ls.lv.Graph()
+
+	r.mu.Lock()
+	if cur, ok := r.graphs[name]; !ok || cur != e || cur.live != ls {
+		r.mu.Unlock()
+		return live.BatchResult{}, fmt.Errorf("%w: %q", ErrGraphReplaced, name)
+	}
+	e2 := newRegEntry(name, newG, e.info.Source)
+	e2.gen = e.gen + 1
+	e2.live = ls
+	e2.info.Version = res.Version
+	r.graphs[name] = e2
+	hook := r.onMutate
+	r.mu.Unlock()
+	if hook != nil {
+		hook(name, newG, res.Version, res.Dirty)
+	}
+	return res, nil
 }
 
 // Get returns the named graph.

@@ -51,6 +51,14 @@ type Config struct {
 	MaxSketchSets int
 	// MaxQueryMembers caps the members of one /v2/query batch (default 64).
 	MaxQueryMembers int
+	// MaxMutationOps caps the edge operations of one POST
+	// /v1/graphs/{name}/edges batch (default 100000).
+	MaxMutationOps int
+	// RepairMaxHops, when positive, makes background sketch repairs
+	// hop-bounded: RR sets whose dirty nodes all sit deeper than this many
+	// walk positions are deferred (advertised as stale_sets) instead of
+	// resampled. 0 (the default) keeps repairs exact.
+	RepairMaxHops int
 }
 
 func (c Config) withDefaults() Config {
@@ -93,6 +101,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxQueryMembers <= 0 {
 		c.MaxQueryMembers = 64
 	}
+	if c.MaxMutationOps <= 0 {
+		c.MaxMutationOps = 100_000
+	}
 	return c
 }
 
@@ -121,6 +132,7 @@ type Server struct {
 	sketchHits      atomic.Int64 // select requests served by the sketch fast path
 	sketchEstimates atomic.Int64 // estimate requests served by an opinion sketch
 	replacements    atomic.Int64 // graph names rebound to new content
+	mutations       atomic.Int64 // applied edge batches
 }
 
 // New returns a ready-to-serve Server with an empty registry.
@@ -149,6 +161,20 @@ func New(cfg Config) *Server {
 		s.replacements.Add(1)
 		s.cache.DropPrefix("graph=" + name + ";")
 		s.sketches.RebindGraph(name, g)
+	}
+	// A mutated graph keeps its lineage: instead of evicting the name's
+	// sketches, schedule incremental background repairs for them. Until a
+	// sketch's repair lands, its fingerprint no longer matches the new
+	// snapshot, so the planner routes the name's queries to cold backends —
+	// stale samples are repaired or bypassed, never silently served.
+	s.reg.onMutate = func(name string, g *holisticim.Graph, version uint64, dirty []holisticim.NodeID) {
+		s.mutations.Add(1)
+		s.cache.DropPrefix("graph=" + name + ";")
+		s.sketches.ScheduleRepair(name, g, version, dirty, s.cfg.RepairMaxHops,
+			func(key string, fn JobFunc) error {
+				_, _, err := s.jobs.Submit(key, 0, fn)
+				return err
+			})
 	}
 	s.mux = http.NewServeMux()
 	s.routes()
@@ -220,23 +246,28 @@ func (s *Server) SelectionsRun() int64 { return s.selections.Load() }
 // Stats snapshots the serving counters.
 func (s *Server) Stats() ServerStats {
 	skCount, skSets, skBytes, skBuilds := s.sketches.Totals()
+	repairs, repairedSets, repairsFailed := s.sketches.RepairTotals()
 	return ServerStats{
-		Graphs:             s.reg.Len(),
-		QueriesRun:         s.queries.Load(),
-		CacheSize:          s.cache.Len(),
-		CacheHits:          s.cache.Hits(),
-		CacheMisses:        s.cache.Misses(),
-		JobsSubmitted:      s.jobs.Submitted(),
-		JobsDeduped:        s.jobs.Deduped(),
-		JobsCanceled:       s.jobs.Canceled(),
-		SelectionsRun:      s.selections.Load(),
-		Sketches:           skCount,
-		SketchSets:         skSets,
-		SketchMemoryBytes:  skBytes,
-		SketchBuilds:       skBuilds,
-		SketchFastPathHits: s.sketchHits.Load(),
-		SketchEstimateHits: s.sketchEstimates.Load(),
-		GraphReplacements:  s.replacements.Load(),
+		Graphs:               s.reg.Len(),
+		QueriesRun:           s.queries.Load(),
+		CacheSize:            s.cache.Len(),
+		CacheHits:            s.cache.Hits(),
+		CacheMisses:          s.cache.Misses(),
+		JobsSubmitted:        s.jobs.Submitted(),
+		JobsDeduped:          s.jobs.Deduped(),
+		JobsCanceled:         s.jobs.Canceled(),
+		SelectionsRun:        s.selections.Load(),
+		Sketches:             skCount,
+		SketchSets:           skSets,
+		SketchMemoryBytes:    skBytes,
+		SketchBuilds:         skBuilds,
+		SketchFastPathHits:   s.sketchHits.Load(),
+		SketchEstimateHits:   s.sketchEstimates.Load(),
+		GraphReplacements:    s.replacements.Load(),
+		GraphMutations:       s.mutations.Load(),
+		SketchRepairs:        repairs,
+		SketchRepairedSets:   repairedSets,
+		SketchRepairFailures: repairsFailed,
 	}
 }
 
@@ -252,6 +283,7 @@ func (s *Server) routes() {
 	s.handle("GET /v1/graphs", s.handleListGraphs)
 	s.handle("POST /v1/graphs", s.handleAddGraph)
 	s.handle("GET /v1/graphs/{name}", s.handleGraphStats)
+	s.handle("POST /v1/graphs/{name}/edges", s.handleMutateGraph)
 	s.handle("GET /v1/sketches", s.handleListSketches)
 	s.handle("POST /v1/sketches", s.handleBuildSketch)
 	s.handle("GET /v1/sketches/{id}", s.handleSketchInfo)

@@ -1,11 +1,13 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/holisticim/holisticim"
 	"github.com/holisticim/holisticim/internal/ris"
@@ -48,6 +50,10 @@ type SketchRegistry struct {
 	maxSketches int
 	entries     map[string]*sketchEntry
 	builds      int64 // completed builds/loads, for /v1/stats
+
+	repairs       atomic.Int64 // completed incremental repairs, for /v1/stats
+	repairedSets  atomic.Int64 // RR sets resampled across all repairs
+	repairsFailed atomic.Int64 // repairs that failed (the sketch was evicted)
 }
 
 type sketchEntry struct {
@@ -56,6 +62,26 @@ type sketchEntry struct {
 	semantics string
 	epsilon   float64
 	seed      uint64
+
+	repair repairState
+}
+
+// repairState coalesces mutation batches into background repairs for one
+// sketch. ScheduleRepair merges each batch's dirty set under the lock
+// and starts one drain job when none is running; the drain loop's
+// check-and-clear also runs under the lock, so a batch arriving while a
+// repair is in flight is either folded into the current drain iteration
+// or picked up by the next — never lost. Coalescing is sound because
+// repairing the union of several batches' dirty sets against the latest
+// snapshot yields the same sample as repairing batch by batch: a set is
+// resampled iff it ever contained a dirty node, and resampling is a pure
+// function of (latest graph, seed, set index).
+type repairState struct {
+	mu             sync.Mutex
+	pendingDirty   map[holisticim.NodeID]struct{}
+	pendingGraph   *holisticim.Graph
+	pendingVersion uint64
+	running        bool
 }
 
 // NewSketchRegistry returns an empty sketch registry.
@@ -121,18 +147,137 @@ func (e *sketchEntry) info(id string) SketchInfo {
 	st := e.idx.Stats()
 	p := e.idx.Params()
 	return SketchInfo{
-		ID:          id,
-		Graph:       e.graph,
-		Model:       e.semantics,
-		Epsilon:     e.epsilon,
-		Seed:        e.seed,
-		BuildK:      p.BuildK,
-		Sets:        st.Sets,
-		OrderLen:    st.OrderLen,
-		Selects:     st.Selects,
-		Extensions:  st.Extensions,
-		MemoryBytes: st.MemoryBytes,
+		ID:           id,
+		Graph:        e.graph,
+		Model:        e.semantics,
+		Epsilon:      e.epsilon,
+		Seed:         e.seed,
+		BuildK:       p.BuildK,
+		Sets:         st.Sets,
+		OrderLen:     st.OrderLen,
+		Selects:      st.Selects,
+		Extensions:   st.Extensions,
+		MemoryBytes:  st.MemoryBytes,
+		GraphVersion: e.idx.GraphVersion(),
+		StaleSets:    e.idx.StaleSets(),
+		Staleness:    e.idx.Staleness(),
 	}
+}
+
+// ScheduleRepair queues incremental repairs for every sketch registered
+// against graphName after a mutation to (g, version) with the given
+// dirty nodes. Batches coalesce per sketch (see repairState); at most
+// one drain job runs per sketch at a time, submitted through submit —
+// typically a closure over the server's job manager, so repairs share
+// the bounded worker pool with selections. A repair that fails evicts
+// its sketch: a sample that could not be resynchronized must never serve
+// the fast path again. Returns how many sketches had work scheduled.
+func (r *SketchRegistry) ScheduleRepair(graphName string, g *holisticim.Graph, version uint64, dirty []holisticim.NodeID, maxHops int, submit func(key string, fn JobFunc) error) int {
+	r.mu.RLock()
+	targets := make(map[string]*sketchEntry)
+	for id, e := range r.entries {
+		if e.graph == graphName {
+			targets[id] = e
+		}
+	}
+	r.mu.RUnlock()
+
+	scheduled := 0
+	for id, e := range targets {
+		st := &e.repair
+		st.mu.Lock()
+		if st.pendingDirty == nil {
+			st.pendingDirty = make(map[holisticim.NodeID]struct{}, len(dirty))
+		}
+		for _, d := range dirty {
+			st.pendingDirty[d] = struct{}{}
+		}
+		// Latest snapshot wins: repairing the accumulated union against it
+		// subsumes every intermediate version.
+		st.pendingGraph = g
+		st.pendingVersion = version
+		start := !st.running
+		if start {
+			st.running = true
+		}
+		st.mu.Unlock()
+		scheduled++
+		if !start {
+			continue
+		}
+		// The version in the key makes every submission unique: a plain
+		// per-sketch key could collide with a drain job that already set
+		// running=false but whose single-flight entry the manager has not
+		// yet cleared — the new submission would dedup against it, drop
+		// its JobFunc, and strand the pending work.
+		key := fmt.Sprintf("sketchrepair:%s:v%d", id, version)
+		if err := submit(key, r.drainFunc(id, e, maxHops)); err != nil {
+			// Queue full: the sketch cannot be repaired now and must not
+			// keep serving the old content's fast path.
+			st.mu.Lock()
+			st.running = false
+			st.mu.Unlock()
+			r.repairsFailed.Add(1)
+			r.Evict(id)
+		}
+	}
+	return scheduled
+}
+
+// drainFunc returns the JobFunc that drains one sketch's pending repairs.
+func (r *SketchRegistry) drainFunc(id string, e *sketchEntry, maxHops int) JobFunc {
+	return func(ctx context.Context, report func(int)) (any, error) {
+		st := &e.repair
+		total := 0
+		for {
+			st.mu.Lock()
+			if len(st.pendingDirty) == 0 {
+				st.running = false
+				st.mu.Unlock()
+				return nil, nil
+			}
+			dirty := make([]holisticim.NodeID, 0, len(st.pendingDirty))
+			for d := range st.pendingDirty {
+				dirty = append(dirty, d)
+			}
+			st.pendingDirty = make(map[holisticim.NodeID]struct{})
+			g := st.pendingGraph
+			ver := st.pendingVersion
+			st.mu.Unlock()
+
+			stats, err := e.idx.Repair(ctx, g, dirty, ver, holisticim.SketchRepairOptions{MaxHops: maxHops})
+			if err != nil {
+				st.mu.Lock()
+				st.running = false
+				st.mu.Unlock()
+				r.repairsFailed.Add(1)
+				r.Evict(id)
+				return nil, fmt.Errorf("service: repair sketch %s: %w", id, err)
+			}
+			r.repairs.Add(1)
+			r.repairedSets.Add(int64(stats.Resampled))
+			total += stats.Resampled
+			report(total)
+		}
+	}
+}
+
+// CountFor returns how many sketches are registered for graphName.
+func (r *SketchRegistry) CountFor(graphName string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, e := range r.entries {
+		if e.graph == graphName {
+			n++
+		}
+	}
+	return n
+}
+
+// RepairTotals returns the registry-wide repair counters for /v1/stats.
+func (r *SketchRegistry) RepairTotals() (repairs, sets, failed int64) {
+	return r.repairs.Load(), r.repairedSets.Load(), r.repairsFailed.Load()
 }
 
 // List returns the registered sketches' summaries, sorted by id.

@@ -247,6 +247,11 @@ type GraphInfo struct {
 	Arcs        int64  `json:"arcs"`
 	Source      string `json:"source"`
 	MemoryBytes int64  `json:"memory_bytes"`
+	// Version is the mutation-log version of the current snapshot: 0 for
+	// a never-mutated graph, incremented by every applied edge batch
+	// (POST /v1/graphs/{name}/edges). An operator Replace resets it — the
+	// lineage restarts with the new content.
+	Version uint64 `json:"version"`
 }
 
 // GraphStats extends GraphInfo with the Table-2 style statistics computed
@@ -315,6 +320,45 @@ func (s GraphSpec) effectiveArcs() int64 {
 	}
 }
 
+// EdgeOpSpec is one edge operation of a mutation batch: "add" (the arc
+// must be absent; omitted parameters default to zero), "remove" (must
+// exist) or "reweight" (must exist; at least one parameter set, omitted
+// ones keep their values). Parameters are pointers so a reweight can
+// distinguish "set to zero" from "keep current".
+type EdgeOpSpec struct {
+	Op   string   `json:"op"`
+	From int32    `json:"from"`
+	To   int32    `json:"to"`
+	P    *float64 `json:"p,omitempty"`
+	Phi  *float64 `json:"phi,omitempty"`
+	W    *float64 `json:"w,omitempty"`
+}
+
+// MutateRequest is the body of POST /v1/graphs/{name}/edges: a batch of
+// edge operations applied atomically — either every op is valid and the
+// graph advances one version, or the error names the first offending op
+// and nothing changes. RebalanceLT re-derives w(u,v)=1/indeg(v) for
+// every in-edge of each touched target after the batch.
+type MutateRequest struct {
+	Ops         []EdgeOpSpec `json:"ops"`
+	RebalanceLT bool         `json:"rebalance_lt,omitempty"`
+}
+
+// MutateResponse reports an applied batch: the new mutation-log version,
+// the new snapshot's shape, and the dirty nodes (targets of the batch's
+// operations) that drive incremental sketch repair.
+type MutateResponse struct {
+	Graph   string  `json:"graph"`
+	Version uint64  `json:"version"`
+	Nodes   int32   `json:"nodes"`
+	Arcs    int64   `json:"arcs"`
+	Applied int     `json:"applied"`
+	Dirty   []int32 `json:"dirty"`
+	// RepairsScheduled counts the sketches a background incremental
+	// repair was queued for.
+	RepairsScheduled int `json:"repairs_scheduled"`
+}
+
 // SketchSpec asks POST /v1/sketches to build an RR-sketch index over a
 // registered graph. The build runs as an async job on the shared worker
 // pool; the resulting index is keyed by (graph, RR semantics of model,
@@ -349,6 +393,14 @@ type SketchInfo struct {
 	Selects     int64   `json:"selects"`
 	Extensions  int64   `json:"extensions"`
 	MemoryBytes int64   `json:"memory_bytes"`
+	// GraphVersion is the mutation-log version the sample is synchronized
+	// to; compare against the graph's version to see repair lag. StaleSets
+	// counts RR sets a hop-bounded repair deliberately left describing
+	// older content, and Staleness is that count as a fraction of Sets —
+	// both zero when the server runs exact repairs (the default).
+	GraphVersion uint64  `json:"graph_version"`
+	StaleSets    int     `json:"stale_sets"`
+	Staleness    float64 `json:"staleness"`
 }
 
 // ServerStats reports serving counters for GET /v1/stats.
@@ -379,4 +431,11 @@ type ServerStats struct {
 	SketchFastPathHits int64 `json:"sketch_fastpath_hits"`
 	SketchEstimateHits int64 `json:"sketch_estimate_hits"`
 	GraphReplacements  int64 `json:"graph_replacements"`
+	// Live-graph metrics: applied edge batches, completed incremental
+	// sketch repairs, RR sets resampled across them, and repairs that
+	// failed (each failure evicts its sketch).
+	GraphMutations       int64 `json:"graph_mutations"`
+	SketchRepairs        int64 `json:"sketch_repairs"`
+	SketchRepairedSets   int64 `json:"sketch_repaired_sets"`
+	SketchRepairFailures int64 `json:"sketch_repair_failures"`
 }

@@ -1,0 +1,281 @@
+package sketch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/holisticim/holisticim/internal/graph"
+	"github.com/holisticim/holisticim/internal/ris"
+)
+
+// RepairOptions tunes one Repair call.
+type RepairOptions struct {
+	// MaxHops, when positive, bounds the refresh: candidate sets whose
+	// dirty nodes all sit deeper than MaxHops walk positions from the root
+	// are NOT resampled this call — they are marked stale and picked up by
+	// the next exact repair (MaxHops = 0). Walk position is the exact hop
+	// depth for LT/OC walks (sets store the walk in order) and a
+	// conservative ordering proxy for IC BFS sets (discovery position
+	// upper-bounds nothing below the true depth, so a hop-bounded IC
+	// refresh may defer a set whose dirty node is actually shallow — it
+	// never resamples MORE than an exact repair would). Bounded staleness
+	// for sustained churn, in the spirit of hop-based approximate IM.
+	MaxHops int
+	// Workers bounds parallel resampling (default: the index's build
+	// workers). Cannot change the resampled sets.
+	Workers int
+}
+
+// RepairStats reports what one Repair call did.
+type RepairStats struct {
+	Candidates int    // sets containing a dirty node (plus stale backlog on exact repairs)
+	Resampled  int    // sets resampled against the new snapshot
+	Changed    int    // resampled sets whose contents actually differ
+	Deferred   int    // candidates skipped by MaxHops this call
+	Stale      int    // total stale sets after the call
+	Version    uint64 // the version the index now advertises
+}
+
+// GraphVersion returns the mutation-log version the sample is
+// synchronized to (0 until SetGraphVersion or Repair stamps one).
+func (x *Index) GraphVersion() uint64 {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.graphVersion
+}
+
+// SetGraphVersion stamps the version of the graph content the index was
+// built (or loaded) against. Serving layers call it once at registration
+// so later repairs advance from the right baseline.
+func (x *Index) SetGraphVersion(v uint64) {
+	x.mu.Lock()
+	x.graphVersion = v
+	x.mu.Unlock()
+}
+
+// StaleSets returns how many sets a hop-bounded repair left describing
+// older content. Zero after every exact repair.
+func (x *Index) StaleSets() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return len(x.stale)
+}
+
+// Repair re-synchronizes the index with a mutated snapshot of its graph
+// without rebuilding: g is the new content, dirty the mutated edges'
+// target nodes (live.BatchResult.Dirty, or the union of several batches'
+// dirty sets — repairs coalesce), newVersion the mutation-log version g
+// carries.
+//
+// Correctness rests on the samplers' locality: both reverse samplers
+// read the in-edge list of a node only AFTER adding that node to the
+// set, and every mutated edge's reads key off its target. An RR set
+// containing no dirty node therefore replays byte-identically on g, and
+// resampling exactly the sets that DO contain one — deterministically,
+// from the same per-index split streams (Seed, id) — yields a collection
+// byte-identical to a from-scratch generation of the same count over g.
+// The node count must be unchanged (the root draw depends on n); Repair
+// errors otherwise and the caller must rebuild.
+//
+// The memoized greedy order is invalidated only when a resampled set
+// actually changed; repairs that touch nothing (or replay identically)
+// keep serving the memoized order untouched. After an exact repair the
+// index's fingerprint matches g, so Matches — and every serving fast
+// path behind it — accepts the new snapshot; until then the fingerprints
+// disagree and planners re-route queries to cold backends rather than
+// silently serving stale samples. A hop-bounded repair also re-matches
+// the index to g but leaves Stale > 0, advertising exactly how much of
+// the sample still describes older content.
+func (x *Index) Repair(ctx context.Context, g *graph.Graph, dirty []graph.NodeID, newVersion uint64, opts RepairOptions) (RepairStats, error) {
+	if g == nil {
+		return RepairStats{}, errors.New("sketch: repair against nil graph")
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if g.NumNodes() != x.g.NumNodes() {
+		return RepairStats{}, fmt.Errorf("sketch: node count changed (%d -> %d); repair cannot preserve the sample, rebuild instead",
+			x.g.NumNodes(), g.NumNodes())
+	}
+	if err := ctx.Err(); err != nil {
+		return RepairStats{}, err
+	}
+
+	// Candidates: every set whose walk touched a dirty node, via the
+	// inverted index of the CURRENT sample. An exact repair also drains
+	// the stale backlog a previous hop-bounded refresh left behind.
+	n := x.g.NumNodes()
+	dirtyMark := make(map[graph.NodeID]struct{}, len(dirty))
+	candSet := make(map[int32]struct{})
+	for _, d := range dirty {
+		if d < 0 || d >= n {
+			return RepairStats{}, fmt.Errorf("sketch: dirty node %d out of range [0,%d)", d, n)
+		}
+		dirtyMark[d] = struct{}{}
+		for _, sid := range x.col.SetsContaining(d) {
+			candSet[sid] = struct{}{}
+		}
+	}
+	st := RepairStats{Candidates: len(candSet), Version: newVersion}
+
+	// Hop-bounded mode: defer candidates whose dirty nodes all sit deeper
+	// than MaxHops positions into the walk. The root is position 0.
+	resample := make([]int32, 0, len(candSet))
+	sets := x.col.Sets()
+	for sid := range candSet {
+		if opts.MaxHops > 0 {
+			minPos := -1
+			for pos, v := range sets[sid] {
+				if _, ok := dirtyMark[v]; ok {
+					minPos = pos
+					break
+				}
+			}
+			if minPos > opts.MaxHops {
+				if x.stale == nil {
+					x.stale = make(map[int32]struct{})
+				}
+				x.stale[sid] = struct{}{}
+				st.Deferred++
+				continue
+			}
+		}
+		resample = append(resample, sid)
+	}
+	if opts.MaxHops <= 0 && len(x.stale) > 0 {
+		for sid := range x.stale {
+			if _, already := candSet[sid]; !already {
+				resample = append(resample, sid)
+				st.Candidates++
+			}
+		}
+	}
+	sort.Slice(resample, func(i, j int) bool { return resample[i] < resample[j] })
+
+	// Resample the candidates against the NEW snapshot, from the same
+	// per-index split streams — workers cannot change the contents.
+	fresh, err := x.resampleLocked(ctx, g, resample, opts.Workers)
+	if err != nil {
+		return st, err
+	}
+
+	// Install: rebind everything to the new snapshot, replace only the
+	// sets that actually changed (one batched inverted-index pass — the
+	// candidates are size-biased toward hub-heavy sets, so per-set row
+	// splicing would dwarf the resampling itself), refresh the width.
+	x.g = g
+	x.fp = g.Fingerprint()
+	x.col.Rebind(g)
+	changedIDs := make([]int32, 0, len(resample))
+	changedSets := make([][]graph.NodeID, 0, len(resample))
+	for i, sid := range resample {
+		if !equalSets(sets[sid], fresh[i]) {
+			changedIDs = append(changedIDs, sid)
+			changedSets = append(changedSets, fresh[i])
+		}
+		delete(x.stale, sid)
+		st.Resampled++
+	}
+	x.col.ReplaceSets(changedIDs, changedSets)
+	st.Changed = len(changedIDs)
+	x.col.RecomputeWidth()
+	x.graphVersion = newVersion
+	st.Stale = len(x.stale)
+
+	// Targeted invalidation: the memoized greedy state is a pure function
+	// of the collection, so it survives whenever nothing changed. When
+	// something did, rebuild the counters and re-derive the build-phase
+	// OPT lower bound at BuildK against the repaired sample (the stored lb
+	// described the old content).
+	if st.Changed > 0 {
+		x.resetGreedyLocked()
+		if x.col.Len() > 0 {
+			x.extendOrderLocked(x.params.BuildK)
+			frac := float64(x.orderCov[len(x.order)-1]) / float64(x.col.Len())
+			x.lb = float64(n) * frac / (1 + ris.IMMEpsPrime(x.params.Epsilon))
+		}
+	}
+	return st, nil
+}
+
+// resampleLocked regenerates the given set indices from their (Seed, id)
+// streams against g, in id order, without touching the collection.
+func (x *Index) resampleLocked(ctx context.Context, g *graph.Graph, ids []int32, workers int) ([][]graph.NodeID, error) {
+	if workers <= 0 {
+		workers = x.params.Workers
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([][]graph.NodeID, len(ids))
+	if len(ids) == 0 {
+		return out, nil
+	}
+	const parallelMin = 256
+	if workers <= 1 || len(ids) < parallelMin {
+		smp := ris.NewSampler(g, x.params.Kind)
+		for i, sid := range ids {
+			if i%64 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			out[i] = smp.Sample(x.params.Seed, uint64(sid))
+		}
+		return out, nil
+	}
+	var wg sync.WaitGroup
+	chunk := (len(ids) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(ids) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(ids) {
+			hi = len(ids)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			smp := ris.NewSampler(g, x.params.Kind)
+			for i := lo; i < hi; i++ {
+				if ctx.Err() != nil {
+					return
+				}
+				out[i] = smp.Sample(x.params.Seed, uint64(ids[i]))
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func equalSets(a, b []graph.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Staleness returns the fraction of the sample a hop-bounded repair left
+// describing older content — 0 for a fully synchronized index.
+func (x *Index) Staleness() float64 {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if n := x.col.Len(); n > 0 {
+		return float64(len(x.stale)) / float64(n)
+	}
+	return 0
+}

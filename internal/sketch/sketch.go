@@ -101,6 +101,13 @@ type Index struct {
 	col    *ris.Collection
 	lb     float64 // lower bound on OPT_{BuildK} from the build phase
 
+	// Live-graph repair state: the mutation-log version the sample is
+	// synchronized to (0 for an index over a never-mutated graph), and the
+	// ids of sets a hop-bounded repair deliberately left describing older
+	// content (see Repair and RepairOptions.MaxHops).
+	graphVersion uint64
+	stale        map[int32]struct{}
+
 	// Memoized incremental greedy max-coverage state over col. order is
 	// the greedy seed permutation computed so far; orderCov[i] is the
 	// number of sets covered by order[:i+1]. Extensions reset all of it.
@@ -521,8 +528,12 @@ func (x *Index) SelectPrefixes(ctx context.Context, ks []int) ([]im.Result, erro
 	if len(ks) == 0 {
 		return nil, errors.New("sketch: empty batch")
 	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
 	kmax := 0
 	for _, k := range ks {
+		// Validation reads x.g, which Repair swaps — it must sit inside
+		// the critical section with everything else.
 		if err := im.CheckK(k, x.g.NumNodes()); err != nil {
 			return nil, err
 		}
@@ -530,8 +541,6 @@ func (x *Index) SelectPrefixes(ctx context.Context, ks []int) ([]im.Result, erro
 			kmax = k
 		}
 	}
-	x.mu.Lock()
-	defer x.mu.Unlock()
 	full, err := x.selectLocked(ctx, kmax)
 	if err != nil {
 		// Salvage what the interrupted kmax run selected: complete

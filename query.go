@@ -289,12 +289,14 @@ func planSelect(g *Graph, q Query) Plan {
 			o.Model.RRSemantics(), o.Epsilon, o.Seed)
 	case cold == BackendRIS:
 		reason = fmt.Sprintf("cold %s run: RR sets sampled on demand", alg)
-		if o.Sketch != nil && o.TIMThetaCap != 0 {
-			reason += fmt.Sprintf(" (θ cap %d opts out of the attached sketch)", o.TIMThetaCap)
-		}
 		if batch {
 			shared = fmt.Sprintf("rr-collection(kmax=%d)", kmax)
 			reason = fmt.Sprintf("batch of %d budgets amortizes one RR collection sized for kmax=%d; smaller budgets are greedy prefixes", len(q.Ks), kmax)
+		}
+		if o.Sketch != nil && o.TIMThetaCap != 0 {
+			reason += fmt.Sprintf(" (θ cap %d opts out of the attached sketch)", o.TIMThetaCap)
+		} else if o.Sketch != nil {
+			reason += " (attached sketch does not match the graph content — likely awaiting repair after a mutation — so the cold path serves)"
 		}
 	case cold == BackendMC:
 		reason = fmt.Sprintf("simulation-driven selection (%d Monte-Carlo runs per evaluation)", o.MCRuns)

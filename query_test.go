@@ -3,6 +3,7 @@ package holisticim
 import (
 	"context"
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 )
@@ -264,6 +265,42 @@ func TestPlanExplain(t *testing.T) {
 		if ex == "" {
 			t.Fatal("empty explain line")
 		}
+	}
+
+	// A sketch left behind by a mutation is never silently served: the
+	// planner re-routes to the cold backend and says why.
+	lv := WrapLive(g, LiveOptions{})
+	res, err := lv.Apply(context.Background(), []EdgeOp{{Op: OpRemoveEdge, From: 0, To: g.OutNeighbors(0)[0]}}, ApplyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newG := lv.Graph()
+	plan, err = PlanQuery(newG, Query{Algorithm: AlgIMM, K: 5, Options: Options{Epsilon: 0.3, Seed: 5, Sketch: sk}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.SketchOnly() || plan.Steps[0].Backend != BackendRIS {
+		t.Fatalf("stale sketch still planned: %v", plan.Explain())
+	}
+	stale := false
+	for _, ex := range plan.Explain() {
+		if strings.Contains(ex, "awaiting repair") {
+			stale = true
+		}
+	}
+	if !stale {
+		t.Fatalf("stale-sketch plan does not say why: %v", plan.Explain())
+	}
+	// After repair the sketch matches the new snapshot and serves again.
+	if _, err := sk.Repair(context.Background(), newG, res.Dirty, res.Version, SketchRepairOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	plan, err = PlanQuery(newG, Query{Algorithm: AlgIMM, K: 5, Options: Options{Epsilon: 0.3, Seed: 5, Sketch: sk}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.SketchOnly() {
+		t.Fatalf("repaired sketch not planned: %v", plan.Explain())
 	}
 
 	// Validation errors surface from the planner.
