@@ -1,0 +1,110 @@
+// Command imrouter is the cluster front door: a scatter-gather router
+// that consistent-hashes queries onto a fixed set of imserver replicas.
+//
+// Every replica warm-loads the same snapshot store (imserver -store), so
+// any replica can answer any query and routing is purely a cache-
+// affinity and load decision: a key's rendezvous owners are preferred,
+// batch /v2/query members scatter across the owner set in parallel when
+// the cluster holds a matching sketch, and slow or shedding replicas
+// are hedged and failed over within a bounded retry budget. Because
+// sketch-served answers are deterministic functions of the snapshot,
+// failover never changes a result — a routed batch is byte-equivalent
+// to the same batch on a single node.
+//
+// Usage:
+//
+//	imrouter -addr :9090 \
+//	  -replica http://127.0.0.1:8081 \
+//	  -replica http://127.0.0.1:8082 \
+//	  -replica http://127.0.0.1:8083
+//
+// Flags:
+//
+//	-addr string         listen address (default ":9090")
+//	-replica url         an imserver base URL (repeat once per replica)
+//	-replication int     rendezvous owners per key (default 2)
+//	-poll duration       replica health-poll interval (default 1s)
+//	-hedge duration      wait before hedging to the next candidate (default 250ms)
+//	-retries int         failover attempts after the first (default: all replicas)
+//	-drain duration      graceful-shutdown budget on SIGTERM (default 10s)
+//
+// The router serves the same /v1 and /v2 surface as a replica, plus:
+//
+//	GET /healthz           router liveness
+//	GET /readyz            503 until at least one replica is healthy
+//	GET /v1/cluster/info   per-replica health, readiness and manifest view
+//
+// Job ids returned through the router carry an r<N>- prefix naming the
+// owning replica, so GET /v2/jobs/{id} (and /events) route back to it.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/holisticim/holisticim/internal/cluster"
+)
+
+func main() {
+	var replicas []string
+	var (
+		addr        = flag.String("addr", ":9090", "listen address")
+		replication = flag.Int("replication", 2, "rendezvous owners per key")
+		poll        = flag.Duration("poll", time.Second, "replica health-poll interval")
+		hedge       = flag.Duration("hedge", 250*time.Millisecond, "wait before hedging to the next candidate")
+		retries     = flag.Int("retries", 0, "failover attempts after the first (0 = all replicas)")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget on SIGTERM")
+	)
+	flag.Func("replica", "an imserver base URL (repeat once per replica)", func(v string) error {
+		replicas = append(replicas, v)
+		return nil
+	})
+	flag.Parse()
+
+	rt, err := cluster.NewRouter(cluster.RouterConfig{
+		Replicas:     replicas,
+		Replication:  *replication,
+		PollInterval: *poll,
+		HedgeDelay:   *hedge,
+		Retries:      *retries,
+	})
+	if err != nil {
+		log.Fatalf("imrouter: %v", err)
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	// Populate health before accepting traffic, then keep polling.
+	rt.PollOnce(ctx)
+	go rt.Run(ctx)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		cancel()
+		log.Print("shutting down (press again to force)")
+		shutCtx, shutCancel := context.WithTimeout(context.Background(), *drain)
+		defer shutCancel()
+		_ = httpSrv.Shutdown(shutCtx)
+	}()
+
+	log.Printf("imrouter listening on %s (%d replicas, replication %d)", *addr, len(replicas), *replication)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("imrouter: %v", err)
+	}
+	<-drained
+}

@@ -24,10 +24,21 @@
 //	-demo n             preload "demo": a BA graph with n nodes, p=0.1,
 //	                    normal opinions and random interactions (0 = off)
 //	-allow-path-load    let POST /v1/graphs read server-local files
+//	-store dir          warm-load graphs and sketches from a shared
+//	                    snapshot store (see imsketch -publish); /readyz
+//	                    answers 503 until the manifest is fully loaded
+//	-watch duration     keep watching the store for manifest updates
+//	                    (default 2s when -store is set; 0 = load once)
+//	-advertise url      the address routers should reach this replica at,
+//	                    echoed in GET /v1/cluster/info
+//	-drain duration     graceful-shutdown budget for in-flight requests
+//	                    and running jobs on SIGTERM (default 10s)
 //
 // Endpoints:
 //
 //	GET  /healthz            liveness
+//	GET  /readyz             readiness (503 while warm-loading/draining)
+//	GET  /v1/cluster/info    replica self-description for routers
 //	GET  /v1/stats           serving counters (cache hits, jobs, sketches, ...)
 //	GET  /v1/graphs          registered graphs
 //	POST /v1/graphs          register a graph (generator spec or path)
@@ -88,6 +99,7 @@ import (
 	"time"
 
 	"github.com/holisticim/holisticim"
+	"github.com/holisticim/holisticim/internal/cluster"
 	"github.com/holisticim/holisticim/internal/service"
 )
 
@@ -96,11 +108,15 @@ func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
 		workers   = flag.Int("workers", 2, "concurrent selection jobs")
-		queueCap  = flag.Int("queue", 64, "queued-job capacity before 503")
+		queueCap  = flag.Int("queue", 64, "queued-job capacity before 429")
 		cacheSize = flag.Int("cache", 256, "LRU result-cache entries")
 		maxJobs   = flag.Int("max-jobs", 1024, "retained job records")
 		demo      = flag.Int("demo", 0, "preload a demo BA graph with this many nodes (0 = off)")
 		allowPath = flag.Bool("allow-path-load", false, "let POST /v1/graphs read server-local files")
+		storeDir  = flag.String("store", "", "warm-load from this shared snapshot store directory")
+		watch     = flag.Duration("watch", 2*time.Second, "store re-sync interval (0 = load once)")
+		advertise = flag.String("advertise", "", "address routers should reach this replica at")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget on SIGTERM")
 	)
 	flag.Func("load", "preload a graph as name=path (repeatable)", func(v string) error {
 		if !strings.Contains(v, "=") {
@@ -124,6 +140,10 @@ func main() {
 		CacheSize:     *cacheSize,
 		MaxJobs:       *maxJobs,
 		AllowPathLoad: *allowPath,
+		// With a store configured the replica starts cold: /readyz flips
+		// only once the watcher loads the full manifest.
+		ColdStart: *storeDir != "",
+		Advertise: *advertise,
 	})
 	defer srv.Close()
 
@@ -164,6 +184,35 @@ func main() {
 	}
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
+
+	if *storeDir != "" {
+		st, err := cluster.OpenStore(*storeDir)
+		if err != nil {
+			log.Fatalf("imserver: -store %s: %v", *storeDir, err)
+		}
+		watcher := cluster.NewWatcher(st, srv, *watch)
+		watcher.OnSync = func(res cluster.SyncResult, err error) {
+			switch {
+			case err != nil:
+				log.Printf("store sync: %v", err)
+			case res.GraphsLoaded+res.SketchesLoaded+res.SketchesEvicted > 0:
+				log.Printf("store sync: manifest v%d (%d graphs loaded, %d sketches loaded, %d evicted)",
+					res.ManifestVersion, res.GraphsLoaded, res.SketchesLoaded, res.SketchesEvicted)
+			}
+		}
+		// The first sync may fail (publisher not done yet); the replica
+		// stays NOT ready and the watch loop keeps retrying.
+		if _, err := watcher.SyncOnce(ctx); err != nil {
+			log.Printf("store sync: %v (replica not ready; retrying)", err)
+			if *watch <= 0 {
+				log.Fatalf("imserver: -watch 0 with a failing store load")
+			}
+		}
+		if *watch > 0 {
+			go watcher.Run(ctx)
+		}
+	}
+
 	drained := make(chan struct{})
 	go func() {
 		defer close(drained)
@@ -172,8 +221,13 @@ func main() {
 		// swallowed while we drain in-flight selections.
 		cancel()
 		log.Print("shutting down (press again to force)")
-		shutCtx, shutCancel := context.WithTimeout(context.Background(), 10*time.Second)
+		shutCtx, shutCancel := context.WithTimeout(context.Background(), *drain)
 		defer shutCancel()
+		// Flip /readyz first so routers stop sending traffic, then drain
+		// running jobs and in-flight HTTP within the same budget.
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Printf("job drain: %v", err)
+		}
 		_ = httpSrv.Shutdown(shutCtx)
 	}()
 

@@ -9,12 +9,17 @@
 //	imsketch -build -graph g.bin -out g.sketch [-model ic] [-eps 0.1] [-seed 1] [-k 50] [-workers 8]
 //	imsketch -info -sketch g.sketch
 //	imsketch -select -graph g.bin -sketch g.sketch -k 20
+//	imsketch -publish store/ -graph g.bin -name soc [-sketch g.sketch | -model ic -eps 0.1 ...]
 //
 // Modes (exactly one):
 //
 //	-build    sample a sketch over -graph and write it to -out
 //	-info     print a snapshot's header (no graph needed)
 //	-select   load -sketch against -graph and select -k seeds
+//	-publish  publish -graph (as -name) plus a sketch into a shared
+//	          snapshot-store directory for cluster replicas to warm-load
+//	          (see imserver -store); reuses the snapshot from -sketch when
+//	          given, otherwise builds one with the -build parameters
 //
 // -model oc builds an opinion-weighted sketch (snapshot format v2): the
 // same reverse live-edge walks as -model lt plus per-set root-opinion
@@ -31,33 +36,36 @@ import (
 	"time"
 
 	"github.com/holisticim/holisticim"
+	"github.com/holisticim/holisticim/internal/cluster"
 )
 
 func main() {
 	var (
-		build  = flag.Bool("build", false, "build a sketch over -graph and write it to -out")
-		info   = flag.Bool("info", false, "print a snapshot's header")
-		sel    = flag.Bool("select", false, "load -sketch against -graph and select -k seeds")
-		graphP = flag.String("graph", "", "graph file (edge-list or binary)")
-		sketch = flag.String("sketch", "", "sketch snapshot file")
-		out    = flag.String("out", "", "output snapshot path (build mode)")
-		model  = flag.String("model", "ic", "diffusion model; its family picks the RR semantics (ic or lt walks)")
-		eps    = flag.Float64("eps", 0.1, "IMM approximation slack epsilon")
-		seed   = flag.Uint64("seed", 1, "master sampling seed")
-		k      = flag.Int("k", 50, "build: theta budget build-k; select: seeds to pick")
-		worker = flag.Int("workers", 0, "parallel sampling goroutines (0 = GOMAXPROCS)")
-		maxSet = flag.Int("max-sets", 0, "cap on RR sets (0 = unbounded)")
+		build   = flag.Bool("build", false, "build a sketch over -graph and write it to -out")
+		info    = flag.Bool("info", false, "print a snapshot's header")
+		sel     = flag.Bool("select", false, "load -sketch against -graph and select -k seeds")
+		publish = flag.String("publish", "", "publish -graph and a sketch into this snapshot-store directory")
+		name    = flag.String("name", "", "graph name in the store (publish mode)")
+		graphP  = flag.String("graph", "", "graph file (edge-list or binary)")
+		sketch  = flag.String("sketch", "", "sketch snapshot file")
+		out     = flag.String("out", "", "output snapshot path (build mode)")
+		model   = flag.String("model", "ic", "diffusion model; its family picks the RR semantics (ic or lt walks)")
+		eps     = flag.Float64("eps", 0.1, "IMM approximation slack epsilon")
+		seed    = flag.Uint64("seed", 1, "master sampling seed")
+		k       = flag.Int("k", 50, "build: theta budget build-k; select: seeds to pick")
+		worker  = flag.Int("workers", 0, "parallel sampling goroutines (0 = GOMAXPROCS)")
+		maxSet  = flag.Int("max-sets", 0, "cap on RR sets (0 = unbounded)")
 	)
 	flag.Parse()
 
 	modes := 0
-	for _, m := range []bool{*build, *info, *sel} {
+	for _, m := range []bool{*build, *info, *sel, *publish != ""} {
 		if m {
 			modes++
 		}
 	}
 	if modes != 1 {
-		fmt.Fprintln(os.Stderr, "imsketch: pass exactly one of -build, -info, -select")
+		fmt.Fprintln(os.Stderr, "imsketch: pass exactly one of -build, -info, -select, -publish")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -115,6 +123,58 @@ func main() {
 		st := sk.Stats()
 		fmt.Printf("built %d RR sets in %v (%.1f MiB), snapshot %s\n",
 			st.Sets, built.Round(time.Millisecond), float64(st.MemoryBytes)/(1<<20), *out)
+
+	case *publish != "":
+		if *name == "" {
+			log.Fatal("imsketch: -publish needs -name (the graph's store name)")
+		}
+		g := loadGraph(*graphP)
+		var sk *holisticim.Sketch
+		var err error
+		if *sketch != "" {
+			f := mustOpen(*sketch, "-sketch")
+			sk, err = holisticim.ReadSketch(f, g)
+			f.Close()
+			if err != nil {
+				log.Fatalf("imsketch: %v", err)
+			}
+		} else {
+			start := time.Now()
+			sk, err = holisticim.BuildSketch(context.Background(), g, holisticim.SketchOptions{
+				Model:   holisticim.ModelKind(*model),
+				Epsilon: *eps,
+				Seed:    *seed,
+				BuildK:  *k,
+				Workers: *worker,
+				MaxSets: *maxSet,
+			})
+			if err != nil {
+				log.Fatalf("imsketch: %v", err)
+			}
+			fmt.Printf("built %d RR sets in %v\n", sk.Len(), time.Since(start).Round(time.Millisecond))
+		}
+		st, err := cluster.OpenStore(*publish)
+		if err != nil {
+			log.Fatalf("imsketch: %v", err)
+		}
+		// A file-loaded graph has no mutation log, so its published
+		// version is the sketch's own graph version (0 for a fresh pair) —
+		// replicas then see zero staleness.
+		ge, err := st.PublishGraph(*name, g, sk.GraphVersion())
+		if err != nil {
+			log.Fatalf("imsketch: publish graph: %v", err)
+		}
+		se, err := st.PublishSketch(*name, sk)
+		if err != nil {
+			log.Fatalf("imsketch: publish sketch: %v", err)
+		}
+		m, err := st.Manifest()
+		if err != nil {
+			log.Fatalf("imsketch: %v", err)
+		}
+		fmt.Printf("published graph %q (fingerprint %s) and sketch %q\n", ge.Name, ge.Fingerprint, se.ID)
+		fmt.Printf("store %s now at manifest v%d (%d graphs, %d sketches)\n",
+			*publish, m.Version, len(m.Graphs), len(m.Sketches))
 
 	case *sel:
 		g := loadGraph(*graphP)

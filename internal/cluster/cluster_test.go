@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/holisticim/holisticim"
+	"github.com/holisticim/holisticim/internal/service"
+)
+
+// Shared test fixture parameters: a small BA graph and a warm sketch
+// over it, published once per store.
+const (
+	testNodes = 1500
+	testEps   = 0.3
+	testSeed  = uint64(7)
+)
+
+func testGraph(t *testing.T, genSeed uint64) *holisticim.Graph {
+	t.Helper()
+	g := holisticim.GenerateBA(testNodes, 3, genSeed)
+	g.SetUniformProb(0.1)
+	return g
+}
+
+func testSketch(t *testing.T, g *holisticim.Graph) *holisticim.Sketch {
+	t.Helper()
+	idx, err := holisticim.BuildSketch(context.Background(), g, holisticim.SketchOptions{
+		Epsilon: testEps,
+		Seed:    testSeed,
+		BuildK:  16,
+	})
+	if err != nil {
+		t.Fatalf("build sketch: %v", err)
+	}
+	return idx
+}
+
+// publishPair publishes (graph, sketch) into the store under name.
+func publishPair(t *testing.T, st *Store, name string, g *holisticim.Graph) {
+	t.Helper()
+	idx := testSketch(t, g)
+	if _, err := st.PublishGraph(name, g, idx.GraphVersion()); err != nil {
+		t.Fatalf("publish graph: %v", err)
+	}
+	if _, err := st.PublishSketch(name, idx); err != nil {
+		t.Fatalf("publish sketch: %v", err)
+	}
+}
+
+// newReplica builds a cold service server, warm-loads it from the store
+// and exposes it over httptest. The watcher is returned for tests that
+// re-sync manually.
+func newReplica(t *testing.T, st *Store) (*service.Server, *Watcher, *httptest.Server) {
+	t.Helper()
+	s := service.New(service.Config{ColdStart: true})
+	t.Cleanup(s.Close)
+	w := NewWatcher(st, s, 0)
+	if _, err := w.SyncOnce(context.Background()); err != nil {
+		t.Fatalf("warm-load: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, w, ts
+}
+
+// postQuery posts a /v2 query and decodes the response, returning the
+// status, decoded body and raw response.
+func postQuery(t *testing.T, baseURL string, req service.QueryRequest) (int, service.QueryResponse, *http.Response) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(baseURL+"/v2/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v2/query: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qr service.QueryResponse
+	if err := json.Unmarshal(raw, &qr); err != nil {
+		t.Fatalf("decode %s: %v", raw, err)
+	}
+	return resp.StatusCode, qr, resp
+}
+
+// normalizeTiming zeroes the wall-clock fields, the only parts of a
+// sketch-served answer that legitimately differ between runs/replicas.
+func normalizeTiming(qr *service.QueryResponse) {
+	if qr.Answer == nil {
+		return
+	}
+	qr.Answer.TookMS = 0
+	for i := range qr.Answer.Members {
+		if qr.Answer.Members[i].Result != nil {
+			qr.Answer.Members[i].Result.TookMS = 0
+		}
+		if qr.Answer.Members[i].Estimate != nil {
+			qr.Answer.Members[i].Estimate.TookMS = 0
+		}
+	}
+}
+
+// mustJSON renders v as canonical JSON for byte-level comparison.
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

@@ -1,0 +1,300 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/holisticim/holisticim/internal/service"
+)
+
+// testCluster is 3 warm-loaded replicas behind a router, plus an
+// independent single-node reference server loaded from the same store.
+type testCluster struct {
+	store    *Store
+	single   *httptest.Server
+	replicas []*httptest.Server
+	servers  []*service.Server
+	router   *Router
+	front    *httptest.Server
+}
+
+func newTestCluster(t *testing.T) *testCluster {
+	t.Helper()
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	publishPair(t, st, "soc", testGraph(t, 1))
+
+	_, _, single := newReplica(t, st)
+	tc := &testCluster{store: st, single: single}
+	var urls []string
+	for i := 0; i < 3; i++ {
+		s, _, ts := newReplica(t, st)
+		tc.replicas = append(tc.replicas, ts)
+		tc.servers = append(tc.servers, s)
+		urls = append(urls, ts.URL)
+	}
+	rt, err := NewRouter(RouterConfig{Replicas: urls, Replication: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.PollOnce(context.Background())
+	tc.router = rt
+	tc.front = httptest.NewServer(rt.Handler())
+	t.Cleanup(tc.front.Close)
+	return tc
+}
+
+func batchRequest() service.QueryRequest {
+	return service.QueryRequest{
+		Graph:     "soc",
+		Algorithm: "imm",
+		Ks:        []int{2, 3, 5, 7, 8},
+		Options:   service.Options{Epsilon: testEps, Seed: testSeed},
+	}
+}
+
+// TestRoutedBatchByteEquivalentToSingleNode is the PR's acceptance
+// criterion: a 5-k batch /v2/query routed (scattered) over 3 replicas
+// must be byte-equivalent to the same batch on a single node — same
+// seeds, same metrics, same smaller-k-is-a-prefix invariant, same
+// per-member plan steps — with only wall-clock fields normalized. Then a
+// replica dies mid-run and the batch must still succeed, unchanged, via
+// failover.
+func TestRoutedBatchByteEquivalentToSingleNode(t *testing.T) {
+	tc := newTestCluster(t)
+	req := batchRequest()
+
+	code, want, _ := postQuery(t, tc.single.URL, req)
+	if code != http.StatusOK || !want.Sketch || want.Answer == nil {
+		t.Fatalf("single-node batch: status %d, %+v", code, want)
+	}
+
+	code, got, resp := postQuery(t, tc.front.URL, req)
+	if code != http.StatusOK {
+		t.Fatalf("routed batch: status %d, %+v", code, got)
+	}
+	if resp.Header.Get("X-Router-Scatter") != "1" {
+		t.Fatal("routed batch was not scattered")
+	}
+	normalizeTiming(&want)
+	normalizeTiming(&got)
+	if w, g := mustJSON(t, want), mustJSON(t, got); w != g {
+		t.Fatalf("routed batch differs from single node:\nsingle: %s\nrouted: %s", w, g)
+	}
+
+	// Prefix invariant on the routed answer itself.
+	full := got.Answer.Members[len(got.Answer.Members)-1].Result.Seeds
+	for _, m := range got.Answer.Members {
+		if len(m.Result.Seeds) != m.K {
+			t.Fatalf("member k=%d has %d seeds", m.K, len(m.Result.Seeds))
+		}
+		for i, sd := range m.Result.Seeds {
+			if sd != full[i] {
+				t.Fatalf("member k=%d diverges from the kmax order at %d", m.K, i)
+			}
+		}
+	}
+	for i, step := range got.Answer.Plan.Steps {
+		if step.Member != i {
+			t.Fatalf("plan step %d carries member %d", i, step.Member)
+		}
+	}
+
+	// Kill the key's preferred replica WITHOUT telling the router (no
+	// re-poll): routing must fail over on the live error and still
+	// produce the identical answer.
+	key := QueryKey("soc", "ic", testEps)
+	candidates, _ := tc.router.mem.rank(key, tc.router.cfg.Replication)
+	if len(candidates) == 0 {
+		t.Fatal("no candidates for key")
+	}
+	for _, ts := range tc.replicas {
+		if ts.URL == candidates[0] {
+			ts.Close()
+		}
+	}
+	code, after, _ := postQuery(t, tc.front.URL, req)
+	if code != http.StatusOK {
+		t.Fatalf("batch after replica death: status %d, %+v", code, after)
+	}
+	normalizeTiming(&after)
+	if w, g := mustJSON(t, want), mustJSON(t, after); w != g {
+		t.Fatalf("failover answer differs from single node:\nsingle: %s\nfailover: %s", w, g)
+	}
+
+	// Once the poller notices, the dead replica leaves the healthy set
+	// and answers keep flowing.
+	tc.router.PollOnce(context.Background())
+	if h := tc.router.mem.healthy(); len(h) != 2 {
+		t.Fatalf("healthy set after death: %v", h)
+	}
+	code, final, _ := postQuery(t, tc.front.URL, req)
+	if code != http.StatusOK {
+		t.Fatalf("batch after re-poll: status %d", code)
+	}
+	normalizeTiming(&final)
+	if w, g := mustJSON(t, want), mustJSON(t, final); w != g {
+		t.Fatal("post-repoll answer differs from single node")
+	}
+}
+
+// A single-member (non-batch) sketch query routes whole — no scatter —
+// and still matches the single node byte-for-byte.
+func TestRoutedSingleQueryMatchesSingleNode(t *testing.T) {
+	tc := newTestCluster(t)
+	req := service.QueryRequest{
+		Graph:     "soc",
+		Algorithm: "imm",
+		K:         6,
+		Options:   service.Options{Epsilon: testEps, Seed: testSeed},
+	}
+	code, want, _ := postQuery(t, tc.single.URL, req)
+	if code != http.StatusOK || !want.Sketch {
+		t.Fatalf("single-node: status %d, %+v", code, want)
+	}
+	code, got, resp := postQuery(t, tc.front.URL, req)
+	if code != http.StatusOK {
+		t.Fatalf("routed: status %d, %+v", code, got)
+	}
+	if resp.Header.Get("X-Router-Scatter") != "" {
+		t.Fatal("single-member query must not scatter")
+	}
+	if resp.Header.Get("X-Router-Replica") == "" {
+		t.Fatal("routed response does not name its serving replica")
+	}
+	normalizeTiming(&want)
+	normalizeTiming(&got)
+	if w, g := mustJSON(t, want), mustJSON(t, got); w != g {
+		t.Fatalf("routed single query differs:\nsingle: %s\nrouted: %s", w, g)
+	}
+}
+
+// Cold (non-sketch) queries become jobs; the router must prefix the job
+// id with the owning replica and route polls back to it.
+func TestRoutedColdJobRoundTrip(t *testing.T) {
+	tc := newTestCluster(t)
+	req := service.QueryRequest{
+		Graph:     "soc",
+		Algorithm: "degree",
+		K:         4,
+	}
+	code, qr, _ := postQuery(t, tc.front.URL, req)
+	if code != http.StatusAccepted {
+		t.Fatalf("cold query status %d, %+v", code, qr)
+	}
+	if !strings.HasPrefix(qr.JobID, "r") || !strings.Contains(qr.JobID, jobIDSep) {
+		t.Fatalf("job id %q not router-prefixed", qr.JobID)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(tc.front.URL + "/v2/jobs/" + qr.JobID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var poll service.QueryResponse
+		if err := json.NewDecoder(resp.Body).Decode(&poll); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("poll status %d", resp.StatusCode)
+		}
+		if poll.JobID != qr.JobID {
+			t.Fatalf("poll echoed job id %q, want %q", poll.JobID, qr.JobID)
+		}
+		if poll.State == service.StateDone {
+			if poll.Answer == nil || len(poll.Answer.Members) != 1 || len(poll.Answer.Members[0].Result.Seeds) != 4 {
+				t.Fatalf("job answer %+v", poll.Answer)
+			}
+			break
+		}
+		if poll.State == service.StateFailed || poll.State == service.StateCanceled {
+			t.Fatalf("job ended %s: %s", poll.State, poll.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", poll.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// The router's own probes: /readyz tracks replica health; /v1/cluster/info
+// aggregates per-replica state; list endpoints merge and deduplicate.
+func TestRouterProbesAndMergedLists(t *testing.T) {
+	tc := newTestCluster(t)
+
+	resp, err := http.Get(tc.front.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("router readyz %d with healthy replicas", resp.StatusCode)
+	}
+
+	resp, err = http.Get(tc.front.URL + "/v1/graphs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var graphs struct {
+		Graphs []service.GraphInfo `json:"graphs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&graphs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(graphs.Graphs) != 1 || graphs.Graphs[0].Name != "soc" {
+		t.Fatalf("merged graph list %+v, want single deduplicated soc", graphs.Graphs)
+	}
+
+	resp, err = http.Get(tc.front.URL + "/v1/cluster/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view struct {
+		ManifestVersion uint64                  `json:"manifest_version"`
+		Replicas        map[string]replicaState `json:"replicas"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(view.Replicas) != 3 {
+		t.Fatalf("cluster view has %d replicas", len(view.Replicas))
+	}
+	if view.ManifestVersion == 0 {
+		t.Fatal("cluster view reports manifest v0 after warm-load")
+	}
+	for addr, st := range view.Replicas {
+		if !st.Healthy {
+			t.Fatalf("replica %s unhealthy in view: %+v", addr, st)
+		}
+	}
+
+	// All replicas dead -> router not ready, queries shed with the
+	// uniform envelope.
+	for _, ts := range tc.replicas {
+		ts.Close()
+	}
+	tc.router.PollOnce(context.Background())
+	resp, err = http.Get(tc.front.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var envelope service.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || envelope.Error.Code != "unavailable" {
+		t.Fatalf("dead-cluster readyz: %d %+v", resp.StatusCode, envelope)
+	}
+}

@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestHotReloadUnderConcurrentQueries republishes the (graph, sketch)
+// pair while query traffic is in flight (run under -race). Every
+// response observed during the swap must be one of exactly three
+// self-consistent outcomes: the complete v1 answer, the complete v2
+// answer, or a cold-job fallback from the fingerprint fence window
+// (graph already replaced, matching sketch not yet bound). A torn answer
+// — v1 seeds with v2 metrics, or any other mixture — fails the test.
+func TestHotReloadUnderConcurrentQueries(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := testGraph(t, 1)
+	publishPair(t, st, "soc", g1)
+	_, w, ts := newReplica(t, st)
+
+	req := batchRequest()
+	code, v1, _ := postQuery(t, ts.URL, req)
+	if code != http.StatusOK || !v1.Sketch {
+		t.Fatalf("v1 baseline: status %d, %+v", code, v1)
+	}
+	normalizeTiming(&v1)
+	v1JSON := mustJSON(t, v1)
+
+	// Pre-build the v2 artifacts so the publish itself is quick and the
+	// swap happens well inside the query storm.
+	g2 := testGraph(t, 2)
+	idx2 := testSketch(t, g2)
+
+	stop := make(chan struct{})
+	type observed struct {
+		json string
+		cold bool
+	}
+	var mu sync.Mutex
+	var seen []observed
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				code, qr, _ := postQuery(t, ts.URL, req)
+				ob := observed{}
+				switch {
+				case code == http.StatusAccepted && qr.JobID != "":
+					// Fence window: the sketch no longer matches the live
+					// graph, so the planner degraded to a cold job. Cancel
+					// it — this test is about serving consistency, not
+					// cold compute.
+					ob.cold = true
+					dreq, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v2/jobs/"+qr.JobID, nil)
+					if resp, err := http.DefaultClient.Do(dreq); err == nil {
+						resp.Body.Close()
+					}
+				case code == http.StatusOK && qr.Sketch:
+					normalizeTiming(&qr)
+					ob.json = mustJSON(t, qr)
+				default:
+					t.Errorf("mid-reload query: status %d, %+v", code, qr)
+					return
+				}
+				mu.Lock()
+				seen = append(seen, ob)
+				mu.Unlock()
+			}
+		}()
+	}
+
+	// Republish and sync under traffic.
+	if _, err := st.PublishGraph("soc", g2, idx2.GraphVersion()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.PublishSketch("soc", idx2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.SyncOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	code, v2, _ := postQuery(t, ts.URL, req)
+	if code != http.StatusOK || !v2.Sketch {
+		t.Fatalf("v2 final: status %d, %+v", code, v2)
+	}
+	normalizeTiming(&v2)
+	v2JSON := mustJSON(t, v2)
+	if v1JSON == v2JSON {
+		t.Fatal("v1 and v2 answers identical; reload test has no signal")
+	}
+
+	var colds, v1s, v2s int
+	for _, ob := range seen {
+		switch {
+		case ob.cold:
+			colds++
+		case ob.json == v1JSON:
+			v1s++
+		case ob.json == v2JSON:
+			v2s++
+		default:
+			t.Fatalf("torn answer observed during reload:\n%s\nwant either\n%s\nor\n%s", ob.json, v1JSON, v2JSON)
+		}
+	}
+	t.Logf("observed %d v1, %d v2, %d fence-window cold fallbacks across %d queries", v1s, v2s, colds, len(seen))
+	if len(seen) == 0 {
+		t.Fatal("storm observed no queries")
+	}
+}

@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"sort"
+)
+
+// Ring implements rendezvous (highest-random-weight) hashing over a
+// fixed replica set: every (key, replica) pair hashes to a weight and a
+// key's owners are the replicas in descending weight order. Unlike a
+// ring of virtual nodes, rendezvous hashing gives an unambiguous
+// fallback ORDER — when the first owner is down the second is the same
+// for every router instance — and removing a replica only moves the
+// keys it owned.
+//
+// Because every replica warm-loads the full manifest, ownership is a
+// cache-affinity optimization (hot sketch orders, warm result caches),
+// never a correctness requirement: any healthy replica can serve any
+// key, so failover just walks down the owner list.
+type Ring struct {
+	replicas []string
+}
+
+// NewRing builds a ring over the replica identifiers (addresses). Order
+// does not matter; two routers configured with the same set in any
+// order agree on every key's owner sequence.
+func NewRing(replicas []string) *Ring {
+	out := append([]string(nil), replicas...)
+	sort.Strings(out)
+	return &Ring{replicas: out}
+}
+
+// Replicas returns the ring's members, sorted.
+func (r *Ring) Replicas() []string { return append([]string(nil), r.replicas...) }
+
+// hash64 is FNV-1a over the key and replica id, with a separator so
+// ("ab","c") and ("a","bc") cannot collide structurally.
+func hash64(key, replica string) uint64 {
+	const (
+		offset = 0xcbf29ce484222325
+		prime  = 0x00000100000001b3
+	)
+	h := uint64(offset)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime
+		}
+	}
+	mix(key)
+	h ^= 0xff // separator byte outside both alphabets
+	h *= prime
+	mix(replica)
+	return h
+}
+
+// Owners returns the key's replicas in preference order, at most n (all
+// replicas when n <= 0 or exceeds the ring). The first entry is the
+// primary owner; the rest are the deterministic failover sequence.
+func (r *Ring) Owners(key string, n int) []string {
+	if len(r.replicas) == 0 {
+		return nil
+	}
+	type weighted struct {
+		replica string
+		w       uint64
+	}
+	ws := make([]weighted, len(r.replicas))
+	for i, rep := range r.replicas {
+		ws[i] = weighted{rep, hash64(key, rep)}
+	}
+	sort.Slice(ws, func(i, j int) bool {
+		if ws[i].w != ws[j].w {
+			return ws[i].w > ws[j].w
+		}
+		return ws[i].replica < ws[j].replica
+	})
+	if n <= 0 || n > len(ws) {
+		n = len(ws)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = ws[i].replica
+	}
+	return out
+}
+
+// QueryKey is the routing key for a query: the resolved (graph, RR
+// semantics, canonical ε) triple, matching the sketch identity minus the
+// seed — queries differing only in seed share a sketch family and thus
+// cache affinity.
+func QueryKey(graph, semantics string, epsilon float64) string {
+	return SketchIDOf(graph, semantics, epsilon, 0)
+}

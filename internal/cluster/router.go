@@ -1,0 +1,649 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/holisticim/holisticim"
+	"github.com/holisticim/holisticim/internal/service"
+)
+
+// RouterConfig sizes a Router. Replicas is required; everything else
+// has serving defaults.
+type RouterConfig struct {
+	// Replicas are the imserver base URLs ("http://host:port").
+	Replicas []string
+	// Replication is how many rendezvous owners each key prefers before
+	// spilling to arbitrary healthy replicas (default 2, clamped to the
+	// replica count).
+	Replication int
+	// PollInterval paces the health poller (default 1s).
+	PollInterval time.Duration
+	// HedgeDelay is how long a routed request waits on one replica before
+	// ALSO trying the next candidate — the first success wins (default
+	// 250ms).
+	HedgeDelay time.Duration
+	// Retries bounds the extra replicas tried after the first, the
+	// failover retry budget (default: all remaining candidates).
+	Retries int
+	// Client issues upstream requests (default: 30s-timeout client).
+	Client *http.Client
+}
+
+// Router is the cluster's scatter-gather front door: it consistent-
+// hashes queries onto healthy replicas, proxies the /v1 and /v2
+// surfaces, fans batch-query members out to their owners and merges the
+// answers, and hedges/fails over on slow or shedding replicas.
+type Router struct {
+	cfg    RouterConfig
+	client *http.Client
+	mem    *membership
+	mux    *http.ServeMux
+
+	patterns []string
+}
+
+// jobIDSep separates the replica index prefix from the replica-local
+// job id in router-issued job ids ("r2-j15").
+const jobIDSep = "-"
+
+// NewRouter builds a router over the given replicas. Call Run (or
+// PollOnce) to populate health state before serving.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, fmt.Errorf("cluster: router needs at least one replica")
+	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = 2
+	}
+	if cfg.Replication > len(cfg.Replicas) {
+		cfg.Replication = len(cfg.Replicas)
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = time.Second
+	}
+	if cfg.HedgeDelay <= 0 {
+		cfg.HedgeDelay = 250 * time.Millisecond
+	}
+	if cfg.Retries <= 0 {
+		cfg.Retries = len(cfg.Replicas)
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	rt := &Router{
+		cfg:    cfg,
+		client: cfg.Client,
+		mem:    newMembership(cfg.Replicas, cfg.Client, cfg.PollInterval),
+	}
+	rt.mux = http.NewServeMux()
+	rt.routes()
+	return rt, nil
+}
+
+// PollOnce refreshes replica health synchronously (tests and startup).
+func (rt *Router) PollOnce(ctx context.Context) { rt.mem.PollOnce(ctx) }
+
+// Run polls replica health until ctx ends.
+func (rt *Router) Run(ctx context.Context) { rt.mem.Run(ctx) }
+
+// Handler returns the router's root handler with the same uniform 404
+// envelope the replicas use.
+func (rt *Router) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, pattern := rt.mux.Handler(r); pattern == "" {
+			writeError(w, http.StatusNotFound, "no route for %s %s", r.Method, r.URL.Path)
+			return
+		}
+		rt.mux.ServeHTTP(w, r)
+	})
+}
+
+// Routes returns the registered patterns, sorted.
+func (rt *Router) Routes() []string {
+	out := append([]string(nil), rt.patterns...)
+	sort.Strings(out)
+	return out
+}
+
+func (rt *Router) handle(pattern string, h http.HandlerFunc) {
+	rt.mux.HandleFunc(pattern, h)
+	rt.patterns = append(rt.patterns, pattern)
+}
+
+func (rt *Router) routes() {
+	rt.handle("GET /healthz", rt.handleHealthz)
+	rt.handle("GET /readyz", rt.handleReadyz)
+	rt.handle("GET /v1/cluster/info", rt.handleClusterInfo)
+
+	rt.handle("POST /v2/query", rt.handleQuery)
+	rt.handle("GET /v2/jobs/{id}", rt.jobRouted("/v2/jobs/"))
+	rt.handle("DELETE /v2/jobs/{id}", rt.jobRouted("/v2/jobs/"))
+	rt.handle("GET /v2/jobs/{id}/events", rt.handleJobEvents)
+
+	rt.handle("POST /v1/select", rt.handleSelect)
+	rt.handle("POST /v1/estimate", rt.handleEstimate)
+	rt.handle("GET /v1/jobs/{id}", rt.jobRouted("/v1/jobs/"))
+	rt.handle("DELETE /v1/jobs/{id}", rt.jobRouted("/v1/jobs/"))
+
+	rt.handle("GET /v1/graphs", rt.fanListMerge("/v1/graphs", "graphs", "name"))
+	rt.handle("GET /v1/sketches", rt.fanListMerge("/v1/sketches", "sketches", "id"))
+	rt.handle("GET /v1/graphs/{name}", rt.handleGraphStats)
+	rt.handle("GET /v1/sketches/{id}", rt.handleSketchInfo)
+	rt.handle("GET /v1/stats", rt.handleStats)
+
+	rt.handle("POST /v1/graphs", rt.fanAll)
+	rt.handle("POST /v1/sketches", rt.fanAll)
+	rt.handle("POST /v1/graphs/{name}/edges", rt.fanAll)
+	rt.handle("DELETE /v1/sketches/{id}", rt.fanAll)
+}
+
+// writeError mirrors the replicas' uniform error envelope.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	code := "internal"
+	switch status {
+	case http.StatusBadRequest:
+		code = "bad_request"
+	case http.StatusNotFound:
+		code = "not_found"
+	case http.StatusBadGateway, http.StatusServiceUnavailable:
+		code = "unavailable"
+	case http.StatusTooManyRequests:
+		code = "too_many_requests"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(service.ErrorResponse{Error: service.ErrorBody{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	}})
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write([]byte("{\"status\":\"ok\"}\n"))
+}
+
+// handleReadyz: the router is ready when it can route somewhere.
+func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if len(rt.mem.healthy()) == 0 {
+		writeError(w, http.StatusServiceUnavailable, "no healthy replica")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write([]byte("{\"status\":\"ready\"}\n"))
+}
+
+// handleClusterInfo serves the router's cluster view: per-replica health
+// and self-descriptions plus the cluster-wide manifest high-water mark.
+func (rt *Router) handleClusterInfo(w http.ResponseWriter, r *http.Request) {
+	view := struct {
+		ManifestVersion uint64                  `json:"manifest_version"`
+		Replicas        map[string]replicaState `json:"replicas"`
+	}{
+		ManifestVersion: rt.mem.maxManifestVersion(),
+		Replicas:        rt.mem.snapshot(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(view)
+}
+
+// upstreamResult is one replica's buffered response.
+type upstreamResult struct {
+	replica string
+	status  int
+	header  http.Header
+	body    []byte
+}
+
+// retryable reports whether a status should fail over to the next
+// candidate: shedding (429), server errors and upstream unavailability.
+// Client errors (400/404/409...) are authoritative — every replica
+// would answer the same.
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status >= 500
+}
+
+// forward issues one upstream request and buffers the response.
+func (rt *Router) forward(ctx context.Context, replica, method, path string, body []byte, contentType string) (*upstreamResult, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, replica+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return &upstreamResult{replica: replica, status: resp.StatusCode, header: resp.Header, body: b}, nil
+}
+
+// tryCandidates runs the request against candidates with hedged
+// failover: candidate 0 starts immediately; every HedgeDelay without a
+// verdict the next candidate starts in parallel; the first
+// non-retryable response wins and the losers are canceled. At most
+// 1+Retries candidates are attempted. Returns the winning result, or
+// the last retryable/erroneous outcome when every candidate failed.
+func (rt *Router) tryCandidates(ctx context.Context, candidates []string, method, path string, body []byte, contentType string) (*upstreamResult, error) {
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("no healthy replica")
+	}
+	if max := 1 + rt.cfg.Retries; len(candidates) > max {
+		candidates = candidates[:max]
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type outcome struct {
+		res *upstreamResult
+		err error
+	}
+	results := make(chan outcome, len(candidates))
+	launched := 0
+	launch := func() {
+		replica := candidates[launched]
+		launched++
+		go func() {
+			res, err := rt.forward(ctx, replica, method, path, body, contentType)
+			select {
+			case results <- outcome{res, err}:
+			case <-ctx.Done():
+			}
+		}()
+	}
+	launch()
+
+	var last outcome
+	pending := 1
+	hedge := time.NewTimer(rt.cfg.HedgeDelay)
+	defer hedge.Stop()
+	for pending > 0 || launched < len(candidates) {
+		select {
+		case <-ctx.Done():
+			if last.res != nil || last.err != nil {
+				return last.res, last.err
+			}
+			return nil, ctx.Err()
+		case <-hedge.C:
+			if launched < len(candidates) {
+				launch()
+				pending++
+			}
+			hedge.Reset(rt.cfg.HedgeDelay)
+		case out := <-results:
+			pending--
+			last = out
+			if out.err == nil && !retryable(out.res.status) {
+				return out.res, nil
+			}
+			// Failed or shedding: start the next candidate immediately
+			// instead of waiting out the hedge timer.
+			if launched < len(candidates) {
+				launch()
+				pending++
+			}
+		}
+	}
+	return last.res, last.err
+}
+
+// writeUpstream copies a buffered upstream response to the client,
+// stamping which replica served it and any routing note.
+func writeUpstream(w http.ResponseWriter, res *upstreamResult, note string) {
+	if ct := res.header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := res.header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.Header().Set("X-Router-Replica", res.replica)
+	if note != "" {
+		w.Header().Set("X-Router-Note", note)
+	}
+	w.WriteHeader(res.status)
+	_, _ = w.Write(res.body)
+}
+
+// prefixJobID rewrites the job_id field of a buffered JSON response to
+// carry the serving replica's ring index ("j7" → "r2-j7"), so later job
+// polls route back to the replica that owns the job. Bodies without a
+// job_id pass through untouched.
+func (rt *Router) prefixJobID(res *upstreamResult) {
+	idx := rt.mem.indexOf(res.replica)
+	if idx < 0 {
+		return
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(res.body, &m); err != nil {
+		return
+	}
+	raw, ok := m["job_id"]
+	if !ok {
+		return
+	}
+	var id string
+	if err := json.Unmarshal(raw, &id); err != nil || id == "" {
+		return
+	}
+	prefixed, _ := json.Marshal(fmt.Sprintf("r%d%s%s", idx, jobIDSep, id))
+	res.body = bytes.Replace(res.body, []byte(`"job_id":`+string(raw)), []byte(`"job_id":`+string(prefixed)), 1)
+}
+
+// splitJobID parses a router job id back into (replica, local id).
+func (rt *Router) splitJobID(id string) (replica, local string, ok bool) {
+	if !strings.HasPrefix(id, "r") {
+		return "", "", false
+	}
+	rest := id[1:]
+	cut := strings.Index(rest, jobIDSep)
+	if cut <= 0 {
+		return "", "", false
+	}
+	var idx int
+	if _, err := fmt.Sscanf(rest[:cut], "%d", &idx); err != nil {
+		return "", "", false
+	}
+	reps := rt.mem.replicas
+	if idx < 0 || idx >= len(reps) {
+		return "", "", false
+	}
+	return reps[idx], rest[cut+len(jobIDSep):], true
+}
+
+// jobRouted proxies job status/cancel to the replica encoded in the job
+// id prefix, rewriting ids in both directions.
+func (rt *Router) jobRouted(basePath string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		replica, local, ok := rt.splitJobID(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown job %q (router job ids look like r0-j1)", id)
+			return
+		}
+		res, err := rt.forward(r.Context(), replica, r.Method, basePath+local, nil, "")
+		if err != nil {
+			writeError(w, http.StatusBadGateway, "replica %s: %v", replica, err)
+			return
+		}
+		rt.prefixJobID(res)
+		writeUpstream(w, res, "")
+	}
+}
+
+// handleJobEvents streams a job's NDJSON/SSE events from the owning
+// replica, rewriting the replica-local job id on the fly.
+func (rt *Router) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	replica, local, ok := rt.splitJobID(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q (router job ids look like r0-j1)", id)
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, replica+"/v2/jobs/"+local+"/events", nil)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	if accept := r.Header.Get("Accept"); accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	// Streams must not be bounded by the client's request timeout.
+	streamClient := &http.Client{Transport: rt.client.Transport}
+	resp, err := streamClient.Do(req)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "replica %s: %v", replica, err)
+		return
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("X-Router-Replica", replica)
+	w.WriteHeader(resp.StatusCode)
+	flusher, _ := w.(http.Flusher)
+	oldID := fmt.Sprintf("%q:%q", "job_id", local)
+	newID := fmt.Sprintf("%q:%q", "job_id", id)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := strings.Replace(sc.Text(), oldID, newID, 1)
+		if _, err := io.WriteString(w, line+"\n"); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// readBody buffers a request body for replay across failover attempts.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return nil, false
+	}
+	return body, true
+}
+
+// routeBody routes a buffered request by key with hedged failover and
+// job-id rewriting.
+func (rt *Router) routeBody(w http.ResponseWriter, r *http.Request, key string, body []byte) {
+	candidates, note := rt.mem.rank(key, rt.cfg.Replication)
+	if len(candidates) == 0 {
+		writeError(w, http.StatusServiceUnavailable, "no healthy replica")
+		return
+	}
+	res, err := rt.tryCandidates(r.Context(), candidates, r.Method, r.URL.Path, body, "application/json")
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "all replicas failed: %v", err)
+		return
+	}
+	rt.prefixJobID(res)
+	writeUpstream(w, res, note)
+}
+
+// graphKeyOf extracts the routing key from a request body that carries
+// a graph plus options (the /v1 select/estimate shims).
+func routingKey(graph string, opts service.Options, opinionAware bool) string {
+	resolved := holisticim.Options{
+		Model:   holisticim.ModelKind(opts.Model),
+		Epsilon: opts.Epsilon,
+		Seed:    opts.Seed,
+	}.Resolved(opinionAware)
+	return QueryKey(graph, resolved.Model.RRSemantics(), resolved.Epsilon)
+}
+
+func (rt *Router) handleSelect(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var req service.SelectRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return
+	}
+	rt.routeBody(w, r, routingKey(req.Graph, req.Options, false), body)
+}
+
+func (rt *Router) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var req service.EstimateRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return
+	}
+	opinionAware := holisticim.ModelKind(req.Options.Model).OpinionAware()
+	rt.routeBody(w, r, routingKey(req.Graph, req.Options, opinionAware), body)
+}
+
+func (rt *Router) handleGraphStats(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	rt.routeBody(w, r, QueryKey(name, "ic", 0.1), nil)
+}
+
+func (rt *Router) handleSketchInfo(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	graph := id
+	if cut := strings.Index(id, ":"); cut > 0 {
+		graph = id[:cut]
+	}
+	rt.routeBody(w, r, QueryKey(graph, "ic", 0.1), nil)
+}
+
+// fanListMerge fans a list GET out to every healthy replica and merges
+// the results, deduplicating by the given JSON field (replicas sharing
+// a store advertise identical entries).
+func (rt *Router) fanListMerge(path, field, dedupKey string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		healthy := rt.mem.healthy()
+		if len(healthy) == 0 {
+			writeError(w, http.StatusServiceUnavailable, "no healthy replica")
+			return
+		}
+		type listResp struct {
+			res *upstreamResult
+			err error
+		}
+		results := make([]listResp, len(healthy))
+		var wg sync.WaitGroup
+		for i, addr := range healthy {
+			wg.Add(1)
+			go func(i int, addr string) {
+				defer wg.Done()
+				res, err := rt.forward(r.Context(), addr, http.MethodGet, path, nil, "")
+				results[i] = listResp{res, err}
+			}(i, addr)
+		}
+		wg.Wait()
+
+		seen := make(map[string]bool)
+		var merged []json.RawMessage
+		ok := false
+		for _, out := range results {
+			if out.err != nil || out.res.status != http.StatusOK {
+				continue
+			}
+			ok = true
+			var payload map[string][]json.RawMessage
+			if err := json.Unmarshal(out.res.body, &payload); err != nil {
+				continue
+			}
+			for _, item := range payload[field] {
+				var keyed map[string]any
+				if err := json.Unmarshal(item, &keyed); err != nil {
+					continue
+				}
+				k, _ := keyed[dedupKey].(string)
+				if k == "" || seen[k] {
+					continue
+				}
+				seen[k] = true
+				merged = append(merged, item)
+			}
+		}
+		if !ok {
+			writeError(w, http.StatusBadGateway, "no replica answered %s", path)
+			return
+		}
+		sort.Slice(merged, func(i, j int) bool { return string(merged[i]) < string(merged[j]) })
+		if merged == nil {
+			merged = []json.RawMessage{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{field: merged})
+	}
+}
+
+// handleStats reports every healthy replica's stats keyed by address —
+// a cluster is many worker pools and caches, so the shape is per-replica
+// rather than a lossy sum.
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	healthy := rt.mem.healthy()
+	out := make(map[string]json.RawMessage, len(healthy))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, addr := range healthy {
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			res, err := rt.forward(r.Context(), addr, http.MethodGet, "/v1/stats", nil, "")
+			if err != nil || res.status != http.StatusOK {
+				return
+			}
+			mu.Lock()
+			out[addr] = res.body
+			mu.Unlock()
+		}(addr)
+	}
+	wg.Wait()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{"replicas": out})
+}
+
+// fanAll sends a mutating request to EVERY healthy replica — registry
+// mutations must land everywhere, since any replica can serve any key.
+// The response is the first replica's; a replica that fails the
+// mutation fails the whole request so the operator knows the cluster
+// diverged. (With a shared store, publishing through the store is the
+// better path; this keeps the direct API working.)
+func (rt *Router) fanAll(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	healthy := rt.mem.healthy()
+	if len(healthy) == 0 {
+		writeError(w, http.StatusServiceUnavailable, "no healthy replica")
+		return
+	}
+	results := make([]*upstreamResult, len(healthy))
+	errs := make([]error, len(healthy))
+	var wg sync.WaitGroup
+	for i, addr := range healthy {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			results[i], errs[i] = rt.forward(r.Context(), addr, r.Method, r.URL.Path, body, "application/json")
+		}(i, addr)
+	}
+	wg.Wait()
+	for i := range healthy {
+		if errs[i] != nil {
+			writeError(w, http.StatusBadGateway, "replica %s: %v", healthy[i], errs[i])
+			return
+		}
+		if results[i].status >= 400 {
+			rt.prefixJobID(results[i])
+			writeUpstream(w, results[i], "mutation failed on "+healthy[i]+"; cluster may have diverged")
+			return
+		}
+	}
+	rt.prefixJobID(results[0])
+	writeUpstream(w, results[0], "")
+}

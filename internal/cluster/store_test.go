@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+func TestStorePublishAndManifest(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := st.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Version != 0 || len(m.Graphs) != 0 || len(m.Sketches) != 0 {
+		t.Fatalf("fresh store manifest = %+v, want empty v0", m)
+	}
+
+	g := testGraph(t, 1)
+	idx := testSketch(t, g)
+	ge, err := st.PublishGraph("soc", g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ge.Fingerprint != fmt.Sprintf("%016x", g.Fingerprint()) {
+		t.Fatalf("published fingerprint %s", ge.Fingerprint)
+	}
+	if _, err := os.Stat(st.Path(ge.File)); err != nil {
+		t.Fatalf("graph artifact missing: %v", err)
+	}
+	se, err := st.PublishSketch("soc", idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantID := SketchIDOf("soc", "ic", testEps, testSeed)
+	if se.ID != wantID {
+		t.Fatalf("sketch id %q, want %q", se.ID, wantID)
+	}
+	if se.GraphFingerprint != ge.Fingerprint {
+		t.Fatalf("sketch pinned to %s, graph is %s", se.GraphFingerprint, ge.Fingerprint)
+	}
+	if _, err := os.Stat(st.Path(se.File)); err != nil {
+		t.Fatalf("sketch artifact missing: %v", err)
+	}
+
+	m, err = st.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Version != 2 {
+		t.Fatalf("manifest version %d after two publishes, want 2", m.Version)
+	}
+	if _, ok := m.GraphByName("soc"); !ok {
+		t.Fatal("manifest lost graph soc")
+	}
+	if _, ok := m.SketchByID(wantID); !ok {
+		t.Fatalf("manifest lost sketch %s", wantID)
+	}
+}
+
+// Republishing a name replaces its entry (no duplicates) and bumps the
+// version; the superseded artifact file stays on disk for readers
+// mid-load of the previous manifest.
+func TestStoreRepublishReplaces(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := testGraph(t, 1)
+	g2 := testGraph(t, 2)
+	e1, err := st.PublishGraph("soc", g1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := st.PublishGraph("soc", g2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.Fingerprint == e2.Fingerprint {
+		t.Fatal("test graphs should differ")
+	}
+	m, err := st.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Graphs) != 1 || m.Graphs[0].Fingerprint != e2.Fingerprint {
+		t.Fatalf("manifest graphs = %+v, want single entry at %s", m.Graphs, e2.Fingerprint)
+	}
+	if m.Version != 2 {
+		t.Fatalf("manifest version %d, want 2", m.Version)
+	}
+	if _, err := os.Stat(st.Path(e1.File)); err != nil {
+		t.Fatalf("superseded artifact removed: %v", err)
+	}
+}
+
+func TestStoreRemoveSketch(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := testGraph(t, 1)
+	publishPair(t, st, "soc", g)
+	id := SketchIDOf("soc", "ic", testEps, testSeed)
+	if err := st.RemoveSketch(id); err != nil {
+		t.Fatal(err)
+	}
+	m, err := st.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Sketches) != 0 {
+		t.Fatalf("sketches after remove: %+v", m.Sketches)
+	}
+	if m.Version != 3 {
+		t.Fatalf("manifest version %d, want 3", m.Version)
+	}
+}

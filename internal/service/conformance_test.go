@@ -43,6 +43,8 @@ findAbsent:
 	}
 	cases := map[string]probe{
 		"GET /healthz":          {nil, http.StatusOK},
+		"GET /readyz":           {nil, http.StatusOK},
+		"GET /v1/cluster/info":  {nil, http.StatusOK},
 		"GET /v1/stats":         {nil, http.StatusOK},
 		"GET /v1/graphs":        {nil, http.StatusOK},
 		"POST /v1/graphs":       {GraphSpec{Name: "conf-ba", Generator: "ba", Nodes: 20, EdgesPerNode: 2}, http.StatusCreated},

@@ -69,6 +69,22 @@ func (s *Server) writeAPIError(w http.ResponseWriter, err *apiError) {
 	writeError(w, err.status, "%s", err.msg)
 }
 
+// writeSubmitError maps a job-admission failure onto the wire: queue-full
+// is 429 (the client should back off and retry), past-deadline and
+// shutting-down are 503 (retrying this replica immediately won't help).
+// Both carry Retry-After so a router can distinguish overload — worth
+// failing over — from a request that could never have made its deadline.
+func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
+	if hint := s.jobs.RetryAfterHint(); hint > 0 {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(hint.Seconds())))
+	}
+	status := http.StatusServiceUnavailable
+	if errors.Is(err, ErrQueueFull) {
+		status = http.StatusTooManyRequests
+	}
+	writeError(w, status, "%v", err)
+}
+
 func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
@@ -81,6 +97,53 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe: 200 once configured snapshots /
+// the store manifest are warm-loaded, 503 while still cold-loading or
+// draining for shutdown. Liveness (/healthz) stays 200 throughout — a
+// cold replica is alive, just not routable.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		writeError(w, http.StatusServiceUnavailable, "not ready: warm-load incomplete or draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// handleClusterInfo serves GET /v1/cluster/info: the replica's
+// self-description for routers — loaded artifacts by fingerprint,
+// readiness, manifest sync point and job-queue pressure.
+func (s *Server) handleClusterInfo(w http.ResponseWriter, r *http.Request) {
+	queued, running := s.jobs.Depth()
+	info := ClusterInfo{
+		Advertise:       s.cfg.Advertise,
+		Ready:           s.ready.Load(),
+		ManifestVersion: s.manifestVersion.Load(),
+		QueueDepth:      queued,
+		Running:         running,
+		Shed:            s.jobs.Shed(),
+		Graphs:          []ClusterGraphInfo{},
+		Sketches:        []ClusterSketchInfo{},
+	}
+	for _, g := range s.reg.List() {
+		info.Graphs = append(info.Graphs, ClusterGraphInfo{
+			Name: g.Name, Fingerprint: g.Fingerprint, Version: g.Version,
+		})
+	}
+	for _, sk := range s.sketches.List() {
+		info.Sketches = append(info.Sketches, ClusterSketchInfo{
+			ID:               sk.ID,
+			Graph:            sk.Graph,
+			Model:            sk.Model,
+			Epsilon:          sk.Epsilon,
+			Seed:             sk.Seed,
+			GraphFingerprint: sk.GraphFingerprint,
+			GraphVersion:     sk.GraphVersion,
+			Staleness:        sk.Staleness,
+		})
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -148,7 +211,12 @@ type preparedQuery struct {
 	plan    Plan
 	key     string
 	timeout time.Duration
-	lambda  float64 // resolved λ, for estimate member JSON
+	// deadline is the absolute completion bound derived from timeout at
+	// admission time: the clock starts when the request is accepted, not
+	// when a worker picks the job up, so time spent queued counts — and
+	// the job manager can shed jobs that would expire while queued.
+	deadline time.Time
+	lambda   float64 // resolved λ, for estimate member JSON
 }
 
 // prepareQuery validates req against the registry, attaches the matching
@@ -244,6 +312,9 @@ func (s *Server) prepareQuery(req QueryRequest, estimateCap int) (*preparedQuery
 		plan:    plan,
 		timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
 		lambda:  resolved.Lambda,
+	}
+	if p.timeout > 0 {
+		p.deadline = time.Now().Add(p.timeout)
 	}
 	if task == holisticim.TaskSelect {
 		if len(q.Ks) > 0 {
@@ -354,7 +425,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 
 	job, created, err := s.submitSelectJob(p)
 	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		s.writeSubmitError(w, err)
 		return
 	}
 	resp := job.Status()
@@ -368,13 +439,14 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 func (s *Server) submitSelectJob(p *preparedQuery) (*Job, bool, error) {
 	g, k, alg := p.g, p.kmax, p.q.Algorithm
 	opts := p.q.Options
-	timeout := p.timeout
+	deadline := p.deadline
 	key := p.key
 	plan := p.plan
-	return s.jobs.SubmitQuery(key, k, 1, p.ks, &plan, func(ctx context.Context, report func(int)) (any, error) {
-		if timeout > 0 {
+	spec := JobSpec{Key: key, K: k, Members: 1, MemberKs: p.ks, Plan: &plan, Deadline: deadline}
+	return s.jobs.SubmitQuery(spec, func(ctx context.Context, report func(int)) (any, error) {
+		if !deadline.IsZero() {
 			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, timeout)
+			ctx, cancel = context.WithDeadline(ctx, deadline)
 			defer cancel()
 		}
 		opts := opts // per-job copy: Progress must not leak into shared state
@@ -566,7 +638,7 @@ func (s *Server) handleBuildSketch(w http.ResponseWriter, r *http.Request) {
 		}, nil
 	})
 	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		s.writeSubmitError(w, err)
 		return
 	}
 	resp := job.Status()

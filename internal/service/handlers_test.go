@@ -265,8 +265,27 @@ func TestSelectQueueFull(t *testing.T) {
 	if code := post(2); code != http.StatusAccepted {
 		t.Fatalf("second POST: %d", code)
 	}
-	if code := post(3); code != http.StatusServiceUnavailable {
-		t.Fatalf("third POST: %d, want 503", code)
+	// Queue full is load shedding, not failure: 429 with a Retry-After
+	// hint and the uniform envelope, so routers can tell overload apart
+	// from a hard error and fail over instead of giving up.
+	body, _ := json.Marshal(SelectRequest{Graph: "g", Algorithm: "degree", K: 2, Options: Options{Seed: 3}})
+	resp, err := http.Post(ts.URL+"/v1/select", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third POST: %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("queue-full rejection carries no Retry-After header")
+	}
+	var envelope ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		t.Fatal(err)
+	}
+	if envelope.Error.Code != "too_many_requests" {
+		t.Fatalf("error code %q, want too_many_requests", envelope.Error.Code)
 	}
 }
 

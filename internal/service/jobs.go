@@ -6,11 +6,24 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
-// ErrQueueFull reports that the job queue is at capacity; callers should
-// translate it to 503 and have clients retry.
-var ErrQueueFull = errors.New("service: job queue full")
+// Admission errors. All three are load-shedding signals carrying a
+// retry hint (Manager.RetryAfterHint), not hard failures: handlers
+// translate ErrQueueFull to 429 and the other two to 503, each with a
+// Retry-After header, so a cluster router can tell overload (fail over
+// to another replica) from a request that is itself broken.
+var (
+	// ErrQueueFull reports that the job queue is at capacity.
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrPastDeadline reports a job whose deadline would expire before a
+	// worker could plausibly start it — queueing it would only burn a
+	// slot on work nobody can use.
+	ErrPastDeadline = errors.New("service: deadline expires before the job could start")
+	// ErrShuttingDown reports a submission against a draining manager.
+	ErrShuttingDown = errors.New("service: shutting down")
+)
 
 // JobFunc runs one computation. It must honor ctx — returning promptly
 // with an error wrapping ctx.Err() when cancelled — and may call report
@@ -39,6 +52,9 @@ type Job struct {
 	members  int
 	memberKs []int
 	plan     *Plan
+	// deadline, when non-zero, is the job's absolute completion bound: a
+	// worker dequeuing it after expiry fails it without running fn.
+	deadline time.Time
 
 	seedsDone atomic.Int64
 
@@ -159,17 +175,24 @@ type Manager struct {
 	wg       sync.WaitGroup
 
 	mu       sync.Mutex
-	cond     *sync.Cond // signalled on queue push and on close
+	cond     *sync.Cond // signalled on queue push, job completion and close
 	queue    []*Job     // pending jobs awaiting a worker, FIFO
 	queueCap int
+	workers  int
 	closed   bool
+	draining bool            // Shutdown in progress: submissions are refused
+	running  int             // jobs currently executing a JobFunc
 	jobs     map[string]*Job // by id, including finished ones
 	history  []string        // job ids in creation order, for eviction
 	inflight map[string]*Job // by key, pending/running only
 	nextID   uint64
 	maxJobs  int
 
-	submitted, deduped, canceled atomic.Int64
+	// avgRunNanos is an EWMA of completed JobFunc wall times, feeding the
+	// queue-wait estimate behind deadline shedding and Retry-After hints.
+	avgRunNanos atomic.Int64
+
+	submitted, deduped, canceled, shed atomic.Int64
 }
 
 // NewManager starts a pool of workers with the given queue capacity,
@@ -190,6 +213,7 @@ func NewManager(workers, queueCap, maxJobs int) *Manager {
 		baseCtx:  baseCtx,
 		stopJobs: stopJobs,
 		queueCap: queueCap,
+		workers:  workers,
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*Job),
 		maxJobs:  maxJobs,
@@ -207,32 +231,65 @@ func NewManager(workers, queueCap, maxJobs int) *Manager {
 // means the caller attached to an in-flight job and fn was dropped).
 // ErrQueueFull is returned when a new job cannot be queued.
 func (m *Manager) Submit(key string, k int, fn JobFunc) (*Job, bool, error) {
-	return m.SubmitQuery(key, k, 0, nil, nil, fn)
+	return m.SubmitQuery(JobSpec{Key: key, K: k}, fn)
 }
 
-// SubmitQuery is Submit for planner queries: members/memberKs/plan attach
-// the batch view served by job status, the v2 surface and the event
-// stream. Deduplication is unchanged — two submissions sharing a key by
-// construction share the query, so the attached view is identical.
-func (m *Manager) SubmitQuery(key string, k, members int, memberKs []int, plan *Plan, fn JobFunc) (*Job, bool, error) {
+// JobSpec describes a submission beyond its JobFunc: the dedup key, the
+// batch view (members/memberKs/plan) served by job status, the v2
+// surface and the event stream, and an optional absolute deadline that
+// drives admission-time load shedding.
+type JobSpec struct {
+	Key      string
+	K        int
+	Members  int
+	MemberKs []int
+	Plan     *Plan
+	// Deadline, when non-zero, is the job's absolute completion bound.
+	// A submission whose estimated queue wait already overshoots it is
+	// refused with ErrPastDeadline instead of queueing work nobody can
+	// use, and a worker dequeuing the job after expiry fails it without
+	// running its JobFunc.
+	Deadline time.Time
+}
+
+// SubmitQuery is Submit for planner queries. Deduplication is unchanged —
+// two submissions sharing a key by construction share the query, so the
+// attached batch view is identical.
+func (m *Manager) SubmitQuery(spec JobSpec, fn JobFunc) (*Job, bool, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if j, ok := m.inflight[key]; ok {
+	if j, ok := m.inflight[spec.Key]; ok {
 		m.deduped.Add(1)
 		return j, false, nil
 	}
+	if m.draining || m.closed {
+		return nil, false, ErrShuttingDown
+	}
 	if len(m.queue) >= m.queueCap {
+		m.shed.Add(1)
 		return nil, false, ErrQueueFull
+	}
+	// Deadline-aware shedding: refuse a job whose deadline would expire
+	// while it sits in the queue. The wait estimate is coarse (EWMA of
+	// recent job runtimes across whatever mix of work the pool saw), so
+	// it only refuses when even the estimate cannot fit — an optimistic
+	// bias that sheds the hopeless tail without guessing too eagerly.
+	if !spec.Deadline.IsZero() {
+		if wait := m.queueWaitLocked(); wait > 0 && time.Now().Add(wait).After(spec.Deadline) {
+			m.shed.Add(1)
+			return nil, false, fmt.Errorf("%w (estimated queue wait %s)", ErrPastDeadline, wait.Round(time.Millisecond))
+		}
 	}
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	j := &Job{
 		id:       fmt.Sprintf("j%08x", m.nextID),
-		key:      key,
-		k:        k,
+		key:      spec.Key,
+		k:        spec.K,
 		fn:       fn,
-		members:  members,
-		memberKs: memberKs,
-		plan:     plan,
+		members:  spec.Members,
+		memberKs: spec.MemberKs,
+		plan:     spec.Plan,
+		deadline: spec.Deadline,
 		done:     make(chan struct{}),
 		ctx:      ctx,
 		cancel:   cancel,
@@ -241,13 +298,57 @@ func (m *Manager) SubmitQuery(key string, k, members int, memberKs []int, plan *
 	m.nextID++
 	m.jobs[j.id] = j
 	m.history = append(m.history, j.id)
-	m.inflight[key] = j
+	m.inflight[spec.Key] = j
 	m.queue = append(m.queue, j)
 	m.submitted.Add(1)
 	m.evictLocked()
 	m.cond.Signal()
 	return j, true, nil
 }
+
+// queueWaitLocked estimates how long a job submitted now would wait for
+// a worker: queued jobs ahead of it spread over the pool, each costing
+// the EWMA runtime. Zero until the first job completes (no data — never
+// shed on a cold pool).
+func (m *Manager) queueWaitLocked() time.Duration {
+	avg := time.Duration(m.avgRunNanos.Load())
+	if avg <= 0 {
+		return 0
+	}
+	ahead := len(m.queue) + m.running
+	if ahead < m.workers {
+		return 0
+	}
+	return avg * time.Duration(1+(ahead-m.workers)/m.workers)
+}
+
+// RetryAfterHint suggests how long a shed client should wait before
+// retrying: the estimated time for the backlog to drain one slot,
+// clamped to [1s, 60s] so the header is always actionable.
+func (m *Manager) RetryAfterHint() time.Duration {
+	m.mu.Lock()
+	wait := m.queueWaitLocked()
+	m.mu.Unlock()
+	if wait < time.Second {
+		return time.Second
+	}
+	if wait > time.Minute {
+		return time.Minute
+	}
+	return wait
+}
+
+// Depth reports the queued and running job counts — the load signal
+// /v1/cluster/info advertises for shed-aware routing.
+func (m *Manager) Depth() (queued, running int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue), m.running
+}
+
+// Shed returns how many submissions were refused by load shedding
+// (queue-full and past-deadline rejections).
+func (m *Manager) Shed() int64 { return m.shed.Load() }
 
 // Get returns the job with the given id (including finished jobs still
 // retained in history).
@@ -344,6 +445,69 @@ func (m *Manager) Close() {
 	m.wg.Wait()
 }
 
+// Shutdown drains the manager gracefully: new submissions are refused
+// with ErrShuttingDown, every still-queued job is cancelled (its slot
+// was promised to no one), and running jobs get until ctx's deadline to
+// finish before being cancelled like Close does. Always stops the
+// workers before returning; the error is ctx.Err() when the drain
+// timed out, nil when every running job completed in time.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closed || m.draining {
+		m.mu.Unlock()
+		m.Close()
+		return nil
+	}
+	m.draining = true
+	queued := m.queue
+	m.queue = nil
+	m.mu.Unlock()
+
+	// Cancel queued jobs exactly as Cancel's pending branch does, so
+	// pollers observe the same canceled state either way.
+	for _, j := range queued {
+		j.mu.Lock()
+		if j.state != StatePending {
+			j.mu.Unlock()
+			continue
+		}
+		j.cancelAsked = true
+		j.state = StateCanceled
+		j.err = fmt.Errorf("%w: %w", ErrShuttingDown, context.Canceled)
+		j.mu.Unlock()
+		m.mu.Lock()
+		if m.inflight[j.key] == j {
+			delete(m.inflight, j.key)
+		}
+		m.mu.Unlock()
+		j.cancel()
+		close(j.done)
+		m.canceled.Add(1)
+	}
+
+	// Wait for running jobs, bounded by ctx. The waiter goroutine blocks
+	// on the cond the workers broadcast at each job completion; a timeout
+	// falls through to Close, which cancels the stragglers.
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		m.mu.Lock()
+		for m.running > 0 && !m.closed {
+			m.cond.Wait()
+		}
+		m.mu.Unlock()
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	m.Close() // unblocks the waiter too, via closed + broadcast
+	<-drained
+	return err
+}
+
 func (m *Manager) worker() {
 	defer m.wg.Done()
 	for {
@@ -357,8 +521,13 @@ func (m *Manager) worker() {
 		}
 		j := m.queue[0]
 		m.queue = m.queue[1:]
+		m.running++
 		m.mu.Unlock()
 		m.run(j)
+		m.mu.Lock()
+		m.running--
+		m.cond.Broadcast() // Shutdown waits on the running count
+		m.mu.Unlock()
 	}
 }
 
@@ -369,11 +538,37 @@ func (m *Manager) run(j *Job) {
 		j.mu.Unlock()
 		return
 	}
+	// Dequeue-time load shedding: a job whose deadline passed while it
+	// waited in the queue fails immediately instead of burning a worker
+	// on a result its client has already given up on.
+	if !j.deadline.IsZero() && time.Now().After(j.deadline) {
+		j.state = StateFailed
+		j.err = fmt.Errorf("%w: expired while queued", ErrPastDeadline)
+		j.mu.Unlock()
+		m.shed.Add(1)
+		j.cancel()
+		close(j.done)
+		m.mu.Lock()
+		if m.inflight[j.key] == j {
+			delete(m.inflight, j.key)
+		}
+		m.mu.Unlock()
+		return
+	}
 	j.state = StateRunning
 	j.mu.Unlock()
+	start := time.Now()
 	res, err := j.fn(j.ctx, func(seedsDone int) {
 		j.seedsDone.Store(int64(seedsDone))
 	})
+	// EWMA (α=1/4) of job runtimes feeds the queue-wait estimate. Workers
+	// race the read-modify-write benignly: the estimate is a hint.
+	sample := int64(time.Since(start))
+	if old := m.avgRunNanos.Load(); old == 0 {
+		m.avgRunNanos.Store(sample)
+	} else {
+		m.avgRunNanos.Store(old + (sample-old)/4)
+	}
 	j.mu.Lock()
 	switch {
 	case err == nil:

@@ -122,7 +122,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	job, created, err := s.submitQueryJob(p)
 	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		s.writeSubmitError(w, err)
 		return
 	}
 	resp := queryResponseOf(job.Snapshot())
@@ -150,14 +150,14 @@ func (s *Server) submitQueryJob(p *preparedQuery) (*Job, bool, error) {
 	q := p.q
 	g := p.g
 	task := p.task
-	timeout := p.timeout
+	deadline := p.deadline
 	key := p.key
 	plan := p.plan
 	members := len(plan.Steps)
 	fn := func(ctx context.Context, report func(int)) (any, error) {
-		if timeout > 0 {
+		if !deadline.IsZero() {
 			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, timeout)
+			ctx, cancel = context.WithDeadline(ctx, deadline)
 			defer cancel()
 		}
 		q := q // per-job copy: callbacks must not leak into shared state
@@ -191,7 +191,8 @@ func (s *Server) submitQueryJob(p *preparedQuery) (*Job, bool, error) {
 	if task == holisticim.TaskSelect {
 		memberKs = p.ks
 	}
-	return s.jobs.SubmitQuery(key, p.kmax, members, memberKs, &plan, fn)
+	spec := JobSpec{Key: key, K: p.kmax, Members: members, MemberKs: memberKs, Plan: &plan, Deadline: p.deadline}
+	return s.jobs.SubmitQuery(spec, fn)
 }
 
 func (s *Server) handleQueryJob(w http.ResponseWriter, r *http.Request) {

@@ -113,6 +113,7 @@ func newRegEntry(name string, g *holisticim.Graph, source string) *regEntry {
 		Arcs:        g.NumEdges(),
 		Source:      source,
 		MemoryBytes: g.MemoryFootprint(),
+		Fingerprint: fmt.Sprintf("%016x", g.Fingerprint()),
 	}}
 }
 
@@ -145,6 +146,22 @@ func (r *Registry) Replace(name string, g *holisticim.Graph, source string) erro
 	if replaced && hook != nil {
 		hook(name, g)
 	}
+	return nil
+}
+
+// ReplaceSnapshot is Replace for store-loaded artifacts: the published
+// snapshot carries the publisher's mutation-log version, which is
+// recorded on the new entry so GET /v1/cluster/info advertises the
+// lineage position of the loaded content instead of resetting to 0.
+func (r *Registry) ReplaceSnapshot(name string, g *holisticim.Graph, source string, version uint64) error {
+	if err := r.Replace(name, g, source); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	if e, ok := r.graphs[name]; ok && e.g == g {
+		e.info.Version = version
+	}
+	r.mu.Unlock()
 	return nil
 }
 

@@ -59,6 +59,15 @@ type Config struct {
 	// walk positions are deferred (advertised as stale_sets) instead of
 	// resampled. 0 (the default) keeps repairs exact.
 	RepairMaxHops int
+	// ColdStart makes the server report NOT ready on GET /readyz until
+	// SetReady(true) is called — set it when startup warm-loads snapshots
+	// or a store manifest, so a load balancer never routes to a replica
+	// that would answer 404 for graphs it is still loading. Liveness
+	// (GET /healthz) is unaffected.
+	ColdStart bool
+	// Advertise is the address this replica tells routers to reach it at,
+	// echoed in GET /v1/cluster/info.
+	Advertise string
 }
 
 func (c Config) withDefaults() Config {
@@ -133,6 +142,9 @@ type Server struct {
 	sketchEstimates atomic.Int64 // estimate requests served by an opinion sketch
 	replacements    atomic.Int64 // graph names rebound to new content
 	mutations       atomic.Int64 // applied edge batches
+
+	ready           atomic.Bool   // /readyz gate; see Config.ColdStart
+	manifestVersion atomic.Uint64 // last fully warm-loaded store manifest version
 }
 
 // New returns a ready-to-serve Server with an empty registry.
@@ -176,10 +188,27 @@ func New(cfg Config) *Server {
 				return err
 			})
 	}
+	// A cold-starting replica flips ready only once its snapshots (or the
+	// store manifest) are fully warm-loaded; everything else is ready the
+	// moment it can serve.
+	s.ready.Store(!cfg.ColdStart)
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s
 }
+
+// SetReady flips the /readyz gate: a cold-starting replica calls
+// SetReady(true) once warm-loading finished; Shutdown flips it back so
+// load balancers drain the replica before the listener closes.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Ready reports the /readyz gate.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+// SetManifestVersion records the store manifest version the replica's
+// watcher last fully loaded, advertised via GET /v1/cluster/info so
+// routers can prefer manifest-fresh replicas.
+func (s *Server) SetManifestVersion(v uint64) { s.manifestVersion.Store(v) }
 
 // Registry exposes the graph registry for startup preloading.
 func (s *Server) Registry() *Registry { return s.reg }
@@ -239,6 +268,17 @@ func (s *Server) Routes() []string {
 // they unwind — shutdown no longer drains heavyweight jobs to completion.
 func (s *Server) Close() { s.jobs.Close() }
 
+// Shutdown drains the server gracefully: the /readyz gate flips to
+// not-ready immediately (so pollers stop routing here), new job
+// submissions are refused with ErrShuttingDown, queued-but-unstarted jobs
+// are canceled, and running jobs get until ctx's deadline to finish
+// before being canceled too. The HTTP listener itself is the caller's to
+// drain (http.Server.Shutdown); this covers everything behind it.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.ready.Store(false)
+	return s.jobs.Shutdown(ctx)
+}
+
 // SelectionsRun returns how many selections were actually computed (cache
 // hits and deduplicated submissions do not count).
 func (s *Server) SelectionsRun() int64 { return s.selections.Load() }
@@ -247,6 +287,7 @@ func (s *Server) SelectionsRun() int64 { return s.selections.Load() }
 func (s *Server) Stats() ServerStats {
 	skCount, skSets, skBytes, skBuilds := s.sketches.Totals()
 	repairs, repairedSets, repairsFailed := s.sketches.RepairTotals()
+	queued, running := s.jobs.Depth()
 	return ServerStats{
 		Graphs:               s.reg.Len(),
 		QueriesRun:           s.queries.Load(),
@@ -256,6 +297,9 @@ func (s *Server) Stats() ServerStats {
 		JobsSubmitted:        s.jobs.Submitted(),
 		JobsDeduped:          s.jobs.Deduped(),
 		JobsCanceled:         s.jobs.Canceled(),
+		JobsShed:             s.jobs.Shed(),
+		QueueDepth:           queued,
+		JobsRunning:          running,
 		SelectionsRun:        s.selections.Load(),
 		Sketches:             skCount,
 		SketchSets:           skSets,
@@ -279,6 +323,8 @@ func (s *Server) handle(pattern string, h http.HandlerFunc) {
 
 func (s *Server) routes() {
 	s.handle("GET /healthz", s.handleHealthz)
+	s.handle("GET /readyz", s.handleReadyz)
+	s.handle("GET /v1/cluster/info", s.handleClusterInfo)
 	s.handle("GET /v1/stats", s.handleStats)
 	s.handle("GET /v1/graphs", s.handleListGraphs)
 	s.handle("POST /v1/graphs", s.handleAddGraph)

@@ -108,6 +108,30 @@ func (r *SketchRegistry) Add(graph, semantics string, epsilon float64, seed uint
 	return id, nil
 }
 
+// Put registers idx under its canonical id, REPLACING any sketch already
+// bound to the id. This is the store watcher's load path: a manifest
+// update ships a rebuilt sample for the same (graph, semantics, ε, seed)
+// key, and the replica must swap it in place — in-flight selections
+// holding the old index finish against it, new lookups see the new one.
+// Returns the id and whether an existing entry was replaced. The cap only
+// gates NEW ids; replacements always land, since refusing one would leave
+// a stale sample serving the fast path.
+func (r *SketchRegistry) Put(graph, semantics string, epsilon float64, seed uint64, idx *holisticim.Sketch) (string, bool, error) {
+	if idx == nil {
+		return "", false, errors.New("service: nil sketch")
+	}
+	id := sketchID(graph, semantics, epsilon, seed)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, replaced := r.entries[id]
+	if !replaced && r.maxSketches > 0 && len(r.entries) >= r.maxSketches {
+		return "", false, fmt.Errorf("%w (%d sketches)", ErrSketchesFull, r.maxSketches)
+	}
+	r.entries[id] = &sketchEntry{idx: idx, graph: graph, semantics: semantics, epsilon: epsilon, seed: seed}
+	r.builds++
+	return id, replaced, nil
+}
+
 // Lookup returns the index serving (graph, semantics, ε, seed), or nil.
 func (r *SketchRegistry) Lookup(graph, semantics string, epsilon float64, seed uint64) *holisticim.Sketch {
 	r.mu.RLock()
@@ -147,20 +171,21 @@ func (e *sketchEntry) info(id string) SketchInfo {
 	st := e.idx.Stats()
 	p := e.idx.Params()
 	return SketchInfo{
-		ID:           id,
-		Graph:        e.graph,
-		Model:        e.semantics,
-		Epsilon:      e.epsilon,
-		Seed:         e.seed,
-		BuildK:       p.BuildK,
-		Sets:         st.Sets,
-		OrderLen:     st.OrderLen,
-		Selects:      st.Selects,
-		Extensions:   st.Extensions,
-		MemoryBytes:  st.MemoryBytes,
-		GraphVersion: e.idx.GraphVersion(),
-		StaleSets:    e.idx.StaleSets(),
-		Staleness:    e.idx.Staleness(),
+		ID:               id,
+		Graph:            e.graph,
+		Model:            e.semantics,
+		Epsilon:          e.epsilon,
+		Seed:             e.seed,
+		BuildK:           p.BuildK,
+		Sets:             st.Sets,
+		OrderLen:         st.OrderLen,
+		Selects:          st.Selects,
+		Extensions:       st.Extensions,
+		MemoryBytes:      st.MemoryBytes,
+		GraphVersion:     e.idx.GraphVersion(),
+		StaleSets:        e.idx.StaleSets(),
+		Staleness:        e.idx.Staleness(),
+		GraphFingerprint: fmt.Sprintf("%016x", e.idx.GraphFingerprint()),
 	}
 }
 

@@ -247,6 +247,10 @@ type GraphInfo struct {
 	Arcs        int64  `json:"arcs"`
 	Source      string `json:"source"`
 	MemoryBytes int64  `json:"memory_bytes"`
+	// Fingerprint is the graph's 64-bit content hash (topology + model
+	// parameters) in hex — the identity a cluster store manifest and
+	// sketch snapshots pin artifacts to.
+	Fingerprint string `json:"fingerprint"`
 	// Version is the mutation-log version of the current snapshot: 0 for
 	// a never-mutated graph, incremented by every applied edge batch
 	// (POST /v1/graphs/{name}/edges). An operator Replace resets it — the
@@ -401,6 +405,55 @@ type SketchInfo struct {
 	GraphVersion uint64  `json:"graph_version"`
 	StaleSets    int     `json:"stale_sets"`
 	Staleness    float64 `json:"staleness"`
+	// GraphFingerprint is the content hash (hex) of the graph instance the
+	// sample is currently synchronized to.
+	GraphFingerprint string `json:"graph_fingerprint"`
+}
+
+// ClusterGraphInfo is one loaded graph as advertised by
+// GET /v1/cluster/info: just the identity a router needs to decide
+// whether this replica can serve the graph's traffic.
+type ClusterGraphInfo struct {
+	Name        string `json:"name"`
+	Fingerprint string `json:"fingerprint"`
+	Version     uint64 `json:"version"`
+}
+
+// ClusterSketchInfo is one loaded sketch as advertised by
+// GET /v1/cluster/info. GraphFingerprint pins the sample to the exact
+// graph content it serves; Staleness reports hop-bounded repair debt.
+type ClusterSketchInfo struct {
+	ID               string  `json:"id"`
+	Graph            string  `json:"graph"`
+	Model            string  `json:"model"`
+	Epsilon          float64 `json:"epsilon"`
+	Seed             uint64  `json:"seed"`
+	GraphFingerprint string  `json:"graph_fingerprint"`
+	GraphVersion     uint64  `json:"graph_version"`
+	Staleness        float64 `json:"staleness"`
+}
+
+// ClusterInfo is the self-description replicas serve on
+// GET /v1/cluster/info: what is loaded (by fingerprint), whether the
+// replica finished warm-loading, how far its store watcher has synced,
+// and how much job-queue pressure it is under. Routers poll it for
+// liveness and shed-aware routing.
+type ClusterInfo struct {
+	// Advertise is the address the replica wants routed traffic sent to
+	// (the -advertise flag); empty when the operator did not set one.
+	Advertise string `json:"advertise,omitempty"`
+	Ready     bool   `json:"ready"`
+	// ManifestVersion is the version of the last store manifest this
+	// replica fully warm-loaded (0 when it is not watching a store).
+	ManifestVersion uint64 `json:"manifest_version"`
+	// QueueDepth / Running / Shed describe job-pool pressure: queued jobs,
+	// jobs currently executing, and admissions rejected (queue-full or
+	// past-deadline) since start.
+	QueueDepth int                 `json:"queue_depth"`
+	Running    int                 `json:"running"`
+	Shed       int64               `json:"shed"`
+	Graphs     []ClusterGraphInfo  `json:"graphs"`
+	Sketches   []ClusterSketchInfo `json:"sketches"`
 }
 
 // ServerStats reports serving counters for GET /v1/stats.
@@ -416,6 +469,13 @@ type ServerStats struct {
 	JobsSubmitted int64 `json:"jobs_submitted"`
 	JobsDeduped   int64 `json:"jobs_deduped"`
 	JobsCanceled  int64 `json:"jobs_canceled"`
+	// JobsShed counts admissions rejected by load shedding: queue-full
+	// (429) plus past-deadline (503) refusals and jobs dropped at dequeue
+	// because their deadline expired while queued. QueueDepth and
+	// JobsRunning snapshot the pool's current pressure.
+	JobsShed      int64 `json:"jobs_shed"`
+	QueueDepth    int   `json:"queue_depth"`
+	JobsRunning   int   `json:"jobs_running"`
 	SelectionsRun int64 `json:"selections_run"`
 	// Sketch registry metrics: indexes held, RR sets across them, their
 	// memory footprint, completed builds/loads, how many /v1/select

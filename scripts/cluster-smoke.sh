@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# cluster-smoke.sh — end-to-end cluster check: publish a snapshot store,
+# start 2 replicas + the router, and assert a routed (scattered) batch
+# /v2/query is byte-equivalent to the same batch answered by a single
+# node, timing fields aside. Run from the repository root. Needs jq.
+#
+#   ./scripts/cluster-smoke.sh [nodes]
+set -euo pipefail
+
+NODES="${1:-20000}"
+PORT_A="${PORT_A:-18081}"
+PORT_B="${PORT_B:-18082}"
+PORT_R="${PORT_R:-19090}"
+WORK="$(mktemp -d)"
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+command -v jq >/dev/null || { echo "cluster-smoke: jq is required" >&2; exit 1; }
+
+echo "== building binaries"
+go build -o "$WORK/bin/" ./cmd/imgen ./cmd/imsketch ./cmd/imserver ./cmd/imrouter
+
+echo "== publishing a ${NODES}-node BA snapshot into the store"
+"$WORK/bin/imgen" -type ba -n "$NODES" -format binary -out "$WORK/soc.bin"
+"$WORK/bin/imsketch" -publish "$WORK/store" -graph "$WORK/soc.bin" -name soc -eps 0.1 -seed 1 -k 50
+
+echo "== starting 2 replicas + router"
+"$WORK/bin/imserver" -addr ":$PORT_A" -store "$WORK/store" -advertise "http://127.0.0.1:$PORT_A" &
+PIDS+=($!)
+"$WORK/bin/imserver" -addr ":$PORT_B" -store "$WORK/store" -advertise "http://127.0.0.1:$PORT_B" &
+PIDS+=($!)
+"$WORK/bin/imrouter" -addr ":$PORT_R" \
+  -replica "http://127.0.0.1:$PORT_A" \
+  -replica "http://127.0.0.1:$PORT_B" &
+PIDS+=($!)
+
+wait_200() {
+  local url="$1" what="$2"
+  for _ in $(seq 1 100); do
+    if [ "$(curl -s -o /dev/null -w '%{http_code}' "$url")" = "200" ]; then return 0; fi
+    sleep 0.2
+  done
+  echo "cluster-smoke: $what never became ready ($url)" >&2
+  exit 1
+}
+wait_200 "http://127.0.0.1:$PORT_A/readyz" "replica A"
+wait_200 "http://127.0.0.1:$PORT_B/readyz" "replica B"
+wait_200 "http://127.0.0.1:$PORT_R/readyz" "router"
+
+BATCH='{"graph":"soc","algorithm":"imm","ks":[10,20,30,40,50]}'
+# Drop the only legitimately nondeterministic fields: wall-clock timings.
+NORMALIZE='del(.answer.took_ms) | .answer.members |= map(if .result then .result.took_ms = 0 else . end)'
+
+echo "== single-node batch (replica A directly)"
+single="$(curl -sf "http://127.0.0.1:$PORT_A/v2/query" -d "$BATCH" | jq -S "$NORMALIZE")"
+[ "$(jq -r .sketch <<<"$single")" = "true" ] || { echo "single-node batch was not sketch-served" >&2; exit 1; }
+
+echo "== routed batch (through the router)"
+headers="$WORK/routed.headers"
+routed="$(curl -sf -D "$headers" "http://127.0.0.1:$PORT_R/v2/query" -d "$BATCH" | jq -S "$NORMALIZE")"
+grep -qi '^x-router-scatter: 1' "$headers" || { echo "routed batch was not scattered" >&2; cat "$headers" >&2; exit 1; }
+
+if ! diff <(echo "$single") <(echo "$routed"); then
+  echo "cluster-smoke: routed batch differs from single node" >&2
+  exit 1
+fi
+echo "== OK: routed 5-k batch is byte-equivalent to the single-node answer"
+
+echo "== cluster info"
+curl -sf "http://127.0.0.1:$PORT_R/v1/cluster/info" | jq '{manifest_version, replicas: (.replicas | with_entries(.value |= {healthy, manifest_version: .info.manifest_version}))}'

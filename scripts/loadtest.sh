@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# loadtest.sh — measure sketch-served /v2/query capacity of one imserver
+# (or a whole routed cluster: point TARGET at the router). Publishes a
+# BA snapshot, starts one replica, and drives concurrent batch queries.
+# Uses hey or vegeta when installed; otherwise falls back to a
+# curl+xargs loop (lower ceiling, same methodology).
+#
+#   ./scripts/loadtest.sh [nodes] [requests] [concurrency]
+#   TARGET=http://127.0.0.1:19090 ./scripts/loadtest.sh   # reuse a running server/router
+set -euo pipefail
+
+NODES="${1:-50000}"
+REQUESTS="${2:-2000}"
+CONCURRENCY="${3:-32}"
+PORT="${PORT:-18091}"
+WORK="$(mktemp -d)"
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+BATCH='{"graph":"soc","algorithm":"imm","ks":[10,25,50]}'
+
+if [ -z "${TARGET:-}" ]; then
+  echo "== building and starting one replica over a ${NODES}-node BA snapshot"
+  go build -o "$WORK/bin/" ./cmd/imgen ./cmd/imsketch ./cmd/imserver
+  "$WORK/bin/imgen" -type ba -n "$NODES" -format binary -out "$WORK/soc.bin"
+  "$WORK/bin/imsketch" -publish "$WORK/store" -graph "$WORK/soc.bin" -name soc -eps 0.1 -seed 1 -k 50
+  "$WORK/bin/imserver" -addr ":$PORT" -store "$WORK/store" &
+  PIDS+=($!)
+  TARGET="http://127.0.0.1:$PORT"
+  for _ in $(seq 1 150); do
+    [ "$(curl -s -o /dev/null -w '%{http_code}' "$TARGET/readyz")" = "200" ] && break
+    sleep 0.2
+  done
+fi
+
+# First request pays for the memoized greedy order; do it once outside
+# the measurement window.
+curl -sf "$TARGET/v2/query" -d "$BATCH" -o /dev/null
+
+echo "== load: $REQUESTS requests, concurrency $CONCURRENCY, target $TARGET"
+if command -v hey >/dev/null; then
+  hey -n "$REQUESTS" -c "$CONCURRENCY" -m POST -T application/json -d "$BATCH" "$TARGET/v2/query"
+elif command -v vegeta >/dev/null; then
+  printf '%s' "$BATCH" > "$WORK/body.json"
+  echo "POST $TARGET/v2/query" | vegeta attack -body "$WORK/body.json" \
+    -header 'Content-Type: application/json' -duration 15s -rate 0 -max-workers "$CONCURRENCY" |
+    vegeta report
+else
+  echo "   (hey/vegeta not installed; curl+xargs fallback)"
+  start="$(date +%s.%N)"
+  seq "$REQUESTS" | xargs -P "$CONCURRENCY" -I{} \
+    curl -s -o /dev/null -w '%{http_code}\n' "$TARGET/v2/query" -d "$BATCH" > "$WORK/codes"
+  end="$(date +%s.%N)"
+  elapsed="$(echo "$end $start" | awk '{printf "%.2f", $1-$2}')"
+  ok="$(grep -c '^200$' "$WORK/codes" || true)"
+  echo "   $ok/$REQUESTS ok in ${elapsed}s -> $(echo "$ok $elapsed" | awk '{printf "%.0f", $1/$2}') req/s"
+  [ "$ok" = "$REQUESTS" ] || { echo "loadtest: $((REQUESTS - ok)) non-200 responses" >&2; exit 1; }
+fi
