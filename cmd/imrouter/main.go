@@ -27,12 +27,20 @@
 //	-hedge duration      wait before hedging to the next candidate (default 250ms)
 //	-retries int         failover attempts after the first (default: all replicas)
 //	-drain duration      graceful-shutdown budget on SIGTERM (default 10s)
+//	-log-level string    structured-log level: debug|info|warn|error (default "info")
+//	-debug-addr string   serve net/http/pprof on this SEPARATE address (empty = off)
 //
 // The router serves the same /v1 and /v2 surface as a replica, plus:
 //
 //	GET /healthz           router liveness
 //	GET /readyz            503 until at least one replica is healthy
+//	GET /metrics           Prometheus text exposition: routing metrics
+//	                       (proxy latency, hedges, failovers, scatters)
 //	GET /v1/cluster/info   per-replica health, readiness and manifest view
+//
+// Every request gets an X-Request-ID at the router (inbound ids are
+// trusted) and carries it to the replicas, so one id follows a request
+// through every log line and error envelope in the cluster.
 //
 // Job ids returned through the router carry an r<N>- prefix naming the
 // owning replica, so GET /v2/jobs/{id} (and /events) route back to it.
@@ -42,7 +50,7 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
 	"net/http"
 	"os"
 	"os/signal"
@@ -50,6 +58,7 @@ import (
 	"time"
 
 	"github.com/holisticim/holisticim/internal/cluster"
+	"github.com/holisticim/holisticim/internal/obs"
 )
 
 func main() {
@@ -61,6 +70,8 @@ func main() {
 		hedge       = flag.Duration("hedge", 250*time.Millisecond, "wait before hedging to the next candidate")
 		retries     = flag.Int("retries", 0, "failover attempts after the first (0 = all replicas)")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget on SIGTERM")
+		logLevel    = flag.String("log-level", "info", "log level: debug|info|warn|error")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = off)")
 	)
 	flag.Func("replica", "an imserver base URL (repeat once per replica)", func(v string) error {
 		replicas = append(replicas, v)
@@ -68,19 +79,43 @@ func main() {
 	})
 	flag.Parse()
 
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "imrouter:", err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, "imrouter", level)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
 	rt, err := cluster.NewRouter(cluster.RouterConfig{
 		Replicas:     replicas,
 		Replication:  *replication,
 		PollInterval: *poll,
 		HedgeDelay:   *hedge,
 		Retries:      *retries,
+		Metrics:      obs.NewRegistry(),
+		Logger:       logger,
 	})
 	if err != nil {
-		log.Fatalf("imrouter: %v", err)
+		fatal("router construction failed", "error", err)
 	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
+
+	if *debugAddr != "" {
+		go func() {
+			dbg := &http.Server{Addr: *debugAddr, Handler: obs.DebugHandler(),
+				ReadHeaderTimeout: 10 * time.Second}
+			logger.Info("pprof listening", "addr", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof listener failed", "error", err)
+			}
+		}()
+	}
 
 	// Populate health before accepting traffic, then keep polling.
 	rt.PollOnce(ctx)
@@ -96,15 +131,15 @@ func main() {
 		defer close(drained)
 		<-ctx.Done()
 		cancel()
-		log.Print("shutting down (press again to force)")
+		logger.Info("shutting down (press again to force)")
 		shutCtx, shutCancel := context.WithTimeout(context.Background(), *drain)
 		defer shutCancel()
 		_ = httpSrv.Shutdown(shutCtx)
 	}()
 
-	log.Printf("imrouter listening on %s (%d replicas, replication %d)", *addr, len(replicas), *replication)
+	logger.Info("imrouter listening", "addr", *addr, "replicas", len(replicas), "replication", *replication)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatalf("imrouter: %v", err)
+		fatal("listener failed", "error", err)
 	}
 	<-drained
 }

@@ -33,11 +33,17 @@
 //	                    echoed in GET /v1/cluster/info
 //	-drain duration     graceful-shutdown budget for in-flight requests
 //	                    and running jobs on SIGTERM (default 10s)
+//	-log-level string   structured-log level: debug|info|warn|error
+//	                    (default "info"; requests log at info, probe and
+//	                    scrape routes at debug)
+//	-debug-addr string  serve net/http/pprof on this SEPARATE address
+//	                    (empty = off; never exposed on -addr)
 //
 // Endpoints:
 //
 //	GET  /healthz            liveness
 //	GET  /readyz             readiness (503 while warm-loading/draining)
+//	GET  /metrics            Prometheus text exposition (see docs/metrics.md)
 //	GET  /v1/cluster/info    replica self-description for routers
 //	GET  /v1/stats           serving counters (cache hits, jobs, sketches, ...)
 //	GET  /v1/graphs          registered graphs
@@ -90,7 +96,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -100,6 +106,7 @@ import (
 
 	"github.com/holisticim/holisticim"
 	"github.com/holisticim/holisticim/internal/cluster"
+	"github.com/holisticim/holisticim/internal/obs"
 	"github.com/holisticim/holisticim/internal/service"
 )
 
@@ -117,6 +124,8 @@ func main() {
 		watch     = flag.Duration("watch", 2*time.Second, "store re-sync interval (0 = load once)")
 		advertise = flag.String("advertise", "", "address routers should reach this replica at")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget on SIGTERM")
+		logLevel  = flag.String("log-level", "info", "log level: debug|info|warn|error")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = off)")
 	)
 	flag.Func("load", "preload a graph as name=path (repeatable)", func(v string) error {
 		if !strings.Contains(v, "=") {
@@ -134,6 +143,18 @@ func main() {
 	})
 	flag.Parse()
 
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "imserver:", err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, "imserver", level)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+	metrics := obs.NewRegistry()
+
 	srv := service.New(service.Config{
 		Workers:       *workers,
 		QueueCap:      *queueCap,
@@ -144,27 +165,29 @@ func main() {
 		// only once the watcher loads the full manifest.
 		ColdStart: *storeDir != "",
 		Advertise: *advertise,
+		Metrics:   metrics,
+		Logger:    logger,
 	})
 	defer srv.Close()
 
 	for _, l := range loads {
 		name, path, _ := strings.Cut(l, "=")
 		if err := srv.Registry().LoadFile(name, path); err != nil {
-			log.Fatalf("imserver: %v", err)
+			fatal("graph preload failed", "error", err)
 		}
-		log.Printf("loaded graph %q from %s", name, path)
+		logger.Info("loaded graph", "graph", name, "path", path)
 	}
 	for _, sk := range sketches {
 		name, path, _ := strings.Cut(sk, "=")
 		g, err := srv.Registry().Get(name)
 		if err != nil {
-			log.Fatalf("imserver: -sketch %s: %v (load the graph first with -load)", sk, err)
+			fatal("sketch preload failed: load the graph first with -load", "sketch", sk, "error", err)
 		}
 		id, err := srv.Sketches().LoadSnapshot(name, g, path)
 		if err != nil {
-			log.Fatalf("imserver: %v", err)
+			fatal("sketch preload failed", "sketch", sk, "error", err)
 		}
-		log.Printf("loaded sketch %q from %s", id, path)
+		logger.Info("loaded sketch", "sketch", id, "path", path)
 	}
 	if *demo > 0 {
 		g := holisticim.GenerateBA(int32(*demo), 3, 1)
@@ -172,9 +195,20 @@ func main() {
 		holisticim.AssignOpinions(g, holisticim.OpinionNormal, 2)
 		holisticim.AssignInteractions(g, 3)
 		if err := srv.Registry().Add("demo", g, "generated:ba"); err != nil {
-			log.Fatalf("imserver: %v", err)
+			fatal("demo graph registration failed", "error", err)
 		}
-		log.Printf("registered demo BA graph: %d nodes, %d arcs", g.NumNodes(), g.NumEdges())
+		logger.Info("registered demo BA graph", "nodes", g.NumNodes(), "arcs", g.NumEdges())
+	}
+
+	if *debugAddr != "" {
+		go func() {
+			dbg := &http.Server{Addr: *debugAddr, Handler: obs.DebugHandler(),
+				ReadHeaderTimeout: 10 * time.Second}
+			logger.Info("pprof listening", "addr", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof listener failed", "error", err)
+			}
+		}()
 	}
 
 	httpSrv := &http.Server{
@@ -188,24 +222,27 @@ func main() {
 	if *storeDir != "" {
 		st, err := cluster.OpenStore(*storeDir)
 		if err != nil {
-			log.Fatalf("imserver: -store %s: %v", *storeDir, err)
+			fatal("store open failed", "store", *storeDir, "error", err)
 		}
 		watcher := cluster.NewWatcher(st, srv, *watch)
 		watcher.OnSync = func(res cluster.SyncResult, err error) {
 			switch {
 			case err != nil:
-				log.Printf("store sync: %v", err)
+				logger.Warn("store sync failed", "error", err)
 			case res.GraphsLoaded+res.SketchesLoaded+res.SketchesEvicted > 0:
-				log.Printf("store sync: manifest v%d (%d graphs loaded, %d sketches loaded, %d evicted)",
-					res.ManifestVersion, res.GraphsLoaded, res.SketchesLoaded, res.SketchesEvicted)
+				logger.Info("store sync",
+					"manifest_version", res.ManifestVersion,
+					"graphs_loaded", res.GraphsLoaded,
+					"sketches_loaded", res.SketchesLoaded,
+					"sketches_evicted", res.SketchesEvicted)
 			}
 		}
 		// The first sync may fail (publisher not done yet); the replica
 		// stays NOT ready and the watch loop keeps retrying.
 		if _, err := watcher.SyncOnce(ctx); err != nil {
-			log.Printf("store sync: %v (replica not ready; retrying)", err)
+			logger.Warn("store sync failed; replica not ready, retrying", "error", err)
 			if *watch <= 0 {
-				log.Fatalf("imserver: -watch 0 with a failing store load")
+				fatal("-watch 0 with a failing store load")
 			}
 		}
 		if *watch > 0 {
@@ -220,25 +257,28 @@ func main() {
 		// Unregister so a second signal force-kills instead of being
 		// swallowed while we drain in-flight selections.
 		cancel()
-		log.Print("shutting down (press again to force)")
+		logger.Info("shutting down (press again to force)")
 		shutCtx, shutCancel := context.WithTimeout(context.Background(), *drain)
 		defer shutCancel()
 		// Flip /readyz first so routers stop sending traffic, then drain
 		// running jobs and in-flight HTTP within the same budget.
 		if err := srv.Shutdown(shutCtx); err != nil {
-			log.Printf("job drain: %v", err)
+			logger.Warn("job drain incomplete", "error", err)
 		}
 		_ = httpSrv.Shutdown(shutCtx)
 	}()
 
-	log.Printf("imserver listening on %s (%d graphs, %d workers)", *addr, srv.Registry().Len(), *workers)
+	logger.Info("imserver listening",
+		slog.String("addr", *addr),
+		slog.Int("graphs", srv.Registry().Len()),
+		slog.Int("workers", *workers))
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatalf("imserver: %v", err)
+		fatal("listener failed", "error", err)
 	}
 	// ListenAndServe returns as soon as the listener closes; wait for
 	// Shutdown to finish draining in-flight HTTP requests, then cancel
 	// any still-running selection jobs (deferred srv.Close) — shutdown
 	// never waits on a heavyweight selection.
 	<-drained
-	log.Print("cancelling in-flight selection jobs")
+	logger.Info("cancelling in-flight selection jobs")
 }

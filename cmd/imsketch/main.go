@@ -31,13 +31,23 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"time"
 
 	"github.com/holisticim/holisticim"
 	"github.com/holisticim/holisticim/internal/cluster"
+	"github.com/holisticim/holisticim/internal/obs"
 )
+
+// logger is the shared structured logger; imsketch is a CLI, so it only
+// speaks on errors (results go to stdout as before).
+var logger = obs.NewLogger(os.Stderr, "imsketch", slog.LevelInfo)
+
+func fatal(msg string, args ...any) {
+	logger.Error(msg, args...)
+	os.Exit(1)
+}
 
 func main() {
 	var (
@@ -76,7 +86,7 @@ func main() {
 		defer f.Close()
 		h, err := holisticim.ReadSketchHeader(f)
 		if err != nil {
-			log.Fatalf("imsketch: %v", err)
+			fatal("command failed", "error", err)
 		}
 		weighted := ""
 		if h.Weighted() {
@@ -94,7 +104,7 @@ func main() {
 
 	case *build:
 		if *out == "" {
-			log.Fatal("imsketch: -build needs -out")
+			fatal("-build needs -out")
 		}
 		g := loadGraph(*graphP)
 		start := time.Now()
@@ -107,18 +117,18 @@ func main() {
 			MaxSets: *maxSet,
 		})
 		if err != nil {
-			log.Fatalf("imsketch: %v", err)
+			fatal("command failed", "error", err)
 		}
 		built := time.Since(start)
 		f, err := os.Create(*out)
 		if err != nil {
-			log.Fatalf("imsketch: %v", err)
+			fatal("command failed", "error", err)
 		}
 		if err := holisticim.WriteSketch(f, sk); err != nil {
-			log.Fatalf("imsketch: write %s: %v", *out, err)
+			fatal("snapshot write failed", "path", *out, "error", err)
 		}
 		if err := f.Close(); err != nil {
-			log.Fatalf("imsketch: close %s: %v", *out, err)
+			fatal("snapshot close failed", "path", *out, "error", err)
 		}
 		st := sk.Stats()
 		fmt.Printf("built %d RR sets in %v (%.1f MiB), snapshot %s\n",
@@ -126,7 +136,7 @@ func main() {
 
 	case *publish != "":
 		if *name == "" {
-			log.Fatal("imsketch: -publish needs -name (the graph's store name)")
+			fatal("-publish needs -name (the graph's store name)")
 		}
 		g := loadGraph(*graphP)
 		var sk *holisticim.Sketch
@@ -136,7 +146,7 @@ func main() {
 			sk, err = holisticim.ReadSketch(f, g)
 			f.Close()
 			if err != nil {
-				log.Fatalf("imsketch: %v", err)
+				fatal("command failed", "error", err)
 			}
 		} else {
 			start := time.Now()
@@ -149,28 +159,28 @@ func main() {
 				MaxSets: *maxSet,
 			})
 			if err != nil {
-				log.Fatalf("imsketch: %v", err)
+				fatal("command failed", "error", err)
 			}
 			fmt.Printf("built %d RR sets in %v\n", sk.Len(), time.Since(start).Round(time.Millisecond))
 		}
 		st, err := cluster.OpenStore(*publish)
 		if err != nil {
-			log.Fatalf("imsketch: %v", err)
+			fatal("command failed", "error", err)
 		}
 		// A file-loaded graph has no mutation log, so its published
 		// version is the sketch's own graph version (0 for a fresh pair) —
 		// replicas then see zero staleness.
 		ge, err := st.PublishGraph(*name, g, sk.GraphVersion())
 		if err != nil {
-			log.Fatalf("imsketch: publish graph: %v", err)
+			fatal("graph publish failed", "error", err)
 		}
 		se, err := st.PublishSketch(*name, sk)
 		if err != nil {
-			log.Fatalf("imsketch: publish sketch: %v", err)
+			fatal("sketch publish failed", "error", err)
 		}
 		m, err := st.Manifest()
 		if err != nil {
-			log.Fatalf("imsketch: %v", err)
+			fatal("command failed", "error", err)
 		}
 		fmt.Printf("published graph %q (fingerprint %s) and sketch %q\n", ge.Name, ge.Fingerprint, se.ID)
 		fmt.Printf("store %s now at manifest v%d (%d graphs, %d sketches)\n",
@@ -182,12 +192,12 @@ func main() {
 		defer f.Close()
 		sk, err := holisticim.ReadSketch(f, g)
 		if err != nil {
-			log.Fatalf("imsketch: %v", err)
+			fatal("command failed", "error", err)
 		}
 		start := time.Now()
 		res, err := sk.Select(context.Background(), *k)
 		if err != nil {
-			log.Fatalf("imsketch: %v", err)
+			fatal("command failed", "error", err)
 		}
 		fmt.Printf("selected %d seeds in %v (index: %d sets)\n",
 			len(res.Seeds), time.Since(start).Round(time.Microsecond), sk.Len())
@@ -204,11 +214,11 @@ func main() {
 
 func mustOpen(path, flagName string) *os.File {
 	if path == "" {
-		log.Fatalf("imsketch: missing %s", flagName)
+		fatal("missing required flag", "flag", flagName)
 	}
 	f, err := os.Open(path)
 	if err != nil {
-		log.Fatalf("imsketch: %v", err)
+		fatal("command failed", "error", err)
 	}
 	return f
 }
@@ -221,7 +231,7 @@ func loadGraph(path string) *holisticim.Graph {
 	magic := make([]byte, 4)
 	n, _ := f.Read(magic)
 	if _, err := f.Seek(0, 0); err != nil {
-		log.Fatalf("imsketch: %v", err)
+		fatal("command failed", "error", err)
 	}
 	var g *holisticim.Graph
 	var err error
@@ -231,7 +241,7 @@ func loadGraph(path string) *holisticim.Graph {
 		g, err = holisticim.ReadEdgeList(f)
 	}
 	if err != nil {
-		log.Fatalf("imsketch: read %s: %v", path, err)
+		fatal("graph read failed", "path", path, "error", err)
 	}
 	return g
 }

@@ -4,10 +4,12 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
 
+	"github.com/holisticim/holisticim/internal/obs"
 	"github.com/holisticim/holisticim/internal/service"
 )
 
@@ -29,6 +31,10 @@ type membership struct {
 	client   *http.Client
 	interval time.Duration
 
+	// logger reports health transitions; set by NewRouter before any
+	// poll runs (defaults to discard for bare constructions).
+	logger *slog.Logger
+
 	mu     sync.RWMutex
 	states map[string]*replicaState
 }
@@ -45,6 +51,7 @@ func newMembership(replicas []string, client *http.Client, interval time.Duratio
 	for _, r := range m.replicas {
 		m.states[r] = &replicaState{}
 	}
+	m.logger = obs.Nop()
 	return m
 }
 
@@ -60,6 +67,7 @@ func (m *membership) PollOnce(ctx context.Context) {
 			info, err := m.fetchInfo(ctx, addr)
 			m.mu.Lock()
 			st := m.states[addr]
+			was, everPolled := st.Healthy, !st.LastPoll.IsZero()
 			st.LastPoll = time.Now()
 			if err != nil {
 				st.Healthy = false
@@ -72,7 +80,17 @@ func (m *membership) PollOnce(ctx context.Context) {
 				}
 				st.Info = info
 			}
+			now, lastErr := st.Healthy, st.LastErr
 			m.mu.Unlock()
+			// Log transitions only (plus the very first verdict), not
+			// every poll — a 1s poll interval would drown the log.
+			if now != was || !everPolled {
+				if now {
+					m.logger.Info("replica healthy", "replica", addr)
+				} else {
+					m.logger.Warn("replica unhealthy", "replica", addr, "error", lastErr)
+				}
+			}
 		}(addr)
 	}
 	wg.Wait()

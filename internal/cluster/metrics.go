@@ -1,0 +1,47 @@
+package cluster
+
+import (
+	"net/http"
+
+	"github.com/holisticim/holisticim/internal/obs"
+)
+
+// routerMetrics are the router's own families — the routing decisions a
+// replica can't see: per-replica proxy latency, hedged launches,
+// failovers, scatter fan-outs and degraded (stale/non-owner) placements.
+type routerMetrics struct {
+	proxyDur      *obs.HistogramVec // im_router_proxy_duration_seconds{replica}
+	hedges        *obs.Counter
+	failovers     *obs.Counter
+	scatters      *obs.Counter
+	scatterAborts *obs.Counter
+	staleRoutes   *obs.Counter
+}
+
+func (rt *Router) initObservability() {
+	m := rt.metrics
+	rt.rm = routerMetrics{
+		proxyDur: m.HistogramVec("im_router_proxy_duration_seconds",
+			"Upstream request latency in seconds, by replica.",
+			nil, "replica"),
+		hedges: m.Counter("im_router_hedges_total",
+			"Hedged launches: extra candidates started because the leader ran past the hedge delay."),
+		failovers: m.Counter("im_router_failovers_total",
+			"Failover launches: extra candidates started after a candidate failed or shed."),
+		scatters: m.Counter("im_router_scatters_total",
+			"Batch queries fanned out member-by-member across the owner set."),
+		scatterAborts: m.Counter("im_router_scatter_aborts_total",
+			"Scatters abandoned mid-flight (a member came back cold) and re-routed whole."),
+		staleRoutes: m.Counter("im_router_stale_routes_total",
+			"Requests routed with a degraded-placement note (stale or non-owner replica)."),
+	}
+	m.GaugeFunc("im_router_replicas_healthy", "Replicas currently passing health polls.",
+		func() float64 { return float64(len(rt.mem.healthy())) })
+	m.GaugeFunc("im_router_replicas", "Replicas configured on the ring.",
+		func() float64 { return float64(len(rt.mem.replicas)) })
+}
+
+// handleMetrics serves the router's GET /metrics.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	rt.metrics.Handler().ServeHTTP(w, r)
+}

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"github.com/holisticim/holisticim"
+	"github.com/holisticim/holisticim/internal/obs"
 	"github.com/holisticim/holisticim/internal/service"
 )
 
@@ -37,6 +39,12 @@ type RouterConfig struct {
 	Retries int
 	// Client issues upstream requests (default: 30s-timeout client).
 	Client *http.Client
+	// Metrics receives the router's metric families and backs GET
+	// /metrics (default: a private registry).
+	Metrics *obs.Registry
+	// Logger receives structured request and health-transition logs
+	// (default: discard).
+	Logger *slog.Logger
 }
 
 // Router is the cluster's scatter-gather front door: it consistent-
@@ -44,10 +52,13 @@ type RouterConfig struct {
 // surfaces, fans batch-query members out to their owners and merges the
 // answers, and hedges/fails over on slow or shedding replicas.
 type Router struct {
-	cfg    RouterConfig
-	client *http.Client
-	mem    *membership
-	mux    *http.ServeMux
+	cfg     RouterConfig
+	client  *http.Client
+	mem     *membership
+	mux     *http.ServeMux
+	metrics *obs.Registry
+	logger  *slog.Logger
+	rm      routerMetrics
 
 	patterns []string
 }
@@ -81,10 +92,20 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		cfg.Client = &http.Client{Timeout: 30 * time.Second}
 	}
 	rt := &Router{
-		cfg:    cfg,
-		client: cfg.Client,
-		mem:    newMembership(cfg.Replicas, cfg.Client, cfg.PollInterval),
+		cfg:     cfg,
+		client:  cfg.Client,
+		mem:     newMembership(cfg.Replicas, cfg.Client, cfg.PollInterval),
+		metrics: cfg.Metrics,
+		logger:  cfg.Logger,
 	}
+	if rt.metrics == nil {
+		rt.metrics = obs.NewRegistry()
+	}
+	if rt.logger == nil {
+		rt.logger = obs.Nop()
+	}
+	rt.mem.logger = rt.logger
+	rt.initObservability()
 	rt.mux = http.NewServeMux()
 	rt.routes()
 	return rt, nil
@@ -97,15 +118,37 @@ func (rt *Router) PollOnce(ctx context.Context) { rt.mem.PollOnce(ctx) }
 func (rt *Router) Run(ctx context.Context) { rt.mem.Run(ctx) }
 
 // Handler returns the router's root handler with the same uniform 404
-// envelope the replicas use.
+// envelope the replicas use, behind the obs middleware — the router is
+// the outermost hop, so it is where request ids are minted before
+// forward propagates them replica-ward.
 func (rt *Router) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	root := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if _, pattern := rt.mux.Handler(r); pattern == "" {
 			writeError(w, http.StatusNotFound, "no route for %s %s", r.Method, r.URL.Path)
 			return
 		}
 		rt.mux.ServeHTTP(w, r)
 	})
+	mw := obs.HTTPConfig{
+		Logger:   rt.logger,
+		Registry: rt.metrics,
+		Route:    rt.routeLabel,
+		Quiet:    []string{"/healthz", "/readyz", "/metrics"},
+	}
+	return mw.Middleware(root)
+}
+
+// routeLabel maps a request onto its mux pattern's path for the
+// bounded route label of the request metrics.
+func (rt *Router) routeLabel(r *http.Request) string {
+	_, pattern := rt.mux.Handler(r)
+	if pattern == "" {
+		return ""
+	}
+	if _, path, ok := strings.Cut(pattern, " "); ok {
+		return path
+	}
+	return pattern
 }
 
 // Routes returns the registered patterns, sorted.
@@ -123,6 +166,7 @@ func (rt *Router) handle(pattern string, h http.HandlerFunc) {
 func (rt *Router) routes() {
 	rt.handle("GET /healthz", rt.handleHealthz)
 	rt.handle("GET /readyz", rt.handleReadyz)
+	rt.handle("GET /metrics", rt.handleMetrics)
 	rt.handle("GET /v1/cluster/info", rt.handleClusterInfo)
 
 	rt.handle("POST /v2/query", rt.handleQuery)
@@ -147,24 +191,17 @@ func (rt *Router) routes() {
 	rt.handle("DELETE /v1/sketches/{id}", rt.fanAll)
 }
 
-// writeError mirrors the replicas' uniform error envelope.
+// writeError mirrors the replicas' uniform error envelope, through the
+// same status→code mapping (obs.ErrorCode) and with the middleware-
+// assigned request id echoed, so a router-originated error is
+// indistinguishable in shape from a replica one.
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	code := "internal"
-	switch status {
-	case http.StatusBadRequest:
-		code = "bad_request"
-	case http.StatusNotFound:
-		code = "not_found"
-	case http.StatusBadGateway, http.StatusServiceUnavailable:
-		code = "unavailable"
-	case http.StatusTooManyRequests:
-		code = "too_many_requests"
-	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(service.ErrorResponse{Error: service.ErrorBody{
-		Code:    code,
-		Message: fmt.Sprintf(format, args...),
+		Code:      obs.ErrorCode(status),
+		Message:   fmt.Sprintf(format, args...),
+		RequestID: w.Header().Get(obs.RequestIDHeader),
 	}})
 }
 
@@ -213,7 +250,10 @@ func retryable(status int) bool {
 	return status == http.StatusTooManyRequests || status >= 500
 }
 
-// forward issues one upstream request and buffers the response.
+// forward issues one upstream request and buffers the response. The
+// request id riding ctx (set by the router's middleware) is propagated
+// on the X-Request-ID header, so a replica's log lines carry the same
+// id as the router's — one grep follows a request across the cluster.
 func (rt *Router) forward(ctx context.Context, replica, method, path string, body []byte, contentType string) (*upstreamResult, error) {
 	var rd io.Reader
 	if body != nil {
@@ -226,7 +266,12 @@ func (rt *Router) forward(ctx context.Context, replica, method, path string, bod
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
 	}
+	if rid := obs.RequestID(ctx); rid != "" {
+		req.Header.Set(obs.RequestIDHeader, rid)
+	}
+	start := time.Now()
 	resp, err := rt.client.Do(req)
+	rt.rm.proxyDur.With(replica).Observe(time.Since(start).Seconds())
 	if err != nil {
 		return nil, err
 	}
@@ -288,6 +333,7 @@ func (rt *Router) tryCandidates(ctx context.Context, candidates []string, method
 			if launched < len(candidates) {
 				launch()
 				pending++
+				rt.rm.hedges.Inc()
 			}
 			hedge.Reset(rt.cfg.HedgeDelay)
 		case out := <-results:
@@ -301,6 +347,7 @@ func (rt *Router) tryCandidates(ctx context.Context, candidates []string, method
 			if launched < len(candidates) {
 				launch()
 				pending++
+				rt.rm.failovers.Inc()
 			}
 		}
 	}
@@ -407,6 +454,9 @@ func (rt *Router) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	if accept := r.Header.Get("Accept"); accept != "" {
 		req.Header.Set("Accept", accept)
 	}
+	if rid := obs.RequestID(r.Context()); rid != "" {
+		req.Header.Set(obs.RequestIDHeader, rid)
+	}
 	// Streams must not be bounded by the client's request timeout.
 	streamClient := &http.Client{Transport: rt.client.Transport}
 	resp, err := streamClient.Do(req)
@@ -454,6 +504,9 @@ func (rt *Router) routeBody(w http.ResponseWriter, r *http.Request, key string, 
 	if len(candidates) == 0 {
 		writeError(w, http.StatusServiceUnavailable, "no healthy replica")
 		return
+	}
+	if note != "" {
+		rt.rm.staleRoutes.Inc()
 	}
 	res, err := rt.tryCandidates(r.Context(), candidates, r.Method, r.URL.Path, body, "application/json")
 	if err != nil {

@@ -51,10 +51,12 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	if rt.scatterEligible(req, task, semantics, resolved) {
 		if rt.scatterQuery(w, r, req, key) {
+			rt.rm.scatters.Inc()
 			return
 		}
 		// Scatter aborted (a member came back cold or a replica refused):
 		// the whole query goes to one owner, which is always correct.
+		rt.rm.scatterAborts.Inc()
 	}
 	rt.routeBody(w, r, key, body)
 }

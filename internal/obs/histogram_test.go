@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestHistogramConcurrent hammers one histogram from many goroutines
+// (run under -race) and checks no observation is lost and the sum is
+// exact — every goroutine observes values whose total is known.
+func TestHistogramConcurrent(t *testing.T) {
+	h := newHistogram([]float64{0.001, 0.01, 0.1, 1})
+	const goroutines = 16
+	const perG = 2000
+	values := []float64{0.0005, 0.005, 0.05, 0.5, 5} // one per bucket incl. +Inf
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(values[i%len(values)])
+			}
+		}()
+	}
+	wg.Wait()
+
+	s := h.Snapshot()
+	if want := int64(goroutines * perG); s.Count != want {
+		t.Errorf("Count = %d, want %d", s.Count, want)
+	}
+	perValue := int64(goroutines * perG / len(values))
+	for i, c := range s.Counts {
+		if c != perValue {
+			t.Errorf("bucket %d count = %d, want %d", i, c, perValue)
+		}
+	}
+	var wantSum float64
+	for _, v := range values {
+		wantSum += v * float64(perValue)
+	}
+	if math.Abs(s.Sum-wantSum) > 1e-6*wantSum {
+		t.Errorf("Sum = %v, want %v", s.Sum, wantSum)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram(normalizeBuckets([]float64{1, 2, 4, 8}))
+	// 100 observations uniform in (0,1]: p50 should interpolate to ~0.5
+	// within the first bucket, p100 to the bucket bound.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-0.5) > 0.01 {
+		t.Errorf("p50 = %v, want ~0.5", got)
+	}
+	if got := h.Quantile(1); got != 1 {
+		t.Errorf("p100 = %v, want 1", got)
+	}
+
+	// Observations beyond the last bound clamp to it.
+	h2 := newHistogram(normalizeBuckets([]float64{1, 2}))
+	h2.Observe(100)
+	if got := h2.Quantile(0.99); got != 2 {
+		t.Errorf("overflow quantile = %v, want clamp to 2", got)
+	}
+
+	// Empty histogram answers 0, not NaN.
+	h3 := newHistogram(normalizeBuckets(nil))
+	if got := h3.Quantile(0.9); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+}
+
+func TestNormalizeBuckets(t *testing.T) {
+	got := normalizeBuckets([]float64{5, 1, 5, math.Inf(1), 2})
+	want := []float64{1, 2, 5}
+	if len(got) != len(want) {
+		t.Fatalf("normalizeBuckets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("normalizeBuckets = %v, want %v", got, want)
+		}
+	}
+	if def := normalizeBuckets(nil); len(def) != len(DefBuckets) {
+		t.Errorf("nil buckets: got %d bounds, want DefBuckets (%d)", len(def), len(DefBuckets))
+	}
+}

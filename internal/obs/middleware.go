@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// HTTPConfig configures the shared HTTP middleware: request metrics,
+// request-id assignment/propagation and structured request logging.
+type HTTPConfig struct {
+	// Logger receives one structured line per completed request (nil
+	// disables request logging). Successful requests log at info —
+	// except Quiet routes (health/metrics probes), which drop to debug —
+	// 4xx at debug, and 5xx plus the load-shedding statuses (429, 503)
+	// at warn, each line carrying the route, status, envelope code and
+	// request id.
+	Logger *slog.Logger
+	// Registry receives http_requests_total{route,method,code},
+	// http_request_duration_seconds{route,code} and the
+	// http_requests_in_flight gauge (nil disables metrics).
+	Registry *Registry
+	// Route maps a request to its route label — typically the mux
+	// pattern's path, so label cardinality stays bounded by the routing
+	// table instead of the URL space. Unmatched requests are labeled
+	// "unmatched".
+	Route func(*http.Request) string
+	// Quiet lists routes whose successful requests log at debug instead
+	// of info (scrape and probe endpoints).
+	Quiet []string
+}
+
+// statusWriter captures the response status while passing Flush through
+// so streamed responses (NDJSON/SSE) keep flushing.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if !w.wrote {
+		w.status = status
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Middleware wraps next with request-id handling, request metrics and
+// structured request logging. An inbound X-Request-ID is trusted and
+// propagated (that is how a replica inherits the router's id); absent
+// one, a fresh id is generated. Either way the id rides the request
+// context, the response header, and — via writeError reading the header
+// — the error envelope.
+func (c HTTPConfig) Middleware(next http.Handler) http.Handler {
+	var (
+		reqs     *CounterVec
+		dur      *HistogramVec
+		inflight *Gauge
+	)
+	if c.Registry != nil {
+		reqs = c.Registry.CounterVec("http_requests_total",
+			"HTTP requests served, by route, method and status code.",
+			"route", "method", "code")
+		dur = c.Registry.HistogramVec("http_request_duration_seconds",
+			"HTTP request latency in seconds, by route and status code.",
+			DefBuckets, "route", "code")
+		inflight = c.Registry.Gauge("http_requests_in_flight",
+			"HTTP requests currently being served.")
+	}
+	quiet := make(map[string]bool, len(c.Quiet))
+	for _, q := range c.Quiet {
+		quiet[q] = true
+	}
+
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rid := r.Header.Get(RequestIDHeader)
+		if rid == "" {
+			rid = NewRequestID()
+		}
+		ctx := WithRequestID(r.Context(), rid)
+		r = r.WithContext(ctx)
+		w.Header().Set(RequestIDHeader, rid)
+
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		if inflight != nil {
+			inflight.Inc()
+		}
+		next.ServeHTTP(sw, r)
+		if inflight != nil {
+			inflight.Dec()
+		}
+
+		route := "unmatched"
+		if c.Route != nil {
+			if p := c.Route(r); p != "" {
+				route = p
+			}
+		}
+		elapsed := time.Since(start)
+		code := strconv.Itoa(sw.status)
+		if reqs != nil {
+			reqs.With(route, r.Method, code).Inc()
+			dur.With(route, code).Observe(elapsed.Seconds())
+		}
+		if c.Logger == nil {
+			return
+		}
+		level := slog.LevelInfo
+		switch {
+		case sw.status >= 500 || sw.status == http.StatusTooManyRequests:
+			level = slog.LevelWarn
+		case sw.status >= 400 || quiet[route]:
+			level = slog.LevelDebug
+		}
+		attrs := []slog.Attr{
+			slog.String("method", r.Method),
+			slog.String("route", route),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.status),
+			slog.Float64("duration_ms", float64(elapsed)/float64(time.Millisecond)),
+			slog.String("request_id", rid),
+		}
+		if ec := ErrorCode(sw.status); ec != "" {
+			attrs = append(attrs, slog.String("code", ec))
+		}
+		c.Logger.LogAttrs(ctx, level, "request", attrs...)
+	})
+}

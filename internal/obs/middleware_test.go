@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMiddlewareRequestID(t *testing.T) {
+	var seen string
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = RequestID(r.Context())
+		w.WriteHeader(http.StatusOK)
+	})
+	h := HTTPConfig{}.Middleware(next)
+
+	// No inbound id: one is generated, set on the context and echoed.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/x", nil))
+	if seen == "" {
+		t.Fatalf("no request id on the handler context")
+	}
+	if got := rec.Header().Get(RequestIDHeader); got != seen {
+		t.Errorf("echoed id %q != context id %q", got, seen)
+	}
+
+	// An inbound id (the router's) is trusted and propagated unchanged.
+	req := httptest.NewRequest(http.MethodGet, "/x", nil)
+	req.Header.Set(RequestIDHeader, "router-rid-1")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if seen != "router-rid-1" {
+		t.Errorf("inbound id not propagated: context carries %q", seen)
+	}
+	if got := rec.Header().Get(RequestIDHeader); got != "router-rid-1" {
+		t.Errorf("inbound id not echoed: header carries %q", got)
+	}
+}
+
+func TestMiddlewarePerRouteCounters(t *testing.T) {
+	reg := NewRegistry()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/things/{id}", func(w http.ResponseWriter, r *http.Request) {})
+	mux.HandleFunc("POST /v1/things", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusCreated)
+	})
+	h := HTTPConfig{
+		Registry: reg,
+		Route: func(r *http.Request) string {
+			_, pattern := mux.Handler(r)
+			if _, path, ok := strings.Cut(pattern, " "); ok {
+				return path
+			}
+			return pattern
+		},
+	}.Middleware(mux)
+
+	for i := 0; i < 3; i++ {
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/v1/things/42", nil))
+	}
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodPost, "/v1/things", nil))
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`http_requests_total{route="/v1/things/{id}",method="GET",code="200"} 3`,
+		`http_requests_total{route="/v1/things",method="POST",code="201"} 1`,
+		`http_request_duration_seconds_count{route="/v1/things/{id}",code="200"} 3`,
+		`http_requests_in_flight 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape is missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestMiddlewareLogLevels(t *testing.T) {
+	var buf bytes.Buffer
+	logger := NewLogger(&buf, "test", slog.LevelDebug)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /ok", func(w http.ResponseWriter, r *http.Request) {})
+	mux.HandleFunc("GET /missing", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+	})
+	mux.HandleFunc("GET /boom", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	})
+	h := HTTPConfig{Logger: logger}.Middleware(mux)
+
+	for _, path := range []string{"/ok", "/missing", "/boom"} {
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, path, nil))
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d log lines, want 3:\n%s", len(lines), buf.String())
+	}
+	for i, want := range []struct{ level, frag string }{
+		{"level=INFO", "status=200"},
+		{"level=DEBUG", "code=not_found"},
+		{"level=WARN", "code=internal"},
+	} {
+		if !strings.Contains(lines[i], want.level) || !strings.Contains(lines[i], want.frag) {
+			t.Errorf("line %d = %q, want level %s with %s", i, lines[i], want.level, want.frag)
+		}
+		if !strings.Contains(lines[i], "request_id=") || !strings.Contains(lines[i], "component=test") {
+			t.Errorf("line %d = %q missing request_id/component keys", i, lines[i])
+		}
+	}
+}

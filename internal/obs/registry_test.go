@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"bufio"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestExpositionGolden locks the exact text a small registry renders:
+// families sorted by name, HELP/TYPE comments, labeled series sorted by
+// label values, histograms with cumulative buckets, +Inf, _sum, _count.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "A counter.").Add(3)
+	g := r.Gauge("a_gauge", "A gauge.")
+	g.Set(5)
+	v := r.CounterVec("c_requests_total", "Labeled counter.", "route", "code")
+	v.With("/v1/select", "200").Add(2)
+	v.With("/healthz", "200").Inc()
+	h := r.Histogram("d_seconds", "A histogram.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(7)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	want := `# HELP a_gauge A gauge.
+# TYPE a_gauge gauge
+a_gauge 5
+# HELP b_total A counter.
+# TYPE b_total counter
+b_total 3
+# HELP c_requests_total Labeled counter.
+# TYPE c_requests_total counter
+c_requests_total{route="/healthz",code="200"} 1
+c_requests_total{route="/v1/select",code="200"} 2
+# HELP d_seconds A histogram.
+# TYPE d_seconds histogram
+d_seconds_bucket{le="0.1"} 1
+d_seconds_bucket{le="1"} 2
+d_seconds_bucket{le="+Inf"} 3
+d_seconds_sum 7.55
+d_seconds_count 3
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// parseExposition is a minimal scrape parser: it validates every line is
+// either a well-formed comment or `name{labels} value` and returns the
+// sample values by series line. A round-trip through it proves the
+// output is machine-readable, not just eyeball-readable.
+func parseExposition(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := make(map[string]float64)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		l := sc.Text()
+		if l == "" {
+			t.Fatalf("line %d: blank line in exposition", line)
+		}
+		if strings.HasPrefix(l, "#") {
+			if !strings.HasPrefix(l, "# HELP ") && !strings.HasPrefix(l, "# TYPE ") {
+				t.Fatalf("line %d: malformed comment %q", line, l)
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(l, ' ')
+		if sp <= 0 {
+			t.Fatalf("line %d: no sample value in %q", line, l)
+		}
+		series, valueText := l[:sp], l[sp+1:]
+		v, err := strconv.ParseFloat(valueText, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad sample value %q: %v", line, valueText, err)
+		}
+		if open := strings.IndexByte(series, '{'); open >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				t.Fatalf("line %d: unclosed label braces in %q", line, series)
+			}
+			for _, pair := range strings.Split(series[open+1:len(series)-1], ",") {
+				name, val, ok := strings.Cut(pair, "=")
+				if !ok || name == "" || len(val) < 2 || val[0] != '"' || val[len(val)-1] != '"' {
+					t.Fatalf("line %d: malformed label pair %q", line, pair)
+				}
+			}
+		}
+		if _, dup := samples[series]; dup {
+			t.Fatalf("line %d: duplicate series %q", line, series)
+		}
+		samples[series] = v
+	}
+	return samples
+}
+
+// TestScrapeRoundTrip serves /metrics, parses the scrape and checks the
+// parsed samples match the registry's live values — including a
+// scrape-time func metric.
+func TestScrapeRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rt_hits_total", "hits").Add(42)
+	r.GaugeFunc("rt_live", "live value", func() float64 { return 17 })
+	h := r.HistogramVec("rt_lat_seconds", "latency", []float64{0.5}, "route")
+	h.With(`tricky"route\`).Observe(0.25)
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != ContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, ContentType)
+	}
+	var sb strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		sb.WriteString(sc.Text() + "\n")
+	}
+	samples := parseExposition(t, sb.String())
+
+	checks := map[string]float64{
+		"rt_hits_total": 42,
+		"rt_live":       17,
+		`rt_lat_seconds_bucket{route="tricky\"route\\",le="0.5"}`:  1,
+		`rt_lat_seconds_bucket{route="tricky\"route\\",le="+Inf"}`: 1,
+		`rt_lat_seconds_count{route="tricky\"route\\"}`:            1,
+	}
+	for series, want := range checks {
+		got, ok := samples[series]
+		if !ok {
+			t.Errorf("series %q missing from scrape; have %d series", series, len(samples))
+			continue
+		}
+		if got != want {
+			t.Errorf("series %q = %v, want %v", series, got, want)
+		}
+	}
+}
+
+// TestRegistryIdempotentAndPanics: re-registering the same (name, kind,
+// labels) returns the same family; mismatches are programming errors.
+func TestRegistryIdempotentAndPanics(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("same_total", "one")
+	c2 := r.Counter("same_total", "one")
+	c1.Inc()
+	if c2.Value() != 1 {
+		t.Errorf("re-registered counter is a different instance")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("same_total", "now a gauge")
+}

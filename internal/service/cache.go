@@ -20,7 +20,7 @@ type Cache struct {
 	order    *list.List // front = most recently used; values are *cacheItem
 	items    map[string]*list.Element
 
-	hits, misses atomic.Int64
+	hits, misses, evictions atomic.Int64
 }
 
 type cacheItem struct {
@@ -70,6 +70,7 @@ func (c *Cache) Add(key string, res any) {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.items, oldest.Value.(*cacheItem).key)
+		c.evictions.Add(1)
 	}
 }
 
@@ -107,3 +108,7 @@ func (c *Cache) Hits() int64 { return c.hits.Load() }
 
 // Misses returns the number of cache misses.
 func (c *Cache) Misses() int64 { return c.misses.Load() }
+
+// Evictions returns how many entries capacity pressure evicted
+// (DropPrefix invalidations do not count).
+func (c *Cache) Evictions() int64 { return c.evictions.Load() }

@@ -44,6 +44,7 @@ findAbsent:
 	cases := map[string]probe{
 		"GET /healthz":          {nil, http.StatusOK},
 		"GET /readyz":           {nil, http.StatusOK},
+		"GET /metrics":          {nil, http.StatusOK},
 		"GET /v1/cluster/info":  {nil, http.StatusOK},
 		"GET /v1/stats":         {nil, http.StatusOK},
 		"GET /v1/graphs":        {nil, http.StatusOK},

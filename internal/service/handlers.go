@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/holisticim/holisticim"
+	"github.com/holisticim/holisticim/internal/obs"
 )
 
 const maxBodyBytes = 1 << 20 // JSON request bodies are tiny; cap at 1 MiB
@@ -20,35 +21,17 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// errorCode maps an HTTP status to the stable machine-readable code of
-// the error envelope.
-func errorCode(status int) string {
-	switch status {
-	case http.StatusBadRequest:
-		return "bad_request"
-	case http.StatusForbidden:
-		return "forbidden"
-	case http.StatusNotFound:
-		return "not_found"
-	case http.StatusMethodNotAllowed:
-		return "method_not_allowed"
-	case http.StatusConflict:
-		return "conflict"
-	case http.StatusTooManyRequests:
-		return "too_many_requests"
-	case http.StatusServiceUnavailable:
-		return "unavailable"
-	default:
-		return "internal"
-	}
-}
-
 // writeError answers with the uniform JSON error envelope
-// {"error": {"code", "message"}} every handler shares.
+// {"error": {"code", "message", "request_id"}} every handler shares.
+// The status→code mapping is obs.ErrorCode — one mapping for the
+// service layer, the cluster router and the request logger. The
+// request id comes off the response header the obs middleware set
+// before the handler ran, so the envelope needs no plumbing.
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, ErrorResponse{Error: ErrorBody{
-		Code:    errorCode(status),
-		Message: fmt.Sprintf(format, args...),
+		Code:      obs.ErrorCode(status),
+		Message:   fmt.Sprintf(format, args...),
+		RequestID: w.Header().Get(obs.RequestIDHeader),
 	}})
 }
 
@@ -399,12 +382,14 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	// sketch-backed and a cold run may pick different (equally valid)
 	// seeds, and one fingerprint must never alias the two.
 	if p.plan.SketchOnly() {
+		start := time.Now()
 		ans, err := s.runPrepared(r.Context(), p)
 		if err != nil {
 			writeError(w, http.StatusServiceUnavailable, "%v", err)
 			return
 		}
 		s.sketchHits.Add(1)
+		s.observeBackend(p.planBackend(), time.Since(start).Seconds())
 		sr := toSelectResult(*ans.Members[0].Result)
 		writeJSON(w, http.StatusOK, SelectResponse{
 			State: StateDone, Sketch: true, Result: sr,
@@ -442,6 +427,7 @@ func (s *Server) submitSelectJob(p *preparedQuery) (*Job, bool, error) {
 	deadline := p.deadline
 	key := p.key
 	plan := p.plan
+	backend := p.planBackend()
 	spec := JobSpec{Key: key, K: k, Members: 1, MemberKs: p.ks, Plan: &plan, Deadline: deadline}
 	return s.jobs.SubmitQuery(spec, func(ctx context.Context, report func(int)) (any, error) {
 		if !deadline.IsZero() {
@@ -470,6 +456,7 @@ func (s *Server) submitSelectJob(p *preparedQuery) (*Job, bool, error) {
 			return nil, err
 		}
 		s.selections.Add(1)
+		s.observeBackend(backend, time.Since(start).Seconds())
 		s.cache.Add(key, payload)
 		return payload, nil
 	})
@@ -676,6 +663,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	if sketchServed {
 		s.sketchEstimates.Add(1)
 	}
+	s.observeBackend(p.planBackend(), time.Since(start).Seconds())
 	res := toEstimateResult(*ans.Members[0].Estimate, p.lambda, sketchServed)
 	res.TookMS = float64(time.Since(start)) / float64(time.Millisecond)
 	writeJSON(w, http.StatusOK, res)

@@ -54,7 +54,8 @@ type Job struct {
 	plan     *Plan
 	// deadline, when non-zero, is the job's absolute completion bound: a
 	// worker dequeuing it after expiry fails it without running fn.
-	deadline time.Time
+	deadline   time.Time
+	enqueuedAt time.Time // queue-wait measurement anchor
 
 	seedsDone atomic.Int64
 
@@ -193,6 +194,26 @@ type Manager struct {
 	avgRunNanos atomic.Int64
 
 	submitted, deduped, canceled, shed atomic.Int64
+
+	// obsMu guards the optional duration observers (metrics hookup).
+	obsMu   sync.Mutex
+	obsWait func(seconds float64) // queue wait of jobs that reached a worker
+	obsRun  func(seconds float64) // JobFunc wall time
+}
+
+// SetDurationObservers installs callbacks observing, in seconds, each
+// job's queue wait (measured when a worker starts it) and its run wall
+// time. Nil callbacks disable the corresponding observation.
+func (m *Manager) SetDurationObservers(wait, run func(seconds float64)) {
+	m.obsMu.Lock()
+	m.obsWait, m.obsRun = wait, run
+	m.obsMu.Unlock()
+}
+
+func (m *Manager) durationObservers() (wait, run func(float64)) {
+	m.obsMu.Lock()
+	defer m.obsMu.Unlock()
+	return m.obsWait, m.obsRun
 }
 
 // NewManager starts a pool of workers with the given queue capacity,
@@ -282,18 +303,19 @@ func (m *Manager) SubmitQuery(spec JobSpec, fn JobFunc) (*Job, bool, error) {
 	}
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	j := &Job{
-		id:       fmt.Sprintf("j%08x", m.nextID),
-		key:      spec.Key,
-		k:        spec.K,
-		fn:       fn,
-		members:  spec.Members,
-		memberKs: spec.MemberKs,
-		plan:     spec.Plan,
-		deadline: spec.Deadline,
-		done:     make(chan struct{}),
-		ctx:      ctx,
-		cancel:   cancel,
-		state:    StatePending,
+		id:         fmt.Sprintf("j%08x", m.nextID),
+		key:        spec.Key,
+		k:          spec.K,
+		fn:         fn,
+		members:    spec.Members,
+		memberKs:   spec.MemberKs,
+		plan:       spec.Plan,
+		deadline:   spec.Deadline,
+		enqueuedAt: time.Now(),
+		done:       make(chan struct{}),
+		ctx:        ctx,
+		cancel:     cancel,
+		state:      StatePending,
 	}
 	m.nextID++
 	m.jobs[j.id] = j
@@ -557,13 +579,20 @@ func (m *Manager) run(j *Job) {
 	}
 	j.state = StateRunning
 	j.mu.Unlock()
+	obsWait, obsRun := m.durationObservers()
 	start := time.Now()
+	if obsWait != nil {
+		obsWait(start.Sub(j.enqueuedAt).Seconds())
+	}
 	res, err := j.fn(j.ctx, func(seedsDone int) {
 		j.seedsDone.Store(int64(seedsDone))
 	})
 	// EWMA (α=1/4) of job runtimes feeds the queue-wait estimate. Workers
 	// race the read-modify-write benignly: the estimate is a hint.
 	sample := int64(time.Since(start))
+	if obsRun != nil {
+		obsRun(time.Duration(sample).Seconds())
+	}
 	if old := m.avgRunNanos.Load(); old == 0 {
 		m.avgRunNanos.Store(sample)
 	} else {

@@ -90,6 +90,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if p.plan.SketchOnly() {
+		start := time.Now()
 		ans, err := s.runPrepared(r.Context(), p)
 		if err != nil {
 			writeError(w, http.StatusServiceUnavailable, "%v", err)
@@ -100,6 +101,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		} else {
 			s.sketchEstimates.Add(1)
 		}
+		s.observeBackend(p.planBackend(), time.Since(start).Seconds())
 		qa := toQueryAnswer(p, ans)
 		writeJSON(w, http.StatusOK, QueryResponse{
 			State: StateDone, Sketch: true, Plan: &p.plan,
@@ -170,6 +172,7 @@ func (s *Server) submitQueryJob(p *preparedQuery) (*Job, bool, error) {
 				report(member + 1)
 			}
 		}
+		start := time.Now()
 		ans, err := s.queryFn(ctx, g, q)
 		payload := toQueryAnswer(p, ans)
 		if err != nil {
@@ -181,6 +184,7 @@ func (s *Server) submitQueryJob(p *preparedQuery) (*Job, bool, error) {
 			return nil, err
 		}
 		s.queries.Add(1)
+		s.observeBackend(p.planBackend(), time.Since(start).Seconds())
 		if task == holisticim.TaskSelect {
 			s.selections.Add(1)
 		}

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"github.com/holisticim/holisticim"
+	"github.com/holisticim/holisticim/internal/obs"
 )
 
 // Config sizes a Server. Zero values pick serving defaults.
@@ -68,6 +70,14 @@ type Config struct {
 	// Advertise is the address this replica tells routers to reach it at,
 	// echoed in GET /v1/cluster/info.
 	Advertise string
+	// Metrics receives the server's metric families and backs GET
+	// /metrics. Nil gets a private registry, so embedding callers and
+	// tests need no setup; binaries pass one in to add process-level
+	// families beside the serving ones.
+	Metrics *obs.Registry
+	// Logger receives structured request and serving logs. Nil discards
+	// (tests stay quiet); binaries pass the shared component logger.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -127,6 +137,9 @@ type Server struct {
 	cache    *Cache
 	mux      *http.ServeMux
 	patterns []string // registered mux patterns, for 405 probing and conformance
+	metrics  *obs.Registry
+	logger   *slog.Logger
+	queryDur *obs.HistogramVec // im_query_duration_seconds{backend}
 
 	// selectFn runs one v1 selection under a job-scoped context; tests
 	// substitute stubs to control timing without real computations. It is
@@ -192,6 +205,15 @@ func New(cfg Config) *Server {
 	// store manifest) are fully warm-loaded; everything else is ready the
 	// moment it can serve.
 	s.ready.Store(!cfg.ColdStart)
+	s.metrics = cfg.Metrics
+	if s.metrics == nil {
+		s.metrics = obs.NewRegistry()
+	}
+	s.logger = cfg.Logger
+	if s.logger == nil {
+		s.logger = obs.Nop()
+	}
+	s.initObservability()
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s
@@ -218,9 +240,10 @@ func (s *Server) Sketches() *SketchRegistry { return s.sketches }
 
 // Handler returns the root http.Handler: the mux wrapped so that
 // not-found and method-mismatch responses carry the same JSON error
-// envelope as every handler, with a correct Allow header on 405s.
+// envelope as every handler, with a correct Allow header on 405s, all
+// behind the obs middleware (request ids, request metrics and logs).
 func (s *Server) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	root := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if _, pattern := s.mux.Handler(r); pattern == "" {
 			if allowed := s.allowedMethods(r); len(allowed) > 0 {
 				w.Header().Set("Allow", strings.Join(allowed, ", "))
@@ -233,6 +256,27 @@ func (s *Server) Handler() http.Handler {
 		}
 		s.mux.ServeHTTP(w, r)
 	})
+	mw := obs.HTTPConfig{
+		Logger:   s.logger,
+		Registry: s.metrics,
+		Route:    s.routeLabel,
+		Quiet:    []string{"/healthz", "/readyz", "/metrics"},
+	}
+	return mw.Middleware(root)
+}
+
+// routeLabel maps a request onto its mux pattern's path — the bounded
+// route label of the request metrics. (http.Request.Pattern needs Go
+// 1.23; probing the mux works on the module's declared 1.22.)
+func (s *Server) routeLabel(r *http.Request) string {
+	_, pattern := s.mux.Handler(r)
+	if pattern == "" {
+		return ""
+	}
+	if _, path, ok := strings.Cut(pattern, " "); ok {
+		return path
+	}
+	return pattern
 }
 
 // probeMethods are the verbs allowedMethods tests a path against.
@@ -324,6 +368,7 @@ func (s *Server) handle(pattern string, h http.HandlerFunc) {
 func (s *Server) routes() {
 	s.handle("GET /healthz", s.handleHealthz)
 	s.handle("GET /readyz", s.handleReadyz)
+	s.handle("GET /metrics", s.handleMetrics)
 	s.handle("GET /v1/cluster/info", s.handleClusterInfo)
 	s.handle("GET /v1/stats", s.handleStats)
 	s.handle("GET /v1/graphs", s.handleListGraphs)

@@ -61,9 +61,12 @@ type Plan = holisticim.Plan
 // stable machine-readable slug derived from the HTTP status
 // (bad_request, not_found, method_not_allowed, conflict, forbidden,
 // too_many_requests, unavailable, internal); Message is human-readable.
+// RequestID echoes the X-Request-ID the failed request carried, so an
+// error a client reports can be matched to the server's log lines.
 type ErrorBody struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // ErrorResponse is the envelope every non-2xx response carries:

@@ -74,3 +74,34 @@ echo "== OK: routed 5-k batch is byte-equivalent to the single-node answer"
 
 echo "== cluster info"
 curl -sf "http://127.0.0.1:$PORT_R/v1/cluster/info" | jq '{manifest_version, replicas: (.replicas | with_entries(.value |= {healthy, manifest_version: .info.manifest_version}))}'
+
+# Scrape router and replica /metrics: every line must be a well-formed
+# HELP/TYPE comment or `name{labels} value` sample, and the HTTP request
+# counters must have counted the traffic we just drove.
+check_metrics() {
+  local url="$1"
+  local what="$2"
+  local scrape="$WORK/metrics.$what"
+  curl -sf "$url/metrics" > "$scrape" || { echo "cluster-smoke: $what /metrics scrape failed" >&2; exit 1; }
+  if ! awk '
+    /^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*/ { next }
+    /^[a-zA-Z_:][a-zA-Z0-9_:]*({[^}]*})? -?[0-9]/ { next }
+    /^[a-zA-Z_:][a-zA-Z0-9_:]*({[^}]*})? \+Inf$/ { next }
+    { print "malformed exposition line " NR ": " $0; bad = 1 }
+    END { exit bad }
+  ' "$scrape"; then
+    echo "cluster-smoke: $what /metrics is not valid text exposition" >&2
+    exit 1
+  fi
+  local served
+  served="$(awk '/^http_requests_total{/ { sum += $NF } END { print sum + 0 }' "$scrape")"
+  if [ "$served" -le 0 ]; then
+    echo "cluster-smoke: $what http_requests_total is zero after traffic" >&2
+    exit 1
+  fi
+  echo "   $what: exposition valid, http_requests_total=$served"
+}
+echo "== scraping /metrics"
+check_metrics "http://127.0.0.1:$PORT_R" router
+check_metrics "http://127.0.0.1:$PORT_A" replica-a
+echo "== OK: router and replica expose valid Prometheus metrics with counted traffic"

@@ -62,3 +62,30 @@ else
   echo "   $ok/$REQUESTS ok in ${elapsed}s -> $(echo "$ok $elapsed" | awk '{printf "%.0f", $1/$2}') req/s"
   [ "$ok" = "$REQUESTS" ] || { echo "loadtest: $((REQUESTS - ok)) non-200 responses" >&2; exit 1; }
 fi
+
+# Server-side latency distribution: scrape the target's request-duration
+# histogram and interpolate quantiles from the cumulative buckets (same
+# math as PromQL histogram_quantile).
+echo "== server-side latency from $TARGET/metrics"
+curl -sf "$TARGET/metrics" | awk '
+  /^http_request_duration_seconds_bucket{.*route="\/v2\/query".*} / {
+    le = $0; sub(/.*le="/, "", le); sub(/".*/, "", le)
+    n = split($0, parts, " ")
+    bound[++nb] = le; cum[nb] = parts[n]
+  }
+  END {
+    if (nb == 0 || cum[nb] == 0) { print "   (no /v2/query samples in scrape)"; exit 0 }
+    total = cum[nb]
+    split("0.50 0.95 0.99", qs, " ")
+    for (qi = 1; qi <= 3; qi++) {
+      rank = qs[qi] * total
+      for (i = 1; i <= nb; i++) if (cum[i] >= rank) break
+      if (bound[i] == "+Inf") { est = bound[nb - 1]; suffix = "+" }
+      else {
+        lo = (i > 1) ? bound[i - 1] : 0; locum = (i > 1) ? cum[i - 1] : 0
+        est = lo + (bound[i] - lo) * (rank - locum) / (cum[i] - locum); suffix = ""
+      }
+      printf "   p%-4s %.1f ms%s\n", qs[qi] * 100, est * 1000, suffix
+    }
+    printf "   count %d\n", total
+  }'
