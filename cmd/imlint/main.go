@@ -1,0 +1,91 @@
+// Command imlint is the project's invariant multichecker: a suite of
+// go/analysis-style checks for the determinism, locking and serving
+// rules that keep this codebase correct and that no off-the-shelf
+// linter knows about. CI runs it on every change:
+//
+//	go run ./cmd/imlint ./...
+//
+// Exit status is 0 when the tree is clean and 1 when any finding
+// survives suppression. Suppress a finding by putting
+//
+//	//lint:ignore imlint/<analyzer> <reason>
+//
+// on (or directly above) the flagged line; the reason is mandatory and
+// a directive that stops matching anything is itself reported as stale.
+// docs/lint.md documents each analyzer's invariant with flagged and
+// clean examples.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/holisticim/holisticim/internal/analysis"
+)
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list the analyzers and exit")
+		only = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: imlint [-list] [-only name,...] [packages]\n\n"+
+			"Runs the project's invariant analyzers over the given package\n"+
+			"patterns (default ./...). See docs/lint.md.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("imlint/%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var filtered []*analysis.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				filtered = append(filtered, a)
+				delete(keep, a.Name)
+			}
+		}
+		for name := range keep {
+			fmt.Fprintf(os.Stderr, "imlint: unknown analyzer %q (try -list)\n", name)
+			os.Exit(2)
+		}
+		analyzers = filtered
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "imlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "imlint:", err)
+		os.Exit(2)
+	}
+	failed := false
+	for _, pkg := range pkgs {
+		for _, f := range analysis.RunPackage(pkg, analyzers) {
+			failed = true
+			fmt.Println(f)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

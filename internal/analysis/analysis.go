@@ -1,0 +1,206 @@
+// Package analysis is a small, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis shape, carrying the project-specific
+// analyzers behind cmd/imlint.
+//
+// The system's correctness story rests on invariants no off-the-shelf
+// tool checks: deterministic split-seed RR sampling (worker count must
+// never change a sample), mutex-guarded state swapped under live
+// mutation, context-polling hot loops, the uniform JSON error envelope
+// and the slog logging discipline. Each analyzer in this package encodes
+// one of those invariants as a mechanical check that CI runs on every
+// change; docs/lint.md documents the invariant, a historical bug it
+// would have caught, and the suppression syntax per analyzer.
+//
+// The framework mirrors x/tools: an Analyzer owns a Run function over a
+// Pass (one typechecked package), diagnostics carry positions, and
+// fixture packages under testdata/src are exercised by the analysistest
+// sub-package with `// want` expectations. It is intentionally smaller:
+// no facts, no modular result sharing — every analyzer is a
+// whole-package (or package-filtered) syntax+types walk, which is all
+// the suite needs.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding of an analyzer.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one typechecked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Path     string // import path the package was loaded as
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name is the suppression key: //lint:ignore imlint/<Name> reason.
+	Name string
+	// Doc is a one-paragraph description shown by imlint -list.
+	Doc string
+	// AppliesTo filters packages by import path and package name; nil
+	// means the analyzer runs on every package.
+	AppliesTo func(path, pkgName string) bool
+	// Run reports the package's violations through pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Finding is one unsuppressed diagnostic, positioned for printing.
+type Finding struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (imlint/%s)", f.Position, f.Message, f.Analyzer)
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	file      string
+	line      int
+	analyzers map[string]bool // bare analyzer names
+	used      bool
+	pos       token.Pos
+}
+
+var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+(\S+)\s*(.*)$`)
+
+// parseIgnores collects every //lint:ignore directive of the files. A
+// directive suppresses matching diagnostics on its own line and on the
+// line directly below it (the "annotate the statement above it" style).
+// Directives must carry a reason; reasonless or non-imlint-keyed ones
+// are returned as diagnostics of the driver itself.
+func parseIgnores(fset *token.FileSet, files []*ast.File) ([]*ignoreDirective, []Finding) {
+	var dirs []*ignoreDirective
+	var bad []Finding
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if strings.TrimSpace(m[2]) == "" {
+					bad = append(bad, Finding{
+						Analyzer: "imlint",
+						Position: pos,
+						Message:  "lint:ignore directive without a reason",
+					})
+					continue
+				}
+				names := map[string]bool{}
+				ok := true
+				for _, key := range strings.Split(m[1], ",") {
+					name, found := strings.CutPrefix(key, "imlint/")
+					if !found {
+						ok = false
+						break
+					}
+					names[name] = true
+				}
+				if !ok {
+					// Another tool's directive (e.g. staticcheck); not ours.
+					continue
+				}
+				dirs = append(dirs, &ignoreDirective{
+					file:      pos.Filename,
+					line:      pos.Line,
+					analyzers: names,
+					pos:       c.Pos(),
+				})
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// RunPackage runs the analyzers over one loaded package and returns the
+// unsuppressed findings (plus findings for malformed or unused
+// suppression directives), sorted by position.
+func RunPackage(pkg *LoadedPackage, analyzers []*Analyzer) []Finding {
+	dirs, findings := parseIgnores(pkg.Fset, pkg.Files)
+	for _, a := range analyzers {
+		if a.AppliesTo != nil && !a.AppliesTo(pkg.Path, pkg.Pkg.Name()) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Path:     pkg.Path,
+			Pkg:      pkg.Pkg,
+			Info:     pkg.Info,
+		}
+		a.Run(pass)
+	diags:
+		for _, d := range pass.diags {
+			p := pkg.Fset.Position(d.Pos)
+			for _, dir := range dirs {
+				if dir.analyzers[a.Name] && dir.file == p.Filename &&
+					(dir.line == p.Line || dir.line == p.Line-1) {
+					dir.used = true
+					continue diags
+				}
+			}
+			findings = append(findings, Finding{Analyzer: a.Name, Position: p, Message: d.Message})
+		}
+	}
+	// An ignore that suppresses nothing is stale: the code it excused was
+	// fixed or moved, and keeping it would silently excuse a future bug.
+	for _, dir := range dirs {
+		if !dir.used && coversAny(dir, analyzers) {
+			findings = append(findings, Finding{
+				Analyzer: "imlint",
+				Position: pkg.Fset.Position(dir.pos),
+				Message:  "lint:ignore directive suppresses nothing (stale?)",
+			})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Position, findings[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return findings
+}
+
+// coversAny reports whether the directive names at least one analyzer
+// that actually ran — a directive for an analyzer outside this run (e.g.
+// imlint -only) must not be reported stale.
+func coversAny(dir *ignoreDirective, analyzers []*Analyzer) bool {
+	for _, a := range analyzers {
+		if dir.analyzers[a.Name] {
+			return true
+		}
+	}
+	return false
+}

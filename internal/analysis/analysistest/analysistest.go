@@ -1,0 +1,108 @@
+// Package analysistest exercises one imlint analyzer over a fixture
+// package under testdata/src, mirroring the x/tools package of the same
+// name: the fixture's `// want "regex"` (or backquoted) comments state
+// the expected findings line by line, and the test fails on any
+// unexpected finding or unmatched expectation. Fixtures run through the
+// full driver pipeline — AppliesTo filtering, //lint:ignore suppression
+// and stale-directive reporting — so they double as end-to-end proof
+// that breaking an invariant makes imlint exit non-zero.
+package analysistest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"github.com/holisticim/holisticim/internal/analysis"
+)
+
+var (
+	wantRe   = regexp.MustCompile(`// want (.*)$`)
+	quotedRe = regexp.MustCompile("\x60[^\x60]*\x60|\"(?:[^\"\\\\]|\\\\.)*\"")
+)
+
+// Run loads testdata/src/<fixture> (relative to the calling test) as
+// import path <fixture> — the directory name is deliberate, since
+// AppliesTo filters match on the path's last segment — runs the analyzer
+// and diffs the findings against the fixture's want comments.
+func Run(t *testing.T, a *analysis.Analyzer, fixture string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	pkg, err := analysis.TypecheckFixture(moduleRoot(t), dir, fixture)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	findings := analysis.RunPackage(pkg, []*analysis.Analyzer{a})
+
+	type lineKey struct {
+		file string
+		line int
+	}
+	wants := map[lineKey][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := lineKey{pos.Filename, pos.Line}
+				for _, q := range quotedRe.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want string %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	for _, f := range findings {
+		k := lineKey{f.Position.Filename, f.Position.Line}
+		matched := -1
+		for i, re := range wants[k] {
+			if re.MatchString(f.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected finding: %s", f)
+			continue
+		}
+		wants[k] = append(wants[k][:matched], wants[k][matched+1:]...)
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: no finding matched want %q", k.file, k.line, re)
+		}
+	}
+}
+
+// moduleRoot walks up from the working directory to the go.mod, which
+// anchors the `go list` invocations that resolve fixture imports.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,43 @@
+// Package atomicf is the atomicfield fixture: once any access to a
+// field goes through sync/atomic, every access must.
+package atomicf
+
+import "sync/atomic"
+
+type stats struct {
+	hits int64 // accessed via atomic.AddInt64/LoadInt64 below
+	size int64 // only ever plain: out of the analyzer's scope
+}
+
+func (s *stats) Hit() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+func (s *stats) Loaded() int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+
+// Racy mixes a plain read into an otherwise-atomic field.
+func (s *stats) Racy() int64 {
+	return s.hits // want `plain access to hits, which is accessed via sync/atomic elsewhere.*atomic\.Int64`
+}
+
+// Grow touches size, which nothing accesses atomically: clean.
+func (s *stats) Grow(n int64) {
+	s.size += n
+}
+
+// newStats mutates a value still local to its constructor: clean.
+func newStats() *stats {
+	s := &stats{}
+	s.hits = 0
+	return s
+}
+
+// Reset shows the escape hatch.
+func (s *stats) Reset() {
+	//lint:ignore imlint/atomicfield fixture: callers serialize Reset during shutdown
+	s.hits = 0
+}
+
+var _ = newStats

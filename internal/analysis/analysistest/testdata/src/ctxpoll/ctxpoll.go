@@ -1,0 +1,102 @@
+// Package ctxpoll is the ctxpoll fixture: Select*/Generate*/Repair*
+// functions taking a context must poll it in every outermost loop. The
+// flagged case is the acceptance scenario for the analyzer — deleting
+// the ctx check from a qualifying loop must produce a finding.
+package ctxpoll
+
+import "context"
+
+// tracker mimics im.Tracker: Interrupted carries the context
+// internally, so a call to it counts as a poll.
+type tracker struct{ ctx context.Context }
+
+func (t *tracker) Interrupted() error { return t.ctx.Err() }
+
+// SelectSeeds scans without ever checking the context.
+func SelectSeeds(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ { // want `loop in SelectSeeds has no context check`
+		total += i
+	}
+	return total
+}
+
+// SelectPolled checks ctx.Err in the outer loop; the inner loop rides
+// the outer poll. Clean.
+func SelectPolled(ctx context.Context, n int) (int, error) {
+	total := 0
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return total, err
+		}
+		for j := 0; j < n; j++ {
+			total += j
+		}
+	}
+	return total, nil
+}
+
+// SelectTracked polls through the tracker helper. Clean.
+func SelectTracked(ctx context.Context, n int) error {
+	tr := &tracker{ctx: ctx}
+	for i := 0; i < n; i++ {
+		if err := tr.Interrupted(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GenerateAll hands the context to its callee, which then owns the
+// polling obligation. Clean.
+func GenerateAll(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := work(ctx, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func work(ctx context.Context, _ int) error { return ctx.Err() }
+
+// RepairBatches loops inside a closure run from a polled loop: the
+// closure's loops are the call site's obligation, not flagged.
+func RepairBatches(ctx context.Context, n int) int {
+	sum := func(m int) int {
+		t := 0
+		for i := 0; i < m; i++ {
+			t += i
+		}
+		return t
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return total
+		}
+		total += sum(i)
+	}
+	return total
+}
+
+// Accumulate does not qualify (no Select/Generate/Repair prefix): no
+// obligation, clean.
+func Accumulate(_ context.Context, n int) int {
+	t := 0
+	for i := 0; i < n; i++ {
+		t += i
+	}
+	return t
+}
+
+// GenerateDrained shows the escape hatch for loops that must run to
+// completion.
+func GenerateDrained(_ context.Context, parts []int) int {
+	t := 0
+	//lint:ignore imlint/ctxpoll fixture: append-only drain of already-computed parts
+	for _, p := range parts {
+		t += p
+	}
+	return t
+}

@@ -1,0 +1,74 @@
+// Package guarded is the guardedby fixture: `// guarded by mu` field
+// annotations must be honored by every accessor. The flagged cases are
+// the acceptance scenario for the analyzer — moving a guarded read
+// outside its lock must produce a finding.
+package guarded
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int            // guarded by mu
+	m  map[string]int // guarded by mu
+}
+
+// Inc holds the exclusive lock: clean.
+func (c *counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// Peek reads without any lock.
+func (c *counter) Peek() int {
+	return c.n // want `read of n \(guarded by mu\) without holding mu in Peek`
+}
+
+// Bump writes without any lock.
+func (c *counter) Bump() {
+	c.n++ // want `write to n \(guarded by mu\) without holding mu\.Lock in Bump`
+}
+
+// putLocked's name promises the caller holds mu: clean by contract.
+func (c *counter) putLocked(k string) {
+	c.m[k]++
+}
+
+// New mutates a value that never left its constructor: no lock needed.
+func New() *counter {
+	c := &counter{m: map[string]int{}}
+	c.n = 1
+	return c
+}
+
+type rw struct {
+	mu sync.RWMutex
+	v  int // guarded by mu
+}
+
+// Get holds the read lock: clean.
+func (r *rw) Get() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.v
+}
+
+// BadWrite only RLocks: a shared lock does not license mutation.
+func (r *rw) BadWrite() {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	r.v = 9 // want `write to v \(guarded by mu\) without holding mu\.Lock in BadWrite`
+}
+
+// Suppressed shows the escape hatch.
+func (c *counter) Suppressed() int {
+	//lint:ignore imlint/guardedby fixture: single-threaded startup path, no concurrent writer yet
+	return c.n
+}
+
+type misannotated struct {
+	// guarded by nosuch
+	n int // want `guarded-by annotation names "nosuch", which is not a field of this struct`
+}
+
+func (m *misannotated) Get() int { return m.n }

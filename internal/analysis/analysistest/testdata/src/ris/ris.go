@@ -1,0 +1,62 @@
+// Package ris is the nondeterminism fixture. The directory name matters:
+// it shares its import-path segment with internal/ris, so the analyzer's
+// determinism-critical filter applies exactly as it does on the real
+// sampler package.
+package ris
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now in a determinism-critical package`
+}
+
+func Draw() int {
+	return rand.Intn(10) // want `global math/rand source in a determinism-critical package`
+}
+
+// Local draws from a locally seeded generator: a pure function of seed,
+// not flagged.
+func Local(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// LeakOrder appends map keys in iteration order and never sorts: the
+// order leaks into the result.
+func LeakOrder(m map[int]int) []int {
+	var out []int
+	for k := range m { // want `map iteration order can leak into results`
+		out = append(out, k)
+	}
+	return out
+}
+
+// KeyedWrites only writes through slots indexed by the loop key: each
+// iteration touches its own slot, so order cannot leak.
+func KeyedWrites(m, dst map[int]int) {
+	for k, v := range m {
+		dst[k] = v * 2
+	}
+}
+
+// CollectThenSort is the canonical collect-then-sort idiom: the sort
+// after the loop makes the collection deterministic before use.
+func CollectThenSort(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Suppressed shows the escape hatch: a justified directive keeps the
+// wall-clock read without a finding.
+func Suppressed() int64 {
+	//lint:ignore imlint/nondeterminism fixture: feeds a progress log line, never sampled output
+	return time.Now().UnixNano()
+}

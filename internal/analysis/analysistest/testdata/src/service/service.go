@@ -1,0 +1,55 @@
+// Package service is the errenvelope fixture. The directory name
+// matters: it shares its import-path segment with internal/service, so
+// the serving-layer filter applies.
+package service
+
+import "net/http"
+
+// writeError is the envelope: it alone may touch the raw status line.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write([]byte(`{"error":{"message":"` + msg + `"}}`))
+}
+
+// badHandler forks the wire contract with a text/plain error.
+func badHandler(w http.ResponseWriter, _ *http.Request) {
+	http.Error(w, "nope", http.StatusBadRequest) // want `http\.Error bypasses the JSON error envelope`
+}
+
+// bareStatus sends an empty 500 body.
+func bareStatus(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusInternalServerError) // want `bare WriteHeader\(500\) outside writeError`
+}
+
+// okHandler writes a success status: no envelope needed, clean.
+func okHandler(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusCreated)
+	_, _ = w.Write([]byte("{}"))
+}
+
+// proxy forwards a non-constant upstream status: the upstream already
+// shaped the body, clean.
+func proxy(w http.ResponseWriter, upstreamStatus int) {
+	w.WriteHeader(upstreamStatus)
+}
+
+// goodHandler routes errors through the envelope, clean.
+func goodHandler(w http.ResponseWriter, _ *http.Request) {
+	writeError(w, http.StatusBadRequest, "bad k")
+}
+
+// legacy shows the escape hatch.
+func legacy(w http.ResponseWriter, _ *http.Request) {
+	//lint:ignore imlint/errenvelope fixture: legacy plaintext endpoint frozen by an external contract
+	http.Error(w, "gone", http.StatusGone)
+}
+
+var (
+	_ = badHandler
+	_ = bareStatus
+	_ = okHandler
+	_ = proxy
+	_ = goodHandler
+	_ = legacy
+)

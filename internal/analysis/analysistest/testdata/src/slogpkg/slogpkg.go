@@ -1,0 +1,35 @@
+// Package slogpkg is the sloglint fixture: library packages log through
+// slog, never the legacy log package or raw stdout prints. It also
+// hosts the stale-directive case: an ignore that excuses nothing is
+// itself reported.
+package slogpkg
+
+import (
+	"fmt"
+	"log"
+	"log/slog"
+)
+
+func Bad() {
+	log.Printf("n=%d", 1) // want `log\.Printf in a library package`
+	fmt.Println("done")   // want `fmt\.Println writes raw stdout from a library package`
+}
+
+// Good logs through slog and formats without printing: clean.
+func Good(lg *slog.Logger) {
+	lg.Info("done", "n", 1)
+	_ = fmt.Sprintf("x=%d", 2)
+}
+
+// Suppressed shows the escape hatch.
+func Suppressed() {
+	//lint:ignore imlint/sloglint fixture: progress meter writes straight to the tty by design
+	fmt.Println("50%")
+}
+
+// Stale carries a directive that suppresses nothing: the directive
+// itself is the finding.
+func Stale() {
+	//lint:ignore imlint/sloglint fixture: excuses nothing // want `lint:ignore directive suppresses nothing`
+	_ = 1 + 1
+}

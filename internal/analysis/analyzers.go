@@ -1,0 +1,15 @@
+package analysis
+
+// All returns the full imlint suite, in the order diagnostics group
+// most readably: determinism first (the load-bearing invariant), then
+// concurrency, then serving discipline.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Nondeterminism,
+		GuardedBy,
+		AtomicField,
+		CtxPoll,
+		ErrEnvelope,
+		SlogLint,
+	}
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicField enforces all-or-nothing atomicity: a struct field that is
+// ever passed to a sync/atomic function (atomic.AddInt64(&x.n, 1), …)
+// must be accessed through sync/atomic everywhere in the package. A
+// plain read racing an atomic write is still a data race — one the race
+// detector only catches when both sides happen to run concurrently in a
+// test. The typed atomics (atomic.Int64 et al., which the obs registry
+// bridges share across the serving layers) are immune by construction
+// and therefore out of scope; this analyzer exists for the function-
+// style escape hatch.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc: "a field ever accessed via sync/atomic functions must be accessed " +
+		"atomically everywhere (mixed plain/atomic access is a data race)",
+	Run: runAtomicField,
+}
+
+func runAtomicField(pass *Pass) {
+	// Phase 1: fields whose address is taken by a sync/atomic call, and
+	// the selector expressions already blessed by such calls.
+	atomicFields := map[*types.Var]bool{}
+	blessed := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeObj(pass.Info, call)
+			if !isPkgFunc(obj, "sync/atomic") || !isAtomicOp(obj.Name()) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, oku := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !oku || un.Op != token.AND {
+					continue
+				}
+				sel, oks := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !oks {
+					continue
+				}
+				if field := fieldOf(pass.Info, sel); field != nil {
+					atomicFields[field] = true
+					blessed[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+	// Phase 2: every other access to those fields is a violation, unless
+	// the value is still local to its constructor.
+	for _, fn := range funcDecls(pass.Files) {
+		if fn.Body == nil {
+			continue
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || blessed[sel] {
+				return true
+			}
+			field := fieldOf(pass.Info, sel)
+			if field == nil || !atomicFields[field] {
+				return true
+			}
+			if base := selectorBase(sel.X); base != nil && declaredInBody(pass.Info, fn, base) {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "plain access to %s, which is accessed via sync/atomic elsewhere in this package — use the atomic API (or a typed atomic.%s)",
+				field.Name(), suggestTyped(field))
+			return true
+		})
+	}
+}
+
+// isAtomicOp reports whether name is a sync/atomic operation on a
+// pointed-to value; the package has no other exported functions taking
+// addresses.
+func isAtomicOp(name string) bool {
+	for _, p := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// suggestTyped guesses the typed-atomic replacement for a field's type.
+func suggestTyped(field *types.Var) string {
+	if b, ok := field.Type().Underlying().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Int32:
+			return "Int32"
+		case types.Int64:
+			return "Int64"
+		case types.Uint32:
+			return "Uint32"
+		case types.Uint64:
+			return "Uint64"
+		case types.Uintptr:
+			return "Uintptr"
+		}
+	}
+	return "Value"
+}

@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// CtxPoll enforces the cancellation discipline PR 2 established: the
+// selection and sampling entry points — functions named Select*,
+// Generate* or Repair* that take a context — run loops proportional to
+// the graph (nodes, RR sets, θ), and every such loop must be able to
+// stop when the context is cancelled. A loop passes when its body polls
+// the context (ctx.Err(), <-ctx.Done(), a select on Done), calls the
+// im.Tracker's Interrupted helper (the project's canonical per-seed
+// poll, which carries the context internally), or hands the context to
+// a callee — the callee then owns the polling obligation.
+//
+// Only outermost loops are checked: an inner loop is reached (and
+// re-reached) through its outer loop's poll, matching the
+// "checkpoint every N sets" granularity the samplers use. Loops inside
+// function literals are skipped for the same reason — a closure runs
+// only when called, and the calling loop carries the obligation.
+var CtxPoll = &Analyzer{
+	Name: "ctxpoll",
+	Doc: "hot loops in Select*/Generate*/Repair* bodies must poll the " +
+		"context (ctx.Err, ctx.Done, tracker.Interrupted, or a ctx-taking callee)",
+	Run: runCtxPoll,
+}
+
+func runCtxPoll(pass *Pass) {
+	for _, fn := range funcDecls(pass.Files) {
+		if fn.Body == nil || !ctxPollQualifies(pass, fn) {
+			continue
+		}
+		checkLoops(pass, fn.Name.Name, fn.Body, false)
+	}
+}
+
+// ctxPollQualifies reports whether fn is a cancellation-obligated entry
+// point: a Select/Generate/Repair-prefixed name (case-insensitive, so
+// the selectLocked-style bodies of public entry points are covered too)
+// with a context parameter.
+func ctxPollQualifies(pass *Pass, fn *ast.FuncDecl) bool {
+	lower := strings.ToLower(fn.Name.Name)
+	if !strings.HasPrefix(lower, "select") && !strings.HasPrefix(lower, "generate") && !strings.HasPrefix(lower, "repair") {
+		return false
+	}
+	for _, field := range fn.Type.Params.List {
+		if t := pass.Info.TypeOf(field.Type); t != nil && isContextType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkLoops walks a statement tree; insideLoop suppresses reports on
+// nested loops (the outermost loop is the unit of the obligation).
+func checkLoops(pass *Pass, fnName string, n ast.Node, insideLoop bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		var body *ast.BlockStmt
+		switch l := m.(type) {
+		case *ast.ForStmt:
+			body = l.Body
+		case *ast.RangeStmt:
+			body = l.Body
+		case *ast.FuncLit:
+			// A closure's loops run at its call sites; the loop that
+			// calls it is the one that must poll.
+			return false
+		default:
+			return true
+		}
+		if !insideLoop && !hasCtxCheck(pass, m) {
+			pass.Reportf(m.Pos(), "loop in %s has no context check: poll ctx.Err()/tracker.Interrupted or pass ctx to a callee so cancellation can land", fnName)
+		}
+		// Descend manually so nested loops know they are covered by (or
+		// already reported under) this one.
+		checkLoops(pass, fnName, body, true)
+		return false
+	})
+}
+
+// hasCtxCheck reports whether the subtree contains a recognized
+// cancellation point.
+func hasCtxCheck(pass *Pass, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, oks := ast.Unparen(call.Fun).(*ast.SelectorExpr); oks {
+			// ctx.Err() / ctx.Done() on any context-typed receiver.
+			if (sel.Sel.Name == "Err" || sel.Sel.Name == "Done") && len(call.Args) == 0 {
+				if t := pass.Info.TypeOf(sel.X); t != nil && isContextType(t) {
+					found = true
+					return false
+				}
+			}
+			// tracker.Interrupted(...): the im package's polling helper
+			// carries its context internally.
+			if sel.Sel.Name == "Interrupted" {
+				found = true
+				return false
+			}
+		}
+		// A callee receiving the context inherits the polling obligation.
+		for _, arg := range call.Args {
+			if t := pass.Info.TypeOf(arg); t != nil && isContextType(t) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

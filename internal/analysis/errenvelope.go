@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+)
+
+// ErrEnvelope guards the uniform JSON error envelope PR 5 introduced:
+// every error a serving handler emits must flow through writeError, so
+// all of them carry {"error":{code,message,request_id}} and the shared
+// obs.ErrorCode mapping. http.Error writes text/plain and a bare
+// WriteHeader(4xx/5xx) sends an empty body — both silently fork the
+// wire contract (and lose the request id the middleware minted), which
+// is exactly how the pre-PR 5 handlers drifted apart.
+//
+// Non-constant statuses (a proxy forwarding an upstream response's
+// code) are legal: the upstream already shaped the body.
+var ErrEnvelope = &Analyzer{
+	Name: "errenvelope",
+	Doc: "in internal/service and internal/cluster, error responses must go " +
+		"through writeError — no http.Error, no bare WriteHeader(4xx/5xx)",
+	AppliesTo: func(path, _ string) bool {
+		seg := lastSegment(path)
+		return seg == "service" || seg == "cluster"
+	},
+	Run: runErrEnvelope,
+}
+
+// envelopeWriters may touch the raw status line: writeError is the
+// envelope, and writeJSON is the shared body+status emitter it (and
+// every success path) rides on.
+var envelopeWriters = map[string]bool{"writeError": true, "writeJSON": true}
+
+func runErrEnvelope(pass *Pass) {
+	for _, fn := range funcDecls(pass.Files) {
+		if fn.Body == nil || envelopeWriters[fn.Name.Name] {
+			continue
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isPkgFunc(calleeObj(pass.Info, call), "net/http", "Error") {
+				pass.Reportf(call.Pos(), "http.Error bypasses the JSON error envelope: use writeError so the response carries {\"error\":{code,message,request_id}}")
+				return true
+			}
+			if sel, oks := ast.Unparen(call.Fun).(*ast.SelectorExpr); oks &&
+				sel.Sel.Name == "WriteHeader" && len(call.Args) == 1 {
+				if status, known := constStatus(pass, call.Args[0]); known && status >= 400 {
+					pass.Reportf(call.Pos(), "bare WriteHeader(%d) outside writeError: error statuses must carry the JSON error envelope", status)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// constStatus evaluates an expression to a constant int when possible.
+func constStatus(pass *Pass, e ast.Expr) (int64, bool) {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, exact := constant.Int64Val(constant.ToInt(tv.Value))
+	return v, exact
+}

@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// GuardedBy enforces `// guarded by <mu>` field annotations: every read
+// or write of an annotated field must happen in a function that locks
+// that mutex (flow-insensitively — the lock call must appear somewhere
+// in the same function), in a `...Locked` helper whose name promises the
+// caller holds it, or on a value still local to its constructor. Writes
+// additionally require the exclusive Lock: a function that only ever
+// RLocks cannot legally mutate the field.
+//
+// This is exactly the class of bug PR 6 shipped: SelectPrefixes read
+// Index.g outside Index.mu while Repair swapped it, caught only by a
+// late -race test. The annotation turns that convention into a lint
+// break.
+var GuardedBy = &Analyzer{
+	Name: "guardedby",
+	Doc: "fields annotated `// guarded by <mu>` must only be accessed with " +
+		"that mutex held in the enclosing function (or from *Locked helpers)",
+	Run: runGuardedBy,
+}
+
+var guardedByRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+// guardInfo ties an annotated field to its guarding mutex field.
+type guardInfo struct {
+	mu     *types.Var
+	muName string
+}
+
+func runGuardedBy(pass *Pass) {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return
+	}
+	for _, fn := range funcDecls(pass.Files) {
+		if fn.Body == nil {
+			continue
+		}
+		checkGuardedAccesses(pass, fn, guards)
+	}
+}
+
+// collectGuards scans struct declarations for annotated fields and
+// resolves each annotation to a sibling mutex field.
+func collectGuards(pass *Pass) map[*types.Var]guardInfo {
+	guards := map[*types.Var]guardInfo{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				muName := guardAnnotation(field)
+				if muName == "" {
+					continue
+				}
+				mu := findField(pass, st, muName)
+				if mu == nil {
+					pass.Reportf(field.Pos(), "guarded-by annotation names %q, which is not a field of this struct", muName)
+					continue
+				}
+				for _, name := range field.Names {
+					if v, okv := pass.Info.Defs[name].(*types.Var); okv {
+						guards[v] = guardInfo{mu: mu, muName: muName}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// guardAnnotation extracts the mutex name from a field's doc or line
+// comment, empty when unannotated. A doc comment on a grouped field
+// declaration annotates every field of the group.
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+func findField(pass *Pass, st *ast.StructType, name string) *types.Var {
+	for _, field := range st.Fields.List {
+		for _, n := range field.Names {
+			if n.Name == name {
+				v, _ := pass.Info.Defs[n].(*types.Var)
+				return v
+			}
+		}
+	}
+	return nil
+}
+
+// lockedMutexes returns the mutex field objects fn Lock()s and RLock()s
+// anywhere in its body. Flow-insensitive by design: holding the lock
+// somewhere in the function is taken as holding it everywhere, which
+// catches the "forgot to lock at all" class of bug without false
+// positives on lock/unlock/relock sequences.
+func lockedMutexes(pass *Pass, fn *ast.FuncDecl) (write, read map[*types.Var]bool) {
+	write, read = map[*types.Var]bool{}, map[*types.Var]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		if name != "Lock" && name != "RLock" {
+			return true
+		}
+		// Resolve the mutex expression x.mu (or plain mu for a
+		// package-level mutex) to its variable.
+		var muVar *types.Var
+		switch x := ast.Unparen(sel.X).(type) {
+		case *ast.SelectorExpr:
+			muVar = fieldOf(pass.Info, x)
+		case *ast.Ident:
+			muVar, _ = pass.Info.Uses[x].(*types.Var)
+		}
+		if muVar == nil {
+			return true
+		}
+		if name == "Lock" {
+			write[muVar] = true
+		}
+		read[muVar] = true
+		return true
+	})
+	return write, read
+}
+
+// writeTargetSels collects the selector expressions fn writes through:
+// assignment left-hand sides, ++/--, and address-taking (a guarded
+// field whose address escapes leaves the lock's protection entirely).
+// Writing an element of a guarded slice or map field (`x.counts[v] = 0`)
+// counts as writing the field.
+func writeTargetSels(fn *ast.FuncDecl) map[*ast.SelectorExpr]bool {
+	targets := map[*ast.SelectorExpr]bool{}
+	mark := func(e ast.Expr) {
+		for {
+			switch v := ast.Unparen(e).(type) {
+			case *ast.SelectorExpr:
+				targets[v] = true
+				return
+			case *ast.IndexExpr:
+				e = v.X
+			default:
+				return
+			}
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(n.X)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				mark(n.X)
+			}
+		}
+		return true
+	})
+	return targets
+}
+
+func checkGuardedAccesses(pass *Pass, fn *ast.FuncDecl, guards map[*types.Var]guardInfo) {
+	if strings.HasSuffix(fn.Name.Name, "Locked") {
+		// The name is the contract: the caller holds the mutex (or, in a
+		// constructor, owns the value outright).
+		return
+	}
+	holdsWrite, holdsRead := lockedMutexes(pass, fn)
+	writes := writeTargetSels(fn)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		field := fieldOf(pass.Info, sel)
+		g, guarded := guards[field]
+		if !guarded {
+			return true
+		}
+		// A value that never left its constructor needs no lock.
+		if base := selectorBase(sel.X); base != nil && declaredInBody(pass.Info, fn, base) {
+			return true
+		}
+		switch {
+		case writes[sel] && !holdsWrite[g.mu]:
+			pass.Reportf(sel.Pos(), "write to %s (guarded by %s) without holding %s.Lock in %s",
+				field.Name(), g.muName, g.muName, fn.Name.Name)
+		case !writes[sel] && !holdsWrite[g.mu] && !holdsRead[g.mu]:
+			pass.Reportf(sel.Pos(), "read of %s (guarded by %s) without holding %s in %s",
+				field.Name(), g.muName, g.muName, fn.Name.Name)
+		}
+		return true
+	})
+}

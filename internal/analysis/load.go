@@ -1,0 +1,220 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// LoadedPackage is one package parsed and typechecked from source,
+// ready for analysis.
+type LoadedPackage struct {
+	Path  string // import path
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader reads.
+type listEntry struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+}
+
+// goList runs `go list -deps -export -json` in dir over the patterns and
+// returns every listed package. -export compiles (into the build cache)
+// and reports the gc export data of each package, which is how the
+// typechecker resolves imports without golang.org/x/tools: dependencies
+// are loaded from export data, only the analyzed packages themselves are
+// checked from source.
+func goList(dir string, patterns ...string) ([]listEntry, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,Standard,DepOnly",
+		"--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(&out)
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// exportImporter resolves imports from a map of import path → gc export
+// data file, as produced by goList.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// typecheckDir parses dir's Go files (names, relative to dir) and
+// typechecks them as import path path against the export map. Test
+// files are never passed in: the invariants the suite guards are
+// production-code invariants, and analyzing _test.go files would flag
+// the deterministic-clock and printing idioms tests legitimately use.
+func typecheckDir(fset *token.FileSet, dir, path string, fileNames []string, exports map[string]string) (*LoadedPackage, error) {
+	var files []*ast.File
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{
+		Importer: exportImporter(fset, exports),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking %s: %w", path, err)
+	}
+	return &LoadedPackage{Path: path, Dir: dir, Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// Load lists, parses and typechecks the packages matching the patterns
+// (relative to moduleDir), returning them in import-path order. The
+// tree must build; a package that does not compile fails the load.
+func Load(moduleDir string, patterns ...string) ([]*LoadedPackage, error) {
+	entries, err := goList(moduleDir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(entries))
+	var targets []listEntry
+	for _, e := range entries {
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+		if !e.DepOnly && !e.Standard {
+			targets = append(targets, e)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+	fset := token.NewFileSet()
+	pkgs := make([]*LoadedPackage, 0, len(targets))
+	for _, t := range targets {
+		pkg, err := typecheckDir(fset, t.Dir, t.ImportPath, t.GoFiles, exports)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// StdExports returns the export-data map for the given std packages and
+// all their dependencies, for typechecking fixture packages outside the
+// module. moduleDir anchors the `go` invocation.
+func StdExports(moduleDir string, imports []string) (map[string]string, error) {
+	if len(imports) == 0 {
+		return map[string]string{}, nil
+	}
+	entries, err := goList(moduleDir, imports...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(entries))
+	for _, e := range entries {
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+	}
+	return exports, nil
+}
+
+// TypecheckFixture parses and typechecks one fixture directory as
+// import path path. Fixtures import only the standard library.
+func TypecheckFixture(moduleDir, dir, path string) (*LoadedPackage, error) {
+	names, err := fixtureFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	// Two parses: a throwaway one to learn the import set, then the real
+	// typecheck against those packages' export data.
+	importSet := map[string]bool{}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range f.Imports {
+			importSet[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+	}
+	var imports []string
+	for p := range importSet {
+		imports = append(imports, p)
+	}
+	sort.Strings(imports)
+	exports, err := StdExports(moduleDir, imports)
+	if err != nil {
+		return nil, err
+	}
+	return typecheckDir(fset, dir, path, names, exports)
+}
+
+func fixtureFiles(dir string) ([]string, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, de := range des {
+		if !de.IsDir() && strings.HasSuffix(de.Name(), ".go") {
+			names = append(names, de.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in fixture %s", dir)
+	}
+	return names, nil
+}

@@ -1,0 +1,71 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/holisticim/holisticim/internal/analysis"
+)
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestLoadPackage is the loader smoke test: a real module package loads,
+// typechecks against export data, and comes out clean under the full
+// suite.
+func TestLoadPackage(t *testing.T) {
+	pkgs, err := analysis.Load(moduleRoot(t), "./internal/rng")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.Pkg.Name() != "rng" {
+		t.Fatalf("loaded package %q, want rng", pkg.Pkg.Name())
+	}
+	if fs := analysis.RunPackage(pkg, analysis.All()); len(fs) != 0 {
+		for _, f := range fs {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+}
+
+// TestTreeClean asserts the whole tree passes the suite — the same
+// invariant CI enforces with `go run ./cmd/imlint ./...`. Skipped in
+// -short mode: it typechecks every package from source.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-tree lint is not a short test")
+	}
+	root := moduleRoot(t)
+	pkgs, err := analysis.Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages from ./... — pattern resolution looks broken", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		for _, f := range analysis.RunPackage(pkg, analysis.All()) {
+			t.Errorf("%s", f)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// SlogLint guards the logging discipline PR 8 established: every
+// serving-layer component logs through a component-keyed slog logger
+// (obs.NewLogger), never the legacy log package or raw stdout prints.
+// A stray log.Printf bypasses the level filter, loses the component and
+// request-id keys, and breaks line-oriented log scraping. Binaries
+// (package main) are exempt — a CLI's stdout IS its interface — and
+// test files are never analyzed.
+var SlogLint = &Analyzer{
+	Name: "sloglint",
+	Doc: "forbid log.Print*/log.Fatal*/fmt.Print* in non-main packages: " +
+		"use a component-keyed slog logger (obs.NewLogger) instead",
+	AppliesTo: func(_, pkgName string) bool { return pkgName != "main" },
+	Run:       runSlogLint,
+}
+
+var bannedLogFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fatal": true, "Fatalf": true, "Fatalln": true,
+	"Panic": true, "Panicf": true, "Panicln": true,
+}
+
+var bannedFmtFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+}
+
+func runSlogLint(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeObj(pass.Info, call)
+			if obj == nil {
+				return true
+			}
+			switch {
+			case isPkgFunc(obj, "log") && bannedLogFuncs[obj.Name()]:
+				pass.Reportf(call.Pos(), "log.%s in a library package: log through a component-keyed slog logger (obs.NewLogger) so level filtering and request ids survive", obj.Name())
+			case isPkgFunc(obj, "fmt") && bannedFmtFuncs[obj.Name()]:
+				pass.Reportf(call.Pos(), "fmt.%s writes raw stdout from a library package: return the value, or log through slog", obj.Name())
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// lastSegment returns the final path element of an import path —
+// analyzers scope themselves by it so fixture packages (testdata/src/ris
+// loaded as "ris") match the same rules as the real tree
+// (".../internal/ris").
+func lastSegment(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// calleeObj resolves the object a call invokes: the function for
+// f(...), pkg.F(...) and x.M(...), nil for indirect calls through
+// non-selector expressions.
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// isPkgFunc reports whether obj is the package-level function
+// pkgPath.name (any name if names is empty).
+func isPkgFunc(obj types.Object, pkgPath string, names ...string) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return false
+	}
+	if len(names) == 0 {
+		return true
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldOf returns the struct field a selector expression denotes, or
+// nil when sel is not a field access.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// selectorBase walks a selector chain (x.a.b → x) to its base
+// identifier, or nil for non-ident bases (calls, parens, indexes keep
+// unwrapping where possible).
+func selectorBase(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredInBody reports whether the identifier's object is a variable
+// declared inside fn's body — the "still-local, not yet published"
+// heuristic that lets constructors initialize guarded or atomic fields
+// before the value escapes.
+func declaredInBody(info *types.Info, fn *ast.FuncDecl, id *ast.Ident) bool {
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || fn.Body == nil {
+		return false
+	}
+	// Parameters and receivers are declared in the signature, before the
+	// body's opening brace — exactly the shared-access cases that must
+	// NOT be exempt.
+	return v.Pos() > fn.Body.Lbrace && v.Pos() < fn.Body.Rbrace
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// funcDecls yields every function declaration of the files.
+func funcDecls(files []*ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// enclosingFuncs maps every node of interest to its enclosing function
+// declaration by a single positional pass: a node belongs to the decl
+// whose span contains it.
+func enclosingFunc(files []*ast.File, pos ast.Node) *ast.FuncDecl {
+	for _, f := range files {
+		if pos.Pos() < f.Pos() || pos.Pos() > f.End() {
+			continue
+		}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && pos.Pos() >= fd.Pos() && pos.End() <= fd.End() {
+				return fd
+			}
+		}
+	}
+	return nil
+}

@@ -124,6 +124,9 @@ func (s *StaticGreedy) Select(ctx context.Context, k int) (im.Result, error) {
 	// count newly reached nodes.
 	covered := make([][]bool, len(snaps))
 	for i := range covered {
+		if err := tr.Interrupted(&res); err != nil {
+			return res, err
+		}
 		covered[i] = make([]bool, n)
 	}
 	visitedStamp := make([]uint32, n)

@@ -108,6 +108,11 @@ func (d *DegreeDiscount) Select(ctx context.Context, k int) (im.Result, error) {
 	h := make(ddHeap, 0, n)
 	tv := make([]int32, n)
 	for v := graph.NodeID(0); v < n; v++ {
+		if v&0x3FFF == 0 {
+			if err := tr.Interrupted(&res); err != nil {
+				return res, err
+			}
+		}
 		items[v] = &ddItem{v: v, score: float64(g.OutDegree(v))}
 		h = append(h, items[v])
 	}

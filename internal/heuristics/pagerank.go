@@ -48,6 +48,11 @@ func (p *PageRank) Select(ctx context.Context, k int) (im.Result, error) {
 	next := make([]float64, n)
 	inv := 1 / float64(n)
 	for i := range rank {
+		if i&0x3FFF == 0 {
+			if err := tr.Interrupted(&res); err != nil {
+				return res, err
+			}
+		}
 		rank[i] = inv
 	}
 	// Mass flows v -> u along the reverse of each influence edge (u,v), so
@@ -55,6 +60,11 @@ func (p *PageRank) Select(ctx context.Context, k int) (im.Result, error) {
 	// probability mass v distributes back to its influencers.
 	outMass := make([]float64, n)
 	for u := graph.NodeID(0); u < n; u++ {
+		if u&0x3FFF == 0 {
+			if err := tr.Interrupted(&res); err != nil {
+				return res, err
+			}
+		}
 		ps := g.OutProbs(u)
 		nbrs := g.OutNeighbors(u)
 		for i := range nbrs {
@@ -82,6 +92,11 @@ func (p *PageRank) Select(ctx context.Context, k int) (im.Result, error) {
 
 	ids := make([]graph.NodeID, n)
 	for i := range ids {
+		if i&0x3FFF == 0 {
+			if err := tr.Interrupted(&res); err != nil {
+				return res, err
+			}
+		}
 		ids[i] = graph.NodeID(i)
 	}
 	sort.Slice(ids, func(i, j int) bool {

@@ -192,6 +192,11 @@ func (sp *SIMPATH) Select(ctx context.Context, k int) (im.Result, error) {
 		res.AddMetric("enumerations", 1)
 	}
 	for v := graph.NodeID(0); v < n; v++ {
+		if v&0x3FFF == 0 {
+			if err := tr.Interrupted(&res); err != nil {
+				return res, err
+			}
+		}
 		if cover[v] {
 			continue
 		}
@@ -216,6 +221,11 @@ func (sp *SIMPATH) Select(ctx context.Context, k int) (im.Result, error) {
 	h := make(spHeap, 0, n)
 	items := make([]*spItem, n)
 	for v := graph.NodeID(0); v < n; v++ {
+		if v&0x3FFF == 0 {
+			if err := tr.Interrupted(&res); err != nil {
+				return res, err
+			}
+		}
 		items[v] = &spItem{v: v, gain: sigma[v], round: 0}
 		h = append(h, items[v])
 	}

@@ -101,10 +101,10 @@ type versionRecord struct {
 // All methods are safe for concurrent use; Apply calls serialize.
 type Graph struct {
 	mu      sync.RWMutex
-	g       *graph.Graph
-	version uint64
-	log     []versionRecord
-	maxLog  int
+	g       *graph.Graph    // guarded by mu
+	version uint64          // guarded by mu
+	log     []versionRecord // guarded by mu
+	maxLog  int             // immutable after Wrap
 }
 
 // Wrap starts a mutation lineage at version 0 over g.
@@ -181,10 +181,10 @@ func edgeKey(u, v graph.NodeID) int64 { return int64(u)<<32 | int64(uint32(v)) }
 func validProb(p float64) bool   { return p >= 0 && p <= 1 && !math.IsNaN(p) }
 func validWeight(w float64) bool { return w >= 0 && !math.IsNaN(w) && !math.IsInf(w, 0) }
 
-// validate checks one op against the current snapshot. Whole-batch
+// validateLocked checks one op against the current snapshot. Whole-batch
 // atomicity rides on validation being side-effect free: Apply validates
 // every op before building anything.
-func (lv *Graph) validate(i int, op EdgeOp) error {
+func (lv *Graph) validateLocked(i int, op EdgeOp) error {
 	n := lv.g.NumNodes()
 	if op.From < 0 || op.From >= n || op.To < 0 || op.To >= n {
 		return fmt.Errorf("live: op %d: edge (%d,%d) out of range [0,%d)", i, op.From, op.To, n)
@@ -244,7 +244,7 @@ func (lv *Graph) Apply(ctx context.Context, ops []EdgeOp, opts ApplyOptions) (Ba
 	// promise to preserve under retries).
 	edits := make(map[int64]int, len(ops)) // edgeKey -> op index
 	for i, op := range ops {
-		if err := lv.validate(i, op); err != nil {
+		if err := lv.validateLocked(i, op); err != nil {
 			return BatchResult{}, err
 		}
 		key := edgeKey(op.From, op.To)

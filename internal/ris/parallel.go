@@ -89,6 +89,7 @@ func (c *Collection) GenerateParallelCtx(ctx context.Context, count int, seed ui
 
 	// Append in index order; stop at the first gap a cancellation left
 	// (an RR set always contains its root, so nil marks "not sampled").
+	//lint:ignore imlint/ctxpoll append-only drain of already-sampled sets; aborting mid-drain would discard paid-for work
 	for _, set := range results {
 		if set == nil {
 			break

@@ -151,7 +151,12 @@ func (t *TIMPlus) Select(ctx context.Context, k int) (im.Result, error) {
 		avgSize := 1.0
 		if kptCol.Len() > 0 {
 			total := 0
-			for _, s := range kptCol.Sets() {
+			for i, s := range kptCol.Sets() {
+				if i&0x3FFF == 0 {
+					if err := tr.Interrupted(&res); err != nil {
+						return res, err
+					}
+				}
 				total += len(s)
 			}
 			avgSize = float64(total) / float64(kptCol.Len())

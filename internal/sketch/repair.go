@@ -110,7 +110,12 @@ func (x *Index) Repair(ctx context.Context, g *graph.Graph, dirty []graph.NodeID
 	n := x.g.NumNodes()
 	dirtyMark := make(map[graph.NodeID]struct{}, len(dirty))
 	candSet := make(map[int32]struct{})
-	for _, d := range dirty {
+	for di, d := range dirty {
+		if di&0xFFF == 0 {
+			if err := ctx.Err(); err != nil {
+				return RepairStats{}, err
+			}
+		}
 		if d < 0 || d >= n {
 			return RepairStats{}, fmt.Errorf("sketch: dirty node %d out of range [0,%d)", d, n)
 		}
@@ -125,7 +130,14 @@ func (x *Index) Repair(ctx context.Context, g *graph.Graph, dirty []graph.NodeID
 	// than MaxHops positions into the walk. The root is position 0.
 	resample := make([]int32, 0, len(candSet))
 	sets := x.col.Sets()
+	pollAt := 0
 	for sid := range candSet {
+		if pollAt&0xFFF == 0 {
+			if err := ctx.Err(); err != nil {
+				return st, err
+			}
+		}
+		pollAt++
 		if opts.MaxHops > 0 {
 			minPos := -1
 			for pos, v := range sets[sid] {
@@ -146,7 +158,14 @@ func (x *Index) Repair(ctx context.Context, g *graph.Graph, dirty []graph.NodeID
 		resample = append(resample, sid)
 	}
 	if opts.MaxHops <= 0 && len(x.stale) > 0 {
+		pollAt = 0
 		for sid := range x.stale {
+			if pollAt&0xFFF == 0 {
+				if err := ctx.Err(); err != nil {
+					return st, err
+				}
+			}
+			pollAt++
 			if _, already := candSet[sid]; !already {
 				resample = append(resample, sid)
 				st.Candidates++
@@ -171,6 +190,7 @@ func (x *Index) Repair(ctx context.Context, g *graph.Graph, dirty []graph.NodeID
 	x.col.Rebind(g)
 	changedIDs := make([]int32, 0, len(resample))
 	changedSets := make([][]graph.NodeID, 0, len(resample))
+	//lint:ignore imlint/ctxpoll the new snapshot is already bound; aborting mid-install would tear the collection
 	for i, sid := range resample {
 		if !equalSets(sets[sid], fresh[i]) {
 			changedIDs = append(changedIDs, sid)

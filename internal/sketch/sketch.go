@@ -93,20 +93,20 @@ func (p Params) withDefaults(n int32) Params {
 // concurrent use; Select memoizes the greedy seed order so repeated and
 // prefix queries are O(k) lookups.
 type Index struct {
-	g  *graph.Graph
-	fp uint64 // graph content fingerprint, pinned at build/load
+	g  *graph.Graph // guarded by mu: Repair swaps it, Matches rebinds it
+	fp uint64       // guarded by mu; graph content fingerprint, pinned at build/load
 
 	mu     sync.Mutex
-	params Params
-	col    *ris.Collection
-	lb     float64 // lower bound on OPT_{BuildK} from the build phase
+	params Params          // guarded by mu
+	col    *ris.Collection // guarded by mu
+	lb     float64         // guarded by mu; lower bound on OPT_{BuildK} from the build phase
 
 	// Live-graph repair state: the mutation-log version the sample is
 	// synchronized to (0 for an index over a never-mutated graph), and the
 	// ids of sets a hop-bounded repair deliberately left describing older
 	// content (see Repair and RepairOptions.MaxHops).
-	graphVersion uint64
-	stale        map[int32]struct{}
+	graphVersion uint64             // guarded by mu
+	stale        map[int32]struct{} // guarded by mu
 
 	// Memoized incremental greedy max-coverage state over col. order is
 	// the greedy seed permutation computed so far; orderCov[i] is the
@@ -117,19 +117,19 @@ type Index struct {
 	// set coverage; orderWCov[i] is the weight covered by order[:i+1].
 	// counts/orderCov are maintained either way: the unweighted coverage
 	// of the chosen prefix still lower-bounds OPT for the θ machinery.
-	counts    []int32
-	wgain     []float64
-	covered   []bool
-	inOrder   []bool
-	totalCov  int
-	totalWCov float64
-	order     []graph.NodeID
-	orderCov  []int
-	orderWCov []float64
+	counts    []int32        // guarded by mu
+	wgain     []float64      // guarded by mu
+	covered   []bool         // guarded by mu
+	inOrder   []bool         // guarded by mu
+	totalCov  int            // guarded by mu
+	totalWCov float64        // guarded by mu
+	order     []graph.NodeID // guarded by mu
+	orderCov  []int          // guarded by mu
+	orderWCov []float64      // guarded by mu
 	// opinionEst memoizes the depth-exact Def. 6 estimate per k for the
 	// current order, so repeat weighted selects stay O(k) instead of
 	// re-walking every covered set. Cleared with the rest of the state.
-	opinionEst map[int]float64
+	opinionEst map[int]float64 // guarded by mu
 
 	selects    atomic.Int64
 	extensions atomic.Int64
@@ -174,7 +174,7 @@ func Build(ctx context.Context, g *graph.Graph, p Params) (*Index, error) {
 	}
 	for i := 1; i <= maxI; i++ {
 		guess := n / math.Exp2(float64(i))
-		thetaI := x.capSets(int(math.Ceil(lambdaPrime / guess)))
+		thetaI := x.capSetsLocked(int(math.Ceil(lambdaPrime / guess)))
 		if x.col.Len() < thetaI {
 			if err := x.col.GenerateParallelCtx(ctx, thetaI-x.col.Len(), p.Seed, p.Workers); err != nil {
 				return nil, fmt.Errorf("sketch: build interrupted during OPT lower-bounding: %w", err)
@@ -188,7 +188,7 @@ func Build(ctx context.Context, g *graph.Graph, p Params) (*Index, error) {
 	}
 	x.lb = lb
 
-	theta := x.capSets(ris.IMMTheta(n, p.BuildK, p.Epsilon, p.Ell, lb))
+	theta := x.capSetsLocked(ris.IMMTheta(n, p.BuildK, p.Epsilon, p.Ell, lb))
 	if x.col.Len() < theta {
 		if err := x.col.GenerateParallelCtx(ctx, theta-x.col.Len(), p.Seed, p.Workers); err != nil {
 			return nil, fmt.Errorf("sketch: build interrupted during top-up sampling: %w", err)
@@ -198,23 +198,37 @@ func Build(ctx context.Context, g *graph.Graph, p Params) (*Index, error) {
 	return x, nil
 }
 
-// capSets clamps a requested set count to MaxSets when configured.
-func (x *Index) capSets(sets int) int {
+// capSetsLocked clamps a requested set count to MaxSets when configured.
+// Callers hold x.mu — or, in Build, own the not-yet-published index.
+func (x *Index) capSetsLocked(sets int) int {
 	if x.params.MaxSets > 0 && sets > x.params.MaxSets {
 		return x.params.MaxSets
 	}
 	return sets
 }
 
-// Graph returns the graph the index was built over.
-func (x *Index) Graph() *graph.Graph { return x.g }
+// Graph returns the graph the index is bound to. Repair swaps the
+// binding when a new snapshot is installed, hence the lock.
+func (x *Index) Graph() *graph.Graph {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.g
+}
 
-// GraphFingerprint returns the content fingerprint of that graph, pinned
-// at build (or load) time.
-func (x *Index) GraphFingerprint() uint64 { return x.fp }
+// GraphFingerprint returns the content fingerprint of the bound graph,
+// pinned at build (or load) time and advanced by Repair.
+func (x *Index) GraphFingerprint() uint64 {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.fp
+}
 
 // Kind returns the RR-set semantics the index samples.
-func (x *Index) Kind() ris.ModelKind { return x.params.Kind }
+func (x *Index) Kind() ris.ModelKind {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.params.Kind
+}
 
 // Params returns the normalized build parameters.
 func (x *Index) Params() Params {
@@ -252,11 +266,14 @@ func (x *Index) Len() int {
 // pointer-fast again; every sampled set remains valid because the
 // fingerprint covers topology and all model parameters.
 func (x *Index) Matches(g *graph.Graph, kind ris.ModelKind) bool {
-	if g == nil || x.params.Kind != kind {
+	if g == nil {
 		return false
 	}
 	x.mu.Lock()
 	defer x.mu.Unlock()
+	if x.params.Kind != kind {
+		return false
+	}
 	if x.g == g {
 		return true
 	}
@@ -440,7 +457,7 @@ func (x *Index) selectLocked(ctx context.Context, k int) (im.Result, error) {
 			lb = scaled
 		}
 		want := ris.IMMTheta(n, k, x.params.Epsilon, x.params.Ell, lb)
-		theta = x.capSets(want)
+		theta = x.capSetsLocked(want)
 		capped = capped || theta < want
 		if x.col.Len() >= theta {
 			break
@@ -531,6 +548,7 @@ func (x *Index) SelectPrefixes(ctx context.Context, ks []int) ([]im.Result, erro
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	kmax := 0
+	//lint:ignore imlint/ctxpoll O(batch members), bounded by the request's ks list, not the graph
 	for _, k := range ks {
 		// Validation reads x.g, which Repair swaps — it must sit inside
 		// the critical section with everything else.
@@ -546,6 +564,7 @@ func (x *Index) SelectPrefixes(ctx context.Context, ks []int) ([]im.Result, erro
 		// Salvage what the interrupted kmax run selected: complete
 		// prefixes are not certified (θ unmet), so every member is partial.
 		out := make([]im.Result, len(ks))
+		//lint:ignore imlint/ctxpoll O(batch members), bounded by the request's ks list, not the graph
 		for i, k := range ks {
 			end := k
 			if end > len(full.Seeds) {
@@ -561,6 +580,7 @@ func (x *Index) SelectPrefixes(ctx context.Context, ks []int) ([]im.Result, erro
 		return out, err
 	}
 	out := make([]im.Result, len(ks))
+	//lint:ignore imlint/ctxpoll O(batch members), bounded by the request's ks list, not the graph
 	for i, k := range ks {
 		if k == kmax {
 			out[i] = full
@@ -630,11 +650,11 @@ func (e OpinionEstimate) EffectiveOpinion(lambda float64) float64 {
 // n/θ. Only weighted (OC) indexes can answer; others return an error so
 // callers fall back to Monte Carlo.
 func (x *Index) EstimateOpinion(seeds []graph.NodeID) (OpinionEstimate, error) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
 	if !x.params.Kind.Weighted() {
 		return OpinionEstimate{}, fmt.Errorf("sketch: %s index carries no opinion weights", x.params.Kind)
 	}
-	x.mu.Lock()
-	defer x.mu.Unlock()
 	theta := x.col.Len()
 	if theta == 0 {
 		return OpinionEstimate{}, errors.New("sketch: empty index")
