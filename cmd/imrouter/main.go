@@ -26,6 +26,9 @@
 //	-poll duration       replica health-poll interval (default 1s)
 //	-hedge duration      wait before hedging to the next candidate (default 250ms)
 //	-retries int         failover attempts after the first (default: all replicas)
+//	-shed-retries int    failover attempts after a 429 load shed before the
+//	                     shed is surfaced with the largest Retry-After seen
+//	                     (default 1; negative = never fail over on 429)
 //	-drain duration      graceful-shutdown budget on SIGTERM (default 10s)
 //	-log-level string    structured-log level: debug|info|warn|error (default "info")
 //	-debug-addr string   serve net/http/pprof on this SEPARATE address (empty = off)
@@ -40,7 +43,11 @@
 //
 // Every request gets an X-Request-ID at the router (inbound ids are
 // trusted) and carries it to the replicas, so one id follows a request
-// through every log line and error envelope in the cluster.
+// through every log line and error envelope in the cluster. The
+// X-Client-ID and X-Priority headers ride along the same way (clients
+// without an id are identified by remote address at the router), so the
+// replicas' per-client rate limits and priority classes apply to the
+// true end client rather than to the router's own address.
 //
 // Job ids returned through the router carry an r<N>- prefix naming the
 // owning replica, so GET /v2/jobs/{id} (and /events) route back to it.
@@ -69,6 +76,7 @@ func main() {
 		poll        = flag.Duration("poll", time.Second, "replica health-poll interval")
 		hedge       = flag.Duration("hedge", 250*time.Millisecond, "wait before hedging to the next candidate")
 		retries     = flag.Int("retries", 0, "failover attempts after the first (0 = all replicas)")
+		shedRetries = flag.Int("shed-retries", 1, "failover attempts after a 429 load shed (negative = never)")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget on SIGTERM")
 		logLevel    = flag.String("log-level", "info", "log level: debug|info|warn|error")
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = off)")
@@ -96,6 +104,7 @@ func main() {
 		PollInterval: *poll,
 		HedgeDelay:   *hedge,
 		Retries:      *retries,
+		ShedRetries:  *shedRetries,
 		Metrics:      obs.NewRegistry(),
 		Logger:       logger,
 	})

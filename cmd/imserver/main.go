@@ -13,7 +13,14 @@
 //
 //	-addr string        listen address (default ":8080")
 //	-workers int        concurrent selection jobs (default 2)
-//	-queue int          queued-job capacity before 503 (default 64)
+//	-queue int          queued-job capacity before 429 (default 64)
+//	-rate-rps float     per-client admission rate in requests/second for
+//	                    work-inducing endpoints; a client past its token
+//	                    bucket answers 429 + Retry-After (0 = off)
+//	-rate-burst float   per-client bucket capacity — back-to-back requests
+//	                    an idle client may fire (default: rate-rps)
+//	-rate-clients int   client buckets tracked before LRU eviction
+//	                    (default 4096)
 //	-cache int          LRU result-cache entries (default 256)
 //	-max-jobs int       retained job records (default 1024)
 //	-load name=path     preload a graph file (repeatable; edge-list or binary)
@@ -87,6 +94,16 @@
 // envelope {"error": {"code", "message"}}, and method mismatches answer
 // 405 with an Allow header.
 //
+// Admission control: work-inducing requests pass a per-client token
+// bucket (-rate-rps; clients are keyed by X-Client-ID, else remote
+// address) and jobs queue in three service classes derived from the
+// planned backend — interactive (sketch/heuristic), standard (ris),
+// batch (cold mc) — drained in class order, so interactive work is
+// never stuck behind a batch flood. X-Priority can demote a request's
+// class (never promote). Requests whose deadline cannot cover the cost
+// model's predicted wait+run time are shed up front; every 429/503
+// rejection carries Retry-After and the uniform envelope.
+//
 // Jobs run under per-job cancellable contexts, so shutdown cancels
 // in-flight selections instead of draining them.
 package main
@@ -118,6 +135,9 @@ func main() {
 		queueCap  = flag.Int("queue", 64, "queued-job capacity before 429")
 		cacheSize = flag.Int("cache", 256, "LRU result-cache entries")
 		maxJobs   = flag.Int("max-jobs", 1024, "retained job records")
+		rateRPS   = flag.Float64("rate-rps", 0, "per-client admission rate in req/s (0 = off)")
+		rateBurst = flag.Float64("rate-burst", 0, "per-client bucket capacity (default: rate-rps)")
+		rateCl    = flag.Int("rate-clients", 0, "client buckets tracked before LRU eviction (default 4096)")
 		demo      = flag.Int("demo", 0, "preload a demo BA graph with this many nodes (0 = off)")
 		allowPath = flag.Bool("allow-path-load", false, "let POST /v1/graphs read server-local files")
 		storeDir  = flag.String("store", "", "warm-load from this shared snapshot store directory")
@@ -160,6 +180,9 @@ func main() {
 		QueueCap:      *queueCap,
 		CacheSize:     *cacheSize,
 		MaxJobs:       *maxJobs,
+		RateRPS:       *rateRPS,
+		RateBurst:     *rateBurst,
+		RateClients:   *rateCl,
 		AllowPathLoad: *allowPath,
 		// With a store configured the replica starts cold: /readyz flips
 		// only once the watcher loads the full manifest.

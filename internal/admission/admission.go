@@ -1,0 +1,42 @@
+// Package admission is the QoS layer every request crosses before it
+// can put work on the job manager: per-client token-bucket rate
+// limiting, priority classes derived from the planner's backend choice,
+// and the per-backend cost model behind deadline-aware load shedding.
+//
+// The package is deliberately inert over the wire: it never writes an
+// HTTP response. Callers (the service handlers, the cluster router)
+// translate its verdicts into the uniform JSON error envelope plus a
+// Retry-After header, so the writeError-only discipline the errenvelope
+// analyzer enforces holds here by construction.
+package admission
+
+import (
+	"net"
+	"net/http"
+)
+
+// ClientIDHeader names the caller for rate-limiting and request
+// accounting. The router forwards it verbatim to replicas so a client's
+// budget is one budget regardless of which replica serves it; requests
+// without the header fall back to the remote address.
+const ClientIDHeader = "X-Client-ID"
+
+// PriorityHeader lets a client demote its own request (batch ETL jobs
+// tagging themselves "batch" so they never compete with dashboards).
+// Promotion is refused: the planner-derived class is the ceiling,
+// otherwise every client would claim "interactive".
+const PriorityHeader = "X-Priority"
+
+// ClientID identifies the caller of r: the X-Client-ID header when set,
+// else the host part of the remote address (so untagged clients are
+// still isolated from each other rather than pooled into one bucket).
+func ClientID(r *http.Request) string {
+	if id := r.Header.Get(ClientIDHeader); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}

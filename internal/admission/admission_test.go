@@ -1,0 +1,180 @@
+package admission
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestClientID(t *testing.T) {
+	r := httptest.NewRequest("POST", "/v2/query", nil)
+	r.RemoteAddr = "10.1.2.3:40000"
+	if got := ClientID(r); got != "10.1.2.3" {
+		t.Fatalf("ClientID from remote addr = %q, want 10.1.2.3", got)
+	}
+	r.Header.Set(ClientIDHeader, "tenant-a")
+	if got := ClientID(r); got != "tenant-a" {
+		t.Fatalf("ClientID with header = %q, want tenant-a", got)
+	}
+	r.Header.Del(ClientIDHeader)
+	r.RemoteAddr = "unix-socket" // no port: fall back to the raw address
+	if got := ClientID(r); got != "unix-socket" {
+		t.Fatalf("ClientID from portless addr = %q", got)
+	}
+}
+
+func TestPriorityDerivation(t *testing.T) {
+	cases := []struct {
+		backend string
+		want    Priority
+	}{
+		{"sketch", Interactive},
+		{"heuristic", Interactive},
+		{"ris", Standard},
+		{"score", Standard},
+		{"mc", Batch},
+		{"", Standard},
+		{"future-backend", Standard},
+	}
+	for _, c := range cases {
+		if got := ForBackend(c.backend); got != c.want {
+			t.Errorf("ForBackend(%q) = %v, want %v", c.backend, got, c.want)
+		}
+	}
+	if got := Worst(Interactive, Batch, Standard); got != Batch {
+		t.Fatalf("Worst = %v, want Batch", got)
+	}
+	if got := Worst(); got != Interactive {
+		t.Fatalf("Worst() = %v, want Interactive", got)
+	}
+}
+
+func TestPriorityWire(t *testing.T) {
+	for _, p := range []Priority{Interactive, Standard, Batch} {
+		back, ok := ParsePriority(p.String())
+		if !ok || back != p {
+			t.Fatalf("ParsePriority(%q) = %v, %v", p.String(), back, ok)
+		}
+	}
+	if _, ok := ParsePriority("vip"); ok {
+		t.Fatal("ParsePriority accepted an unknown class")
+	}
+	if Priority(99).String() != "standard" {
+		t.Fatal("out-of-range Priority must label as standard")
+	}
+}
+
+func TestDemote(t *testing.T) {
+	if got := Demote(Standard, "batch"); got != Batch {
+		t.Fatalf("Demote(standard, batch) = %v", got)
+	}
+	// Promotion is refused: the derived class is the ceiling.
+	if got := Demote(Batch, "interactive"); got != Batch {
+		t.Fatalf("Demote(batch, interactive) = %v, want Batch", got)
+	}
+	if got := Demote(Standard, ""); got != Standard {
+		t.Fatalf("Demote(standard, \"\") = %v", got)
+	}
+	if got := Demote(Interactive, "nonsense"); got != Interactive {
+		t.Fatalf("Demote(interactive, nonsense) = %v", got)
+	}
+}
+
+func TestLimiterBucket(t *testing.T) {
+	l := NewLimiter(LimiterConfig{RPS: 1, Burst: 2})
+	now := time.Unix(1000, 0)
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.Allow("a", now); !ok {
+			t.Fatalf("burst request %d refused", i)
+		}
+	}
+	ok, retry := l.Allow("a", now)
+	if ok {
+		t.Fatal("third instantaneous request must be throttled")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retryAfter = %v, want (0, 1s]", retry)
+	}
+	// Another client is untouched by a's exhaustion.
+	if ok, _ := l.Allow("b", now); !ok {
+		t.Fatal("client b must have its own bucket")
+	}
+	// One second refills one token.
+	if ok, _ := l.Allow("a", now.Add(time.Second)); !ok {
+		t.Fatal("refill after 1s must admit")
+	}
+	// A long idle period refills to burst, not beyond.
+	later := now.Add(time.Hour)
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.Allow("a", later); !ok {
+			t.Fatalf("post-idle burst request %d refused", i)
+		}
+	}
+	if ok, _ := l.Allow("a", later); ok {
+		t.Fatal("idle refill must cap at burst")
+	}
+	if l.Allowed() == 0 || l.Throttled() == 0 {
+		t.Fatalf("counters: allowed=%d throttled=%d", l.Allowed(), l.Throttled())
+	}
+}
+
+func TestLimiterLRUEviction(t *testing.T) {
+	l := NewLimiter(LimiterConfig{RPS: 100, Burst: 1, MaxClients: 2})
+	now := time.Unix(1000, 0)
+	l.Allow("a", now)
+	l.Allow("b", now)
+	if n := l.Clients(); n != 2 {
+		t.Fatalf("Clients() = %d, want 2", n)
+	}
+	l.Allow("c", now) // evicts a, the least recently seen
+	if n := l.Clients(); n != 2 {
+		t.Fatalf("Clients() after eviction = %d, want 2", n)
+	}
+	// a returns with a fresh (full) bucket: admitted despite having
+	// spent its token before eviction.
+	if ok, _ := l.Allow("a", now); !ok {
+		t.Fatal("evicted client must restart with a full bucket")
+	}
+	// b was evicted to make room for a's return; c is still tracked and
+	// its spent bucket survived.
+	if ok, _ := l.Allow("c", now); ok {
+		t.Fatal("c's bucket must have survived a's reinsertion")
+	}
+}
+
+func TestLimiterDisabled(t *testing.T) {
+	var l *Limiter // nil: rate limiting off
+	if l != NewLimiter(LimiterConfig{}) {
+		t.Fatal("RPS<=0 must build a nil limiter")
+	}
+	if ok, retry := l.Allow("anyone", time.Now()); !ok || retry != 0 {
+		t.Fatal("nil limiter must admit everything")
+	}
+	if l.Allowed() != 0 || l.Throttled() != 0 || l.Clients() != 0 {
+		t.Fatal("nil limiter counters must read zero")
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	c := NewCostModel()
+	if got := c.Estimate("mc"); got != 0 {
+		t.Fatalf("cold Estimate = %v, want 0", got)
+	}
+	c.Observe("mc", 8)
+	if got := c.Estimate("mc"); got != 8 {
+		t.Fatalf("first observation Estimate = %v, want 8", got)
+	}
+	c.Observe("mc", 4) // EWMA α=1/4: 8 + (4-8)/4 = 7
+	if got := c.Estimate("mc"); got != 7 {
+		t.Fatalf("EWMA Estimate = %v, want 7", got)
+	}
+	c.Observe("sketch", 0.001)
+	if got := c.Estimate("sketch"); got != 0.001 {
+		t.Fatalf("per-backend isolation broken: %v", got)
+	}
+	var nilModel *CostModel
+	nilModel.Observe("mc", 1) // must not panic
+	if nilModel.Estimate("mc") != 0 {
+		t.Fatal("nil model must estimate zero")
+	}
+}

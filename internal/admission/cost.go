@@ -1,0 +1,48 @@
+package admission
+
+import "sync"
+
+// CostModel predicts how long a job will run from the backend its plan
+// routed it to, fed by the same completed-query observations that back
+// the im_query_duration_seconds histogram. It is an EWMA per backend
+// (α = 1/4, like the job manager's queue-wait estimate): cheap, always
+// current, and biased toward recent behavior — exactly what admission
+// needs to refuse a request whose deadline cannot survive the queue.
+//
+// A nil CostModel estimates zero for everything, so callers never
+// branch on configuration.
+type CostModel struct {
+	mu  sync.Mutex
+	avg map[string]float64 // backend -> EWMA run seconds
+}
+
+// NewCostModel returns an empty model.
+func NewCostModel() *CostModel {
+	return &CostModel{avg: make(map[string]float64)}
+}
+
+// Observe folds one completed run of backend into its estimate.
+func (c *CostModel) Observe(backend string, seconds float64) {
+	if c == nil || backend == "" || seconds < 0 {
+		return
+	}
+	c.mu.Lock()
+	if old, ok := c.avg[backend]; ok {
+		c.avg[backend] = old + (seconds-old)/4
+	} else {
+		c.avg[backend] = seconds
+	}
+	c.mu.Unlock()
+}
+
+// Estimate predicts the run seconds of one job on backend. Zero until
+// the backend has completed at least one run — a cold model never
+// sheds, mirroring the manager's cold-pool rule.
+func (c *CostModel) Estimate(backend string) float64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.avg[backend]
+}

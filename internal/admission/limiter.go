@@ -1,0 +1,139 @@
+package admission
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LimiterConfig sizes a Limiter. RPS <= 0 disables rate limiting
+// entirely (NewLimiter returns nil, and a nil *Limiter admits
+// everything), so binaries can plumb the flag through unconditionally.
+type LimiterConfig struct {
+	// RPS is each client's sustained request budget per second.
+	RPS float64
+	// Burst is the bucket capacity — how many requests a previously
+	// idle client may fire back to back. Defaults to max(RPS, 1).
+	Burst float64
+	// MaxClients bounds the per-client bucket table; the least recently
+	// seen client is evicted past it (default 4096). An evicted client
+	// that returns starts with a full bucket — the table bounds memory
+	// against client-id churn, not adversaries.
+	MaxClients int
+}
+
+// Limiter is an LRU-bounded table of per-client token buckets. A nil
+// Limiter admits everything, so callers never branch on configuration.
+type Limiter struct {
+	rps        float64
+	burst      float64
+	maxClients int
+
+	mu      sync.Mutex
+	clients map[string]*list.Element // -> *bucket, via lru
+	lru     *list.List               // front = most recently seen
+
+	allowed   atomic.Int64
+	throttled atomic.Int64
+}
+
+// bucket is one client's token state. Guarded by Limiter.mu: buckets
+// are touched only inside Allow, and the LRU list must move in the
+// same critical section anyway.
+type bucket struct {
+	client string
+	tokens float64
+	last   time.Time
+}
+
+// NewLimiter builds a Limiter, or nil when cfg.RPS <= 0 (disabled).
+func NewLimiter(cfg LimiterConfig) *Limiter {
+	if cfg.RPS <= 0 {
+		return nil
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = cfg.RPS
+	}
+	if cfg.Burst < 1 {
+		cfg.Burst = 1
+	}
+	if cfg.MaxClients <= 0 {
+		cfg.MaxClients = 4096
+	}
+	return &Limiter{
+		rps:        cfg.RPS,
+		burst:      cfg.Burst,
+		maxClients: cfg.MaxClients,
+		clients:    make(map[string]*list.Element),
+		lru:        list.New(),
+	}
+}
+
+// Allow spends one token from client's bucket. When the bucket is
+// empty it refuses and reports how long until a token accrues — the
+// Retry-After the caller should surface. now is injected so tests are
+// deterministic.
+func (l *Limiter) Allow(client string, now time.Time) (ok bool, retryAfter time.Duration) {
+	if l == nil {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var b *bucket
+	if el, hit := l.clients[client]; hit {
+		b = el.Value.(*bucket)
+		l.lru.MoveToFront(el)
+		// Refill for the idle interval, capped at the burst size.
+		if dt := now.Sub(b.last).Seconds(); dt > 0 {
+			b.tokens += dt * l.rps
+			if b.tokens > l.burst {
+				b.tokens = l.burst
+			}
+		}
+		b.last = now
+	} else {
+		b = &bucket{client: client, tokens: l.burst, last: now}
+		l.clients[client] = l.lru.PushFront(b)
+		if l.lru.Len() > l.maxClients {
+			oldest := l.lru.Back()
+			l.lru.Remove(oldest)
+			delete(l.clients, oldest.Value.(*bucket).client)
+		}
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		l.allowed.Add(1)
+		return true, 0
+	}
+	l.throttled.Add(1)
+	// Time until the bucket holds one whole token again.
+	deficit := 1 - b.tokens
+	return false, time.Duration(deficit / l.rps * float64(time.Second))
+}
+
+// Allowed returns the number of admitted requests.
+func (l *Limiter) Allowed() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.allowed.Load()
+}
+
+// Throttled returns the number of refused requests.
+func (l *Limiter) Throttled() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.throttled.Load()
+}
+
+// Clients returns the number of tracked client buckets.
+func (l *Limiter) Clients() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lru.Len()
+}

@@ -16,4 +16,7 @@ func TestGuardedBy(t *testing.T)      { Run(t, analysis.GuardedBy, "guarded") }
 func TestAtomicField(t *testing.T)    { Run(t, analysis.AtomicField, "atomicf") }
 func TestCtxPoll(t *testing.T)        { Run(t, analysis.CtxPoll, "ctxpoll") }
 func TestErrEnvelope(t *testing.T)    { Run(t, analysis.ErrEnvelope, "service") }
-func TestSlogLint(t *testing.T)       { Run(t, analysis.SlogLint, "slogpkg") }
+func TestErrEnvelopeAdmission(t *testing.T) {
+	Run(t, analysis.ErrEnvelope, "admission")
+}
+func TestSlogLint(t *testing.T) { Run(t, analysis.SlogLint, "slogpkg") }

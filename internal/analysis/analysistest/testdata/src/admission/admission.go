@@ -1,0 +1,40 @@
+// Package admission is the errenvelope fixture for the QoS layer. The
+// real internal/admission is inert over the wire — it never writes an
+// HTTP response — so the discipline holds by construction today. This
+// fixture pins the rule against tomorrow: if a refactor moves rejection
+// writing into the package, the responses must still be the envelope.
+package admission
+
+import "net/http"
+
+// writeError is the envelope: it alone may touch the raw status line.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write([]byte(`{"error":{"message":"` + msg + `"}}`))
+}
+
+// throttledText rejects with a text/plain 429 — forks the contract.
+func throttledText(w http.ResponseWriter, _ *http.Request) {
+	http.Error(w, "slow down", http.StatusTooManyRequests) // want `http\.Error bypasses the JSON error envelope`
+}
+
+// bareThrottle sends an empty-bodied 429 — loses code and request id.
+func bareThrottle(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Retry-After", "1")
+	w.WriteHeader(http.StatusTooManyRequests) // want `bare WriteHeader\(429\) outside writeError`
+}
+
+// clientID only reads the request: wire-inert QoS code, clean.
+func clientID(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	return r.RemoteAddr
+}
+
+// rejectThrough routes a refusal through the envelope, clean.
+func rejectThrough(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusTooManyRequests, "client exceeded its request rate")
+}

@@ -17,11 +17,12 @@ import (
 // code) are legal: the upstream already shaped the body.
 var ErrEnvelope = &Analyzer{
 	Name: "errenvelope",
-	Doc: "in internal/service and internal/cluster, error responses must go " +
-		"through writeError — no http.Error, no bare WriteHeader(4xx/5xx)",
+	Doc: "in internal/service, internal/cluster and internal/admission, error " +
+		"responses must go through writeError — no http.Error, no bare " +
+		"WriteHeader(4xx/5xx)",
 	AppliesTo: func(path, _ string) bool {
 		seg := lastSegment(path)
-		return seg == "service" || seg == "cluster"
+		return seg == "service" || seg == "cluster" || seg == "admission"
 	},
 	Run: runErrEnvelope,
 }

@@ -13,6 +13,7 @@ type routerMetrics struct {
 	proxyDur      *obs.HistogramVec // im_router_proxy_duration_seconds{replica}
 	hedges        *obs.Counter
 	failovers     *obs.Counter
+	shedStops     *obs.Counter
 	scatters      *obs.Counter
 	scatterAborts *obs.Counter
 	staleRoutes   *obs.Counter
@@ -28,6 +29,8 @@ func (rt *Router) initObservability() {
 			"Hedged launches: extra candidates started because the leader ran past the hedge delay."),
 		failovers: m.Counter("im_router_failovers_total",
 			"Failover launches: extra candidates started after a candidate failed or shed."),
+		shedStops: m.Counter("im_router_shed_stops_total",
+			"Failovers suppressed by the 429 shed budget: the overload was surfaced to the client with the largest Retry-After instead of recruiting more replicas."),
 		scatters: m.Counter("im_router_scatters_total",
 			"Batch queries fanned out member-by-member across the owner set."),
 		scatterAborts: m.Counter("im_router_scatter_aborts_total",

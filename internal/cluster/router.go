@@ -10,11 +10,13 @@ import (
 	"log/slog"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"github.com/holisticim/holisticim"
+	"github.com/holisticim/holisticim/internal/admission"
 	"github.com/holisticim/holisticim/internal/obs"
 	"github.com/holisticim/holisticim/internal/service"
 )
@@ -37,6 +39,14 @@ type RouterConfig struct {
 	// Retries bounds the extra replicas tried after the first, the
 	// failover retry budget (default: all remaining candidates).
 	Retries int
+	// ShedRetries caps the extra candidates tried after a replica sheds
+	// load (429). Unlike a hard failure, a shedding replica is healthy —
+	// its queue is full or the deadline can't be met — and under cluster-
+	// wide overload failing over to every owner multiplies the load that
+	// caused the shedding. After the cap the 429 is surfaced to the
+	// client, carrying the LARGEST Retry-After seen across the shed
+	// responses. Default 1; negative disables failover on 429 entirely.
+	ShedRetries int
 	// Client issues upstream requests (default: 30s-timeout client).
 	Client *http.Client
 	// Metrics receives the router's metric families and backs GET
@@ -88,6 +98,12 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if cfg.Retries <= 0 {
 		cfg.Retries = len(cfg.Replicas)
 	}
+	if cfg.ShedRetries == 0 {
+		cfg.ShedRetries = 1
+	}
+	if cfg.ShedRetries < 0 {
+		cfg.ShedRetries = 0
+	}
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{Timeout: 30 * time.Second}
 	}
@@ -127,7 +143,7 @@ func (rt *Router) Handler() http.Handler {
 			writeError(w, http.StatusNotFound, "no route for %s %s", r.Method, r.URL.Path)
 			return
 		}
-		rt.mux.ServeHTTP(w, r)
+		rt.mux.ServeHTTP(w, withQoS(r))
 	})
 	mw := obs.HTTPConfig{
 		Logger:   rt.logger,
@@ -245,15 +261,58 @@ type upstreamResult struct {
 // retryable reports whether a status should fail over to the next
 // candidate: shedding (429), server errors and upstream unavailability.
 // Client errors (400/404/409...) are authoritative — every replica
-// would answer the same.
+// would answer the same. 429s additionally respect the ShedRetries cap
+// in tryCandidates — a shedding replica is healthy, so hammering the
+// whole owner set with its traffic only deepens the overload.
 func retryable(status int) bool {
 	return status == http.StatusTooManyRequests || status >= 500
+}
+
+// qosCtxKey carries the original client's identity and priority wish
+// from the router's front door to every upstream request it spawns.
+type qosCtxKey int
+
+const (
+	ctxClientID qosCtxKey = iota
+	ctxPriorityWish
+)
+
+// withQoS resolves the inbound request's client identity (its
+// X-Client-ID header, else its remote address) and priority wish onto
+// the context, so upstream requests — issued far from the original
+// *http.Request — can stamp them. Without this, every replica would
+// see the ROUTER's address as the client and one bucket would throttle
+// the whole cluster's traffic.
+func withQoS(r *http.Request) *http.Request {
+	ctx := context.WithValue(r.Context(), ctxClientID, admission.ClientID(r))
+	if wish := r.Header.Get(admission.PriorityHeader); wish != "" {
+		ctx = context.WithValue(ctx, ctxPriorityWish, wish)
+	}
+	return r.WithContext(ctx)
+}
+
+// stampUpstreamHeaders copies the request id, client identity and
+// priority wish riding ctx onto an upstream request, so a replica's
+// log lines, rate-limit bucket and service class all match what the
+// router saw at the front door.
+func stampUpstreamHeaders(ctx context.Context, h http.Header) {
+	if rid := obs.RequestID(ctx); rid != "" {
+		h.Set(obs.RequestIDHeader, rid)
+	}
+	if cid, _ := ctx.Value(ctxClientID).(string); cid != "" {
+		h.Set(admission.ClientIDHeader, cid)
+	}
+	if wish, _ := ctx.Value(ctxPriorityWish).(string); wish != "" {
+		h.Set(admission.PriorityHeader, wish)
+	}
 }
 
 // forward issues one upstream request and buffers the response. The
 // request id riding ctx (set by the router's middleware) is propagated
 // on the X-Request-ID header, so a replica's log lines carry the same
 // id as the router's — one grep follows a request across the cluster.
+// The client id and priority wish ride along the same way, so per-
+// client rate limits and priority classes apply to the true client.
 func (rt *Router) forward(ctx context.Context, replica, method, path string, body []byte, contentType string) (*upstreamResult, error) {
 	var rd io.Reader
 	if body != nil {
@@ -266,9 +325,7 @@ func (rt *Router) forward(ctx context.Context, replica, method, path string, bod
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
 	}
-	if rid := obs.RequestID(ctx); rid != "" {
-		req.Header.Set(obs.RequestIDHeader, rid)
-	}
+	stampUpstreamHeaders(ctx, req.Header)
 	start := time.Now()
 	resp, err := rt.client.Do(req)
 	rt.rm.proxyDur.With(replica).Observe(time.Since(start).Seconds())
@@ -283,12 +340,39 @@ func (rt *Router) forward(ctx context.Context, replica, method, path string, bod
 	return &upstreamResult{replica: replica, status: resp.StatusCode, header: resp.Header, body: b}, nil
 }
 
+// retryAfterSeconds parses the integral-seconds Retry-After the
+// serving layer emits (0 when absent or malformed).
+func retryAfterSeconds(h http.Header) int {
+	s, err := strconv.Atoi(strings.TrimSpace(h.Get("Retry-After")))
+	if err != nil || s < 0 {
+		return 0
+	}
+	return s
+}
+
+// applyMaxRetryAfter stamps the largest Retry-After observed across
+// shed responses onto the result surfaced to the client: when several
+// owners refused with different hints, retrying before the LARGEST one
+// would just be shed again by the slowest.
+func applyMaxRetryAfter(res *upstreamResult, maxSeconds int) {
+	if maxSeconds <= 0 {
+		return
+	}
+	if res.header == nil {
+		res.header = http.Header{}
+	}
+	res.header.Set("Retry-After", strconv.Itoa(maxSeconds))
+}
+
 // tryCandidates runs the request against candidates with hedged
 // failover: candidate 0 starts immediately; every HedgeDelay without a
 // verdict the next candidate starts in parallel; the first
 // non-retryable response wins and the losers are canceled. At most
-// 1+Retries candidates are attempted. Returns the winning result, or
-// the last retryable/erroneous outcome when every candidate failed.
+// 1+Retries candidates are attempted, and at most 1+ShedRetries when
+// the refusals are 429 load sheds — after the shed budget the 429 is
+// returned with the largest Retry-After seen, instead of multiplying
+// an overloaded owner set's load. Returns the winning result, or the
+// last retryable/erroneous outcome when every candidate failed.
 func (rt *Router) tryCandidates(ctx context.Context, candidates []string, method, path string, body []byte, contentType string) (*upstreamResult, error) {
 	if len(candidates) == 0 {
 		return nil, fmt.Errorf("no healthy replica")
@@ -320,6 +404,7 @@ func (rt *Router) tryCandidates(ctx context.Context, candidates []string, method
 
 	var last outcome
 	pending := 1
+	sheds, maxRetryAfter := 0, 0
 	hedge := time.NewTimer(rt.cfg.HedgeDelay)
 	defer hedge.Stop()
 	for pending > 0 || launched < len(candidates) {
@@ -342,6 +427,19 @@ func (rt *Router) tryCandidates(ctx context.Context, candidates []string, method
 			if out.err == nil && !retryable(out.res.status) {
 				return out.res, nil
 			}
+			if out.err == nil && out.res.status == http.StatusTooManyRequests {
+				sheds++
+				if ra := retryAfterSeconds(out.res.header); ra > maxRetryAfter {
+					maxRetryAfter = ra
+				}
+				if sheds > rt.cfg.ShedRetries {
+					// Shed budget spent: surface the overload rather than
+					// recruit more replicas into it.
+					rt.rm.shedStops.Inc()
+					applyMaxRetryAfter(out.res, maxRetryAfter)
+					return out.res, nil
+				}
+			}
 			// Failed or shedding: start the next candidate immediately
 			// instead of waiting out the hedge timer.
 			if launched < len(candidates) {
@@ -350,6 +448,9 @@ func (rt *Router) tryCandidates(ctx context.Context, candidates []string, method
 				rt.rm.failovers.Inc()
 			}
 		}
+	}
+	if last.err == nil && last.res != nil && last.res.status == http.StatusTooManyRequests {
+		applyMaxRetryAfter(last.res, maxRetryAfter)
 	}
 	return last.res, last.err
 }
@@ -454,9 +555,7 @@ func (rt *Router) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	if accept := r.Header.Get("Accept"); accept != "" {
 		req.Header.Set("Accept", accept)
 	}
-	if rid := obs.RequestID(r.Context()); rid != "" {
-		req.Header.Set(obs.RequestIDHeader, rid)
-	}
+	stampUpstreamHeaders(r.Context(), req.Header)
 	// Streams must not be bounded by the client's request timeout.
 	streamClient := &http.Client{Transport: rt.client.Transport}
 	resp, err := streamClient.Do(req)

@@ -1,0 +1,232 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/holisticim/holisticim/internal/admission"
+	"github.com/holisticim/holisticim/internal/service"
+)
+
+// shedReplica is a fake imserver that answers health polls ready and
+// sheds every POST with 429 + its own Retry-After hint, recording the
+// requests it saw.
+type shedReplica struct {
+	ts   *httptest.Server
+	hint int
+
+	mu   sync.Mutex
+	hits int
+	hdrs []http.Header
+}
+
+func newShedReplica(t *testing.T, hint int, status int) *shedReplica {
+	t.Helper()
+	sr := &shedReplica{hint: hint}
+	sr.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/cluster/info" {
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write([]byte(`{"ready":true}`))
+			return
+		}
+		sr.mu.Lock()
+		sr.hits++
+		sr.hdrs = append(sr.hdrs, r.Header.Clone())
+		sr.mu.Unlock()
+		w.Header().Set("Retry-After", strconv.Itoa(sr.hint))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		_ = json.NewEncoder(w).Encode(service.ErrorResponse{Error: service.ErrorBody{
+			Code: "too_many_requests", Message: "job queue full",
+		}})
+	}))
+	t.Cleanup(sr.ts.Close)
+	return sr
+}
+
+func shedRouter(t *testing.T, cfg RouterConfig, reps ...*shedReplica) *httptest.Server {
+	t.Helper()
+	for _, r := range reps {
+		cfg.Replicas = append(cfg.Replicas, r.ts.URL)
+	}
+	if cfg.HedgeDelay == 0 {
+		// Keep the hedge timer out of the picture: every extra launch in
+		// these tests must be a shed-triggered failover, not a hedge.
+		cfg.HedgeDelay = 10 * time.Second
+	}
+	rt, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.PollOnce(context.Background())
+	front := httptest.NewServer(rt.Handler())
+	t.Cleanup(front.Close)
+	return front
+}
+
+func postSelect(t *testing.T, front *httptest.Server, hdr map[string]string) *http.Response {
+	t.Helper()
+	body := `{"graph":"soc","algorithm":"imm","k":2}`
+	req, err := http.NewRequest(http.MethodPost, front.URL+"/v1/select", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestRouterShedCapSurfacesMaxRetryAfter: when every owner sheds, the
+// router must stop after 1+ShedRetries candidates — NOT hedge through
+// the whole owner set — and surface the largest Retry-After it saw.
+func TestRouterShedCapSurfacesMaxRetryAfter(t *testing.T) {
+	reps := []*shedReplica{
+		newShedReplica(t, 2, http.StatusTooManyRequests),
+		newShedReplica(t, 9, http.StatusTooManyRequests),
+		newShedReplica(t, 5, http.StatusTooManyRequests),
+	}
+	front := shedRouter(t, RouterConfig{Replication: 3, ShedRetries: 1}, reps...)
+
+	resp := postSelect(t, front, nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	total, wantRA := 0, 0
+	for _, r := range reps {
+		r.mu.Lock()
+		if r.hits > 0 && r.hint > wantRA {
+			wantRA = r.hint
+		}
+		total += r.hits
+		r.mu.Unlock()
+	}
+	if total != 2 {
+		t.Fatalf("candidates tried = %d, want 2 (1 + ShedRetries)", total)
+	}
+	got, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || got != wantRA {
+		t.Fatalf("Retry-After = %q, want %d (largest hint among contacted replicas)",
+			resp.Header.Get("Retry-After"), wantRA)
+	}
+	var env service.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("decode envelope: %v", err)
+	}
+	if env.Error.Code != "too_many_requests" {
+		t.Fatalf("error.code = %q, want too_many_requests", env.Error.Code)
+	}
+}
+
+// TestRouterShedRetriesDisabled: a negative ShedRetries means the first
+// 429 is final — exactly one replica is contacted.
+func TestRouterShedRetriesDisabled(t *testing.T) {
+	reps := []*shedReplica{
+		newShedReplica(t, 3, http.StatusTooManyRequests),
+		newShedReplica(t, 7, http.StatusTooManyRequests),
+	}
+	front := shedRouter(t, RouterConfig{Replication: 2, ShedRetries: -1}, reps...)
+
+	resp := postSelect(t, front, nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	total := 0
+	for _, r := range reps {
+		r.mu.Lock()
+		total += r.hits
+		r.mu.Unlock()
+	}
+	if total != 1 {
+		t.Fatalf("candidates tried = %d, want 1 (failover on 429 disabled)", total)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response lost its Retry-After")
+	}
+}
+
+// TestRouterShedThenSuccess: one shed inside the budget still fails
+// over, and a healthy candidate's success wins as before.
+func TestRouterShedThenSuccess(t *testing.T) {
+	shedder := newShedReplica(t, 4, http.StatusTooManyRequests)
+	okRep := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/cluster/info" {
+			_, _ = w.Write([]byte(`{"ready":true}`))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"state":"done"}`))
+	}))
+	t.Cleanup(okRep.Close)
+
+	// Both orderings are possible depending on rendezvous ranking; in
+	// either the client must end with the 200.
+	rt, err := NewRouter(RouterConfig{
+		Replicas:    []string{shedder.ts.URL, okRep.URL},
+		Replication: 2,
+		ShedRetries: 1,
+		HedgeDelay:  10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.PollOnce(context.Background())
+	front := httptest.NewServer(rt.Handler())
+	t.Cleanup(front.Close)
+
+	resp := postSelect(t, front, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (shed inside budget fails over)", resp.StatusCode)
+	}
+}
+
+// TestRouterForwardsQoSHeaders: the router must stamp the ORIGINAL
+// client's identity and priority wish on upstream requests — otherwise
+// every replica would rate-limit the router's own address as one giant
+// client and priority wishes would be lost at the first hop.
+func TestRouterForwardsQoSHeaders(t *testing.T) {
+	rep := newShedReplica(t, 1, http.StatusTooManyRequests)
+	front := shedRouter(t, RouterConfig{Replication: 1, ShedRetries: -1}, rep)
+
+	postSelect(t, front, map[string]string{
+		admission.ClientIDHeader: "alice",
+		admission.PriorityHeader: "batch",
+	})
+	postSelect(t, front, nil)
+
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	if len(rep.hdrs) != 2 {
+		t.Fatalf("replica saw %d requests, want 2", len(rep.hdrs))
+	}
+	if got := rep.hdrs[0].Get(admission.ClientIDHeader); got != "alice" {
+		t.Fatalf("X-Client-ID = %q, want alice", got)
+	}
+	if got := rep.hdrs[0].Get(admission.PriorityHeader); got != "batch" {
+		t.Fatalf("X-Priority = %q, want batch", got)
+	}
+	if rep.hdrs[0].Get("X-Request-ID") == "" {
+		t.Fatal("upstream request lost its X-Request-ID")
+	}
+	// No X-Client-ID header: the router identifies the client by its
+	// remote address, so replicas still bucket per end client.
+	if got := rep.hdrs[1].Get(admission.ClientIDHeader); got == "" {
+		t.Fatal("anonymous client forwarded with empty X-Client-ID; want remote-address identity")
+	}
+	if got := rep.hdrs[1].Get(admission.PriorityHeader); got != "" {
+		t.Fatalf("no priority wish sent, but upstream saw X-Priority=%q", got)
+	}
+}

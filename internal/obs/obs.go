@@ -164,6 +164,47 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	f.mu.Unlock()
 }
 
+// funcSeries is one series of a labeled scrape-time family: its value
+// is fn() at render time. Mutated only under its family's mu.
+type funcSeries struct{ fn func() float64 }
+
+// FuncVec is a labeled metric family whose series are read by calling
+// per-series callbacks at scrape time — the labeled sibling of
+// CounterFunc/GaugeFunc, bridging counters the serving layer already
+// tracks per class (queue depth by priority, shed counts by reason)
+// without duplicating state.
+type FuncVec struct{ f *family }
+
+// CounterFuncVec registers (or finds) a labeled scrape-time counter
+// family.
+func (r *Registry) CounterFuncVec(name, help string, labels ...string) *FuncVec {
+	return &FuncVec{f: r.lookup(name, help, KindCounter, labels)}
+}
+
+// GaugeFuncVec registers (or finds) a labeled scrape-time gauge family.
+func (r *Registry) GaugeFuncVec(name, help string, labels ...string) *FuncVec {
+	return &FuncVec{f: r.lookup(name, help, KindGauge, labels)}
+}
+
+// Register binds the series for the given label values to fn, replacing
+// any previous binding (idempotent re-registration, like the unlabeled
+// func metrics).
+func (v *FuncVec) Register(fn func() float64, values ...string) {
+	if len(values) != len(v.f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d",
+			v.f.name, len(v.f.labels), len(values)))
+	}
+	key := labelKey(values)
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	if s, ok := v.f.series[key]; ok {
+		s.(*funcSeries).fn = fn
+		return
+	}
+	v.f.series[key] = &funcSeries{fn: fn}
+	v.f.keys = append(v.f.keys, key)
+}
+
 // CounterVec is a counter family with labels.
 type CounterVec struct{ f *family }
 
@@ -268,6 +309,9 @@ func writeSeries(w io.Writer, f *family, pairs string, s any) error {
 		return err
 	case *Gauge:
 		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, braced, m.Value())
+		return err
+	case *funcSeries:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, braced, formatValue(m.fn()))
 		return err
 	case *Histogram:
 		snap := m.Snapshot()

@@ -164,3 +164,55 @@ func TestRegistryIdempotentAndPanics(t *testing.T) {
 	}()
 	r.Gauge("same_total", "now a gauge")
 }
+
+// TestFuncVecExposition: labeled scrape-time families render one line
+// per registered series, values read at scrape time, sorted by label
+// values like every stateful family.
+func TestFuncVecExposition(t *testing.T) {
+	r := NewRegistry()
+	depth := map[string]float64{"interactive": 0, "batch": 7}
+	v := r.GaugeFuncVec("fv_queue_depth", "Queued jobs by class.", "priority")
+	for _, p := range []string{"interactive", "batch"} {
+		p := p
+		v.Register(func() float64 { return depth[p] }, p)
+	}
+	cv := r.CounterFuncVec("fv_shed_total", "Shed by class and reason.", "priority", "reason")
+	cv.Register(func() float64 { return 3 }, "batch", "queue_full")
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	want := `# HELP fv_queue_depth Queued jobs by class.
+# TYPE fv_queue_depth gauge
+fv_queue_depth{priority="batch"} 7
+fv_queue_depth{priority="interactive"} 0
+# HELP fv_shed_total Shed by class and reason.
+# TYPE fv_shed_total counter
+fv_shed_total{priority="batch",reason="queue_full"} 3
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	// Values are live: the next scrape sees the new depth without any
+	// re-registration.
+	depth["batch"] = 2
+	sb.Reset()
+	_ = r.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), `fv_queue_depth{priority="batch"} 2`) {
+		t.Errorf("scrape did not read live value:\n%s", sb.String())
+	}
+	// Re-registering a series replaces its callback instead of duplicating
+	// the series.
+	cv.Register(func() float64 { return 9 }, "batch", "queue_full")
+	sb.Reset()
+	_ = r.WritePrometheus(&sb)
+	if strings.Count(sb.String(), `fv_shed_total{priority="batch",reason="queue_full"}`) != 1 {
+		t.Errorf("re-registration duplicated the series:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), `fv_shed_total{priority="batch",reason="queue_full"} 9`) {
+		t.Errorf("re-registration kept the old callback:\n%s", sb.String())
+	}
+	// parseExposition round-trip: the new lines are machine-readable.
+	parseExposition(t, sb.String())
+}

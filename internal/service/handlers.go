@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/holisticim/holisticim"
+	"github.com/holisticim/holisticim/internal/admission"
 	"github.com/holisticim/holisticim/internal/obs"
 )
 
@@ -55,10 +56,12 @@ func (s *Server) writeAPIError(w http.ResponseWriter, err *apiError) {
 // writeSubmitError maps a job-admission failure onto the wire: queue-full
 // is 429 (the client should back off and retry), past-deadline and
 // shutting-down are 503 (retrying this replica immediately won't help).
-// Both carry Retry-After so a router can distinguish overload — worth
-// failing over — from a request that could never have made its deadline.
-func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
-	if hint := s.jobs.RetryAfterHint(); hint > 0 {
+// Both carry Retry-After — scoped to the job's service class, so an
+// interactive client shed during a batch flood is told to retry soon —
+// letting a router distinguish overload (worth failing over) from a
+// request that could never have made its deadline.
+func (s *Server) writeSubmitError(w http.ResponseWriter, err error, prio admission.Priority) {
+	if hint := s.jobs.RetryAfterHintFor(prio); hint > 0 {
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(hint.Seconds())))
 	}
 	status := http.StatusServiceUnavailable
@@ -66,6 +69,27 @@ func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
 		status = http.StatusTooManyRequests
 	}
 	writeError(w, status, "%v", err)
+}
+
+// admit is the front door of every work-inducing handler: it spends one
+// token from the caller's rate-limit bucket and, when the bucket is
+// empty, answers 429 with the uniform envelope and a Retry-After naming
+// when a token accrues. Read-only surfaces (job polling, listings,
+// health) are never gated — a throttled client can still observe the
+// work it already submitted.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
+	client := admission.ClientID(r)
+	ok, retry := s.limiter.Allow(client, time.Now())
+	if ok {
+		return true
+	}
+	if retry < time.Second {
+		retry = time.Second // Retry-After is integral seconds; never emit 0
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", int(retry.Round(time.Second).Seconds())))
+	writeError(w, http.StatusTooManyRequests,
+		"client %q exceeded its request rate; retry in %s", client, retry.Round(time.Second))
+	return false
 }
 
 func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
@@ -138,6 +162,9 @@ func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleAddGraph(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w, r) {
+		return
+	}
 	var spec GraphSpec
 	if !decodeJSON(w, r, &spec) {
 		return
@@ -184,16 +211,20 @@ func (s *Server) handleGraphStats(w http.ResponseWriter, r *http.Request) {
 // with any matching registered sketch attached, the planner's routing
 // decision, and the generation-fenced cache/dedup key.
 type preparedQuery struct {
-	graph   string
-	g       *holisticim.Graph
-	gen     uint64
-	q       holisticim.Query
-	task    holisticim.Task
-	ks      []int // select: normalized budgets, in member order
-	kmax    int
-	plan    Plan
-	key     string
-	timeout time.Duration
+	graph string
+	g     *holisticim.Graph
+	gen   uint64
+	q     holisticim.Query
+	task  holisticim.Task
+	ks    []int // select: normalized budgets, in member order
+	kmax  int
+	plan  Plan
+	key   string
+	// priority is the query's service class, derived from the worst
+	// backend across the plan's steps (one cold member makes the whole
+	// job batch); a client's X-Priority header may demote it further.
+	priority admission.Priority
+	timeout  time.Duration
 	// deadline is the absolute completion bound derived from timeout at
 	// admission time: the clock starts when the request is accepted, not
 	// when a worker picks the job up, so time spent queued counts — and
@@ -296,6 +327,9 @@ func (s *Server) prepareQuery(req QueryRequest, estimateCap int) (*preparedQuery
 		timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
 		lambda:  resolved.Lambda,
 	}
+	for _, step := range plan.Steps {
+		p.priority = admission.Worst(p.priority, admission.ForBackend(string(step.Backend)))
+	}
 	if p.timeout > 0 {
 		p.deadline = time.Now().Add(p.timeout)
 	}
@@ -360,6 +394,9 @@ func cachedAnswer(v any, p *preparedQuery) *QueryAnswer {
 // (sketch-only plans answer synchronously), and everything else runs as
 // an async job keyed by the query fingerprint.
 func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w, r) {
+		return
+	}
 	var req SelectRequest
 	if !decodeJSON(w, r, &req) {
 		return
@@ -376,6 +413,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		s.writeAPIError(w, aerr)
 		return
 	}
+	p.priority = admission.Demote(p.priority, r.Header.Get(admission.PriorityHeader))
 
 	// Sketch-served plans run on the request path — milliseconds instead
 	// of a sampling job. Sketch results stay out of the LRU cache: a
@@ -410,7 +448,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 
 	job, created, err := s.submitSelectJob(p)
 	if err != nil {
-		s.writeSubmitError(w, err)
+		s.writeSubmitError(w, err, p.priority)
 		return
 	}
 	resp := job.Status()
@@ -428,7 +466,12 @@ func (s *Server) submitSelectJob(p *preparedQuery) (*Job, bool, error) {
 	key := p.key
 	plan := p.plan
 	backend := p.planBackend()
-	spec := JobSpec{Key: key, K: k, Members: 1, MemberKs: p.ks, Plan: &plan, Deadline: deadline}
+	spec := JobSpec{
+		Key: key, K: k, Members: 1, MemberKs: p.ks, Plan: &plan,
+		Priority:    p.priority,
+		ExpectedRun: time.Duration(s.costs.Estimate(backend) * float64(time.Second)),
+		Deadline:    deadline,
+	}
 	return s.jobs.SubmitQuery(spec, func(ctx context.Context, report func(int)) (any, error) {
 		if !deadline.IsZero() {
 			var cancel context.CancelFunc
@@ -518,6 +561,9 @@ func (s *Server) handleDeleteSketch(w http.ResponseWriter, r *http.Request) {
 // handleBuildSketch runs a sketch build as an async job on the shared
 // worker pool, deduplicated by the canonical sketch id.
 func (s *Server) handleBuildSketch(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w, r) {
+		return
+	}
 	var spec SketchSpec
 	if !decodeJSON(w, r, &spec) {
 		return
@@ -587,7 +633,9 @@ func (s *Server) handleBuildSketch(w http.ResponseWriter, r *http.Request) {
 	}
 	graphName := spec.Graph
 	key := "sketchbuild:" + sketchID(graphName, semantics, epsilon, seed)
-	job, created, err := s.jobs.Submit(key, 0, func(ctx context.Context, report func(int)) (any, error) {
+	// Sketch builds are heavyweight index construction: batch class, so
+	// a build can never queue ahead of serving work.
+	job, created, err := s.jobs.SubmitQuery(JobSpec{Key: key, Priority: admission.Batch}, func(ctx context.Context, report func(int)) (any, error) {
 		start := time.Now()
 		idx, err := holisticim.BuildSketch(ctx, g, opts)
 		if err != nil {
@@ -625,7 +673,7 @@ func (s *Server) handleBuildSketch(w http.ResponseWriter, r *http.Request) {
 		}, nil
 	})
 	if err != nil {
-		s.writeSubmitError(w, err)
+		s.writeSubmitError(w, err, admission.Batch)
 		return
 	}
 	resp := job.Status()
@@ -639,6 +687,9 @@ func (s *Server) handleBuildSketch(w http.ResponseWriter, r *http.Request) {
 // simulations it will never read), served from an opinion-weighted
 // sketch when the plan says so.
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w, r) {
+		return
+	}
 	var req EstimateRequest
 	if !decodeJSON(w, r, &req) {
 		return

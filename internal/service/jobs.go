@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/holisticim/holisticim/internal/admission"
 )
 
 // Admission errors. All three are load-shedding signals carrying a
@@ -24,6 +26,36 @@ var (
 	// ErrShuttingDown reports a submission against a draining manager.
 	ErrShuttingDown = errors.New("service: shutting down")
 )
+
+// ShedReason classifies a load-shedding rejection for the per-priority
+// shed counters backing im_jobs_shed_by_priority_total.
+type ShedReason int
+
+// The shed reasons, in counter order.
+const (
+	// ShedQueueFull: the submission found the queue at capacity (429).
+	ShedQueueFull ShedReason = iota
+	// ShedDeadline: the deadline could not survive the estimated queue
+	// wait plus run time, so the job was refused at admission (503).
+	ShedDeadline
+	// ShedExpired: the deadline passed while the job sat in the queue;
+	// a worker dropped it at dequeue instead of running it.
+	ShedExpired
+	// NumShedReasons sizes per-reason arrays.
+	NumShedReasons int = iota
+)
+
+// String returns the metric-label form of r.
+func (r ShedReason) String() string {
+	switch r {
+	case ShedQueueFull:
+		return "queue_full"
+	case ShedDeadline:
+		return "deadline"
+	default:
+		return "expired"
+	}
+}
 
 // JobFunc runs one computation. It must honor ctx — returning promptly
 // with an error wrapping ctx.Err() when cancelled — and may call report
@@ -52,6 +84,12 @@ type Job struct {
 	members  int
 	memberKs []int
 	plan     *Plan
+	// priority is the job's service class: workers drain all queued
+	// interactive work before standard, and standard before batch.
+	priority admission.Priority
+	// expectedRun is the cost model's run-time prediction, folded into
+	// admission-time deadline shedding (0 when no model is wired).
+	expectedRun time.Duration
 	// deadline, when non-zero, is the job's absolute completion bound: a
 	// worker dequeuing it after expiry fails it without running fn.
 	deadline   time.Time
@@ -166,9 +204,15 @@ func (j *Job) Status() SelectResponse {
 // computation. Finished jobs are retained (up to maxJobs) so clients can
 // poll results; the oldest finished jobs are evicted first.
 //
+// The queue is priority-aware: one FIFO per service class, drained
+// interactive → standard → batch, so queued sketch-path work always
+// dispatches ahead of queued cold Monte-Carlo work regardless of
+// arrival order. The capacity bound spans all classes — the point is
+// dispatch order, not reserved slots.
+//
 // Every job runs under its own cancellable context (derived from the
 // manager's): Cancel stops one job, Close cancels all in-flight work.
-// The queue is a slice guarded by the manager lock (not a channel), so
+// The queues are slices guarded by the manager lock (not channels), so
 // cancelling a queued job frees its slot immediately.
 type Manager struct {
 	baseCtx  context.Context
@@ -176,8 +220,8 @@ type Manager struct {
 	wg       sync.WaitGroup
 
 	mu       sync.Mutex
-	cond     *sync.Cond // signalled on queue push, job completion and close
-	queue    []*Job     // pending jobs awaiting a worker, FIFO
+	cond     *sync.Cond                      // signalled on queue push, job completion and close
+	queues   [admission.NumPriorities][]*Job // pending jobs awaiting a worker, FIFO per class
 	queueCap int
 	workers  int
 	closed   bool
@@ -194,6 +238,9 @@ type Manager struct {
 	avgRunNanos atomic.Int64
 
 	submitted, deduped, canceled, shed atomic.Int64
+	// shedBy breaks the shed total down by (service class, reason) for
+	// the labeled shed metric family.
+	shedBy [admission.NumPriorities][NumShedReasons]atomic.Int64
 
 	// obsMu guards the optional duration observers (metrics hookup).
 	obsMu   sync.Mutex
@@ -265,6 +312,15 @@ type JobSpec struct {
 	Members  int
 	MemberKs []int
 	Plan     *Plan
+	// Priority is the job's service class (default Interactive, the
+	// zero value): workers drain lower classes completely before
+	// touching higher ones.
+	Priority admission.Priority
+	// ExpectedRun, when positive, is the cost model's prediction of the
+	// job's run time. Deadline shedding refuses the job when estimated
+	// queue wait plus ExpectedRun overshoots Deadline — without it only
+	// the queue wait counts.
+	ExpectedRun time.Duration
 	// Deadline, when non-zero, is the job's absolute completion bound.
 	// A submission whose estimated queue wait already overshoots it is
 	// refused with ErrPastDeadline instead of queueing work nobody can
@@ -286,58 +342,86 @@ func (m *Manager) SubmitQuery(spec JobSpec, fn JobFunc) (*Job, bool, error) {
 	if m.draining || m.closed {
 		return nil, false, ErrShuttingDown
 	}
-	if len(m.queue) >= m.queueCap {
-		m.shed.Add(1)
+	if m.queueLenLocked() >= m.queueCap {
+		m.shedLocked(spec.Priority, ShedQueueFull)
 		return nil, false, ErrQueueFull
 	}
 	// Deadline-aware shedding: refuse a job whose deadline would expire
-	// while it sits in the queue. The wait estimate is coarse (EWMA of
+	// while it sits in the queue (or, when the cost model predicted a
+	// run time, while it runs). The wait estimate is coarse (EWMA of
 	// recent job runtimes across whatever mix of work the pool saw), so
 	// it only refuses when even the estimate cannot fit — an optimistic
 	// bias that sheds the hopeless tail without guessing too eagerly.
 	if !spec.Deadline.IsZero() {
-		if wait := m.queueWaitLocked(); wait > 0 && time.Now().Add(wait).After(spec.Deadline) {
-			m.shed.Add(1)
-			return nil, false, fmt.Errorf("%w (estimated queue wait %s)", ErrPastDeadline, wait.Round(time.Millisecond))
+		wait := m.queueWaitLocked(spec.Priority)
+		if need := wait + spec.ExpectedRun; need > 0 && time.Now().Add(need).After(spec.Deadline) {
+			m.shedLocked(spec.Priority, ShedDeadline)
+			return nil, false, fmt.Errorf("%w (estimated wait %s + run %s)",
+				ErrPastDeadline, wait.Round(time.Millisecond), spec.ExpectedRun.Round(time.Millisecond))
 		}
 	}
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	j := &Job{
-		id:         fmt.Sprintf("j%08x", m.nextID),
-		key:        spec.Key,
-		k:          spec.K,
-		fn:         fn,
-		members:    spec.Members,
-		memberKs:   spec.MemberKs,
-		plan:       spec.Plan,
-		deadline:   spec.Deadline,
-		enqueuedAt: time.Now(),
-		done:       make(chan struct{}),
-		ctx:        ctx,
-		cancel:     cancel,
-		state:      StatePending,
+		id:          fmt.Sprintf("j%08x", m.nextID),
+		key:         spec.Key,
+		k:           spec.K,
+		fn:          fn,
+		members:     spec.Members,
+		memberKs:    spec.MemberKs,
+		plan:        spec.Plan,
+		priority:    spec.Priority,
+		expectedRun: spec.ExpectedRun,
+		deadline:    spec.Deadline,
+		enqueuedAt:  time.Now(),
+		done:        make(chan struct{}),
+		ctx:         ctx,
+		cancel:      cancel,
+		state:       StatePending,
 	}
 	m.nextID++
 	m.jobs[j.id] = j
 	m.history = append(m.history, j.id)
 	m.inflight[spec.Key] = j
-	m.queue = append(m.queue, j)
+	m.queues[j.priority] = append(m.queues[j.priority], j)
 	m.submitted.Add(1)
 	m.evictLocked()
 	m.cond.Signal()
 	return j, true, nil
 }
 
-// queueWaitLocked estimates how long a job submitted now would wait for
-// a worker: queued jobs ahead of it spread over the pool, each costing
-// the EWMA runtime. Zero until the first job completes (no data — never
-// shed on a cold pool).
-func (m *Manager) queueWaitLocked() time.Duration {
+// queueLenLocked is the queued-job count across all service classes.
+func (m *Manager) queueLenLocked() int {
+	n := 0
+	for p := range m.queues {
+		n += len(m.queues[p])
+	}
+	return n
+}
+
+// shedLocked records one load-shedding rejection under its class and
+// reason. (Only the counters are touched; callers hold m.mu for the
+// queue state they just inspected, not for the atomics.)
+func (m *Manager) shedLocked(p admission.Priority, reason ShedReason) {
+	m.shed.Add(1)
+	m.shedBy[p][reason].Add(1)
+}
+
+// queueWaitLocked estimates how long a job of class p submitted now
+// would wait for a worker: queued jobs that dispatch before it — all
+// classes at or below p, since workers drain in class order — spread
+// over the pool, each costing the EWMA runtime. Zero until the first
+// job completes (no data — never shed on a cold pool). Lower classes
+// jumping the queue later are invisible here; the estimate stays a
+// hint, corrected at dequeue time by the expiry check.
+func (m *Manager) queueWaitLocked(p admission.Priority) time.Duration {
 	avg := time.Duration(m.avgRunNanos.Load())
 	if avg <= 0 {
 		return 0
 	}
-	ahead := len(m.queue) + m.running
+	ahead := m.running
+	for q := admission.Interactive; q <= p; q++ {
+		ahead += len(m.queues[q])
+	}
 	if ahead < m.workers {
 		return 0
 	}
@@ -345,11 +429,19 @@ func (m *Manager) queueWaitLocked() time.Duration {
 }
 
 // RetryAfterHint suggests how long a shed client should wait before
-// retrying: the estimated time for the backlog to drain one slot,
+// retrying: the estimated time for the full backlog to drain one slot,
 // clamped to [1s, 60s] so the header is always actionable.
 func (m *Manager) RetryAfterHint() time.Duration {
+	return m.RetryAfterHintFor(admission.Batch)
+}
+
+// RetryAfterHintFor is RetryAfterHint scoped to a service class: only
+// backlog that would dispatch ahead of class-p work counts, so an
+// interactive client shed by a batch flood is told to retry soon — the
+// flood does not block its lane.
+func (m *Manager) RetryAfterHintFor(p admission.Priority) time.Duration {
 	m.mu.Lock()
-	wait := m.queueWaitLocked()
+	wait := m.queueWaitLocked(p)
 	m.mu.Unlock()
 	if wait < time.Second {
 		return time.Second
@@ -365,12 +457,29 @@ func (m *Manager) RetryAfterHint() time.Duration {
 func (m *Manager) Depth() (queued, running int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return len(m.queue), m.running
+	return m.queueLenLocked(), m.running
+}
+
+// DepthByPriority reports the queued jobs per service class, backing
+// the im_jobs_queue_depth_by_priority gauge family.
+func (m *Manager) DepthByPriority() [admission.NumPriorities]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out [admission.NumPriorities]int
+	for p := range m.queues {
+		out[p] = len(m.queues[p])
+	}
+	return out
 }
 
 // Shed returns how many submissions were refused by load shedding
 // (queue-full and past-deadline rejections).
 func (m *Manager) Shed() int64 { return m.shed.Load() }
+
+// ShedCount returns the shed counter for one (class, reason) pair.
+func (m *Manager) ShedCount(p admission.Priority, reason ShedReason) int64 {
+	return m.shedBy[p][reason].Load()
+}
 
 // Get returns the job with the given id (including finished jobs still
 // retained in history).
@@ -405,9 +514,10 @@ func (m *Manager) Cancel(id string) (j *Job, accepted, ok bool) {
 		j.err = context.Canceled
 		j.mu.Unlock()
 		// Free the queue slot and the dedup entry right away.
-		for i, q := range m.queue {
-			if q == j {
-				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+		q := m.queues[j.priority]
+		for i, queued := range q {
+			if queued == j {
+				m.queues[j.priority] = append(q[:i], q[i+1:]...)
 				break
 			}
 		}
@@ -481,8 +591,11 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 		return nil
 	}
 	m.draining = true
-	queued := m.queue
-	m.queue = nil
+	var queued []*Job
+	for p := range m.queues {
+		queued = append(queued, m.queues[p]...)
+		m.queues[p] = nil
+	}
 	m.mu.Unlock()
 
 	// Cancel queued jobs exactly as Cancel's pending branch does, so
@@ -534,15 +647,26 @@ func (m *Manager) worker() {
 	defer m.wg.Done()
 	for {
 		m.mu.Lock()
-		for len(m.queue) == 0 && !m.closed {
+		for m.queueLenLocked() == 0 && !m.closed {
 			m.cond.Wait()
 		}
 		if m.closed {
 			m.mu.Unlock()
 			return
 		}
-		j := m.queue[0]
-		m.queue = m.queue[1:]
+		// Strict class order: the first non-empty queue wins, so queued
+		// interactive work always dispatches before queued batch work.
+		// Starvation of batch under sustained interactive load is the
+		// intended trade — batch clients are told to back off (429/503 +
+		// Retry-After) rather than batch work wedging the fast lane.
+		var j *Job
+		for p := range m.queues {
+			if len(m.queues[p]) > 0 {
+				j = m.queues[p][0]
+				m.queues[p] = m.queues[p][1:]
+				break
+			}
+		}
 		m.running++
 		m.mu.Unlock()
 		m.run(j)
@@ -568,6 +692,7 @@ func (m *Manager) run(j *Job) {
 		j.err = fmt.Errorf("%w: expired while queued", ErrPastDeadline)
 		j.mu.Unlock()
 		m.shed.Add(1)
+		m.shedBy[j.priority][ShedExpired].Add(1)
 		j.cancel()
 		close(j.done)
 		m.mu.Lock()

@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"github.com/holisticim/holisticim/internal/admission"
 )
 
 func waitDone(t *testing.T, j *Job) {
@@ -371,4 +373,135 @@ func TestCancelFreesQueueSlot(t *testing.T) {
 		t.Fatalf("post-cancel Submit: created=%v err=%v", created, err)
 	}
 	_ = replacement
+}
+
+// TestManagerPriorityOrder proves dispatch order is class order, not
+// arrival order: with the single worker busy, queued batch jobs are
+// jumped by a later interactive submission.
+func TestManagerPriorityOrder(t *testing.T) {
+	m := NewManager(1, 8, 16)
+	defer m.Close()
+	running := make(chan struct{})
+	release := make(chan struct{})
+	if _, _, err := m.Submit("blocker", 1, func(ctx context.Context, report func(int)) (any, error) {
+		close(running)
+		<-release
+		return &SelectResult{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-running
+
+	var mu sync.Mutex
+	var order []string
+	record := func(name string) JobFunc {
+		return func(ctx context.Context, report func(int)) (any, error) {
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+			return &SelectResult{}, nil
+		}
+	}
+	var jobs []*Job
+	for _, sub := range []struct {
+		name string
+		prio admission.Priority
+	}{
+		{"batch1", admission.Batch},
+		{"batch2", admission.Batch},
+		{"standard1", admission.Standard},
+		{"interactive1", admission.Interactive},
+	} {
+		j, _, err := m.SubmitQuery(JobSpec{Key: sub.name, Priority: sub.prio}, record(sub.name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	depths := m.DepthByPriority()
+	if depths[admission.Interactive] != 1 || depths[admission.Standard] != 1 || depths[admission.Batch] != 2 {
+		t.Fatalf("DepthByPriority = %v", depths)
+	}
+	close(release)
+	for _, j := range jobs {
+		waitDone(t, j)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"interactive1", "standard1", "batch1", "batch2"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("dispatch order %v, want %v", order, want)
+	}
+}
+
+// TestManagerShedReasons drives each shed path and checks the
+// per-(class, reason) counters behind the labeled metric family.
+func TestManagerShedReasons(t *testing.T) {
+	m := NewManager(1, 1, 16)
+	defer m.Close()
+	running := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	if _, _, err := m.Submit("busy", 1, func(ctx context.Context, report func(int)) (any, error) {
+		close(running)
+		<-release
+		return &SelectResult{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-running
+	if _, _, err := m.SubmitQuery(JobSpec{Key: "fill", Priority: admission.Batch}, func(ctx context.Context, report func(int)) (any, error) {
+		return &SelectResult{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Queue full: the single slot is taken.
+	_, _, err := m.SubmitQuery(JobSpec{Key: "over", Priority: admission.Batch}, func(ctx context.Context, report func(int)) (any, error) {
+		return &SelectResult{}, nil
+	})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if got := m.ShedCount(admission.Batch, ShedQueueFull); got != 1 {
+		t.Fatalf("ShedCount(batch, queue_full) = %d, want 1", got)
+	}
+	if m.Shed() != 1 {
+		t.Fatalf("Shed() = %d, want 1", m.Shed())
+	}
+}
+
+// TestManagerExpectedRunShed proves the cost model's prediction alone
+// sheds a doomed submission, even on a cold pool with no queue wait
+// history: a job predicted to run 10s cannot make a 50ms deadline.
+func TestManagerExpectedRunShed(t *testing.T) {
+	m := NewManager(2, 8, 16)
+	defer m.Close()
+	_, _, err := m.SubmitQuery(JobSpec{
+		Key:         "doomed",
+		Priority:    admission.Batch,
+		ExpectedRun: 10 * time.Second,
+		Deadline:    time.Now().Add(50 * time.Millisecond),
+	}, func(ctx context.Context, report func(int)) (any, error) {
+		t.Error("a shed job must never run")
+		return nil, nil
+	})
+	if !errors.Is(err, ErrPastDeadline) {
+		t.Fatalf("err = %v, want ErrPastDeadline", err)
+	}
+	if got := m.ShedCount(admission.Batch, ShedDeadline); got != 1 {
+		t.Fatalf("ShedCount(batch, deadline) = %d, want 1", got)
+	}
+	// The same spec without the prediction is admitted: the pool is cold,
+	// so queue wait alone never sheds.
+	j, created, err := m.SubmitQuery(JobSpec{
+		Key:      "hopeful",
+		Priority: admission.Batch,
+		Deadline: time.Now().Add(50 * time.Millisecond),
+	}, func(ctx context.Context, report func(int)) (any, error) {
+		return &SelectResult{}, nil
+	})
+	if err != nil || !created {
+		t.Fatalf("cold-pool submission: created=%v err=%v", created, err)
+	}
+	waitDone(t, j)
 }

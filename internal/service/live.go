@@ -15,6 +15,9 @@ import (
 // sketches (both via the registry's onMutate hook, before Mutate
 // returns), so the response's version is never served from stale state.
 func (s *Server) handleMutateGraph(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w, r) {
+		return
+	}
 	name := r.PathValue("name")
 	var req MutateRequest
 	if !decodeJSON(w, r, &req) {

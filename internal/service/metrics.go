@@ -4,6 +4,7 @@ import (
 	"log/slog"
 	"net/http"
 
+	"github.com/holisticim/holisticim/internal/admission"
 	"github.com/holisticim/holisticim/internal/obs"
 )
 
@@ -56,6 +57,36 @@ func (s *Server) initObservability() {
 		"Wall time of job executions (selections, builds, repairs).", nil)
 	s.jobs.SetDurationObservers(waitHist.Observe, runHist.Observe)
 
+	// Admission control & QoS. The labeled families are scrape-time
+	// views over the manager's per-class counters, so /v1/stats and
+	// /metrics can never disagree.
+	depthVec := m.GaugeFuncVec("im_jobs_queue_depth_by_priority",
+		"Jobs queued awaiting a worker, by service class.", "priority")
+	shedVec := m.CounterFuncVec("im_jobs_shed_by_priority_total",
+		"Load-shedding rejections by service class and reason.",
+		"priority", "reason")
+	for p := admission.Interactive; p < admission.Priority(admission.NumPriorities); p++ {
+		p := p
+		depthVec.Register(func() float64 {
+			return float64(s.jobs.DepthByPriority()[p])
+		}, p.String())
+		for reason := ShedQueueFull; reason < ShedReason(NumShedReasons); reason++ {
+			reason := reason
+			shedVec.Register(func() float64 {
+				return float64(s.jobs.ShedCount(p, reason))
+			}, p.String(), reason.String())
+		}
+	}
+	m.CounterFunc("im_admission_allowed_total",
+		"Requests admitted by the per-client rate limiter.",
+		func() float64 { return float64(s.limiter.Allowed()) })
+	m.CounterFunc("im_admission_throttled_total",
+		"Requests refused (429) by the per-client rate limiter.",
+		func() float64 { return float64(s.limiter.Throttled()) })
+	m.GaugeFunc("im_admission_clients",
+		"Client buckets tracked by the rate limiter.",
+		func() float64 { return float64(s.limiter.Clients()) })
+
 	// Selections and queries.
 	m.CounterFunc("im_selections_total", "Selections actually computed.",
 		func() float64 { return float64(s.selections.Load()) })
@@ -101,12 +132,15 @@ func (p *preparedQuery) planBackend() string {
 
 // observeBackend records one completed query's latency under its
 // serving backend ("" falls back to "unknown" so a malformed plan can
-// never panic the label lookup).
+// never panic the label lookup). The same observation feeds the
+// admission cost model, so deadline shedding predicts from exactly the
+// durations im_query_duration_seconds reports.
 func (s *Server) observeBackend(backend string, seconds float64) {
 	if backend == "" {
 		backend = "unknown"
 	}
 	s.queryDur.With(backend).Observe(seconds)
+	s.costs.Observe(backend, seconds)
 }
 
 // Metrics exposes the server's registry so binaries can add their own

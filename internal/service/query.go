@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"github.com/holisticim/holisticim"
+	"github.com/holisticim/holisticim/internal/admission"
 )
 
 // toQueryAnswer maps a library Answer onto the wire form. Estimate
@@ -77,6 +78,9 @@ func queryResponseOf(snap JobSnapshot) QueryResponse {
 // synchronously with the plan inline → cache hit → async job on the
 // shared worker pool, deduplicated and cached by Query.Fingerprint.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w, r) {
+		return
+	}
 	var req QueryRequest
 	if !decodeJSON(w, r, &req) {
 		return
@@ -88,6 +92,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeAPIError(w, aerr)
 		return
 	}
+	p.priority = admission.Demote(p.priority, r.Header.Get(admission.PriorityHeader))
 
 	if p.plan.SketchOnly() {
 		start := time.Now()
@@ -124,7 +129,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	job, created, err := s.submitQueryJob(p)
 	if err != nil {
-		s.writeSubmitError(w, err)
+		s.writeSubmitError(w, err, p.priority)
 		return
 	}
 	resp := queryResponseOf(job.Snapshot())
@@ -195,7 +200,12 @@ func (s *Server) submitQueryJob(p *preparedQuery) (*Job, bool, error) {
 	if task == holisticim.TaskSelect {
 		memberKs = p.ks
 	}
-	spec := JobSpec{Key: key, K: p.kmax, Members: members, MemberKs: memberKs, Plan: &plan, Deadline: p.deadline}
+	spec := JobSpec{
+		Key: key, K: p.kmax, Members: members, MemberKs: memberKs, Plan: &plan,
+		Priority:    p.priority,
+		ExpectedRun: time.Duration(s.costs.Estimate(p.planBackend()) * float64(time.Second)),
+		Deadline:    p.deadline,
+	}
 	return s.jobs.SubmitQuery(spec, fn)
 }
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/holisticim/holisticim"
+	"github.com/holisticim/holisticim/internal/admission"
 	"github.com/holisticim/holisticim/internal/obs"
 )
 
@@ -61,6 +62,18 @@ type Config struct {
 	// walk positions are deferred (advertised as stale_sets) instead of
 	// resampled. 0 (the default) keeps repairs exact.
 	RepairMaxHops int
+	// RateRPS, when positive, turns on per-client admission control: each
+	// client (X-Client-ID header, else remote address) gets a token
+	// bucket refilled at RateRPS requests per second, and work-inducing
+	// requests beyond it answer 429 + Retry-After. 0 (the default)
+	// disables rate limiting.
+	RateRPS float64
+	// RateBurst is each client's bucket capacity — how many requests an
+	// idle client may fire back to back (default: RateRPS).
+	RateBurst float64
+	// RateClients bounds the per-client bucket table; the least recently
+	// seen client is evicted past it (default 4096).
+	RateClients int
 	// ColdStart makes the server report NOT ready on GET /readyz until
 	// SetReady(true) is called — set it when startup warm-loads snapshots
 	// or a store manifest, so a load balancer never routes to a replica
@@ -141,6 +154,13 @@ type Server struct {
 	logger   *slog.Logger
 	queryDur *obs.HistogramVec // im_query_duration_seconds{backend}
 
+	// limiter is the per-client admission gate (nil when RateRPS is
+	// unset: a nil Limiter admits everything). costs predicts job run
+	// times per backend, fed by the same observations as queryDur, and
+	// drives deadline-aware shedding at submission time.
+	limiter *admission.Limiter
+	costs   *admission.CostModel
+
 	// selectFn runs one v1 selection under a job-scoped context; tests
 	// substitute stubs to control timing without real computations. It is
 	// a thin wrapper over queryFn's planner (SelectSeedsContext → Run).
@@ -171,6 +191,10 @@ func New(cfg Config) *Server {
 		cache:    NewCache(cfg.CacheSize),
 		selectFn: holisticim.SelectSeedsContext,
 		queryFn:  holisticim.Run,
+		limiter: admission.NewLimiter(admission.LimiterConfig{
+			RPS: cfg.RateRPS, Burst: cfg.RateBurst, MaxClients: cfg.RateClients,
+		}),
+		costs: admission.NewCostModel(),
 	}
 	// Enforced inside Registry.Add, under its lock, so concurrent
 	// registrations cannot race past the cap.
@@ -195,9 +219,11 @@ func New(cfg Config) *Server {
 	s.reg.onMutate = func(name string, g *holisticim.Graph, version uint64, dirty []holisticim.NodeID) {
 		s.mutations.Add(1)
 		s.cache.DropPrefix("graph=" + name + ";")
+		// Repairs are background maintenance: batch class, so a repair
+		// storm after a mutation burst cannot delay interactive queries.
 		s.sketches.ScheduleRepair(name, g, version, dirty, s.cfg.RepairMaxHops,
 			func(key string, fn JobFunc) error {
-				_, _, err := s.jobs.Submit(key, 0, fn)
+				_, _, err := s.jobs.SubmitQuery(JobSpec{Key: key, Priority: admission.Batch}, fn)
 				return err
 			})
 	}
@@ -332,7 +358,15 @@ func (s *Server) Stats() ServerStats {
 	skCount, skSets, skBytes, skBuilds := s.sketches.Totals()
 	repairs, repairedSets, repairsFailed := s.sketches.RepairTotals()
 	queued, running := s.jobs.Depth()
+	depths := s.jobs.DepthByPriority()
+	byPriority := make(map[string]int, admission.NumPriorities)
+	for p, d := range depths {
+		byPriority[admission.Priority(p).String()] = d
+	}
 	return ServerStats{
+		RequestsThrottled:    s.limiter.Throttled(),
+		RateClients:          s.limiter.Clients(),
+		QueueDepthByPriority: byPriority,
 		Graphs:               s.reg.Len(),
 		QueriesRun:           s.queries.Load(),
 		CacheSize:            s.cache.Len(),

@@ -476,10 +476,17 @@ type ServerStats struct {
 	// (429) plus past-deadline (503) refusals and jobs dropped at dequeue
 	// because their deadline expired while queued. QueueDepth and
 	// JobsRunning snapshot the pool's current pressure.
-	JobsShed      int64 `json:"jobs_shed"`
-	QueueDepth    int   `json:"queue_depth"`
-	JobsRunning   int   `json:"jobs_running"`
-	SelectionsRun int64 `json:"selections_run"`
+	JobsShed    int64 `json:"jobs_shed"`
+	QueueDepth  int   `json:"queue_depth"`
+	JobsRunning int   `json:"jobs_running"`
+	// QueueDepthByPriority breaks QueueDepth down by service class
+	// (interactive / standard / batch); RequestsThrottled counts
+	// requests refused by the per-client rate limiter (429s before any
+	// job was considered) and RateClients the tracked client buckets.
+	QueueDepthByPriority map[string]int `json:"queue_depth_by_priority,omitempty"`
+	RequestsThrottled    int64          `json:"requests_throttled"`
+	RateClients          int            `json:"rate_clients"`
+	SelectionsRun        int64          `json:"selections_run"`
 	// Sketch registry metrics: indexes held, RR sets across them, their
 	// memory footprint, completed builds/loads, how many /v1/select
 	// requests the sketch fast path answered synchronously and how many
